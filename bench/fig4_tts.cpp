@@ -1,0 +1,54 @@
+// Figure 4 (paper §4.3): median time-to-save per use case, on both hardware
+// profiles (4a: M1 laptop, 4b: server).
+//
+// Expected shape (paper): MMlib-base is slowest by far (one store round-trip
+// per model); Baseline is fastest; Update pays a hashing overhead on top of
+// Baseline; Provenance matches Baseline at U1 and is the cheapest at U3.
+// The M1 -> server improvement is concentrated in MMlib-base because the
+// server's document-store connection is faster.
+//
+// Reported times are wall clock + modeled store latency (see DESIGN.md §1:
+// store round-trip costs are simulated so results reproduce anywhere).
+//
+// Knobs: MMM_MODELS (default 5000), MMM_RUNS (3; paper uses 5),
+// MMM_U3_ITERATIONS (3), MMM_SAMPLES (256).
+
+#include "bench/bench_util.h"
+
+using namespace mmm;         // NOLINT — benchmark driver
+using namespace mmm::bench;  // NOLINT
+
+int main() {
+  BenchKnobs knobs = BenchKnobs::FromEnv();
+  knobs.Describe("fig4_tts");
+
+  for (const SetupProfile& profile :
+       {SetupProfile::M1(), SetupProfile::Server()}) {
+    ExperimentConfig config;
+    config.scenario = ScenarioConfig::Battery(knobs.models);
+    config.scenario.samples_per_dataset = knobs.samples;
+    config.u3_iterations = knobs.u3_iterations;
+    config.runs = knobs.runs;
+    config.measure_ttr = false;
+    config.profile = profile;
+    config.work_dir = "/tmp/mmm-bench-fig4-" + profile.name;
+
+    ExperimentRunner runner(config);
+    auto results = runner.Run().ValueOrDie();
+
+    const char* figure = profile.name == "M1" ? "4a" : "4b";
+    PrintMetricTable(
+        StringFormat("Figure %s: median time-to-save in s (%s setup, %zu "
+                     "models, %d runs)",
+                     figure, profile.name.c_str(), knobs.models, knobs.runs),
+        results, [](const ApproachMetrics& m) { return Seconds(m.tts_seconds); });
+    PrintMetricTable(
+        StringFormat("  breakdown, %s: modeled store latency portion in s",
+                     profile.name.c_str()),
+        results,
+        [](const ApproachMetrics& m) { return Seconds(m.tts_modeled_seconds); });
+
+    CleanupWorkDir(knobs, config.work_dir);
+  }
+  return 0;
+}

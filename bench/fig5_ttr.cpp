@@ -1,0 +1,59 @@
+// Figure 5 (paper §4.4): median time-to-recover per use case, on both
+// hardware profiles (5a: M1 laptop, 5b: server).
+//
+// Expected shape (paper): MMlib-base and Baseline are flat across use cases
+// (every set is independently recoverable), with MMlib-base much slower;
+// Update and Provenance show a staircase — recovering U3-k walks the whole
+// chain back to U1. Provenance uses the paper's measurement protocol
+// ("only train one model with reduced data per iteration"); see
+// tab_provenance_training for the extensive-training staircase.
+//
+// Knobs: MMM_MODELS (default 5000), MMM_RUNS (3; paper uses 5),
+// MMM_U3_ITERATIONS (3), MMM_SAMPLES (256), MMM_PROV_REPLAY_MODELS (1),
+// MMM_PROV_REPLAY_SAMPLES (64).
+
+#include "bench/bench_util.h"
+
+using namespace mmm;         // NOLINT — benchmark driver
+using namespace mmm::bench;  // NOLINT
+
+int main() {
+  BenchKnobs knobs = BenchKnobs::FromEnv();
+  knobs.Describe("fig5_ttr");
+  ProvenanceRecoverOptions prov;
+  prov.max_replay_models =
+      static_cast<size_t>(GetEnvInt64("MMM_PROV_REPLAY_MODELS", 1));
+  prov.max_replay_samples =
+      static_cast<size_t>(GetEnvInt64("MMM_PROV_REPLAY_SAMPLES", 64));
+
+  for (const SetupProfile& profile :
+       {SetupProfile::M1(), SetupProfile::Server()}) {
+    ExperimentConfig config;
+    config.scenario = ScenarioConfig::Battery(knobs.models);
+    config.scenario.samples_per_dataset = knobs.samples;
+    config.u3_iterations = knobs.u3_iterations;
+    config.runs = knobs.runs;
+    config.measure_ttr = true;
+    config.profile = profile;
+    config.provenance_recover = prov;
+    config.work_dir = "/tmp/mmm-bench-fig5-" + profile.name;
+
+    ExperimentRunner runner(config);
+    auto results = runner.Run().ValueOrDie();
+
+    const char* figure = profile.name == "M1" ? "5a" : "5b";
+    PrintMetricTable(
+        StringFormat("Figure %s: median time-to-recover in s (%s setup, %zu "
+                     "models, %d runs)",
+                     figure, profile.name.c_str(), knobs.models, knobs.runs),
+        results, [](const ApproachMetrics& m) { return Seconds(m.ttr_seconds); });
+    PrintMetricTable(
+        StringFormat("  breakdown, %s: modeled store latency portion in s",
+                     profile.name.c_str()),
+        results,
+        [](const ApproachMetrics& m) { return Seconds(m.ttr_modeled_seconds); });
+
+    CleanupWorkDir(knobs, config.work_dir);
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Ablation (the paper's §4.5 future work, implemented): compression of the
+// binary artifacts.
+//
+// "Another direction of future work is to evaluate if it is beneficial to
+// integrate compression techniques into our approaches and with what
+// trade-offs different algorithms come."
+//
+// Runs U1 + one update cycle for Baseline and Update under three codecs and
+// reports storage and TTS. Float32 parameters are high-entropy in their
+// mantissa bytes, so plain LZ saves little; the byte-shuffle filter groups
+// exponent bytes and recovers most of the achievable redundancy.
+//
+// Knobs: MMM_MODELS (default 2000), MMM_SAMPLES (128).
+
+#include "bench/bench_util.h"
+
+using namespace mmm;         // NOLINT — benchmark driver
+using namespace mmm::bench;  // NOLINT
+
+int main() {
+  BenchKnobs knobs = BenchKnobs::FromEnv(/*default_models=*/2000,
+                                         /*default_runs=*/3);
+  knobs.samples = static_cast<size_t>(GetEnvInt64("MMM_SAMPLES", 128));
+  knobs.Describe("tab_ablation_compression");
+
+  std::printf(
+      "\nCompression ablation, %zu FFNN-48 models, one 10%% update cycle:\n",
+      knobs.models);
+  std::printf("%-11s | %-9s | %12s | %12s | %10s | %10s\n", "codec", "approach",
+              "U1 MB", "U3-1 MB", "TTS U1 (s)", "TTS U3 (s)");
+
+  for (Compression codec :
+       {Compression::kNone, Compression::kLz, Compression::kShuffleLz}) {
+    ExperimentConfig config;
+    config.scenario = ScenarioConfig::Battery(knobs.models);
+    config.scenario.samples_per_dataset = knobs.samples;
+    config.u3_iterations = 1;
+    config.runs = knobs.runs;
+    config.measure_ttr = false;
+    config.approaches = {ApproachType::kBaseline, ApproachType::kUpdate};
+    config.work_dir = "/tmp/mmm-bench-compression";
+
+    // Thread the codec through the managers the runner opens.
+    config.blob_compression = codec;
+    ExperimentRunner runner(config);
+    auto results = runner.Run().ValueOrDie();
+
+    for (ApproachType type : config.approaches) {
+      std::printf("%-11s | %-9s | %12.2f | %12.2f | %10.3f | %10.3f\n",
+                  std::string(CompressionName(codec)).c_str(),
+                  ApproachTypeName(type).c_str(),
+                  static_cast<double>(results[0].metrics.at(type).storage_bytes) /
+                      1e6,
+                  static_cast<double>(results[1].metrics.at(type).storage_bytes) /
+                      1e6,
+                  results[0].metrics.at(type).tts_seconds,
+                  results[1].metrics.at(type).tts_seconds);
+    }
+    CleanupWorkDir(knobs, config.work_dir);
+  }
+  std::printf(
+      "\n(Expected: shuffle-lz shaves 5-15%% off freshly initialized float32 "
+      "payloads at a\n visible TTS cost; trained-parameter entropy limits "
+      "lossless gains, matching the\n paper's expectation that delta "
+      "encoding [6] is the bigger lever.)\n");
+
+  // --- Part 2: delta encoding of the Update diffs (the bigger lever). ----
+  std::printf(
+      "\nDelta-encoding x compression for the Update approach's U3 diff "
+      "(same workload):\n");
+  std::printf("%-11s | %-11s | %12s\n", "encoding", "codec", "U3-1 MB");
+  for (DiffEncoding encoding :
+       {DiffEncoding::kAbsolute, DiffEncoding::kXorBase}) {
+    for (Compression codec : {Compression::kNone, Compression::kShuffleLz}) {
+      ScenarioConfig scenario_config = ScenarioConfig::Battery(knobs.models);
+      scenario_config.samples_per_dataset = knobs.samples;
+      MultiModelScenario scenario(scenario_config);
+      scenario.Init().Check();
+
+      std::string work_dir = "/tmp/mmm-bench-delta-encoding";
+      Env::Default()->RemoveDirs(work_dir).Check();
+      ModelSetManager::Options options;
+      options.root_dir = work_dir;
+      options.resolver = &scenario;
+      options.blob_compression = codec;
+      options.update_options.diff_encoding = encoding;
+      auto manager = ModelSetManager::Open(options).ValueOrDie();
+
+      std::string head =
+          manager->SaveInitial(ApproachType::kUpdate, scenario.current_set())
+              .ValueOrDie()
+              .set_id;
+      ModelSet base = scenario.current_set();
+      ModelSetUpdateInfo update = scenario.AdvanceCycle().ValueOrDie();
+      update.base_set_id = head;
+      update.base_set = &base;
+      SaveResult saved =
+          manager
+              ->SaveDerived(ApproachType::kUpdate, scenario.current_set(),
+                            update)
+              .ValueOrDie();
+      // Sanity: the chain must still recover exactly.
+      ModelSet recovered = manager->Recover(saved.set_id).ValueOrDie();
+      if (!recovered.models[0][0].second.Equals(
+              scenario.current_set().models[0][0].second)) {
+        std::fprintf(stderr, "round-trip mismatch!\n");
+        return 1;
+      }
+      std::printf("%-11s | %-11s | %12.2f\n",
+                  encoding == DiffEncoding::kAbsolute ? "absolute" : "xor-base",
+                  std::string(CompressionName(codec)).c_str(),
+                  static_cast<double>(saved.bytes_written) / 1e6);
+      Env::Default()->RemoveDirs(work_dir).Check();
+    }
+  }
+  std::printf(
+      "\n(Expected: xor-base alone changes nothing — same byte count — but "
+      "xor-base +\n shuffle-lz compresses the partially-retrained tensors "
+      "whose high bits cancel.)\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Ablation (design choice from §3.3): granularity of change detection.
+//
+// The paper "compares related models on a layer granularity". Coarser
+// detection (whole model) stores more unchanged bytes but keeps a smaller
+// hash table; finer detection stores less. This bench measures, on one real
+// update cycle, the delta-payload and hash-table sizes plus hashing time at
+// three granularities:
+//   per-model  : 1 hash per model, any change re-saves the whole model
+//   per-layer  : 1 hash per layer (weight+bias pooled)
+//   per-tensor : 1 hash per parameter tensor (the implementation's choice)
+//
+// Knobs: MMM_MODELS (default 2000), MMM_SAMPLES (128).
+
+#include "bench/bench_util.h"
+#include "core/blob_formats.h"
+#include "serialize/sha256.h"
+#include "workload/scenario.h"
+
+using namespace mmm;         // NOLINT — benchmark driver
+using namespace mmm::bench;  // NOLINT
+
+namespace {
+
+// Groups consecutive parameter tensors into per-layer or per-model units
+// and returns {changed_payload_bytes, hash_table_bytes, hash_seconds}.
+struct GranularityResult {
+  uint64_t payload_bytes = 0;
+  uint64_t hash_bytes = 0;
+  double hash_seconds = 0.0;
+};
+
+GranularityResult Measure(const ModelSet& before, const ModelSet& after,
+                          size_t tensors_per_unit) {
+  GranularityResult result;
+  const size_t units_per_model =
+      (before.models[0].size() + tensors_per_unit - 1) / tensors_per_unit;
+  result.hash_bytes = before.models.size() * units_per_model * 32;
+
+  StopWatch watch;
+  // Hash both versions at the chosen granularity and compare.
+  auto hash_units = [&](const ModelSet& set) {
+    std::vector<Sha256Digest> digests;
+    digests.reserve(set.models.size() * units_per_model);
+    for (const StateDict& model : set.models) {
+      for (size_t unit = 0; unit < model.size(); unit += tensors_per_unit) {
+        Sha256 hasher;
+        for (size_t t = unit; t < std::min(unit + tensors_per_unit, model.size());
+             ++t) {
+          const Tensor& tensor = model[t].second;
+          hasher.Update(std::span<const uint8_t>(
+              reinterpret_cast<const uint8_t*>(tensor.data().data()),
+              tensor.numel() * sizeof(float)));
+        }
+        digests.push_back(hasher.Finish());
+      }
+    }
+    return digests;
+  };
+  std::vector<Sha256Digest> base = hash_units(before);
+  std::vector<Sha256Digest> current = hash_units(after);
+  result.hash_seconds = watch.ElapsedSeconds();
+
+  size_t digest_index = 0;
+  for (size_t m = 0; m < after.models.size(); ++m) {
+    for (size_t unit = 0; unit < after.models[m].size();
+         unit += tensors_per_unit) {
+      if (base[digest_index] != current[digest_index]) {
+        for (size_t t = unit;
+             t < std::min(unit + tensors_per_unit, after.models[m].size());
+             ++t) {
+          result.payload_bytes +=
+              after.models[m][t].second.numel() * sizeof(float);
+        }
+      }
+      ++digest_index;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  BenchKnobs knobs = BenchKnobs::FromEnv(/*default_models=*/2000,
+                                         /*default_runs=*/1);
+  knobs.samples = static_cast<size_t>(GetEnvInt64("MMM_SAMPLES", 128));
+  knobs.Describe("tab_ablation_hash_granularity");
+
+  ScenarioConfig config = ScenarioConfig::Battery(knobs.models);
+  config.samples_per_dataset = knobs.samples;
+  MultiModelScenario scenario(config);
+  scenario.Init().Check();
+  ModelSet before = scenario.current_set();
+  scenario.AdvanceCycle().status().Check();
+  const ModelSet& after = scenario.current_set();
+
+  struct Row {
+    const char* label;
+    size_t tensors_per_unit;
+  };
+  // FFNN-48 has 8 parameter tensors: 2 per layer, 8 per model.
+  const Row rows[] = {{"per-model", 8}, {"per-layer", 2}, {"per-tensor", 1}};
+
+  std::printf(
+      "\nChange-detection granularity, %zu models, one 10%% update cycle:\n",
+      knobs.models);
+  std::printf("%-11s | %12s | %12s | %12s | %10s\n", "granularity",
+              "delta MB", "hashes MB", "total MB", "hash time");
+  for (const Row& row : rows) {
+    GranularityResult r = Measure(before, after, row.tensors_per_unit);
+    std::printf("%-11s | %12.2f | %12.3f | %12.2f | %8.3fs\n", row.label,
+                static_cast<double>(r.payload_bytes) / 1e6,
+                static_cast<double>(r.hash_bytes) / 1e6,
+                static_cast<double>(r.payload_bytes + r.hash_bytes) / 1e6,
+                r.hash_seconds);
+  }
+  std::printf(
+      "\n(Expected: per-model granularity inflates the delta by re-saving "
+      "unchanged\n layers of partially updated models; finer granularity "
+      "pays a linearly\n larger hash table — negligible next to the saved "
+      "payload at these sizes.)\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// §4.2 text experiment: decomposition of the U1 storage overhead.
+//
+// The paper attributes ~4 KB of set-level overhead to Baseline/Provenance
+// and ~8 KB *per model* to MMlib-base (architecture, layer names, model
+// code, environment). This bench reports the measured artifact sizes of our
+// implementation so the redundancy argument (O1) can be inspected directly.
+//
+// Knobs: MMM_MODELS (default 5000).
+
+#include "bench/bench_util.h"
+#include "core/blob_formats.h"
+#include "core/set_codec.h"
+#include "prov/environment.h"
+
+using namespace mmm;         // NOLINT — benchmark driver
+using namespace mmm::bench;  // NOLINT
+
+int main() {
+  BenchKnobs knobs = BenchKnobs::FromEnv(/*default_models=*/5000,
+                                         /*default_runs=*/1);
+  knobs.Describe("tab_overhead_breakdown");
+
+  ModelSet set = MakeInitializedSet(Ffnn48Spec(), knobs.models, 7).ValueOrDie();
+  EnvironmentInfo environment = EnvironmentInfo::Capture();
+
+  const size_t raw_params_per_model = 4993 * sizeof(float);
+  const size_t state_dict_blob = EncodeStateDict(set.models[0]).size();
+  const size_t arch_json = set.spec.ToJson().Dump().size();
+  const size_t code = set.spec.SourceCode().size();
+  const size_t env_json = environment.ToJson().Dump().size();
+  const size_t arch_blob = EncodeArchBlob(set.spec).size();
+  const size_t param_blob = EncodeParamBlob(set).size();
+
+  std::printf("\nPer-model artifacts (MMlib-base persists ALL of these n times):\n");
+  std::printf("  raw parameters (4,993 x 4 B)        %8zu B\n",
+              raw_params_per_model);
+  std::printf("  weights blob (state dict with keys) %8zu B  (+%zu B keys/header)\n",
+              state_dict_blob, state_dict_blob - raw_params_per_model);
+  std::printf("  architecture json (per-model doc)   %8zu B\n", arch_json);
+  std::printf("  model source code artifact          %8zu B\n", code);
+  std::printf("  environment json (per-model doc)    %8zu B\n", env_json);
+  size_t per_model_overhead =
+      (state_dict_blob - raw_params_per_model) + arch_json + code + env_json;
+  std::printf("  => redundant overhead per model     %8zu B (paper: ~8 KB)\n",
+              per_model_overhead);
+
+  std::printf("\nPer-set artifacts (Baseline persists these ONCE):\n");
+  std::printf("  architecture blob                   %8zu B\n", arch_blob);
+  std::printf("  param blob header + crc             %8zu B\n",
+              param_blob - knobs.models * raw_params_per_model);
+  std::printf("  => set-level overhead               %8zu B (paper: ~4 KB)\n",
+              arch_blob + param_blob - knobs.models * raw_params_per_model);
+
+  double mmlib_total = static_cast<double>(knobs.models) *
+                       (raw_params_per_model + per_model_overhead);
+  double baseline_total = static_cast<double>(param_blob + arch_blob);
+  std::printf(
+      "\nProjected U1 storage: MMlib-base %.1f MB vs Baseline %.1f MB "
+      "(%.1f%% reduction; paper: 29%%)\n",
+      mmlib_total / 1e6, baseline_total / 1e6,
+      100.0 * (mmlib_total - baseline_total) / mmlib_total);
+  return 0;
+}

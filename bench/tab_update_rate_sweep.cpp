@@ -1,0 +1,49 @@
+// §4.2 text experiment: storage consumption at 10% / 20% / 30% update rates.
+//
+// Expected shape (paper): "only the performance of Update changes noticeably
+// and correlates to the update rate"; MMlib-base and Baseline always save
+// full snapshots, Provenance only adds 500/1000 more dataset references.
+//
+// Knobs: MMM_MODELS (default 5000), MMM_SAMPLES (256).
+
+#include "bench/bench_util.h"
+
+using namespace mmm;         // NOLINT — benchmark driver
+using namespace mmm::bench;  // NOLINT
+
+int main() {
+  BenchKnobs knobs = BenchKnobs::FromEnv(/*default_models=*/5000,
+                                         /*default_runs=*/1);
+  knobs.Describe("tab_update_rate_sweep");
+
+  Table table(
+      StringFormat("Storage consumption at U3-1 in MB by update rate "
+                   "(FFNN-48, %zu models; half of each rate is a full, half "
+                   "a partial update)",
+                   knobs.models),
+      ApproachColumns());
+
+  for (double rate : {0.10, 0.20, 0.30}) {
+    ExperimentConfig config;
+    config.scenario = ScenarioConfig::Battery(knobs.models);
+    config.scenario.samples_per_dataset = knobs.samples;
+    config.scenario.full_update_fraction = rate / 2;
+    config.scenario.partial_update_fraction = rate / 2;
+    config.u3_iterations = 1;
+    config.runs = 1;
+    config.measure_ttr = false;
+    config.work_dir = "/tmp/mmm-bench-rate-sweep";
+
+    ExperimentRunner runner(config);
+    auto results = runner.Run().ValueOrDie();
+    const auto& u3 = results.back().metrics;
+    std::vector<std::string> cells;
+    for (ApproachType type : kAllApproaches) {
+      cells.push_back(Mb(u3.at(type).storage_bytes));
+    }
+    table.AddRow(StringFormat("%.0f%%", rate * 100), cells);
+    CleanupWorkDir(knobs, config.work_dir);
+  }
+  table.Print();
+  return 0;
+}

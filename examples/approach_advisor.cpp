@@ -1,0 +1,63 @@
+// Approach selection heuristic (the future work announced in §4.5,
+// implemented): given a workload profile, estimate each approach's per-cycle
+// storage, save time, and recovery time, and recommend the best fit.
+//
+// Run: ./build/examples/approach_advisor
+
+#include <cstdio>
+
+#include "core/recommend.h"
+
+using namespace mmm;  // NOLINT — example code
+
+namespace {
+
+void Advise(const char* title, const WorkloadProfile& workload) {
+  Recommendation rec = RecommendApproach(workload);
+  std::printf("\n--- %s ---\n", title);
+  std::printf("%-12s | %12s | %10s | %12s | %8s\n", "approach",
+              "storage/cycle", "save (s)", "recover (s)", "score");
+  for (const ApproachCostEstimate& e : rec.estimates) {
+    std::printf("%-12s | %9.2f MB | %10.3f | %12.1f | %8.3f%s\n",
+                ApproachTypeName(e.approach).c_str(),
+                e.storage_bytes_per_cycle / 1e6, e.save_seconds,
+                e.recover_seconds, e.weighted_score,
+                e.approach == rec.approach ? "  <= recommended" : "");
+  }
+  std::printf("%s\n", rec.rationale.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Multi-model management approach advisor ===\n");
+
+  // 1. The paper's deployment scenario: archive everything, recover rarely.
+  WorkloadProfile archive;
+  Advise("Archival fleet (paper default: storage first, recoveries rare)",
+         archive);
+
+  // 2. A debugging-heavy deployment: every saved set is recovered often.
+  WorkloadProfile debugging;
+  debugging.recoveries_per_save = 2.0;
+  debugging.recover_time_weight = 5.0;
+  debugging.storage_weight = 0.2;
+  Advise("Interactive debugging (recoveries frequent, TTR critical)",
+         debugging);
+
+  // 3. Retraining is expensive (big models / big data) but storage matters.
+  WorkloadProfile expensive_retrain;
+  expensive_retrain.retrain_seconds_per_model = 3600.0;
+  expensive_retrain.recoveries_per_save = 0.5;
+  expensive_retrain.recover_time_weight = 1.0;
+  Advise("Storage-conscious with costly retraining", expensive_retrain);
+
+  // 4. Small fleet of large models (single-model-management territory).
+  WorkloadProfile large_models;
+  large_models.num_models = 20;
+  large_models.params_per_model = 25'000'000;  // ResNet-scale
+  large_models.update_rate = 0.5;
+  Advise("Few large models, high update rate", large_models);
+
+  return 0;
+}

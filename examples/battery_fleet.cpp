@@ -1,0 +1,137 @@
+// Battery-fleet scenario (the paper's running example, §1/§4.1).
+//
+// A battery pack with hundreds of cells, each represented by its own
+// FFNN-48 voltage model. The fleet ages (SoH decreases), a subset of models
+// is retrained every cycle, and every generated model version is archived
+// with the Update approach. After a simulated incident, the historical
+// model of one cell is recovered for analysis and evaluated against the
+// physical simulator.
+//
+// Run: ./build/examples/battery_fleet
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "battery/data_gen.h"
+#include "battery/ecm.h"
+#include "common/strings.h"
+#include "core/manager.h"
+#include "nn/metrics.h"
+#include "nn/trainer.h"
+#include "workload/scenario.h"
+
+using namespace mmm;  // NOLINT — example code
+
+namespace {
+
+// Root-mean-square error of a model against freshly generated cell data.
+double ModelRmse(const ArchitectureSpec& spec, const StateDict& state,
+                 const TrainingData& data) {
+  Model model = Model::Create(spec).ValueOrDie();
+  model.LoadStateDict(state).Check();
+  return Rmse(model.Predict(data.inputs), data.targets).ValueOrDie();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Battery fleet: 400 cells, one FFNN-48 model per cell ===\n");
+
+  ScenarioConfig config = ScenarioConfig::Battery(/*num_models=*/400);
+  config.samples_per_dataset = 256;
+  config.epochs = 4;  // train the updated models properly in this demo
+  MultiModelScenario scenario(config);
+  scenario.Init().Check();
+
+  ModelSetManager::Options options;
+  options.root_dir = "/tmp/mmm-battery-fleet";
+  options.resolver = &scenario;
+  Env::Default()->RemoveDirs(options.root_dir).Check();
+  auto manager = ModelSetManager::Open(options).ValueOrDie();
+
+  // U1: archive the freshly commissioned fleet.
+  SaveResult head =
+      manager->SaveInitial(ApproachType::kUpdate, scenario.current_set())
+          .ValueOrDie();
+  std::printf("U1   archived %4zu models  storage=%s\n",
+              scenario.current_set().size(),
+              HumanBytes(head.bytes_written).c_str());
+
+  // Watch one cell whose model gets updated later.
+  const uint64_t watched_cell = [&] {
+    // Peek at cycle 1's schedule: take the first fully updated model.
+    Rng rng = Rng(config.seed).Fork("update-schedule", 1);
+    return static_cast<uint64_t>(rng.Permutation(config.num_models)[0]);
+  }();
+
+  std::vector<std::string> history{head.set_id};
+  uint64_t total_bytes = head.bytes_written;
+  for (int cycle = 1; cycle <= 3; ++cycle) {
+    ModelSetUpdateInfo update = scenario.AdvanceCycle().ValueOrDie();
+    update.base_set_id = history.back();
+    SaveResult saved =
+        manager->SaveDerived(ApproachType::kUpdate, scenario.current_set(),
+                             update)
+            .ValueOrDie();
+    history.push_back(saved.set_id);
+    total_bytes += saved.bytes_written;
+    size_t updated = config.num_models -
+                     static_cast<size_t>(std::count(update.kinds.begin(),
+                                                    update.kinds.end(),
+                                                    UpdateKind::kNone));
+    std::printf("U3-%d archived %4zu updates storage=%s (delta)\n", cycle,
+                updated, HumanBytes(saved.bytes_written).c_str());
+  }
+  std::printf("Total archive size for 4 fleet versions: %s "
+              "(full snapshots would use ~4x U1)\n\n",
+              HumanBytes(total_bytes).c_str());
+
+  // --- Incident analysis -------------------------------------------------
+  // Cell `watched_cell` misbehaved during cycle 2; recover the fleet state
+  // that was active back then and compare the historical model against the
+  // aged physical cell.
+  std::printf("=== Incident analysis: cell %llu at cycle 2 ===\n",
+              static_cast<unsigned long long>(watched_cell));
+  RecoverStats stats;
+  ModelSet fleet_at_cycle2 =
+      manager->Recover(history[2], &stats).ValueOrDie();
+  std::printf("recovered set %s (walked %llu sets in the delta chain)\n",
+              history[2].c_str(),
+              static_cast<unsigned long long>(stats.sets_recovered));
+
+  BatteryDataConfig data_config;
+  data_config.seed = config.seed;
+  data_config.samples_per_cycle = 512;
+  BatteryDataGenerator generator(data_config);
+  TrainingData evaluation =
+      generator.GenerateCellDataset(watched_cell, /*cycle=*/2, /*soh=*/0.98);
+
+  double rmse_initial = ModelRmse(
+      fleet_at_cycle2.spec,
+      manager->Recover(history[0]).ValueOrDie().models[watched_cell],
+      evaluation);
+  double rmse_cycle2 = ModelRmse(fleet_at_cycle2.spec,
+                                 fleet_at_cycle2.models[watched_cell],
+                                 evaluation);
+  std::printf(
+      "model RMSE vs simulated cell voltage (normalized units):\n"
+      "  model as commissioned (U1) : %.4f\n"
+      "  model active at cycle 2    : %.4f  <- retrained on aged-cell data\n",
+      rmse_initial, rmse_cycle2);
+
+  // The physical substrate is available too: run the aged cell directly.
+  Rng cell_rng = Rng(config.seed).Fork("cell-params", watched_cell);
+  EcmParameters params = EcmParameters::Perturbed(EcmParameters{}, &cell_rng);
+  EcmCell cell(params);
+  cell.SetSoh(0.98);
+  cell.ResetState(0.95);
+  double voltage = cell.Step(/*current_a=*/8.0, /*dt_seconds=*/1.0);
+  std::printf(
+      "physical check: aged cell under 8 A load -> %.3f V terminal voltage "
+      "(SoC %.3f, %.1f degC)\n",
+      voltage, cell.state().soc, cell.state().temperature_c);
+
+  std::printf("\nDone. Artifacts under /tmp/mmm-battery-fleet\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Image-classification scenario (paper §4.1, variation 3).
+//
+// A fleet of small CIFAR convnets (6,882 parameters each, matching the
+// paper) that is periodically retrained on drifting data and archived with
+// the Provenance approach — the derived sets cost only a few kilobytes, and
+// recovery retrains the updated models bit-exactly from the archived
+// pipeline + dataset references.
+//
+// Run: ./build/examples/image_classifiers
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/manager.h"
+#include "data/cifar_synthetic.h"
+#include "nn/metrics.h"
+#include "nn/trainer.h"
+#include "workload/scenario.h"
+
+using namespace mmm;  // NOLINT — example code
+
+namespace {
+
+double ModelAccuracy(Model* model, const TrainingData& data) {
+  return Accuracy(model->Predict(data.inputs), data.targets).ValueOrDie();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Image classifiers: 60 CIFAR convnets, Provenance archive ===\n");
+
+  ScenarioConfig config = ScenarioConfig::Cifar(/*num_models=*/60);
+  config.full_update_fraction = 0.10;
+  config.partial_update_fraction = 0.05;
+  config.samples_per_dataset = 64;
+  config.epochs = 2;
+  MultiModelScenario scenario(config);
+  scenario.Init().Check();
+
+  ModelSetManager::Options options;
+  options.root_dir = "/tmp/mmm-image-classifiers";
+  options.resolver = &scenario;
+  Env::Default()->RemoveDirs(options.root_dir).Check();
+  auto manager = ModelSetManager::Open(options).ValueOrDie();
+
+  SaveResult head =
+      manager->SaveInitial(ApproachType::kProvenance, scenario.current_set())
+          .ValueOrDie();
+  std::printf("U1   full snapshot: %s\n", HumanBytes(head.bytes_written).c_str());
+
+  std::string head_id = head.set_id;
+  for (int cycle = 1; cycle <= 2; ++cycle) {
+    ModelSetUpdateInfo update = scenario.AdvanceCycle().ValueOrDie();
+    update.base_set_id = head_id;
+    SaveResult saved =
+        manager
+            ->SaveDerived(ApproachType::kProvenance, scenario.current_set(),
+                          update)
+            .ValueOrDie();
+    head_id = saved.set_id;
+    std::printf("U3-%d provenance record: %s (pipeline + dataset references "
+                "only)\n",
+                cycle, HumanBytes(saved.bytes_written).c_str());
+  }
+
+  // Pick an updated model and show what retraining bought it.
+  CifarSyntheticGenerator generator(config.seed);
+  size_t updated_model = 0;
+  {
+    Rng rng = Rng(config.seed).Fork("update-schedule", 2);
+    updated_model = rng.Permutation(config.num_models)[0];
+  }
+  TrainingData eval = generator.Generate(updated_model, /*cycle=*/2, 128);
+
+  Model initial = Model::Create(scenario.current_set().spec).ValueOrDie();
+  initial
+      .LoadStateDict(
+          manager->Recover(head.set_id).ValueOrDie().models[updated_model])
+      .Check();
+  Model current = Model::Create(scenario.current_set().spec).ValueOrDie();
+  current.LoadStateDict(scenario.current_set().models[updated_model]).Check();
+  std::printf(
+      "\nmodel %zu on its cycle-2 data: accuracy %.2f (as commissioned) -> "
+      "%.2f (after updates)\n",
+      updated_model, ModelAccuracy(&initial, eval),
+      ModelAccuracy(&current, eval));
+
+  // Recover the newest set: Provenance replays the archived training runs.
+  RecoverStats stats;
+  ModelSet recovered = manager->Recover(head_id, &stats).ValueOrDie();
+  size_t mismatched = 0;
+  for (size_t m = 0; m < recovered.models.size(); ++m) {
+    for (size_t p = 0; p < recovered.models[m].size(); ++p) {
+      if (!recovered.models[m][p].second.Equals(
+              scenario.current_set().models[m][p].second)) {
+        ++mismatched;
+        break;
+      }
+    }
+  }
+  std::printf(
+      "\nrecovered newest set: %llu sets walked, %llu models retrained, "
+      "%zu mismatched (expect 0 — replay is bit-exact)\n",
+      static_cast<unsigned long long>(stats.sets_recovered),
+      static_cast<unsigned long long>(stats.models_retrained), mismatched);
+
+  std::printf("\nDone. Artifacts under /tmp/mmm-image-classifiers\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Quickstart: manage a set of related models with every approach.
+//
+// Creates a set of 200 battery models (FFNN-48), saves it with all four
+// approaches, updates a few models, saves the derived sets, and recovers
+// everything back — printing the storage consumption and store writes that
+// make the paper's point.
+//
+// Run: ./build/examples/quickstart
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/manager.h"
+#include "workload/scenario.h"
+
+using namespace mmm;  // NOLINT — example code
+
+int main() {
+  // A scenario: 200 battery cells, each with its own FFNN-48 model.
+  ScenarioConfig config = ScenarioConfig::Battery(/*num_models=*/200);
+  config.samples_per_dataset = 128;
+  MultiModelScenario scenario(config);
+  scenario.Init().Check();
+
+  // One manager per approach chain (separate directories).
+  ModelSetManager::Options options;
+  options.root_dir = "/tmp/mmm-quickstart";
+  options.resolver = &scenario;
+  Env::Default()->RemoveDirs(options.root_dir).Check();
+  auto manager = ModelSetManager::Open(options).ValueOrDie();
+
+  std::printf("== U1: saving the initial set of %zu models (%zu params each)\n",
+              scenario.current_set().size(),
+              scenario.current_set().spec.ParameterCount());
+  std::map<ApproachType, std::string> heads;
+  for (ApproachType type : kAllApproaches) {
+    SaveResult saved =
+        manager->SaveInitial(type, scenario.current_set()).ValueOrDie();
+    heads[type] = saved.set_id;
+    std::printf("  %-11s storage=%-12s writes(file=%llu, doc=%llu)\n",
+                ApproachTypeName(type).c_str(),
+                HumanBytes(saved.bytes_written).c_str(),
+                static_cast<unsigned long long>(saved.file_store_writes),
+                static_cast<unsigned long long>(saved.doc_store_writes));
+  }
+
+  // One update cycle: 5% full + 5% partial updates, then save derived sets.
+  ModelSetUpdateInfo update = scenario.AdvanceCycle().ValueOrDie();
+  std::printf("\n== U3-1: %zu models updated, saving the derived set\n",
+              static_cast<size_t>(std::count_if(
+                  update.kinds.begin(), update.kinds.end(),
+                  [](UpdateKind k) { return k != UpdateKind::kNone; })));
+  for (ApproachType type : kAllApproaches) {
+    ModelSetUpdateInfo derived = update;
+    derived.base_set_id = heads[type];
+    SaveResult saved =
+        manager->SaveDerived(type, scenario.current_set(), derived).ValueOrDie();
+    heads[type] = saved.set_id;
+    std::printf("  %-11s storage=%-12s writes(file=%llu, doc=%llu)\n",
+                ApproachTypeName(type).c_str(),
+                HumanBytes(saved.bytes_written).c_str(),
+                static_cast<unsigned long long>(saved.file_store_writes),
+                static_cast<unsigned long long>(saved.doc_store_writes));
+  }
+
+  // Recover each derived set and verify it equals the live set.
+  std::printf("\n== Recovering every derived set\n");
+  for (ApproachType type : kAllApproaches) {
+    RecoverStats stats;
+    ModelSet recovered = manager->Recover(heads[type], &stats).ValueOrDie();
+    bool identical = recovered.models.size() == scenario.current_set().size();
+    size_t mismatched = 0;
+    for (size_t m = 0; identical && m < recovered.models.size(); ++m) {
+      for (size_t p = 0; p < recovered.models[m].size(); ++p) {
+        if (!recovered.models[m][p].second.Equals(
+                scenario.current_set().models[m][p].second)) {
+          ++mismatched;
+          break;
+        }
+      }
+    }
+    std::printf(
+        "  %-11s sets_walked=%llu retrained=%llu models_mismatched=%zu%s\n",
+        ApproachTypeName(type).c_str(),
+        static_cast<unsigned long long>(stats.sets_recovered),
+        static_cast<unsigned long long>(stats.models_retrained), mismatched,
+        type == ApproachType::kProvenance && mismatched == 0
+            ? " (bit-exact replay)"
+            : "");
+  }
+  std::printf("\nDone. Artifacts under /tmp/mmm-quickstart\n");
+  return 0;
+}

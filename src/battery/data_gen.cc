@@ -1,0 +1,111 @@
+#include "battery/data_gen.h"
+
+#include "battery/drive_cycle.h"
+#include "battery/pack.h"
+#include "common/rng.h"
+
+namespace mmm {
+
+BatteryDataGenerator::BatteryDataGenerator(BatteryDataConfig config)
+    : config_(config) {}
+
+FeatureNormalizer BatteryDataGenerator::InputNormalizer() {
+  // Offsets/scales chosen from the generator's physical ranges: current in
+  // [-6, 12] A, temperature in [15, 45] C, SoC in [0, 1].
+  return FeatureNormalizer({3.0f, 30.0f, 0.5f, 3.0f}, {9.0f, 15.0f, 0.5f, 9.0f});
+}
+
+FeatureNormalizer BatteryDataGenerator::TargetNormalizer() {
+  // Terminal voltage in [2.5, 4.3] V.
+  return FeatureNormalizer({3.4f}, {0.9f});
+}
+
+TrainingData BatteryDataGenerator::GenerateCellDataset(uint64_t cell_id,
+                                                       uint64_t cycle,
+                                                       double soh) const {
+  // Cell-specific physical parameters: fixed per cell across cycles.
+  Rng cell_rng = Rng(config_.seed).Fork("cell-params", cell_id);
+  EcmParameters params = EcmParameters::Perturbed(base_parameters_, &cell_rng);
+  EcmCell cell(params, config_.ambient_temperature_c);
+  cell.SetSoh(soh);
+  cell.ResetState(/*soc=*/0.95);
+
+  // Each (cell, cycle) pair gets its own drive cycle and noise stream.
+  uint64_t trace_key = Rng::Mix64(cell_id * 2654435761ULL + cycle);
+  DriveCycleGenerator cycles(config_.seed);
+  std::vector<double> current = cycles.Generate(trace_key, config_.samples_per_cycle);
+  Rng noise_rng = Rng(config_.seed).Fork("measurement-noise", trace_key);
+
+  const size_t n = current.size();
+  Tensor inputs(Shape{n, 4});
+  Tensor targets(Shape{n, 1});
+  double previous_current = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    double temperature_before = cell.state().temperature_c;
+    double soc_before = cell.state().soc;
+    double voltage = cell.Step(current[t], config_.dt_seconds);
+    inputs.at2(t, 0) = static_cast<float>(current[t]);
+    inputs.at2(t, 1) = static_cast<float>(temperature_before);
+    inputs.at2(t, 2) = static_cast<float>(soc_before);
+    inputs.at2(t, 3) = static_cast<float>(previous_current);
+    targets.at2(t, 0) = static_cast<float>(
+        voltage + noise_rng.NextGaussian(0.0, config_.voltage_noise_stddev));
+    previous_current = current[t];
+  }
+
+  TrainingData data{std::move(inputs), std::move(targets)};
+  data.inputs = InputNormalizer().Normalize(data.inputs).ValueOrDie();
+  data.targets = TargetNormalizer().Normalize(data.targets).ValueOrDie();
+  return data;
+}
+
+std::vector<TrainingData> BatteryDataGenerator::GeneratePackDatasets(
+    uint64_t pack_id, uint64_t cycle, const std::vector<double>& sohs) const {
+  PackConfig pack_config;
+  pack_config.num_cells = sohs.size();
+  pack_config.seed = Rng::Mix64(config_.seed ^ (pack_id * 0x9e3779b97f4a7c15ULL));
+  pack_config.ambient_temperature_c = config_.ambient_temperature_c;
+  SeriesPack pack(pack_config);
+  for (size_t i = 0; i < sohs.size(); ++i) pack.AgeCell(i, sohs[i]);
+  pack.ResetState(0.95);
+
+  uint64_t trace_key = Rng::Mix64(pack_id * 2654435761ULL + cycle);
+  DriveCycleGenerator cycles(config_.seed);
+  std::vector<double> current =
+      cycles.Generate(trace_key, config_.samples_per_cycle);
+  Rng noise_rng = Rng(config_.seed).Fork("pack-noise", trace_key);
+
+  const size_t n = current.size();
+  const size_t cells = sohs.size();
+  std::vector<Tensor> inputs(cells, Tensor(Shape{n, 4}));
+  std::vector<Tensor> targets(cells, Tensor(Shape{n, 1}));
+  double previous_current = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    // Capture pre-step observables, then advance the coupled pack once.
+    for (size_t c = 0; c < cells; ++c) {
+      inputs[c].at2(t, 0) = static_cast<float>(current[t]);
+      inputs[c].at2(t, 1) = static_cast<float>(pack.cell(c).state().temperature_c);
+      inputs[c].at2(t, 2) = static_cast<float>(pack.cell(c).state().soc);
+      inputs[c].at2(t, 3) = static_cast<float>(previous_current);
+    }
+    pack.Step(current[t], config_.dt_seconds);
+    for (size_t c = 0; c < cells; ++c) {
+      targets[c].at2(t, 0) = static_cast<float>(
+          pack.cell(c).state().terminal_voltage +
+          noise_rng.NextGaussian(0.0, config_.voltage_noise_stddev));
+    }
+    previous_current = current[t];
+  }
+
+  std::vector<TrainingData> datasets;
+  datasets.reserve(cells);
+  for (size_t c = 0; c < cells; ++c) {
+    TrainingData data{std::move(inputs[c]), std::move(targets[c])};
+    data.inputs = InputNormalizer().Normalize(data.inputs).ValueOrDie();
+    data.targets = TargetNormalizer().Normalize(data.targets).ValueOrDie();
+    datasets.push_back(std::move(data));
+  }
+  return datasets;
+}
+
+}  // namespace mmm

@@ -1,0 +1,72 @@
+#ifndef MMM_BATTERY_DATA_GEN_H_
+#define MMM_BATTERY_DATA_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "battery/ecm.h"
+
+namespace mmm {
+
+/// \brief Configuration of the battery training-data generator (paper §4.1).
+struct BatteryDataConfig {
+  uint64_t seed = 7;
+  /// 1 Hz samples per generated discharge cycle. The paper uses 342 M samples
+  /// over 352 cycles; we scale down (configurable) since only data *shape*
+  /// affects the management-layer metrics.
+  size_t samples_per_cycle = 512;
+  /// Gaussian measurement noise on the voltage target, in volts ("we corrupt
+  /// the data by adding measurement noise", §4.1).
+  double voltage_noise_stddev = 0.004;
+  double dt_seconds = 1.0;
+  double ambient_temperature_c = 25.0;
+};
+
+/// \brief Generates per-cell training datasets from the 2nd-order ECM.
+///
+/// Feature layout (4 inputs, matching FFNN-48/69's input width):
+///   0: discharge current I_t        [A]
+///   1: cell temperature T_t         [degC]
+///   2: state of charge SoC_t        [0..1]
+///   3: previous current I_{t-1}     [A]  (captures polarization dynamics)
+/// Target: terminal voltage V_t [V] (+ measurement noise).
+///
+/// Deterministic in (seed, cell_id, cycle, soh): the same inputs always
+/// produce bit-identical datasets, which lets the Provenance approach treat
+/// the generator as the externally-stored training data (DESIGN.md §1).
+class BatteryDataGenerator {
+ public:
+  explicit BatteryDataGenerator(BatteryDataConfig config = {});
+
+  /// Generates the dataset cell `cell_id` trains on at update cycle `cycle`
+  /// with state of health `soh` (decremented by the workload every cycle to
+  /// emulate aging). Features and targets are normalized.
+  TrainingData GenerateCellDataset(uint64_t cell_id, uint64_t cycle,
+                                   double soh) const;
+
+  /// Generates the datasets of every cell in a series pack from a single
+  /// coupled simulation: all cells see the pack's shared string current and
+  /// exchange heat with their neighbors (battery/pack.h), so the per-cell
+  /// voltage/temperature traces reflect pack inhomogeneities rather than
+  /// isolated cells. `sohs` gives each cell's state of health and defines
+  /// the pack size. Deterministic in (seed, pack_id, cycle, sohs).
+  std::vector<TrainingData> GeneratePackDatasets(
+      uint64_t pack_id, uint64_t cycle, const std::vector<double>& sohs) const;
+
+  /// The fixed feature normalizer (part of the training pipeline).
+  static FeatureNormalizer InputNormalizer();
+  /// The fixed target normalizer.
+  static FeatureNormalizer TargetNormalizer();
+
+  const BatteryDataConfig& config() const { return config_; }
+
+ private:
+  BatteryDataConfig config_;
+  EcmParameters base_parameters_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_BATTERY_DATA_GEN_H_

@@ -1,0 +1,72 @@
+#include "battery/drive_cycle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmm {
+
+DriveCycleGenerator::DriveCycleGenerator(uint64_t seed) : seed_(seed) {}
+
+std::vector<double> DriveCycleGenerator::Generate(uint64_t cycle_index,
+                                                  size_t num_samples) const {
+  Rng rng = Rng(seed_).Fork("drive-cycle", cycle_index);
+  std::vector<double> current;
+  current.reserve(num_samples);
+
+  enum class Phase { kIdle, kAccelerate, kCruise, kBrake };
+  Phase phase = Phase::kIdle;
+  size_t phase_remaining = 3 + rng.NextBounded(10);
+  double level = 0.0;   // steady current of the current phase
+  double previous = 0.0;
+
+  while (current.size() < num_samples) {
+    if (phase_remaining == 0) {
+      // Markov-style phase transitions approximating urban/highway mixes.
+      double roll = rng.NextDouble();
+      switch (phase) {
+        case Phase::kIdle:
+          phase = roll < 0.8 ? Phase::kAccelerate : Phase::kIdle;
+          break;
+        case Phase::kAccelerate:
+          phase = roll < 0.7 ? Phase::kCruise
+                             : (roll < 0.9 ? Phase::kBrake : Phase::kAccelerate);
+          break;
+        case Phase::kCruise:
+          phase = roll < 0.4 ? Phase::kCruise
+                             : (roll < 0.75 ? Phase::kBrake : Phase::kAccelerate);
+          break;
+        case Phase::kBrake:
+          phase = roll < 0.5 ? Phase::kIdle : Phase::kAccelerate;
+          break;
+      }
+      switch (phase) {
+        case Phase::kIdle:
+          phase_remaining = 2 + rng.NextBounded(15);
+          level = rng.NextUniform(0.05, 0.3);  // auxiliary loads
+          break;
+        case Phase::kAccelerate:
+          phase_remaining = 3 + rng.NextBounded(8);
+          level = rng.NextUniform(0.5, 1.0) * kMaxDischargeA;
+          break;
+        case Phase::kCruise:
+          phase_remaining = 10 + rng.NextBounded(40);
+          level = rng.NextUniform(0.15, 0.45) * kMaxDischargeA;
+          break;
+        case Phase::kBrake:
+          phase_remaining = 2 + rng.NextBounded(6);
+          level = -rng.NextUniform(0.3, 1.0) * kMaxRegenA;
+          break;
+      }
+    }
+    // First-order lag toward the phase level plus small ripple: real traces
+    // never step instantaneously.
+    double target = level + rng.NextGaussian(0.0, 0.15);
+    previous = previous + 0.45 * (target - previous);
+    current.push_back(
+        std::clamp(previous, -kMaxRegenA, kMaxDischargeA));
+    --phase_remaining;
+  }
+  return current;
+}
+
+}  // namespace mmm

@@ -1,0 +1,89 @@
+#include "battery/ecm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "battery/ocv.h"
+
+namespace mmm {
+
+EcmParameters EcmParameters::Perturbed(const EcmParameters& base, Rng* rng,
+                                       double relative_spread) {
+  auto jitter = [&](double value) {
+    return value * (1.0 + rng->NextGaussian(0.0, relative_spread));
+  };
+  EcmParameters p = base;
+  p.capacity_ah = jitter(base.capacity_ah);
+  p.r0_ohm = jitter(base.r0_ohm);
+  p.r1_ohm = jitter(base.r1_ohm);
+  p.c1_farad = jitter(base.c1_farad);
+  p.r2_ohm = jitter(base.r2_ohm);
+  p.c2_farad = jitter(base.c2_farad);
+  return p;
+}
+
+EcmCell::EcmCell(EcmParameters parameters, double ambient_temperature_c)
+    : parameters_(parameters), ambient_temperature_c_(ambient_temperature_c) {
+  state_.temperature_c = ambient_temperature_c;
+  state_.terminal_voltage = OcvCurve::Voltage(state_.soc);
+}
+
+void EcmCell::ResetState(double soc) {
+  double soh = state_.soh;
+  state_ = State{};
+  state_.soc = std::clamp(soc, 0.0, 1.0);
+  state_.soh = soh;
+  state_.temperature_c = ambient_temperature_c_;
+  state_.terminal_voltage = OcvCurve::Voltage(state_.soc);
+}
+
+void EcmCell::SetSoh(double soh) { state_.soh = std::clamp(soh, 0.5, 1.0); }
+
+double EcmCell::EffectiveCapacityAh() const {
+  return parameters_.capacity_ah * state_.soh;
+}
+
+double EcmCell::EffectiveR0() const {
+  // Aging raises resistance; colder cells are more resistive (~0.7%/K below
+  // 25 C is a typical first-order fit).
+  double aging = 2.0 - state_.soh;
+  double thermal = 1.0 + 0.007 * (25.0 - state_.temperature_c);
+  return parameters_.r0_ohm * aging * std::max(thermal, 0.5);
+}
+
+double EcmCell::Step(double current_a, double dt_seconds) {
+  // Coulomb counting.
+  double capacity_as = EffectiveCapacityAh() * 3600.0;
+  state_.soc =
+      std::clamp(state_.soc - current_a * dt_seconds / capacity_as, 0.0, 1.0);
+
+  // RC pairs: exact exponential update for a piecewise-constant current.
+  double aging = 2.0 - state_.soh;
+  double r1 = parameters_.r1_ohm * aging;
+  double r2 = parameters_.r2_ohm * aging;
+  double tau1 = r1 * parameters_.c1_farad;
+  double tau2 = r2 * parameters_.c2_farad;
+  double decay1 = std::exp(-dt_seconds / tau1);
+  double decay2 = std::exp(-dt_seconds / tau2);
+  state_.v_rc1_volt = state_.v_rc1_volt * decay1 + r1 * current_a * (1.0 - decay1);
+  state_.v_rc2_volt = state_.v_rc2_volt * decay2 + r2 * current_a * (1.0 - decay2);
+
+  double r0 = EffectiveR0();
+  state_.terminal_voltage = OcvCurve::Voltage(state_.soc) - current_a * r0 -
+                            state_.v_rc1_volt - state_.v_rc2_volt;
+
+  // Thermal model: Joule heating in all resistive elements, Newtonian
+  // cooling toward ambient.
+  double v1 = state_.v_rc1_volt;
+  double v2 = state_.v_rc2_volt;
+  double heat_w = current_a * current_a * r0 + (r1 > 0 ? v1 * v1 / r1 : 0.0) +
+                  (r2 > 0 ? v2 * v2 / r2 : 0.0);
+  double cooling_w = (state_.temperature_c - ambient_temperature_c_) /
+                     parameters_.thermal_resistance_k_per_w;
+  state_.temperature_c +=
+      (heat_w - cooling_w) * dt_seconds / parameters_.thermal_mass_j_per_k;
+
+  return state_.terminal_voltage;
+}
+
+}  // namespace mmm

@@ -1,0 +1,80 @@
+#ifndef MMM_BATTERY_ECM_H_
+#define MMM_BATTERY_ECM_H_
+
+#include "common/rng.h"
+
+namespace mmm {
+
+/// \brief Physical parameters of one 18650 cell's second-order equivalent
+/// circuit model (Neupert & Kowal 2018 topology: OCV source, series
+/// resistance R0, and two RC pairs capturing fast and slow polarization).
+struct EcmParameters {
+  double capacity_ah = 2.5;    ///< nominal capacity
+  double r0_ohm = 0.030;       ///< ohmic resistance
+  double r1_ohm = 0.015;       ///< fast polarization resistance
+  double c1_farad = 2'000.0;   ///< fast polarization capacitance (tau ~ 30 s)
+  double r2_ohm = 0.010;       ///< slow polarization resistance
+  double c2_farad = 60'000.0;  ///< slow polarization capacitance (tau ~ 10 min)
+  double thermal_mass_j_per_k = 45.0;   ///< heat capacity of the cell
+  double thermal_resistance_k_per_w = 8.0;  ///< cell-to-ambient
+
+  /// Perturbs every electrical parameter by a few percent (cell-to-cell
+  /// manufacturing spread, "slightly altered model parameters" §4.1).
+  static EcmParameters Perturbed(const EcmParameters& base, Rng* rng,
+                                 double relative_spread = 0.03);
+};
+
+/// \brief Second-order equivalent-circuit model of an 18650 battery cell.
+///
+/// Maps an input current to the voltage response, cell temperature, and cell
+/// charge (paper §4.1). Discharge current is positive. State of health (SoH)
+/// scales the usable capacity down and the resistances up, reproducing the
+/// aging trend the paper injects by decrementing SoH every update cycle.
+class EcmCell {
+ public:
+  /// Instantaneous observable state.
+  struct State {
+    double soc = 1.0;           ///< state of charge in [0, 1]
+    double soh = 1.0;           ///< state of health in (0, 1]
+    double v_rc1_volt = 0.0;    ///< fast polarization voltage
+    double v_rc2_volt = 0.0;    ///< slow polarization voltage
+    double temperature_c = 25.0;
+    double terminal_voltage = 0.0;  ///< last computed terminal voltage
+  };
+
+  EcmCell(EcmParameters parameters, double ambient_temperature_c = 25.0);
+
+  /// Advances the model by `dt_seconds` under `current_a` (positive =
+  /// discharge) and returns the terminal voltage.
+  double Step(double current_a, double dt_seconds);
+
+  /// Resets charge/polarization/temperature, keeping parameters and SoH.
+  void ResetState(double soc = 1.0);
+
+  /// Sets the state of health (clamped to [0.5, 1]); aging scales capacity
+  /// by soh and resistances by (2 - soh).
+  void SetSoh(double soh);
+
+  /// Adds `delta_c` to the cell temperature (heat exchanged with neighbors
+  /// in a pack; see battery/pack.h).
+  void AdjustTemperature(double delta_c) { state_.temperature_c += delta_c; }
+
+  const State& state() const { return state_; }
+  const EcmParameters& parameters() const { return parameters_; }
+  double ambient_temperature_c() const { return ambient_temperature_c_; }
+
+  /// Effective (aged) capacity in ampere-hours.
+  double EffectiveCapacityAh() const;
+
+  /// Effective (aged) series resistance in ohms at the current temperature.
+  double EffectiveR0() const;
+
+ private:
+  EcmParameters parameters_;
+  double ambient_temperature_c_;
+  State state_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_BATTERY_ECM_H_

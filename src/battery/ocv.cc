@@ -1,0 +1,36 @@
+#include "battery/ocv.h"
+
+#include <algorithm>
+#include <array>
+
+namespace mmm {
+namespace {
+
+// 21 knots at 5% SoC spacing, typical NMC 18650 values.
+constexpr std::array<double, 21> kOcvTable = {
+    2.80, 3.22, 3.36, 3.44, 3.49, 3.53, 3.56, 3.58, 3.60, 3.62, 3.65,
+    3.69, 3.73, 3.78, 3.83, 3.88, 3.94, 4.00, 4.06, 4.13, 4.20};
+
+constexpr double kStep = 1.0 / (kOcvTable.size() - 1);
+
+}  // namespace
+
+double OcvCurve::Voltage(double soc) {
+  soc = std::clamp(soc, 0.0, 1.0);
+  double position = soc / kStep;
+  auto index = static_cast<size_t>(position);
+  if (index >= kOcvTable.size() - 1) return kOcvTable.back();
+  double fraction = position - static_cast<double>(index);
+  return kOcvTable[index] + fraction * (kOcvTable[index + 1] - kOcvTable[index]);
+}
+
+double OcvCurve::Slope(double soc) {
+  soc = std::clamp(soc, 0.0, 1.0);
+  auto index = static_cast<size_t>(soc / kStep);
+  if (index >= kOcvTable.size() - 1) index = kOcvTable.size() - 2;
+  return (kOcvTable[index + 1] - kOcvTable[index]) / kStep;
+}
+
+size_t OcvCurve::KnotCount() { return kOcvTable.size(); }
+
+}  // namespace mmm

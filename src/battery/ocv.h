@@ -1,0 +1,29 @@
+#ifndef MMM_BATTERY_OCV_H_
+#define MMM_BATTERY_OCV_H_
+
+#include <cstddef>
+
+namespace mmm {
+
+/// \brief Open-circuit-voltage curve of an 18650 Li-ion (NMC) cell.
+///
+/// Piecewise-linear interpolation over a 21-point table spanning the full
+/// state-of-charge range. The curve has the characteristic Li-ion shape:
+/// a steep knee below 10% SoC, a long flat plateau around 3.6-3.8 V, and a
+/// gentle rise to 4.2 V at full charge.
+class OcvCurve {
+ public:
+  /// Open-circuit voltage in volts for state of charge in [0, 1].
+  /// Values outside the range are clamped.
+  static double Voltage(double soc);
+
+  /// Slope dOCV/dSoC in volts at the given state of charge.
+  static double Slope(double soc);
+
+  /// Number of interpolation knots.
+  static size_t KnotCount();
+};
+
+}  // namespace mmm
+
+#endif  // MMM_BATTERY_OCV_H_

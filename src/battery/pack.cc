@@ -1,0 +1,95 @@
+#include "battery/pack.h"
+
+#include <algorithm>
+
+namespace mmm {
+
+SeriesPack::SeriesPack(PackConfig config) : config_(config) {
+  cells_.reserve(config_.num_cells);
+  Rng rng(config_.seed);
+  for (size_t i = 0; i < config_.num_cells; ++i) {
+    Rng cell_rng = rng.Fork("pack-cell", i);
+    EcmParameters params = EcmParameters::Perturbed(
+        EcmParameters{}, &cell_rng, config_.parameter_spread);
+    cells_.emplace_back(params, config_.ambient_temperature_c);
+  }
+}
+
+void SeriesPack::ResetState(double soc) {
+  for (EcmCell& cell : cells_) cell.ResetState(soc);
+}
+
+double SeriesPack::Step(double current_a, double dt_seconds) {
+  double pack_voltage = 0.0;
+  for (EcmCell& cell : cells_) {
+    pack_voltage += cell.Step(current_a, dt_seconds);
+  }
+  // Conductive neighbor coupling: heat flows down the temperature gradient.
+  // Applied after the electric step with the same dt (explicit Euler).
+  if (cells_.size() > 1 && config_.neighbor_coupling_w_per_k > 0.0) {
+    std::vector<double> delta(cells_.size(), 0.0);
+    for (size_t i = 0; i + 1 < cells_.size(); ++i) {
+      double gradient =
+          cells_[i].state().temperature_c - cells_[i + 1].state().temperature_c;
+      double heat_w = config_.neighbor_coupling_w_per_k * gradient;
+      double joules = heat_w * dt_seconds;
+      delta[i] -= joules / cells_[i].parameters().thermal_mass_j_per_k;
+      delta[i + 1] += joules / cells_[i + 1].parameters().thermal_mass_j_per_k;
+    }
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].AdjustTemperature(delta[i]);
+    }
+  }
+  return pack_voltage;
+}
+
+double SeriesPack::PackVoltage() const {
+  double total = 0.0;
+  for (const EcmCell& cell : cells_) total += cell.state().terminal_voltage;
+  return total;
+}
+
+double SeriesPack::MinCellVoltage() const {
+  double best = cells_.front().state().terminal_voltage;
+  for (const EcmCell& cell : cells_) {
+    best = std::min(best, cell.state().terminal_voltage);
+  }
+  return best;
+}
+
+double SeriesPack::MaxCellVoltage() const {
+  double best = cells_.front().state().terminal_voltage;
+  for (const EcmCell& cell : cells_) {
+    best = std::max(best, cell.state().terminal_voltage);
+  }
+  return best;
+}
+
+double SeriesPack::MeanSoc() const {
+  double total = 0.0;
+  for (const EcmCell& cell : cells_) total += cell.state().soc;
+  return total / static_cast<double>(cells_.size());
+}
+
+double SeriesPack::TemperatureSpread() const {
+  double low = cells_.front().state().temperature_c;
+  double high = low;
+  for (const EcmCell& cell : cells_) {
+    low = std::min(low, cell.state().temperature_c);
+    high = std::max(high, cell.state().temperature_c);
+  }
+  return high - low;
+}
+
+size_t SeriesPack::WeakestCell() const {
+  size_t weakest = 0;
+  for (size_t i = 1; i < cells_.size(); ++i) {
+    if (cells_[i].state().terminal_voltage <
+        cells_[weakest].state().terminal_voltage) {
+      weakest = i;
+    }
+  }
+  return weakest;
+}
+
+}  // namespace mmm

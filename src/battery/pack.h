@@ -1,0 +1,70 @@
+#ifndef MMM_BATTERY_PACK_H_
+#define MMM_BATTERY_PACK_H_
+
+#include <vector>
+
+#include "battery/ecm.h"
+
+namespace mmm {
+
+/// \brief Configuration of a series-connected cell string.
+struct PackConfig {
+  size_t num_cells = 12;
+  uint64_t seed = 7;
+  double ambient_temperature_c = 25.0;
+  /// Relative manufacturing spread of the electrical parameters.
+  double parameter_spread = 0.03;
+  /// Conductive heat exchange between adjacent cells, in W/K.
+  double neighbor_coupling_w_per_k = 0.15;
+};
+
+/// \brief A series string of equivalent-circuit cells — the pack-level
+/// substrate behind the paper's motivation.
+///
+/// Electric car batteries "can consist of thousands of individual cells"
+/// (§1), and per-cell models pay off exactly because cells are *not*
+/// identical: parameters spread at manufacture, cells age differently, and
+/// heat couples neighbors (Neupert & Kowal 2018, the paper's data-generator
+/// reference, studies these inhomogeneities). In a series string all cells
+/// carry the same current; the pack voltage is the sum of cell voltages and
+/// the weakest cell limits the pack.
+class SeriesPack {
+ public:
+  explicit SeriesPack(PackConfig config);
+
+  /// Advances every cell by `dt_seconds` under the shared string current
+  /// (positive = discharge) including neighbor heat exchange; returns the
+  /// pack terminal voltage.
+  double Step(double current_a, double dt_seconds);
+
+  size_t size() const { return cells_.size(); }
+  const EcmCell& cell(size_t index) const { return cells_[index]; }
+
+  /// Ages one cell (e.g. a manufacturing outlier degrading early).
+  void AgeCell(size_t index, double soh) { cells_[index].SetSoh(soh); }
+
+  /// Resets every cell to the given state of charge.
+  void ResetState(double soc);
+
+  /// \name Pack-level observables.
+  /// @{
+  double PackVoltage() const;
+  double MinCellVoltage() const;
+  double MaxCellVoltage() const;
+  /// Mean state of charge across cells.
+  double MeanSoc() const;
+  /// Spread (max - min) of cell temperatures — the inhomogeneity signal.
+  double TemperatureSpread() const;
+  /// Index of the cell with the lowest terminal voltage (the pack's
+  /// limiting cell under load).
+  size_t WeakestCell() const;
+  /// @}
+
+ private:
+  PackConfig config_;
+  std::vector<EcmCell> cells_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_BATTERY_PACK_H_

@@ -1,0 +1,62 @@
+#ifndef MMM_COMMON_CLOCK_H_
+#define MMM_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mmm {
+
+/// \brief Monotonic wall-clock helpers used by the benchmark harness.
+class WallClock {
+ public:
+  /// Nanoseconds from an arbitrary monotonic epoch.
+  static uint64_t NowNanos() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// \brief Measures elapsed wall-clock time between Start() and now.
+class StopWatch {
+ public:
+  StopWatch() { Start(); }
+
+  void Start() { start_nanos_ = WallClock::NowNanos(); }
+
+  /// Elapsed time since Start(), in seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(WallClock::NowNanos() - start_nanos_) * 1e-9;
+  }
+
+  uint64_t ElapsedNanos() const { return WallClock::NowNanos() - start_nanos_; }
+
+ private:
+  uint64_t start_nanos_ = 0;
+};
+
+/// \brief Accumulates *modeled* time (e.g. simulated store round-trip
+/// latency) separately from measured wall-clock time.
+///
+/// The storage substrate charges each simulated store operation to a
+/// SimulatedClock. Benchmarks report measured + modeled time so results are
+/// reproducible on any machine while still reflecting the paper's setups
+/// (whose differences come from store connection latency).
+class SimulatedClock {
+ public:
+  /// Adds `nanos` of modeled time.
+  void Advance(uint64_t nanos) { nanos_ += nanos; }
+
+  void Reset() { nanos_ = 0; }
+
+  uint64_t nanos() const { return nanos_; }
+  double seconds() const { return static_cast<double>(nanos_) * 1e-9; }
+
+ private:
+  uint64_t nanos_ = 0;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_COMMON_CLOCK_H_

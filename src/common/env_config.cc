@@ -1,0 +1,39 @@
+#include "common/env_config.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mmm {
+
+int64_t GetEnvInt64(const char* name, int64_t default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  char* end = nullptr;
+  long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return default_value;
+  return static_cast<int64_t>(parsed);
+}
+
+double GetEnvDouble(const char* name, double default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (end == value) return default_value;
+  return parsed;
+}
+
+std::string GetEnvString(const char* name, const std::string& default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return default_value;
+  return value;
+}
+
+bool GetEnvBool(const char* name, bool default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return default_value;
+  return std::strcmp(value, "0") != 0 && std::strcmp(value, "false") != 0 &&
+         std::strcmp(value, "off") != 0;
+}
+
+}  // namespace mmm

@@ -1,0 +1,20 @@
+#ifndef MMM_COMMON_ENV_CONFIG_H_
+#define MMM_COMMON_ENV_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mmm {
+
+/// \brief Helpers to read benchmark-scaling knobs from environment variables.
+///
+/// Every bench binary documents its knobs (MMM_MODELS, MMM_RUNS, ...); these
+/// helpers parse them with a default fallback.
+int64_t GetEnvInt64(const char* name, int64_t default_value);
+double GetEnvDouble(const char* name, double default_value);
+std::string GetEnvString(const char* name, const std::string& default_value);
+bool GetEnvBool(const char* name, bool default_value);
+
+}  // namespace mmm
+
+#endif  // MMM_COMMON_ENV_CONFIG_H_

@@ -1,0 +1,14 @@
+#include "common/id.h"
+
+#include "common/strings.h"
+
+namespace mmm {
+
+std::string IdGenerator::Next(const std::string& prefix) {
+  uint64_t suffix = rng_.NextUint64() & 0xffffffffULL;
+  return StringFormat("%s-%06llu-%08llx", prefix.c_str(),
+                      static_cast<unsigned long long>(counter_++),
+                      static_cast<unsigned long long>(suffix));
+}
+
+}  // namespace mmm

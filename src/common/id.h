@@ -1,0 +1,40 @@
+#ifndef MMM_COMMON_ID_H_
+#define MMM_COMMON_ID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+
+namespace mmm {
+
+/// \brief Generates short, unique, human-readable identifiers.
+///
+/// Identifiers look like "set-000001-a1b2c3d4": a caller-chosen prefix, a
+/// monotonically increasing counter, and a random suffix. Generation is
+/// deterministic given the seed so that experiment runs are reproducible.
+class IdGenerator {
+ public:
+  explicit IdGenerator(uint64_t seed = 42) : rng_(Rng(seed).Fork("id-gen")) {}
+
+  /// Returns the next identifier with the given prefix.
+  std::string Next(const std::string& prefix);
+
+  /// Ensures the next identifier uses a counter of at least `counter`.
+  /// Used when reopening a store so new ids cannot collide with persisted
+  /// ones.
+  void AdvanceTo(uint64_t counter) {
+    if (counter > counter_) counter_ = counter;
+  }
+
+  /// Number of identifiers handed out so far.
+  uint64_t count() const { return counter_; }
+
+ private:
+  Rng rng_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_COMMON_ID_H_

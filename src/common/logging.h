@@ -1,0 +1,52 @@
+#ifndef MMM_COMMON_LOGGING_H_
+#define MMM_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mmm {
+
+/// Severity levels for the library logger.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// Usage: `MMM_LOG(kInfo) << "saved set " << id;`
+/// The global threshold defaults to kWarning so library internals stay quiet
+/// in tests and benchmarks; drivers can lower it.
+class Logger {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+
+  Logger(LogLevel level, const char* file, int line);
+  ~Logger();
+
+  template <typename T>
+  Logger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace mmm
+
+#define MMM_LOG(level) \
+  ::mmm::Logger(::mmm::LogLevel::level, __FILE__, __LINE__)
+
+/// Internal invariant check; aborts with a message when violated.
+#define MMM_DCHECK(condition)                                              \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      ::mmm::Logger(::mmm::LogLevel::kError, __FILE__, __LINE__)           \
+          << "DCHECK failed: " #condition;                                 \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#endif  // MMM_COMMON_LOGGING_H_

@@ -1,0 +1,70 @@
+#ifndef MMM_COMMON_RESULT_H_
+#define MMM_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mmm {
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// Mirrors arrow::Result: a fallible function that produces a value returns
+/// Result<T> instead of taking an out-parameter.
+///
+/// \code
+///   Result<Tensor> Load(const std::string& path);
+///   ...
+///   MMM_ASSIGN_OR_RETURN(Tensor t, Load(path));
+/// \endcode
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. Aborts if the status is OK, since an OK
+  /// Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      Status::Internal("Result constructed from OK status without a value").Check();
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+
+  /// Returns the status (OK when a value is present).
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// Returns the value; undefined if !ok().
+  const T& ValueOrDie() const& {
+    status_.Check();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    status_.Check();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    status_.Check();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_COMMON_RESULT_H_

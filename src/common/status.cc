@@ -1,0 +1,50 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mmm {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kIOError:
+      return "io-error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kOutOfRange:
+      return "out-of-range";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void Status::Check() const {
+  if (ok()) return;
+  std::fprintf(stderr, "Status check failed: %s\n", ToString().c_str());
+  std::abort();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace mmm

@@ -1,0 +1,170 @@
+#ifndef MMM_COMMON_STATUS_H_
+#define MMM_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mmm {
+
+/// Error category of a Status. Mirrors the Arrow/RocksDB convention of a small
+/// closed set of codes plus a human-readable message.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kIOError = 4,
+  kCorruption = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kOutOfRange = 8,
+};
+
+/// \brief Returns the canonical lowercase name of a status code
+/// (e.g. "invalid-argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a message.
+///
+/// The library does not throw exceptions; every fallible public API returns a
+/// Status (or a Result<T>, see result.h). Statuses are cheap to copy in the OK
+/// case (no allocation) and carry an allocated message otherwise.
+///
+/// Typical use:
+/// \code
+///   Status DoWork() {
+///     MMM_RETURN_NOT_OK(Step1());
+///     if (bad) return Status::InvalidArgument("bad input: ", detail);
+///     return Status::OK();
+///   }
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK (success) status.
+  static Status OK() { return Status(); }
+
+  /// \name Factory functions, one per error code.
+  /// Each concatenates its arguments into the message via operator<<.
+  /// @{
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Build(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Build(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Build(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IOError(Args&&... args) {
+    return Build(StatusCode::kIOError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Corruption(Args&&... args) {
+    return Build(StatusCode::kCorruption, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Unimplemented(Args&&... args) {
+    return Build(StatusCode::kUnimplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Build(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Build(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  /// @}
+
+  /// Returns true iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Prepends context to the message, keeping the code. Returns *this
+  /// to allow `return st.WithContext("while saving set ", id);`.
+  template <typename... Args>
+  Status WithContext(Args&&... args) const {
+    if (ok()) return *this;
+    Status out = Build(code_, std::forward<Args>(args)...);
+    out.message_ += ": " + message_;
+    return out;
+  }
+
+  /// Aborts the process if the status is not OK. Use only in tests, examples,
+  /// and benchmark drivers where failure is unrecoverable.
+  void Check() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  template <typename... Args>
+  static Status Build(StatusCode code, Args&&... args) {
+    std::string msg;
+    (AppendToMessage(&msg, std::forward<Args>(args)), ...);
+    return Status(code, std::move(msg));
+  }
+
+  template <typename T>
+  static void AppendToMessage(std::string* msg, T&& part) {
+    if constexpr (std::is_convertible_v<T, std::string_view>) {
+      msg->append(std::string_view(part));
+    } else {
+      msg->append(std::to_string(part));
+    }
+  }
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace mmm
+
+/// Propagates a non-OK Status to the caller.
+#define MMM_RETURN_NOT_OK(expr)                    \
+  do {                                             \
+    ::mmm::Status _mmm_status = (expr);            \
+    if (!_mmm_status.ok()) return _mmm_status;     \
+  } while (false)
+
+#define MMM_CONCAT_IMPL(x, y) x##y
+#define MMM_CONCAT(x, y) MMM_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on success binds the value to
+/// `lhs`, on failure returns the error status to the caller.
+#define MMM_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto MMM_CONCAT(_mmm_result_, __LINE__) = (rexpr);              \
+  if (!MMM_CONCAT(_mmm_result_, __LINE__).ok())                   \
+    return MMM_CONCAT(_mmm_result_, __LINE__).status();           \
+  lhs = std::move(MMM_CONCAT(_mmm_result_, __LINE__)).ValueOrDie()
+
+#endif  // MMM_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+#ifndef MMM_COMMON_STRINGS_H_
+#define MMM_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmm {
+
+/// \brief Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Splits `input` on every occurrence of `sep` (keeps empty fields).
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// \brief Returns true iff `input` starts with `prefix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+/// \brief Returns true iff `input` ends with `suffix`.
+bool EndsWith(std::string_view input, std::string_view suffix);
+
+/// \brief Lowercase hex encoding of a byte span ("0a1b...").
+std::string HexEncode(std::span<const uint8_t> bytes);
+
+/// \brief Inverse of HexEncode; returns false on malformed input.
+bool HexDecode(std::string_view hex, std::vector<uint8_t>* out);
+
+/// \brief Formats a byte count with binary units ("1.5 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+/// \brief Formats seconds with an adaptive unit ("1.23 s", "45.1 ms").
+std::string HumanSeconds(double seconds);
+
+/// \brief printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace mmm
+
+#endif  // MMM_COMMON_STRINGS_H_

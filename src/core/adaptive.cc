@@ -1,0 +1,129 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+
+namespace mmm {
+namespace {
+
+/// Fraction of a model's parameters a partial update retrains, derived from
+/// the update's partial-layer list and the set's layout.
+double PartialFraction(const ArchitectureSpec& spec,
+                       const std::vector<std::string>& partial_layers) {
+  if (partial_layers.empty()) return 1.0;
+  ParamLayout layout = LayoutOf(spec);
+  size_t total = 0, partial = 0;
+  for (const auto& [key, shape] : layout) {
+    size_t numel = Tensor::NumElements(shape);
+    total += numel;
+    for (const std::string& layer : partial_layers) {
+      if (key.rfind(layer + ".", 0) == 0) {
+        partial += numel;
+        break;
+      }
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(partial) /
+                                static_cast<double>(total);
+}
+
+}  // namespace
+
+AdaptiveModelSetManager::AdaptiveModelSetManager(ModelSetManager* manager,
+                                                 AdaptivePolicyOptions options)
+    : manager_(manager),
+      options_(options),
+      choice_(RecommendApproach(options_.profile).approach),
+      head_approach_(choice_) {}
+
+void AdaptiveModelSetManager::ObserveUpdate(const ModelSet& set,
+                                            const ModelSetUpdateInfo& update) {
+  const double alpha = std::clamp(options_.smoothing, 0.0, 1.0);
+  // Realized update rate and the weighted fraction of parameters changed.
+  if (!update.kinds.empty()) {
+    size_t updated = 0;
+    double param_fraction_sum = 0.0;
+    double partial_fraction = PartialFraction(set.spec, update.partial_layers);
+    for (UpdateKind kind : update.kinds) {
+      if (kind == UpdateKind::kNone) continue;
+      ++updated;
+      param_fraction_sum += kind == UpdateKind::kFull ? 1.0 : partial_fraction;
+    }
+    double rate =
+        static_cast<double>(updated) / static_cast<double>(update.kinds.size());
+    options_.profile.update_rate =
+        (1 - alpha) * options_.profile.update_rate + alpha * rate;
+    if (updated > 0) {
+      options_.profile.updated_param_fraction =
+          (1 - alpha) * options_.profile.updated_param_fraction +
+          alpha * (param_fraction_sum / static_cast<double>(updated));
+    }
+  }
+  // Recovery frequency: recoveries observed since the previous save.
+  double recoveries = static_cast<double>(recoveries_since_save_);
+  options_.profile.recoveries_per_save =
+      (1 - alpha) * options_.profile.recoveries_per_save + alpha * recoveries;
+  recoveries_since_save_ = 0;
+  // Fleet shape.
+  options_.profile.num_models = set.models.size();
+  options_.profile.params_per_model = set.spec.ParameterCount();
+  // Expected chain length grows while one chain-based approach stays chosen.
+  options_.profile.expected_chain_length =
+      (1 - alpha) * options_.profile.expected_chain_length +
+      alpha * static_cast<double>(saves_ % 16);
+}
+
+void AdaptiveModelSetManager::Reselect() {
+  choice_ = RecommendApproach(options_.profile).approach;
+}
+
+Result<SaveResult> AdaptiveModelSetManager::SaveInitial(const ModelSet& set) {
+  options_.profile.num_models = set.models.size();
+  options_.profile.params_per_model = set.spec.ParameterCount();
+  Reselect();
+  MMM_ASSIGN_OR_RETURN(SaveResult result, manager_->SaveInitial(choice_, set));
+  head_ = result.set_id;
+  head_approach_ = choice_;
+  ++saves_;
+  return result;
+}
+
+Result<SaveResult> AdaptiveModelSetManager::SaveDerived(
+    const ModelSet& set, const ModelSetUpdateInfo& update) {
+  ObserveUpdate(set, update);
+  Reselect();
+
+  Result<SaveResult> result = [&]() -> Result<SaveResult> {
+    if (choice_ == head_approach_ && !head_.empty() &&
+        (choice_ == ApproachType::kUpdate ||
+         choice_ == ApproachType::kProvenance)) {
+      // Continue the existing chain.
+      ModelSetUpdateInfo derived = update;
+      derived.base_set_id = head_;
+      return manager_->SaveDerived(choice_, set, derived);
+    }
+    if (choice_ == ApproachType::kMMlibBase ||
+        choice_ == ApproachType::kBaseline) {
+      ModelSetUpdateInfo derived = update;
+      derived.base_set_id =
+          choice_ == head_approach_ ? head_ : std::string();
+      return manager_->SaveDerived(choice_, set, derived);
+    }
+    // Chain-based approach but the previous version was saved differently:
+    // start a fresh chain with a full snapshot.
+    return manager_->SaveInitial(choice_, set);
+  }();
+  if (!result.ok()) return result.status();
+
+  head_ = result.ValueOrDie().set_id;
+  head_approach_ = choice_;
+  ++saves_;
+  return result;
+}
+
+Result<ModelSet> AdaptiveModelSetManager::Recover(const std::string& set_id,
+                                                  RecoverStats* stats) {
+  ++recoveries_since_save_;
+  return manager_->Recover(set_id, stats);
+}
+
+}  // namespace mmm

@@ -1,0 +1,75 @@
+#ifndef MMM_CORE_ADAPTIVE_H_
+#define MMM_CORE_ADAPTIVE_H_
+
+#include <string>
+
+#include "core/manager.h"
+#include "core/recommend.h"
+
+namespace mmm {
+
+/// \brief Options of the dynamic approach-selection policy.
+struct AdaptivePolicyOptions {
+  /// Priors and metric weights. The weights express the deployment's
+  /// priorities and stay fixed; the rate fields are updated from
+  /// observations.
+  WorkloadProfile profile;
+  /// EWMA factor applied to observed update/recovery rates (0 = frozen,
+  /// 1 = latest observation only).
+  double smoothing = 0.3;
+};
+
+/// \brief Dynamically chooses the management approach per save — the future
+/// work announced in the paper's discussion (§4.5: "we plan to develop
+/// heuristic-based approaches that dynamically choose the most suitable
+/// strategy for a given scenario").
+///
+/// Wraps a ModelSetManager. Every SaveDerived observes the realized update
+/// rate (from the per-model update kinds) and the recovery frequency (from
+/// Recover calls between saves), folds them into the workload profile, and
+/// re-runs the §4.5 cost heuristic. When the chosen approach differs from
+/// the one that saved the previous version, the new chain starts with a
+/// full snapshot of that approach, so every saved set stays recoverable.
+class AdaptiveModelSetManager {
+ public:
+  AdaptiveModelSetManager(ModelSetManager* manager,
+                          AdaptivePolicyOptions options);
+
+  /// Saves the initial set with the currently recommended approach.
+  Result<SaveResult> SaveInitial(const ModelSet& set);
+
+  /// Observes `update`, re-selects the approach, and saves.
+  Result<SaveResult> SaveDerived(const ModelSet& set,
+                                 const ModelSetUpdateInfo& update);
+
+  /// Recovers any set saved through this (or the underlying) manager and
+  /// counts the recovery for the rate estimate.
+  Result<ModelSet> Recover(const std::string& set_id,
+                           RecoverStats* stats = nullptr);
+
+  /// The approach the policy would use for the next save.
+  ApproachType current_choice() const { return choice_; }
+
+  /// The live workload estimate.
+  const WorkloadProfile& profile() const { return options_.profile; }
+
+  /// Id of the newest saved set.
+  const std::string& head() const { return head_; }
+
+ private:
+  void ObserveUpdate(const ModelSet& set, const ModelSetUpdateInfo& update);
+  void Reselect();
+
+  ModelSetManager* manager_;
+  AdaptivePolicyOptions options_;
+  ApproachType choice_;
+  /// Approach that produced `head_` (chains must stay homogeneous).
+  ApproachType head_approach_;
+  std::string head_;
+  uint64_t saves_ = 0;
+  uint64_t recoveries_since_save_ = 0;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_CORE_ADAPTIVE_H_

@@ -1,0 +1,319 @@
+#include "core/blob_formats.h"
+
+#include <cstring>
+
+#include "serialize/binary_io.h"
+#include "serialize/crc32.h"
+#include "tensor/tensor_serialize.h"
+
+namespace mmm {
+namespace {
+
+constexpr char kStateDictMagic[] = "MMMSDIC1";
+constexpr char kParamMagic[] = "MMMPARM1";
+constexpr char kHashMagic[] = "MMMHASH1";
+constexpr char kDiffMagic[] = "MMMDIFF1";
+
+void AppendCrcFooter(BinaryWriter* writer) {
+  uint32_t crc = Crc32::Compute(writer->buffer());
+  writer->WriteUint32(crc);
+}
+
+/// Validates the CRC footer and returns the payload without it.
+Result<std::span<const uint8_t>> CheckCrcFooter(std::span<const uint8_t> blob) {
+  if (blob.size() < 4) return Status::Corruption("blob too small for crc footer");
+  std::span<const uint8_t> payload = blob.subspan(0, blob.size() - 4);
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(blob[blob.size() - 4 + i]) << (8 * i);
+  }
+  if (Crc32::Compute(payload) != stored) {
+    return Status::Corruption("blob crc mismatch");
+  }
+  return payload;
+}
+
+Status CheckMagic(BinaryReader* reader, const char* magic) {
+  for (size_t i = 0; i < 8; ++i) {
+    MMM_ASSIGN_OR_RETURN(uint8_t byte, reader->ReadUint8());
+    if (byte != static_cast<uint8_t>(magic[i])) {
+      return Status::Corruption("bad blob magic, expected ", magic);
+    }
+  }
+  return Status::OK();
+}
+
+void WriteMagic(BinaryWriter* writer, const char* magic) {
+  writer->WriteBytes(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(magic), 8));
+}
+
+std::span<const uint8_t> TensorBytes(const Tensor& tensor) {
+  return std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(tensor.data().data()),
+      tensor.numel() * sizeof(float));
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeStateDict(const StateDict& state) {
+  BinaryWriter writer;
+  WriteMagic(&writer, kStateDictMagic);
+  writer.WriteVarint(state.size());
+  for (const auto& [key, tensor] : state) {
+    writer.WriteString(key);
+    WriteTensor(&writer, tensor);
+  }
+  AppendCrcFooter(&writer);
+  return writer.TakeBuffer();
+}
+
+Result<StateDict> DecodeStateDict(std::span<const uint8_t> blob) {
+  MMM_ASSIGN_OR_RETURN(std::span<const uint8_t> payload, CheckCrcFooter(blob));
+  BinaryReader reader(payload);
+  MMM_RETURN_NOT_OK(CheckMagic(&reader, kStateDictMagic));
+  MMM_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  StateDict state;
+  state.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MMM_ASSIGN_OR_RETURN(std::string key, reader.ReadString());
+    MMM_ASSIGN_OR_RETURN(Tensor tensor, ReadTensor(&reader));
+    state.emplace_back(std::move(key), std::move(tensor));
+  }
+  if (!reader.AtEnd()) return Status::Corruption("state dict has trailing bytes");
+  return state;
+}
+
+std::vector<uint8_t> EncodeParamBlob(const ModelSet& set) {
+  ParamLayout layout = LayoutOf(set.spec);
+  size_t per_model = LayoutNumel(layout);
+  BinaryWriter writer;
+  WriteMagic(&writer, kParamMagic);
+  writer.WriteVarint(set.models.size());
+  writer.WriteVarint(per_model);
+  for (const StateDict& state : set.models) {
+    for (const auto& [_, tensor] : state) {
+      writer.WriteFloatSpan(tensor.data());
+    }
+  }
+  AppendCrcFooter(&writer);
+  return writer.TakeBuffer();
+}
+
+Result<std::vector<StateDict>> DecodeParamBlob(const ArchitectureSpec& spec,
+                                               std::span<const uint8_t> blob) {
+  MMM_ASSIGN_OR_RETURN(std::span<const uint8_t> payload, CheckCrcFooter(blob));
+  BinaryReader reader(payload);
+  MMM_RETURN_NOT_OK(CheckMagic(&reader, kParamMagic));
+  MMM_ASSIGN_OR_RETURN(uint64_t num_models, reader.ReadVarint());
+  MMM_ASSIGN_OR_RETURN(uint64_t per_model, reader.ReadVarint());
+
+  ParamLayout layout = LayoutOf(spec);
+  if (per_model != LayoutNumel(layout)) {
+    return Status::Corruption("param blob expects ", per_model,
+                              " params/model, architecture implies ",
+                              LayoutNumel(layout));
+  }
+  if (reader.remaining() != num_models * per_model * sizeof(float)) {
+    return Status::Corruption("param blob size mismatch");
+  }
+
+  std::vector<StateDict> models;
+  models.reserve(num_models);
+  for (uint64_t m = 0; m < num_models; ++m) {
+    StateDict state;
+    state.reserve(layout.size());
+    for (const auto& [key, shape] : layout) {
+      size_t numel = Tensor::NumElements(shape);
+      std::vector<float> data(numel);
+      MMM_RETURN_NOT_OK(reader.ReadFloatSpan(numel, data.data()));
+      state.emplace_back(key, Tensor(shape, std::move(data)));
+    }
+    models.push_back(std::move(state));
+  }
+  return models;
+}
+
+Result<ParamBlobLayout> ReadParamBlobHeader(std::span<const uint8_t> prefix) {
+  BinaryReader reader(prefix);
+  MMM_RETURN_NOT_OK(CheckMagic(&reader, kParamMagic));
+  ParamBlobLayout layout;
+  MMM_ASSIGN_OR_RETURN(uint64_t num_models, reader.ReadVarint());
+  MMM_ASSIGN_OR_RETURN(uint64_t per_model, reader.ReadVarint());
+  layout.num_models = num_models;
+  layout.params_per_model = per_model;
+  layout.header_bytes = reader.offset();
+  return layout;
+}
+
+Result<StateDict> DecodeModelSlice(const ArchitectureSpec& spec,
+                                   std::span<const uint8_t> slice) {
+  ParamLayout layout = LayoutOf(spec);
+  if (slice.size() != LayoutNumel(layout) * sizeof(float)) {
+    return Status::Corruption("model slice has ", slice.size(),
+                              " bytes, architecture implies ",
+                              LayoutNumel(layout) * sizeof(float));
+  }
+  BinaryReader reader(slice);
+  StateDict state;
+  state.reserve(layout.size());
+  for (const auto& [key, shape] : layout) {
+    size_t numel = Tensor::NumElements(shape);
+    std::vector<float> data(numel);
+    MMM_RETURN_NOT_OK(reader.ReadFloatSpan(numel, data.data()));
+    state.emplace_back(key, Tensor(shape, std::move(data)));
+  }
+  return state;
+}
+
+HashTable ComputeHashTable(const ModelSet& set) {
+  HashTable hashes;
+  hashes.reserve(set.models.size());
+  for (const StateDict& state : set.models) {
+    std::vector<Sha256Digest> model_hashes;
+    model_hashes.reserve(state.size());
+    for (const auto& [_, tensor] : state) {
+      model_hashes.push_back(Sha256::Hash(TensorBytes(tensor)));
+    }
+    hashes.push_back(std::move(model_hashes));
+  }
+  return hashes;
+}
+
+std::vector<uint8_t> EncodeHashTable(const HashTable& hashes) {
+  BinaryWriter writer;
+  WriteMagic(&writer, kHashMagic);
+  writer.WriteVarint(hashes.size());
+  writer.WriteVarint(hashes.empty() ? 0 : hashes[0].size());
+  for (const auto& model_hashes : hashes) {
+    for (const Sha256Digest& digest : model_hashes) {
+      writer.WriteBytes(digest.bytes);
+    }
+  }
+  AppendCrcFooter(&writer);
+  return writer.TakeBuffer();
+}
+
+Result<HashTable> DecodeHashTable(std::span<const uint8_t> blob) {
+  MMM_ASSIGN_OR_RETURN(std::span<const uint8_t> payload, CheckCrcFooter(blob));
+  BinaryReader reader(payload);
+  MMM_RETURN_NOT_OK(CheckMagic(&reader, kHashMagic));
+  MMM_ASSIGN_OR_RETURN(uint64_t num_models, reader.ReadVarint());
+  MMM_ASSIGN_OR_RETURN(uint64_t per_model, reader.ReadVarint());
+  if (reader.remaining() != num_models * per_model * 32) {
+    return Status::Corruption("hash table size mismatch");
+  }
+  HashTable hashes(num_models);
+  for (uint64_t m = 0; m < num_models; ++m) {
+    hashes[m].resize(per_model);
+    for (uint64_t p = 0; p < per_model; ++p) {
+      for (auto& byte : hashes[m][p].bytes) {
+        MMM_ASSIGN_OR_RETURN(byte, reader.ReadUint8());
+      }
+    }
+  }
+  return hashes;
+}
+
+Tensor XorTensors(const Tensor& a, const Tensor& b) {
+  MMM_DCHECK(a.shape() == b.shape());
+  Tensor out = a;
+  auto dst = out.mutable_data();
+  auto src = b.data();
+  for (size_t i = 0; i < dst.size(); ++i) {
+    uint32_t bits_a, bits_b;
+    std::memcpy(&bits_a, &dst[i], sizeof(bits_a));
+    std::memcpy(&bits_b, &src[i], sizeof(bits_b));
+    bits_a ^= bits_b;
+    std::memcpy(&dst[i], &bits_a, sizeof(bits_a));
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeDiffBlob(const ModelSet& set,
+                                    const std::vector<DiffEntry>& entries,
+                                    DiffEncoding encoding,
+                                    const ModelSet* base_set) {
+  MMM_DCHECK(encoding == DiffEncoding::kAbsolute || base_set != nullptr);
+  BinaryWriter writer;
+  WriteMagic(&writer, kDiffMagic);
+  writer.WriteVarint(static_cast<uint64_t>(encoding));
+  writer.WriteVarint(entries.size());
+  for (const DiffEntry& entry : entries) {
+    writer.WriteVarint(entry.model_index);
+    writer.WriteVarint(entry.param_index);
+  }
+  for (const DiffEntry& entry : entries) {
+    const Tensor& tensor = set.models[entry.model_index][entry.param_index].second;
+    if (encoding == DiffEncoding::kXorBase) {
+      Tensor delta = XorTensors(
+          tensor, base_set->models[entry.model_index][entry.param_index].second);
+      writer.WriteFloatSpan(delta.data());
+    } else {
+      writer.WriteFloatSpan(tensor.data());
+    }
+  }
+  AppendCrcFooter(&writer);
+  return writer.TakeBuffer();
+}
+
+Result<DecodedDiff> DecodeDiffBlob(const ArchitectureSpec& spec,
+                                   std::span<const uint8_t> blob) {
+  MMM_ASSIGN_OR_RETURN(std::span<const uint8_t> payload, CheckCrcFooter(blob));
+  BinaryReader reader(payload);
+  MMM_RETURN_NOT_OK(CheckMagic(&reader, kDiffMagic));
+  MMM_ASSIGN_OR_RETURN(uint64_t encoding_value, reader.ReadVarint());
+  if (encoding_value > static_cast<uint64_t>(DiffEncoding::kXorBase)) {
+    return Status::Corruption("diff blob has unknown encoding ", encoding_value);
+  }
+  MMM_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+
+  ParamLayout layout = LayoutOf(spec);
+  DecodedDiff diff;
+  diff.encoding = static_cast<DiffEncoding>(encoding_value);
+  diff.entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MMM_ASSIGN_OR_RETURN(uint64_t model_index, reader.ReadVarint());
+    MMM_ASSIGN_OR_RETURN(uint64_t param_index, reader.ReadVarint());
+    if (param_index >= layout.size()) {
+      return Status::Corruption("diff entry references parameter ", param_index,
+                                " but layout has ", layout.size());
+    }
+    diff.entries.push_back({static_cast<uint32_t>(model_index),
+                            static_cast<uint32_t>(param_index)});
+  }
+  diff.tensors.reserve(count);
+  for (const DiffEntry& entry : diff.entries) {
+    const Shape& shape = layout[entry.param_index].second;
+    size_t numel = Tensor::NumElements(shape);
+    std::vector<float> data(numel);
+    MMM_RETURN_NOT_OK(reader.ReadFloatSpan(numel, data.data()));
+    diff.tensors.emplace_back(shape, std::move(data));
+  }
+  if (!reader.AtEnd()) return Status::Corruption("diff blob has trailing bytes");
+  return diff;
+}
+
+Result<std::vector<DiffEntry>> DiffHashTables(const HashTable& base,
+                                              const HashTable& current) {
+  if (base.size() != current.size()) {
+    return Status::InvalidArgument("hash tables differ in model count: ",
+                                   base.size(), " vs ", current.size());
+  }
+  std::vector<DiffEntry> entries;
+  for (size_t m = 0; m < base.size(); ++m) {
+    if (base[m].size() != current[m].size()) {
+      return Status::InvalidArgument("hash tables differ in layer count at model ",
+                                     m);
+    }
+    for (size_t p = 0; p < base[m].size(); ++p) {
+      if (base[m][p] != current[m][p]) {
+        entries.push_back(
+            {static_cast<uint32_t>(m), static_cast<uint32_t>(p)});
+      }
+    }
+  }
+  return entries;
+}
+
+}  // namespace mmm

@@ -1,0 +1,126 @@
+#ifndef MMM_CORE_BLOB_FORMATS_H_
+#define MMM_CORE_BLOB_FORMATS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/model_set.h"
+#include "serialize/sha256.h"
+
+namespace mmm {
+
+/// \file
+/// On-disk blob formats shared by the management approaches. Every format is
+/// little-endian, starts with an 8-byte magic, and ends with a CRC32 footer
+/// over everything before it, so recovery can reject corrupted artifacts.
+
+/// \name Per-model state dict with keys (the MMlib-base format).
+/// Saving the dictionary keys with every model is exactly the redundancy the
+/// paper's O1 identifies; Baseline avoids it via the set-level param blob.
+/// @{
+std::vector<uint8_t> EncodeStateDict(const StateDict& state);
+Result<StateDict> DecodeStateDict(std::span<const uint8_t> blob);
+/// @}
+
+/// \name Set-level parameter blob (Baseline format, paper §3.2):
+/// all models' parameters concatenated as raw floats, no per-model metadata.
+/// @{
+std::vector<uint8_t> EncodeParamBlob(const ModelSet& set);
+/// Decodes using the layout derived from `spec`; validates counts and CRC.
+Result<std::vector<StateDict>> DecodeParamBlob(const ArchitectureSpec& spec,
+                                               std::span<const uint8_t> blob);
+/// @}
+
+/// \name Ranged access to the set-level parameter blob.
+/// The deployment scenario recovers "a selected number of models" (§1);
+/// because the param blob stores fixed-size raw-float slices, single models
+/// can be fetched with one ranged store read instead of loading the set.
+/// Ranged reads bypass the blob's CRC footer (whole-blob reads still
+/// validate it).
+/// @{
+struct ParamBlobLayout {
+  size_t header_bytes = 0;  ///< offset of model 0's first float
+  size_t num_models = 0;
+  size_t params_per_model = 0;
+
+  size_t ModelBytes() const { return params_per_model * sizeof(float); }
+  size_t ModelOffset(size_t index) const {
+    return header_bytes + index * ModelBytes();
+  }
+};
+
+/// Parses a param blob's header. `prefix` must hold the first
+/// kParamBlobMaxHeaderBytes bytes (or the whole blob if smaller).
+Result<ParamBlobLayout> ReadParamBlobHeader(std::span<const uint8_t> prefix);
+
+/// Upper bound on the param blob header size (magic + two max varints).
+inline constexpr size_t kParamBlobMaxHeaderBytes = 8 + 10 + 10;
+
+/// Decodes one model's raw float slice (layout order) into a state dict.
+Result<StateDict> DecodeModelSlice(const ArchitectureSpec& spec,
+                                   std::span<const uint8_t> slice);
+/// @}
+
+/// \name Per-layer hash table (Update approach, paper §3.3 step 2).
+/// hashes[m][p] is the SHA-256 of model m's p-th parameter tensor bytes.
+/// @{
+using HashTable = std::vector<std::vector<Sha256Digest>>;
+
+/// Hashes every parameter tensor of every model.
+HashTable ComputeHashTable(const ModelSet& set);
+
+std::vector<uint8_t> EncodeHashTable(const HashTable& hashes);
+Result<HashTable> DecodeHashTable(std::span<const uint8_t> blob);
+/// @}
+
+/// \name Parameter diff blob (Update approach, paper §3.3 steps 3-4):
+/// the diff list of changed (model, parameter) pairs followed by the
+/// concatenated changed parameters.
+///
+/// Two payload encodings (the delta-encoding direction of §4.5, after
+/// Bhattacherjee et al.):
+///  - kAbsolute: the new parameter values verbatim (the paper's format);
+///  - kXorBase: new XOR base values. XOR deltas compose along a chain
+///    (v_n = v_root ^ d_1 ^ ... ^ d_n per tensor), and for partially
+///    retrained layers most mantissa bits cancel, which the shuffle-LZ
+///    codec then exploits.
+/// @{
+enum class DiffEncoding : uint8_t {
+  kAbsolute = 0,
+  kXorBase = 1,
+};
+
+struct DiffEntry {
+  uint32_t model_index;
+  uint32_t param_index;  ///< index into the set's ParamLayout
+};
+
+/// Encodes the diff. For kXorBase, `base_set` must be non-null and shaped
+/// like `set`.
+std::vector<uint8_t> EncodeDiffBlob(const ModelSet& set,
+                                    const std::vector<DiffEntry>& entries,
+                                    DiffEncoding encoding = DiffEncoding::kAbsolute,
+                                    const ModelSet* base_set = nullptr);
+
+struct DecodedDiff {
+  DiffEncoding encoding = DiffEncoding::kAbsolute;
+  std::vector<DiffEntry> entries;
+  std::vector<Tensor> tensors;  ///< parallel to entries
+};
+Result<DecodedDiff> DecodeDiffBlob(const ArchitectureSpec& spec,
+                                   std::span<const uint8_t> blob);
+
+/// Elementwise XOR of two equal-shape float tensors (bit-level; its own
+/// inverse).
+Tensor XorTensors(const Tensor& a, const Tensor& b);
+/// @}
+
+/// Compares two hash tables and lists every (model, param) whose hash
+/// changed. Tables must have identical dimensions.
+Result<std::vector<DiffEntry>> DiffHashTables(const HashTable& base,
+                                              const HashTable& current);
+
+}  // namespace mmm
+
+#endif  // MMM_CORE_BLOB_FORMATS_H_

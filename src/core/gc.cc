@@ -1,0 +1,148 @@
+#include "core/gc.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "core/mmlib_base.h"
+#include "core/set_codec.h"
+
+namespace mmm {
+namespace {
+
+Result<std::map<std::string, SetDocument>> LoadAllSetDocs(
+    const StoreContext& context) {
+  std::map<std::string, SetDocument> by_id;
+  if (context.doc_store->Count(kSetCollection) == 0) return by_id;
+  MMM_ASSIGN_OR_RETURN(std::vector<JsonValue> docs,
+                       context.doc_store->All(kSetCollection));
+  for (const JsonValue& json : docs) {
+    MMM_ASSIGN_OR_RETURN(SetDocument doc, SetDocument::FromJson(json));
+    by_id[doc.id] = std::move(doc);
+  }
+  return by_id;
+}
+
+/// Deletes one set's artifacts and documents (no dependency checks).
+Status DeleteOne(const StoreContext& context, const SetDocument& doc,
+                 DeleteReport* report) {
+  for (const std::string& blob :
+       {doc.arch_blob, doc.param_blob, doc.hash_blob, doc.diff_blob,
+        doc.prov_blob}) {
+    if (blob.empty()) continue;
+    auto size = context.file_store->Size(blob);
+    if (size.ok()) {
+      report->bytes_reclaimed += size.ValueOrDie();
+      ++report->blobs_deleted;
+    }
+    MMM_RETURN_NOT_OK(context.file_store->Delete(blob));
+  }
+  if (doc.approach == "mmlib-base") {
+    for (uint64_t index = 0; index < doc.num_models; ++index) {
+      std::string model_id = StringFormat(
+          "%s-m%05llu", doc.id.c_str(), static_cast<unsigned long long>(index));
+      auto model_doc = context.doc_store->Get(kMmlibModelCollection, model_id);
+      if (model_doc.ok()) {
+        for (const char* field : {"weights_blob", "code_blob"}) {
+          auto blob = model_doc.ValueOrDie().GetString(field);
+          if (!blob.ok()) continue;
+          auto size = context.file_store->Size(blob.ValueOrDie());
+          if (size.ok()) {
+            report->bytes_reclaimed += size.ValueOrDie();
+            ++report->blobs_deleted;
+          }
+          MMM_RETURN_NOT_OK(context.file_store->Delete(blob.ValueOrDie()));
+        }
+        MMM_RETURN_NOT_OK(
+            context.doc_store->Remove(kMmlibModelCollection, model_id));
+      }
+    }
+  }
+  MMM_RETURN_NOT_OK(context.doc_store->Remove(kSetCollection, doc.id));
+  ++report->sets_deleted;
+  report->deleted_set_ids.push_back(doc.id);
+  return Status::OK();
+}
+
+/// Collects `set_id` and (transitively) every dependent set, dependents
+/// first so deletion never leaves a dangling base link.
+void CollectCascade(const std::map<std::string, SetDocument>& by_id,
+                    const std::string& set_id,
+                    std::vector<std::string>* ordered,
+                    std::set<std::string>* visited) {
+  if (visited->contains(set_id)) return;
+  visited->insert(set_id);
+  for (const auto& [id, doc] : by_id) {
+    if (doc.base_set_id == set_id && doc.kind != "full") {
+      CollectCascade(by_id, id, ordered, visited);
+    }
+  }
+  ordered->push_back(set_id);
+}
+
+}  // namespace
+
+Result<DeleteReport> DeleteSet(const StoreContext& context,
+                               const std::string& set_id,
+                               const DeleteOptions& options) {
+  MMM_RETURN_NOT_OK(context.Validate());
+  MMM_ASSIGN_OR_RETURN(auto by_id, LoadAllSetDocs(context));
+  if (!by_id.contains(set_id)) {
+    return Status::NotFound("no set '", set_id, "'");
+  }
+  // Dependents are sets that cannot be recovered without this one: deltas
+  // and provenance records. Full snapshots that merely record lineage are
+  // unaffected.
+  std::vector<std::string> dependents;
+  for (const auto& [id, doc] : by_id) {
+    if (doc.base_set_id == set_id && doc.kind != "full") {
+      dependents.push_back(id);
+    }
+  }
+  if (!dependents.empty() && !options.cascade) {
+    return Status::InvalidArgument("set ", set_id, " has ", dependents.size(),
+                                   " dependent set(s), e.g. ", dependents[0],
+                                   "; pass cascade to delete them too");
+  }
+
+  DeleteReport report;
+  std::vector<std::string> ordered;
+  std::set<std::string> visited;
+  CollectCascade(by_id, set_id, &ordered, &visited);
+  for (const std::string& id : ordered) {
+    MMM_RETURN_NOT_OK(DeleteOne(context, by_id.at(id), &report));
+  }
+  return report;
+}
+
+Result<DeleteReport> RetainOnly(const StoreContext& context,
+                                const std::vector<std::string>& keep_set_ids) {
+  MMM_RETURN_NOT_OK(context.Validate());
+  MMM_ASSIGN_OR_RETURN(auto by_id, LoadAllSetDocs(context));
+
+  // Lineage closure of the keep list.
+  std::set<std::string> keep;
+  for (const std::string& id : keep_set_ids) {
+    if (!by_id.contains(id)) {
+      return Status::NotFound("cannot retain unknown set '", id, "'");
+    }
+    std::string current = id;
+    uint64_t budget = by_id.size() + 1;
+    while (!current.empty() && by_id.contains(current)) {
+      if (budget-- == 0) {
+        return Status::Corruption("lineage of ", id, " does not terminate");
+      }
+      if (!keep.insert(current).second) break;  // already covered
+      current = by_id.at(current).base_set_id;
+    }
+  }
+
+  DeleteReport report;
+  for (const auto& [id, doc] : by_id) {
+    if (keep.contains(id)) continue;
+    MMM_RETURN_NOT_OK(DeleteOne(context, doc, &report));
+  }
+  return report;
+}
+
+}  // namespace mmm

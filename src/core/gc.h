@@ -1,0 +1,42 @@
+#ifndef MMM_CORE_GC_H_
+#define MMM_CORE_GC_H_
+
+#include <string>
+#include <vector>
+
+#include "core/approach.h"
+
+namespace mmm {
+
+/// \brief Outcome of a deletion/retention operation.
+struct DeleteReport {
+  size_t sets_deleted = 0;
+  size_t blobs_deleted = 0;
+  uint64_t bytes_reclaimed = 0;
+  std::vector<std::string> deleted_set_ids;
+};
+
+/// \brief Options of DeleteSet.
+struct DeleteOptions {
+  /// Also delete every set that (transitively) derives from the target.
+  /// Without cascade, deleting a set that others depend on fails — Update
+  /// deltas and Provenance records are unrecoverable without their base.
+  bool cascade = false;
+};
+
+/// Deletes a saved set: its metadata document, its per-model documents
+/// (MMlib-base), and its file-store artifacts. Fails with InvalidArgument
+/// when dependent sets exist and `options.cascade` is false.
+Result<DeleteReport> DeleteSet(const StoreContext& context,
+                               const std::string& set_id,
+                               const DeleteOptions& options = {});
+
+/// Retention sweep: keeps `keep_set_ids` plus everything they (transitively)
+/// need for recovery — the lineage closure — and deletes all other sets.
+/// Typical use: keep only the newest version of each fleet.
+Result<DeleteReport> RetainOnly(const StoreContext& context,
+                                const std::vector<std::string>& keep_set_ids);
+
+}  // namespace mmm
+
+#endif  // MMM_CORE_GC_H_

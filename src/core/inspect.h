@@ -1,0 +1,51 @@
+#ifndef MMM_CORE_INSPECT_H_
+#define MMM_CORE_INSPECT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/approach.h"
+#include "core/set_codec.h"
+
+namespace mmm {
+
+/// \brief One saved set, as listed by the inspection APIs.
+struct SetSummary {
+  std::string id;
+  std::string approach;
+  std::string kind;
+  std::string base_set_id;
+  std::string family;
+  uint64_t num_models = 0;
+  uint64_t chain_depth = 0;
+  /// Total bytes of this set's file-store artifacts.
+  uint64_t artifact_bytes = 0;
+};
+
+/// Lists every saved set in insertion order.
+Result<std::vector<SetSummary>> ListSets(const StoreContext& context);
+
+/// Walks the base chain of `set_id` (newest first, ending at a full
+/// snapshot). Fails with Corruption on broken or cyclic chains.
+Result<std::vector<SetSummary>> Lineage(const StoreContext& context,
+                                        const std::string& set_id);
+
+/// \brief Outcome of a full store integrity check.
+struct StoreValidationReport {
+  size_t sets_checked = 0;
+  size_t blobs_checked = 0;
+  uint64_t bytes_checked = 0;
+  /// Human-readable descriptions of every problem found (empty = healthy).
+  std::vector<std::string> problems;
+
+  bool ok() const { return problems.empty(); }
+};
+
+/// Verifies every set document's artifacts: blobs exist, decompress, pass
+/// their CRC footers, and decode against the recorded architecture; chains
+/// terminate in full snapshots. Never modifies the store.
+Result<StoreValidationReport> ValidateStore(const StoreContext& context);
+
+}  // namespace mmm
+
+#endif  // MMM_CORE_INSPECT_H_

@@ -1,0 +1,110 @@
+#include "core/manager.h"
+
+namespace mmm {
+
+std::string ApproachTypeName(ApproachType type) {
+  switch (type) {
+    case ApproachType::kMMlibBase:
+      return "mmlib-base";
+    case ApproachType::kBaseline:
+      return "baseline";
+    case ApproachType::kUpdate:
+      return "update";
+    case ApproachType::kProvenance:
+      return "provenance";
+  }
+  return "?";
+}
+
+Result<ApproachType> ApproachTypeFromName(const std::string& name) {
+  if (name == "mmlib-base") return ApproachType::kMMlibBase;
+  if (name == "baseline") return ApproachType::kBaseline;
+  if (name == "update") return ApproachType::kUpdate;
+  if (name == "provenance") return ApproachType::kProvenance;
+  return Status::InvalidArgument("unknown approach '", name, "'");
+}
+
+Result<std::unique_ptr<ModelSetManager>> ModelSetManager::Open(Options options) {
+  if (options.root_dir.empty()) {
+    return Status::InvalidArgument("manager needs a root_dir");
+  }
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+
+  auto manager = std::unique_ptr<ModelSetManager>(new ModelSetManager());
+  manager->ids_ = std::make_unique<IdGenerator>(options.id_seed);
+  manager->file_store_ = std::make_unique<FileStore>(
+      env, options.root_dir + "/blobs", options.profile.file_store,
+      &manager->sim_clock_);
+  MMM_RETURN_NOT_OK(manager->file_store_->Open());
+  MMM_RETURN_NOT_OK(env->CreateDirs(options.root_dir));
+  manager->doc_store_ = std::make_unique<DocumentStore>(
+      env, options.root_dir + "/docstore.wal", options.profile.document_store,
+      &manager->sim_clock_);
+  MMM_RETURN_NOT_OK(manager->doc_store_->Open());
+  // New ids must not collide with sets persisted by a previous session.
+  manager->ids_->AdvanceTo(manager->doc_store_->Count(kSetCollection));
+
+  manager->context_ = StoreContext{manager->file_store_.get(),
+                                   manager->doc_store_.get(),
+                                   manager->ids_.get(), &manager->sim_clock_,
+                                   options.blob_compression};
+
+  EnvironmentInfo environment = options.environment.has_value()
+                                    ? *options.environment
+                                    : EnvironmentInfo::Capture();
+  manager->mmlib_base_ =
+      std::make_unique<MMlibBaseApproach>(manager->context_, environment);
+  manager->baseline_ = std::make_unique<BaselineApproach>(manager->context_);
+  manager->update_ = std::make_unique<UpdateApproach>(manager->context_,
+                                                      options.update_options);
+  manager->provenance_ = std::make_unique<ProvenanceApproach>(
+      manager->context_, options.resolver, environment,
+      options.provenance_recover_options);
+  return manager;
+}
+
+ModelSetApproach* ModelSetManager::approach(ApproachType type) {
+  switch (type) {
+    case ApproachType::kMMlibBase:
+      return mmlib_base_.get();
+    case ApproachType::kBaseline:
+      return baseline_.get();
+    case ApproachType::kUpdate:
+      return update_.get();
+    case ApproachType::kProvenance:
+      return provenance_.get();
+  }
+  return nullptr;
+}
+
+Result<SaveResult> ModelSetManager::SaveInitial(ApproachType type,
+                                                const ModelSet& set) {
+  return approach(type)->SaveInitial(set);
+}
+
+Result<SaveResult> ModelSetManager::SaveDerived(ApproachType type,
+                                                const ModelSet& set,
+                                                const ModelSetUpdateInfo& update) {
+  return approach(type)->SaveDerived(set, update);
+}
+
+Result<ModelSet> ModelSetManager::Recover(const std::string& set_id,
+                                          RecoverStats* stats) {
+  MMM_ASSIGN_OR_RETURN(JsonValue doc,
+                       doc_store_->Get(kSetCollection, set_id));
+  MMM_ASSIGN_OR_RETURN(std::string approach_name, doc.GetString("approach"));
+  MMM_ASSIGN_OR_RETURN(ApproachType type, ApproachTypeFromName(approach_name));
+  return approach(type)->Recover(set_id, stats);
+}
+
+Result<std::vector<StateDict>> ModelSetManager::RecoverModels(
+    const std::string& set_id, const std::vector<size_t>& indices,
+    RecoverStats* stats) {
+  MMM_ASSIGN_OR_RETURN(JsonValue doc,
+                       doc_store_->Get(kSetCollection, set_id));
+  MMM_ASSIGN_OR_RETURN(std::string approach_name, doc.GetString("approach"));
+  MMM_ASSIGN_OR_RETURN(ApproachType type, ApproachTypeFromName(approach_name));
+  return approach(type)->RecoverModels(set_id, indices, stats);
+}
+
+}  // namespace mmm

@@ -1,0 +1,127 @@
+#include "core/recommend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace mmm {
+namespace {
+
+// Per-model metadata MMlib-base persists redundantly (architecture, code,
+// environment, dict keys), in bytes; measured from the implementation
+// (bench/tab_overhead_breakdown reports the exact numbers).
+constexpr double kMmlibPerModelOverhead = 4500.0;
+// Per-(model, layer) hash record in the Update approach's hash blob.
+constexpr double kHashBytesPerParamTensor = 32.0;
+constexpr double kParamTensorsPerModel = 8.0;
+// One dataset reference in a provenance record.
+constexpr double kBytesPerDatasetRef = 130.0;
+// Set-level fixed overhead (set document + architecture blob).
+constexpr double kSetOverheadBytes = 4000.0;
+// Environment + pipeline record, stored once per provenance set.
+constexpr double kProvRecordBytes = 6000.0;
+
+}  // namespace
+
+ApproachCostEstimate EstimateApproachCost(ApproachType approach,
+                                          const WorkloadProfile& w) {
+  ApproachCostEstimate e;
+  e.approach = approach;
+  const double model_bytes = static_cast<double>(w.params_per_model) * 4.0;
+  const double n = static_cast<double>(w.num_models);
+  const double full_set_bytes = n * model_bytes;
+  const double hash_bytes = n * kParamTensorsPerModel * kHashBytesPerParamTensor;
+
+  double store_ops = 0.0;
+  switch (approach) {
+    case ApproachType::kMMlibBase:
+      e.storage_bytes_per_cycle =
+          full_set_bytes + n * kMmlibPerModelOverhead;
+      store_ops = 3.0 * n;  // weights + code + metadata per model
+      e.recover_seconds = e.storage_bytes_per_cycle / w.store_bandwidth_bytes_per_s +
+                          2.0 * n * w.store_op_seconds;
+      break;
+    case ApproachType::kBaseline:
+      e.storage_bytes_per_cycle = full_set_bytes + kSetOverheadBytes;
+      store_ops = 3.0;
+      e.recover_seconds = e.storage_bytes_per_cycle / w.store_bandwidth_bytes_per_s +
+                          3.0 * w.store_op_seconds;
+      break;
+    case ApproachType::kUpdate: {
+      double changed_bytes =
+          n * w.update_rate * w.updated_param_fraction * model_bytes;
+      e.storage_bytes_per_cycle = changed_bytes + hash_bytes + kSetOverheadBytes;
+      store_ops = 4.0;  // doc + diff + hashes (+ base hash read)
+      // Recovery walks the chain: every hop loads ~the same delta volume on
+      // top of the initial full snapshot.
+      e.recover_seconds =
+          (full_set_bytes + w.expected_chain_length * e.storage_bytes_per_cycle) /
+              w.store_bandwidth_bytes_per_s +
+          (1.0 + w.expected_chain_length) * 3.0 * w.store_op_seconds;
+      break;
+    }
+    case ApproachType::kProvenance: {
+      double refs = n * w.update_rate;
+      e.storage_bytes_per_cycle =
+          kProvRecordBytes + refs * kBytesPerDatasetRef + kSetOverheadBytes / 4.0;
+      store_ops = 2.0;  // doc + provenance record
+      e.recover_seconds =
+          full_set_bytes / w.store_bandwidth_bytes_per_s +
+          w.expected_chain_length * refs * w.retrain_seconds_per_model;
+      break;
+    }
+  }
+  // Saving moves the cycle's bytes once plus one round-trip per store op.
+  e.save_seconds = e.storage_bytes_per_cycle / w.store_bandwidth_bytes_per_s +
+                   store_ops * w.store_op_seconds;
+  return e;
+}
+
+Recommendation RecommendApproach(const WorkloadProfile& workload) {
+  std::vector<ApproachCostEstimate> estimates;
+  for (ApproachType type : kAllApproaches) {
+    estimates.push_back(EstimateApproachCost(type, workload));
+  }
+  // Normalize each metric by the best candidate so weights are comparable.
+  double min_storage = estimates[0].storage_bytes_per_cycle;
+  double min_save = estimates[0].save_seconds;
+  double min_recover = estimates[0].recover_seconds;
+  for (const auto& e : estimates) {
+    min_storage = std::min(min_storage, e.storage_bytes_per_cycle);
+    min_save = std::min(min_save, e.save_seconds);
+    min_recover = std::min(min_recover, e.recover_seconds);
+  }
+  auto safe_ratio = [](double value, double base) {
+    return base > 0.0 ? value / base : 1.0;
+  };
+  for (auto& e : estimates) {
+    e.weighted_score =
+        workload.storage_weight *
+            std::log2(1.0 + safe_ratio(e.storage_bytes_per_cycle, min_storage)) +
+        workload.save_time_weight *
+            std::log2(1.0 + safe_ratio(e.save_seconds, min_save)) +
+        workload.recover_time_weight * workload.recoveries_per_save *
+            std::log2(1.0 + safe_ratio(e.recover_seconds, min_recover));
+  }
+  std::sort(estimates.begin(), estimates.end(),
+            [](const ApproachCostEstimate& a, const ApproachCostEstimate& b) {
+              return a.weighted_score < b.weighted_score;
+            });
+
+  Recommendation rec;
+  rec.approach = estimates.front().approach;
+  rec.estimates = estimates;
+  rec.rationale = StringFormat(
+      "%s minimizes the weighted cost: est. %.1f MB/cycle storage, %.3f s "
+      "save, %.1f s recover (weights: storage %.2f, save %.2f, recover %.2f x "
+      "%.3f recoveries/save)",
+      ApproachTypeName(rec.approach).c_str(),
+      estimates.front().storage_bytes_per_cycle / 1e6,
+      estimates.front().save_seconds, estimates.front().recover_seconds,
+      workload.storage_weight, workload.save_time_weight,
+      workload.recover_time_weight, workload.recoveries_per_save);
+  return rec;
+}
+
+}  // namespace mmm

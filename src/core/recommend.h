@@ -1,0 +1,67 @@
+#ifndef MMM_CORE_RECOMMEND_H_
+#define MMM_CORE_RECOMMEND_H_
+
+#include <string>
+#include <vector>
+
+#include "core/manager.h"
+
+namespace mmm {
+
+/// \brief Characteristics of a deployment workload, used to pick an approach.
+///
+/// The paper's discussion (§4.5) concludes "there is no single best choice"
+/// and announces heuristic-based dynamic selection as future work; this
+/// analytic cost model implements that heuristic.
+struct WorkloadProfile {
+  size_t num_models = 5000;
+  size_t params_per_model = 4993;
+  /// Fraction of models updated per cycle (full + partial combined).
+  double update_rate = 0.10;
+  /// Fraction of updated parameters within an updated model (1.0 = all).
+  double updated_param_fraction = 0.75;
+  /// Expected number of set recoveries per saved set (<< 1 in the paper's
+  /// "save always, recover rarely" deployment scenario).
+  double recoveries_per_save = 0.01;
+  /// Expected delta-chain length a recovery has to walk.
+  double expected_chain_length = 3.0;
+  /// Seconds to retrain one model during provenance replay.
+  double retrain_seconds_per_model = 60.0;
+  /// Relative importance of the three metrics (need not sum to 1; the
+  /// paper's deployment scenario weighs storage highest and TTR lowest).
+  double storage_weight = 1.0;
+  double save_time_weight = 0.5;
+  double recover_time_weight = 0.1;
+  /// Store performance assumptions.
+  double store_bandwidth_bytes_per_s = 1.5e9;
+  double store_op_seconds = 1e-4;
+};
+
+/// Predicted per-cycle cost of one approach under a workload.
+struct ApproachCostEstimate {
+  ApproachType approach;
+  double storage_bytes_per_cycle = 0.0;
+  double save_seconds = 0.0;
+  double recover_seconds = 0.0;
+  double weighted_score = 0.0;  ///< lower is better
+};
+
+/// \brief Outcome of the selection heuristic.
+struct Recommendation {
+  ApproachType approach;
+  std::string rationale;
+  /// All candidates, sorted best (lowest score) first.
+  std::vector<ApproachCostEstimate> estimates;
+};
+
+/// Estimates the per-cycle cost of `approach` under `workload` with a simple
+/// analytic model of each approach's artifact sizes and store round-trips.
+ApproachCostEstimate EstimateApproachCost(ApproachType approach,
+                                          const WorkloadProfile& workload);
+
+/// Picks the approach minimizing the weighted normalized cost.
+Recommendation RecommendApproach(const WorkloadProfile& workload);
+
+}  // namespace mmm
+
+#endif  // MMM_CORE_RECOMMEND_H_

@@ -1,0 +1,122 @@
+#include "core/streaming.h"
+
+#include "core/blob_formats.h"
+#include "serialize/binary_io.h"
+#include "serialize/crc32.h"
+
+namespace mmm {
+namespace {
+
+/// Header of the param blob format (see blob_formats.cc / docs/FORMATS.md):
+/// magic, varint num_models, varint params_per_model.
+std::vector<uint8_t> ParamBlobHeader(size_t num_models, size_t params_per_model) {
+  BinaryWriter writer;
+  static constexpr char kParamMagic[] = "MMMPARM1";
+  writer.WriteBytes(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(kParamMagic), 8));
+  writer.WriteVarint(num_models);
+  writer.WriteVarint(params_per_model);
+  return writer.TakeBuffer();
+}
+
+}  // namespace
+
+StreamingSnapshotWriter::StreamingSnapshotWriter(const StoreContext& context,
+                                                 ArchitectureSpec spec,
+                                                 size_t num_models,
+                                                 std::string set_id)
+    : context_(context),
+      spec_(std::move(spec)),
+      layout_(LayoutOf(spec_)),
+      params_per_model_(LayoutNumel(layout_)),
+      num_models_(num_models),
+      set_id_(std::move(set_id)),
+      blob_name_(set_id_ + ".params.bin"),
+      capture_(context_) {}
+
+Result<std::unique_ptr<StreamingSnapshotWriter>> StreamingSnapshotWriter::Begin(
+    const StoreContext& context, const ArchitectureSpec& spec,
+    size_t num_models) {
+  MMM_RETURN_NOT_OK(context.Validate());
+  if (context.blob_compression != Compression::kNone) {
+    return Status::Unimplemented(
+        "streaming saves do not compose with blob compression");
+  }
+  if (LayoutOf(spec).empty()) {
+    return Status::InvalidArgument("architecture '", spec.family,
+                                   "' has no parameters");
+  }
+  std::string set_id = context.ids->Next("set");
+  auto writer = std::unique_ptr<StreamingSnapshotWriter>(
+      new StreamingSnapshotWriter(context, spec, num_models, std::move(set_id)));
+
+  std::vector<uint8_t> header =
+      ParamBlobHeader(num_models, writer->params_per_model_);
+  MMM_RETURN_NOT_OK(context.file_store->Put(writer->blob_name_, header));
+  writer->crc_ = Crc32::Extend(0, header);
+  return writer;
+}
+
+Status StreamingSnapshotWriter::Append(const StateDict& model) {
+  if (finished_) {
+    return Status::InvalidArgument("streaming writer already finished");
+  }
+  if (appended_ >= num_models_) {
+    return Status::InvalidArgument("streaming writer declared ", num_models_,
+                                   " models; cannot append more");
+  }
+  if (model.size() != layout_.size()) {
+    return Status::InvalidArgument("model has ", model.size(),
+                                   " parameters, layout expects ",
+                                   layout_.size());
+  }
+  BinaryWriter writer;
+  for (size_t p = 0; p < layout_.size(); ++p) {
+    if (model[p].first != layout_[p].first ||
+        model[p].second.shape() != layout_[p].second) {
+      return Status::InvalidArgument("model parameter ", p,
+                                     " does not match layout ('",
+                                     model[p].first, "')");
+    }
+    writer.WriteFloatSpan(model[p].second.data());
+  }
+  MMM_RETURN_NOT_OK(context_.file_store->Append(blob_name_, writer.buffer()));
+  crc_ = Crc32::Extend(crc_, writer.buffer());
+  ++appended_;
+  return Status::OK();
+}
+
+Result<SaveResult> StreamingSnapshotWriter::Finish() {
+  if (finished_) {
+    return Status::InvalidArgument("streaming writer already finished");
+  }
+  if (appended_ != num_models_) {
+    return Status::InvalidArgument("streaming writer declared ", num_models_,
+                                   " models but ", appended_,
+                                   " were appended");
+  }
+  finished_ = true;
+  // CRC footer (little-endian), matching EncodeParamBlob's framing.
+  BinaryWriter footer;
+  footer.WriteUint32(crc_);
+  MMM_RETURN_NOT_OK(context_.file_store->Append(blob_name_, footer.buffer()));
+
+  SetDocument doc;
+  doc.id = set_id_;
+  doc.approach = "baseline";
+  doc.kind = "full";
+  doc.family = spec_.family;
+  doc.num_models = num_models_;
+  doc.arch_blob = set_id_ + ".arch.json";
+  doc.param_blob = blob_name_;
+  MMM_RETURN_NOT_OK(
+      context_.file_store->PutString(doc.arch_blob, EncodeArchBlob(spec_)));
+  MMM_RETURN_NOT_OK(InsertSetDocument(context_, doc));
+
+  SaveResult result;
+  result.set_id = set_id_;
+  capture_.FillSave(&result);
+  return result;
+}
+
+}  // namespace mmm

@@ -1,0 +1,311 @@
+#include "core/update.h"
+
+#include "core/set_codec.h"
+
+namespace mmm {
+
+UpdateApproach::UpdateApproach(StoreContext context, UpdateApproachOptions options)
+    : context_(context), options_(options) {}
+
+Result<SaveResult> UpdateApproach::SaveSnapshotWithHashes(
+    const ModelSet& set, const std::string& base_set_id) {
+  StatsCapture capture(context_);
+  SaveResult result;
+  result.set_id = context_.ids->Next("set");
+
+  SetDocument doc;
+  doc.id = result.set_id;
+  doc.approach = Name();
+  doc.base_set_id = base_set_id;
+  MMM_RETURN_NOT_OK(WriteFullSnapshot(context_, result.set_id, set, &doc));
+
+  // Persist the per-layer hashes so the *next* save can detect changes
+  // without loading this set's parameters (paper §3.3 step 2).
+  doc.hash_blob = result.set_id + ".hashes.bin";
+  std::vector<uint8_t> hashes = EncodeHashTable(ComputeHashTable(set));
+  if (context_.blob_compression != Compression::kNone) {
+    hashes = CompressBlob(context_.blob_compression, hashes);
+  }
+  MMM_RETURN_NOT_OK(context_.file_store->Put(doc.hash_blob, hashes));
+  MMM_RETURN_NOT_OK(InsertSetDocument(context_, doc));
+
+  capture.FillSave(&result);
+  return result;
+}
+
+Result<SaveResult> UpdateApproach::SaveInitial(const ModelSet& set) {
+  MMM_RETURN_NOT_OK(context_.Validate());
+  MMM_RETURN_NOT_OK(CheckSetConsistent(set));
+  return SaveSnapshotWithHashes(set, /*base_set_id=*/"");
+}
+
+Result<SaveResult> UpdateApproach::SaveDerived(const ModelSet& set,
+                                               const ModelSetUpdateInfo& update) {
+  MMM_RETURN_NOT_OK(context_.Validate());
+  MMM_RETURN_NOT_OK(CheckSetConsistent(set));
+  if (update.base_set_id.empty()) {
+    return Status::InvalidArgument("update approach needs a base_set_id");
+  }
+  MMM_ASSIGN_OR_RETURN(SetDocument base_doc,
+                       FetchSetDocument(context_, update.base_set_id));
+  if (base_doc.approach != Name()) {
+    return Status::InvalidArgument("base set ", update.base_set_id,
+                                   " was saved by '", base_doc.approach,
+                                   "', not update");
+  }
+  if (base_doc.num_models != set.models.size()) {
+    return Status::InvalidArgument("set has ", set.models.size(),
+                                   " models but base has ", base_doc.num_models);
+  }
+  if (base_doc.hash_blob.empty()) {
+    return Status::Corruption("base set ", update.base_set_id,
+                              " is missing its hash blob");
+  }
+
+  // Periodic full snapshots bound the recovery recursion depth.
+  if (base_doc.chain_depth + 1 >= options_.snapshot_interval) {
+    MMM_ASSIGN_OR_RETURN(SaveResult result,
+                         SaveSnapshotWithHashes(set, update.base_set_id));
+    return result;
+  }
+
+  StatsCapture capture(context_);
+  SaveResult result;
+  result.set_id = context_.ids->Next("set");
+
+  // Step 1 (§3.3): reference to the base set and metadata — the SetDocument.
+  // Step 2: hash every model's layers.
+  HashTable current_hashes = ComputeHashTable(set);
+  // Step 3: identify changed parameters against the base set's hash blob.
+  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored_hashes,
+                       context_.file_store->Get(base_doc.hash_blob));
+  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> base_hash_bytes,
+                       DecompressBlob(stored_hashes));
+  MMM_ASSIGN_OR_RETURN(HashTable base_hashes, DecodeHashTable(base_hash_bytes));
+  MMM_ASSIGN_OR_RETURN(std::vector<DiffEntry> entries,
+                       DiffHashTables(base_hashes, current_hashes));
+  // Step 4: concatenate the changed parameters into one binary blob.
+  SetDocument doc;
+  doc.id = result.set_id;
+  doc.approach = Name();
+  doc.kind = "delta";
+  doc.base_set_id = update.base_set_id;
+  doc.family = base_doc.family;
+  doc.num_models = set.models.size();
+  doc.chain_depth = base_doc.chain_depth + 1;
+  doc.diff_blob = result.set_id + ".diff.bin";
+  doc.hash_blob = result.set_id + ".hashes.bin";
+  if (options_.diff_encoding == DiffEncoding::kXorBase &&
+      update.base_set == nullptr) {
+    return Status::InvalidArgument(
+        "xor delta encoding needs ModelSetUpdateInfo::base_set");
+  }
+  std::vector<uint8_t> diff =
+      EncodeDiffBlob(set, entries, options_.diff_encoding, update.base_set);
+  std::vector<uint8_t> hashes = EncodeHashTable(current_hashes);
+  if (context_.blob_compression != Compression::kNone) {
+    diff = CompressBlob(context_.blob_compression, diff);
+    hashes = CompressBlob(context_.blob_compression, hashes);
+  }
+  MMM_RETURN_NOT_OK(context_.file_store->Put(doc.diff_blob, diff));
+  MMM_RETURN_NOT_OK(context_.file_store->Put(doc.hash_blob, hashes));
+  MMM_RETURN_NOT_OK(InsertSetDocument(context_, doc));
+
+  capture.FillSave(&result);
+  return result;
+}
+
+Result<ModelSet> UpdateApproach::Recover(const std::string& set_id,
+                                         RecoverStats* stats) {
+  MMM_RETURN_NOT_OK(context_.Validate());
+  StatsCapture capture(context_);
+  // A delta chain cannot be longer than the number of saved sets.
+  uint64_t depth_budget = context_.doc_store->Count(kSetCollection) + 1;
+  MMM_ASSIGN_OR_RETURN(ModelSet set,
+                       RecoverInternal(set_id, stats, depth_budget));
+  capture.FillRecover(stats);
+  return set;
+}
+
+Result<std::vector<StateDict>> UpdateApproach::RecoverModels(
+    const std::string& set_id, const std::vector<size_t>& indices,
+    RecoverStats* stats) {
+  MMM_RETURN_NOT_OK(context_.Validate());
+  StatsCapture capture(context_);
+
+  // Walk the chain down to the nearest full snapshot.
+  std::vector<SetDocument> deltas;
+  MMM_ASSIGN_OR_RETURN(SetDocument doc, FetchSetDocument(context_, set_id));
+  if (doc.approach != Name()) {
+    return Status::InvalidArgument("set ", set_id, " was saved by '",
+                                   doc.approach, "', not update");
+  }
+  uint64_t budget = context_.doc_store->Count(kSetCollection) + 1;
+  while (doc.kind == "delta") {
+    if (budget-- == 0) {
+      return Status::Corruption("update chain too deep (cycle?) at ", doc.id);
+    }
+    deltas.push_back(doc);
+    MMM_ASSIGN_OR_RETURN(doc, FetchSetDocument(context_, doc.base_set_id));
+    if (doc.approach != Name()) {
+      return Status::InvalidArgument("base set ", doc.id, " was saved by '",
+                                     doc.approach, "', not update");
+    }
+  }
+  if (doc.kind != "full") {
+    return Status::Corruption("update chain of ", set_id,
+                              " does not end in a full snapshot");
+  }
+  MMM_RETURN_NOT_OK(CheckIndices(indices, deltas.empty()
+                                              ? doc.num_models
+                                              : deltas.front().num_models));
+  MMM_ASSIGN_OR_RETURN(ArchitectureSpec spec, ReadSnapshotSpec(context_, doc));
+  ParamLayout layout = LayoutOf(spec);
+
+  // Newest-wins resolution per requested (model, param). XOR-encoded diff
+  // entries compose: the accumulator gathers them until an absolute value
+  // (a newer-than-root absolute diff entry, or the root snapshot) is found.
+  std::map<size_t, std::vector<Tensor>> resolved;
+  std::map<size_t, std::vector<bool>> have;
+  std::map<std::pair<size_t, size_t>, Tensor> xor_acc;
+  for (size_t index : indices) {
+    if (!resolved.contains(index)) {
+      resolved[index].resize(layout.size());
+      have[index].assign(layout.size(), false);
+    }
+  }
+  size_t missing = have.size() * layout.size();
+
+  for (const SetDocument& delta : deltas) {
+    if (stats != nullptr) stats->sets_recovered += 1;
+    if (missing == 0) continue;  // still count the metadata walk
+    MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored,
+                         context_.file_store->Get(delta.diff_blob));
+    MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> diff_bytes,
+                         DecompressBlob(stored));
+    MMM_ASSIGN_OR_RETURN(DecodedDiff diff, DecodeDiffBlob(spec, diff_bytes));
+    for (size_t i = 0; i < diff.entries.size(); ++i) {
+      const DiffEntry& entry = diff.entries[i];
+      auto it = have.find(entry.model_index);
+      if (it == have.end() || entry.param_index >= layout.size() ||
+          it->second[entry.param_index]) {
+        continue;
+      }
+      if (diff.encoding == DiffEncoding::kXorBase) {
+        std::pair<size_t, size_t> key{entry.model_index, entry.param_index};
+        auto acc_it = xor_acc.find(key);
+        if (acc_it == xor_acc.end()) {
+          xor_acc.emplace(key, std::move(diff.tensors[i]));
+        } else {
+          acc_it->second = XorTensors(acc_it->second, diff.tensors[i]);
+        }
+        continue;  // unresolved until an absolute value is reached
+      }
+      Tensor value = std::move(diff.tensors[i]);
+      auto acc_it = xor_acc.find({entry.model_index, entry.param_index});
+      if (acc_it != xor_acc.end()) {
+        value = XorTensors(value, acc_it->second);
+      }
+      it->second[entry.param_index] = true;
+      resolved[entry.model_index][entry.param_index] = std::move(value);
+      --missing;
+    }
+  }
+
+  // Fill whatever is still unresolved from the root snapshot.
+  if (stats != nullptr) stats->sets_recovered += 1;
+  if (missing > 0) {
+    std::vector<size_t> root_models;
+    for (const auto& [model, flags] : have) {
+      for (bool got : flags) {
+        if (!got) {
+          root_models.push_back(model);
+          break;
+        }
+      }
+    }
+    MMM_ASSIGN_OR_RETURN(std::vector<StateDict> root_states,
+                         ReadModelsFromSnapshot(context_, doc, root_models));
+    for (size_t r = 0; r < root_models.size(); ++r) {
+      size_t model = root_models[r];
+      for (size_t p = 0; p < layout.size(); ++p) {
+        if (!have[model][p]) {
+          Tensor value = std::move(root_states[r][p].second);
+          auto acc_it = xor_acc.find({model, p});
+          if (acc_it != xor_acc.end()) {
+            value = XorTensors(value, acc_it->second);
+          }
+          resolved[model][p] = std::move(value);
+          have[model][p] = true;
+        }
+      }
+    }
+  }
+
+  std::vector<StateDict> out;
+  out.reserve(indices.size());
+  for (size_t index : indices) {
+    StateDict state;
+    state.reserve(layout.size());
+    for (size_t p = 0; p < layout.size(); ++p) {
+      state.emplace_back(layout[p].first, resolved[index][p]);
+    }
+    out.push_back(std::move(state));
+  }
+  capture.FillRecover(stats);
+  return out;
+}
+
+Result<ModelSet> UpdateApproach::RecoverInternal(const std::string& set_id,
+                                                 RecoverStats* stats,
+                                                 uint64_t depth_budget) {
+  if (depth_budget == 0) {
+    return Status::Corruption("update recovery chain too deep (cycle?) at ",
+                              set_id);
+  }
+  MMM_ASSIGN_OR_RETURN(SetDocument doc, FetchSetDocument(context_, set_id));
+  if (doc.approach != Name()) {
+    return Status::InvalidArgument("set ", set_id, " was saved by '",
+                                   doc.approach, "', not update");
+  }
+  if (stats != nullptr) stats->sets_recovered += 1;
+
+  if (doc.kind == "full") {
+    return ReadFullSnapshot(context_, doc);
+  }
+  if (doc.kind != "delta") {
+    return Status::Corruption("set ", set_id, " has unexpected kind '", doc.kind,
+                              "'");
+  }
+  // Recursive recovery: materialize the base set, then apply the diffs.
+  MMM_ASSIGN_OR_RETURN(
+      ModelSet set, RecoverInternal(doc.base_set_id, stats, depth_budget - 1));
+  if (set.models.size() != doc.num_models) {
+    return Status::Corruption("base set size ", set.models.size(),
+                              " != derived size ", doc.num_models);
+  }
+  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored_diff,
+                       context_.file_store->Get(doc.diff_blob));
+  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> diff_bytes,
+                       DecompressBlob(stored_diff));
+  MMM_ASSIGN_OR_RETURN(DecodedDiff diff, DecodeDiffBlob(set.spec, diff_bytes));
+  for (size_t i = 0; i < diff.entries.size(); ++i) {
+    const DiffEntry& entry = diff.entries[i];
+    if (entry.model_index >= set.models.size() ||
+        entry.param_index >= set.models[entry.model_index].size()) {
+      return Status::Corruption("diff entry out of range in set ", set_id);
+    }
+    Tensor& target = set.models[entry.model_index][entry.param_index].second;
+    if (diff.encoding == DiffEncoding::kXorBase) {
+      if (diff.tensors[i].shape() != target.shape()) {
+        return Status::Corruption("xor diff shape mismatch in set ", set_id);
+      }
+      target = XorTensors(target, diff.tensors[i]);
+    } else {
+      target = std::move(diff.tensors[i]);
+    }
+  }
+  return set;
+}
+
+}  // namespace mmm

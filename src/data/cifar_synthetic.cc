@@ -1,0 +1,63 @@
+#include "data/cifar_synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mmm {
+
+TrainingData CifarSyntheticGenerator::Generate(uint64_t model_id, uint64_t cycle,
+                                               size_t num_samples) const {
+  Rng rng = Rng(seed_).Fork("cifar", Rng::Mix64(model_id * 1315423911ULL + cycle));
+
+  // Class prototypes are derived from the seed only, so every model learns
+  // the same 10-way task; the per-image noise and composition differ.
+  Rng proto_rng = Rng(seed_).Fork("cifar-prototypes");
+  struct ClassProto {
+    float mean[3];
+    float freq_x, freq_y, phase;
+  };
+  ClassProto protos[kClasses];
+  for (size_t c = 0; c < kClasses; ++c) {
+    for (float& m : protos[c].mean) {
+      m = static_cast<float>(proto_rng.NextUniform(0.2, 0.8));
+    }
+    protos[c].freq_x = static_cast<float>(proto_rng.NextUniform(0.3, 3.0));
+    protos[c].freq_y = static_cast<float>(proto_rng.NextUniform(0.3, 3.0));
+    protos[c].phase = static_cast<float>(proto_rng.NextUniform(0.0, 6.28));
+  }
+  // Later cycles drift the textures slightly, emulating distribution shift
+  // that motivates the periodic model updates.
+  float drift = 0.03f * static_cast<float>(cycle);
+
+  Tensor inputs(Shape{num_samples, kChannels, kHeight, kWidth});
+  Tensor targets(Shape{num_samples});
+  auto pixels = inputs.mutable_data();
+
+  const size_t image_size = kChannels * kHeight * kWidth;
+  for (size_t i = 0; i < num_samples; ++i) {
+    auto label = static_cast<size_t>(rng.NextBounded(kClasses));
+    targets.at(i) = static_cast<float>(label);
+    const ClassProto& proto = protos[label];
+    float phase = proto.phase + drift +
+                  static_cast<float>(rng.NextUniform(-0.4, 0.4));
+    float* image = pixels.data() + i * image_size;
+    for (size_t ch = 0; ch < kChannels; ++ch) {
+      float channel_gain = 0.25f + 0.1f * static_cast<float>(ch);
+      for (size_t y = 0; y < kHeight; ++y) {
+        for (size_t x = 0; x < kWidth; ++x) {
+          float wave = std::sin(proto.freq_x * static_cast<float>(x) * 0.2f +
+                                proto.freq_y * static_cast<float>(y) * 0.2f +
+                                phase);
+          float noise = static_cast<float>(rng.NextGaussian(0.0, 0.05));
+          float value = proto.mean[ch] + channel_gain * wave + noise;
+          image[(ch * kHeight + y) * kWidth + x] = std::clamp(value, 0.0f, 1.0f);
+        }
+      }
+    }
+  }
+  return TrainingData{std::move(inputs), std::move(targets)};
+}
+
+}  // namespace mmm

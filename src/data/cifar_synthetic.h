@@ -1,0 +1,38 @@
+#ifndef MMM_DATA_CIFAR_SYNTHETIC_H_
+#define MMM_DATA_CIFAR_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace mmm {
+
+/// \brief Synthetic stand-in for CIFAR-10 (DESIGN.md §1 substitution).
+///
+/// Produces 32x32x3 images in [0, 1] with 10 classes. Each class is a
+/// distinct procedural texture (class-specific color mean, sinusoidal
+/// pattern frequency/orientation) plus per-image noise, so a small convnet
+/// can genuinely learn to separate classes. Deterministic in
+/// (seed, model_id, cycle): models updated in later cycles see shifted data,
+/// which makes retraining change parameters, as the management layer expects.
+class CifarSyntheticGenerator {
+ public:
+  explicit CifarSyntheticGenerator(uint64_t seed) : seed_(seed) {}
+
+  /// Generates `num_samples` labeled images for model `model_id` at update
+  /// cycle `cycle`. targets is a [n] tensor of class indices (0..9).
+  TrainingData Generate(uint64_t model_id, uint64_t cycle,
+                        size_t num_samples) const;
+
+  static constexpr size_t kClasses = 10;
+  static constexpr size_t kChannels = 3;
+  static constexpr size_t kHeight = 32;
+  static constexpr size_t kWidth = 32;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_DATA_CIFAR_SYNTHETIC_H_

@@ -1,0 +1,27 @@
+#ifndef MMM_DATA_DATASET_H_
+#define MMM_DATA_DATASET_H_
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace mmm {
+
+/// \brief An in-memory supervised dataset.
+///
+/// `inputs` is [n, features...]; `targets` is [n, outputs] for regression or
+/// [n] class indices for classification.
+struct TrainingData {
+  Tensor inputs;
+  Tensor targets;
+
+  size_t size() const { return inputs.empty() ? 0 : inputs.dim(0); }
+
+  /// Returns the first `count` samples (or all if fewer). Used to realize
+  /// the paper's "reduced data" recovery protocol for Provenance.
+  TrainingData Head(size_t count) const;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_DATA_DATASET_H_

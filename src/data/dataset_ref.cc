@@ -1,0 +1,30 @@
+#include "data/dataset_ref.h"
+
+#include "serialize/binary_io.h"
+#include "serialize/sha256.h"
+#include "tensor/tensor_serialize.h"
+
+namespace mmm {
+
+JsonValue DatasetRef::ToJson() const {
+  JsonValue json = JsonValue::Object();
+  json.Set("uri", uri);
+  json.Set("hash", content_hash);
+  return json;
+}
+
+Result<DatasetRef> DatasetRef::FromJson(const JsonValue& json) {
+  DatasetRef ref;
+  MMM_ASSIGN_OR_RETURN(ref.uri, json.GetString("uri"));
+  ref.content_hash = json.GetStringOr("hash", "");
+  return ref;
+}
+
+std::string HashTrainingData(const TrainingData& data) {
+  BinaryWriter writer;
+  WriteTensor(&writer, data.inputs);
+  WriteTensor(&writer, data.targets);
+  return Sha256::Hash(writer.buffer()).ToHex();
+}
+
+}  // namespace mmm

@@ -1,0 +1,75 @@
+#include "data/normalizer.h"
+
+namespace mmm {
+
+FeatureNormalizer::FeatureNormalizer(std::vector<float> offsets,
+                                     std::vector<float> scales)
+    : offsets_(std::move(offsets)), scales_(std::move(scales)) {
+  MMM_DCHECK(offsets_.size() == scales_.size());
+  for (float s : scales_) MMM_DCHECK(s != 0.0f);
+}
+
+Result<Tensor> FeatureNormalizer::Normalize(const Tensor& matrix) const {
+  if (matrix.ndim() != 2 || matrix.dim(1) != offsets_.size()) {
+    return Status::InvalidArgument("normalizer expects [n, ", offsets_.size(),
+                                   "] input");
+  }
+  Tensor out = matrix;
+  const size_t n = matrix.dim(0), f = matrix.dim(1);
+  auto data = out.mutable_data();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < f; ++j) {
+      data[i * f + j] = (data[i * f + j] - offsets_[j]) / scales_[j];
+    }
+  }
+  return out;
+}
+
+Result<Tensor> FeatureNormalizer::Denormalize(const Tensor& matrix) const {
+  if (matrix.ndim() != 2 || matrix.dim(1) != offsets_.size()) {
+    return Status::InvalidArgument("denormalizer expects [n, ", offsets_.size(),
+                                   "] input");
+  }
+  Tensor out = matrix;
+  const size_t n = matrix.dim(0), f = matrix.dim(1);
+  auto data = out.mutable_data();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < f; ++j) {
+      data[i * f + j] = data[i * f + j] * scales_[j] + offsets_[j];
+    }
+  }
+  return out;
+}
+
+JsonValue FeatureNormalizer::ToJson() const {
+  JsonValue json = JsonValue::Object();
+  JsonValue offsets = JsonValue::Array();
+  for (float o : offsets_) offsets.Append(static_cast<double>(o));
+  JsonValue scales = JsonValue::Array();
+  for (float s : scales_) scales.Append(static_cast<double>(s));
+  json.Set("offsets", std::move(offsets));
+  json.Set("scales", std::move(scales));
+  return json;
+}
+
+Result<FeatureNormalizer> FeatureNormalizer::FromJson(const JsonValue& json) {
+  MMM_ASSIGN_OR_RETURN(const JsonValue* offsets, json.Get("offsets"));
+  MMM_ASSIGN_OR_RETURN(const JsonValue* scales, json.Get("scales"));
+  if (!offsets->is_array() || !scales->is_array() ||
+      offsets->ArraySize() != scales->ArraySize()) {
+    return Status::Corruption("normalizer: offsets/scales must be equal arrays");
+  }
+  std::vector<float> offset_values, scale_values;
+  for (const JsonValue& v : offsets->array_items()) {
+    MMM_ASSIGN_OR_RETURN(double value, v.AsDouble());
+    offset_values.push_back(static_cast<float>(value));
+  }
+  for (const JsonValue& v : scales->array_items()) {
+    MMM_ASSIGN_OR_RETURN(double value, v.AsDouble());
+    if (value == 0.0) return Status::Corruption("normalizer: zero scale");
+    scale_values.push_back(static_cast<float>(value));
+  }
+  return FeatureNormalizer(std::move(offset_values), std::move(scale_values));
+}
+
+}  // namespace mmm

@@ -1,0 +1,45 @@
+#ifndef MMM_DATA_NORMALIZER_H_
+#define MMM_DATA_NORMALIZER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "serialize/json.h"
+#include "tensor/tensor.h"
+
+namespace mmm {
+
+/// \brief Per-feature affine normalization x' = (x - offset) / scale.
+///
+/// The paper normalizes features "to provide an equal feature scale" (§4.1).
+/// The normalizer's constants are part of the training pipeline and are
+/// persisted with the provenance record so replayed training sees identical
+/// inputs.
+class FeatureNormalizer {
+ public:
+  FeatureNormalizer() = default;
+
+  /// One (offset, scale) pair per feature column. Scales must be non-zero.
+  FeatureNormalizer(std::vector<float> offsets, std::vector<float> scales);
+
+  /// Normalizes an [n, features] matrix column-wise.
+  Result<Tensor> Normalize(const Tensor& matrix) const;
+
+  /// Inverse transform.
+  Result<Tensor> Denormalize(const Tensor& matrix) const;
+
+  size_t feature_count() const { return offsets_.size(); }
+
+  JsonValue ToJson() const;
+  static Result<FeatureNormalizer> FromJson(const JsonValue& json);
+
+  bool operator==(const FeatureNormalizer& other) const = default;
+
+ private:
+  std::vector<float> offsets_;
+  std::vector<float> scales_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_DATA_NORMALIZER_H_

@@ -1,0 +1,53 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace mmm {
+
+Tensor Tanh::Forward(const Tensor& input) {
+  cached_output_ = Map(input, [](float x) { return std::tanh(x); });
+  return cached_output_;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_output) {
+  MMM_DCHECK(grad_output.shape() == cached_output_.shape());
+  Tensor grad = grad_output;
+  auto g = grad.mutable_data();
+  auto y = cached_output_.data();
+  for (size_t i = 0; i < g.size(); ++i) g[i] *= 1.0f - y[i] * y[i];
+  return grad;
+}
+
+Tensor ReLU::Forward(const Tensor& input) {
+  cached_input_ = input;
+  return Map(input, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  MMM_DCHECK(grad_output.shape() == cached_input_.shape());
+  Tensor grad = grad_output;
+  auto g = grad.mutable_data();
+  auto x = cached_input_.data();
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (x[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor Sigmoid::Forward(const Tensor& input) {
+  cached_output_ = Map(input, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  return cached_output_;
+}
+
+Tensor Sigmoid::Backward(const Tensor& grad_output) {
+  MMM_DCHECK(grad_output.shape() == cached_output_.shape());
+  Tensor grad = grad_output;
+  auto g = grad.mutable_data();
+  auto y = cached_output_.data();
+  for (size_t i = 0; i < g.size(); ++i) g[i] *= y[i] * (1.0f - y[i]);
+  return grad;
+}
+
+}  // namespace mmm

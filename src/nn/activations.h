@@ -1,0 +1,44 @@
+#ifndef MMM_NN_ACTIVATIONS_H_
+#define MMM_NN_ACTIVATIONS_H_
+
+#include "nn/module.h"
+
+namespace mmm {
+
+/// \brief Hyperbolic tangent activation (used by the battery FFNN models;
+/// matches the Heinrich et al. study's best-performing configuration).
+class Tanh : public Module {
+ public:
+  std::string TypeName() const override { return "tanh"; }
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_output_;
+};
+
+/// \brief Rectified linear unit (used by the CIFAR conv model).
+class ReLU : public Module {
+ public:
+  std::string TypeName() const override { return "relu"; }
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_input_;
+};
+
+/// \brief Logistic sigmoid.
+class Sigmoid : public Module {
+ public:
+  std::string TypeName() const override { return "sigmoid"; }
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_NN_ACTIVATIONS_H_

@@ -1,0 +1,166 @@
+#include "nn/architecture.h"
+
+#include "common/strings.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+
+namespace mmm {
+
+Result<std::unique_ptr<Sequential>> ArchitectureSpec::Build() const {
+  auto network = std::make_unique<Sequential>();
+  for (const LayerSpec& layer : layers) {
+    std::unique_ptr<Module> module;
+    if (layer.type == "linear") {
+      if (layer.in == 0 || layer.out == 0) {
+        return Status::InvalidArgument("linear layer '", layer.name,
+                                       "' needs in/out features");
+      }
+      module = std::make_unique<Linear>(layer.in, layer.out);
+    } else if (layer.type == "conv2d") {
+      if (layer.in == 0 || layer.out == 0 || layer.kernel == 0) {
+        return Status::InvalidArgument("conv2d layer '", layer.name,
+                                       "' needs in/out channels and kernel");
+      }
+      module = std::make_unique<Conv2d>(layer.in, layer.out, layer.kernel);
+    } else if (layer.type == "tanh") {
+      module = std::make_unique<Tanh>();
+    } else if (layer.type == "relu") {
+      module = std::make_unique<ReLU>();
+    } else if (layer.type == "sigmoid") {
+      module = std::make_unique<Sigmoid>();
+    } else if (layer.type == "maxpool2d") {
+      module = std::make_unique<MaxPool2d>();
+    } else if (layer.type == "flatten") {
+      module = std::make_unique<Flatten>();
+    } else {
+      return Status::InvalidArgument("unknown layer type '", layer.type, "'");
+    }
+    network->Add(layer.name, std::move(module));
+  }
+  return network;
+}
+
+size_t ArchitectureSpec::ParameterCount() const {
+  size_t count = 0;
+  for (const LayerSpec& layer : layers) {
+    if (layer.type == "linear") {
+      count += layer.out * layer.in + layer.out;
+    } else if (layer.type == "conv2d") {
+      count += layer.out * layer.in * layer.kernel * layer.kernel + layer.out;
+    }
+  }
+  return count;
+}
+
+std::vector<std::string> ArchitectureSpec::ParameterLayerNames() const {
+  std::vector<std::string> names;
+  for (const LayerSpec& layer : layers) {
+    if (layer.type == "linear" || layer.type == "conv2d") {
+      names.push_back(layer.name);
+    }
+  }
+  return names;
+}
+
+JsonValue ArchitectureSpec::ToJson() const {
+  JsonValue json = JsonValue::Object();
+  json.Set("family", family);
+  JsonValue input = JsonValue::Array();
+  for (size_t d : input_shape) input.Append(static_cast<int64_t>(d));
+  json.Set("input_shape", std::move(input));
+  JsonValue layer_array = JsonValue::Array();
+  for (const LayerSpec& layer : layers) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", layer.name);
+    entry.Set("type", layer.type);
+    if (layer.in != 0) entry.Set("in", static_cast<int64_t>(layer.in));
+    if (layer.out != 0) entry.Set("out", static_cast<int64_t>(layer.out));
+    if (layer.kernel != 0) entry.Set("kernel", static_cast<int64_t>(layer.kernel));
+    layer_array.Append(std::move(entry));
+  }
+  json.Set("layers", std::move(layer_array));
+  return json;
+}
+
+Result<ArchitectureSpec> ArchitectureSpec::FromJson(const JsonValue& json) {
+  ArchitectureSpec spec;
+  MMM_ASSIGN_OR_RETURN(spec.family, json.GetString("family"));
+  MMM_ASSIGN_OR_RETURN(const JsonValue* input, json.Get("input_shape"));
+  if (!input->is_array()) {
+    return Status::Corruption("architecture: input_shape must be an array");
+  }
+  for (const JsonValue& d : input->array_items()) {
+    MMM_ASSIGN_OR_RETURN(int64_t dim, d.AsInt64());
+    spec.input_shape.push_back(static_cast<size_t>(dim));
+  }
+  MMM_ASSIGN_OR_RETURN(const JsonValue* layer_array, json.Get("layers"));
+  if (!layer_array->is_array()) {
+    return Status::Corruption("architecture: layers must be an array");
+  }
+  for (const JsonValue& entry : layer_array->array_items()) {
+    LayerSpec layer;
+    MMM_ASSIGN_OR_RETURN(layer.name, entry.GetString("name"));
+    MMM_ASSIGN_OR_RETURN(layer.type, entry.GetString("type"));
+    layer.in = static_cast<size_t>(entry.GetInt64Or("in", 0));
+    layer.out = static_cast<size_t>(entry.GetInt64Or("out", 0));
+    layer.kernel = static_cast<size_t>(entry.GetInt64Or("kernel", 0));
+    spec.layers.push_back(std::move(layer));
+  }
+  return spec;
+}
+
+std::string ArchitectureSpec::SourceCode() const {
+  std::string code = "class " + family + "(Module):\n";
+  code += "    def __init__(self):\n";
+  for (const LayerSpec& layer : layers) {
+    if (layer.type == "linear") {
+      code += StringFormat("        self.%s = Linear(%zu, %zu)\n",
+                           layer.name.c_str(), layer.in, layer.out);
+    } else if (layer.type == "conv2d") {
+      code += StringFormat("        self.%s = Conv2d(%zu, %zu, kernel_size=%zu)\n",
+                           layer.name.c_str(), layer.in, layer.out, layer.kernel);
+    } else {
+      code += StringFormat("        self.%s = %s()\n", layer.name.c_str(),
+                           layer.type.c_str());
+    }
+  }
+  code += "    def forward(self, x):\n";
+  for (const LayerSpec& layer : layers) {
+    code += StringFormat("        x = self.%s(x)\n", layer.name.c_str());
+  }
+  code += "        return x\n";
+  return code;
+}
+
+ArchitectureSpec MakeBatteryFfnnSpec(size_t hidden, const std::string& family) {
+  ArchitectureSpec spec;
+  spec.family = family;
+  spec.input_shape = {4};
+  spec.layers = {
+      {"fc1", "linear", 4, hidden, 0},     {"act1", "tanh", 0, 0, 0},
+      {"fc2", "linear", hidden, hidden, 0}, {"act2", "tanh", 0, 0, 0},
+      {"fc3", "linear", hidden, hidden, 0}, {"act3", "tanh", 0, 0, 0},
+      {"fc4", "linear", hidden, 1, 0},
+  };
+  return spec;
+}
+
+ArchitectureSpec Ffnn48Spec() { return MakeBatteryFfnnSpec(48, "FFNN-48"); }
+
+ArchitectureSpec Ffnn69Spec() { return MakeBatteryFfnnSpec(69, "FFNN-69"); }
+
+ArchitectureSpec CifarNetSpec() {
+  ArchitectureSpec spec;
+  spec.family = "CIFAR";
+  spec.input_shape = {3, 32, 32};
+  spec.layers = {
+      {"conv1", "conv2d", 3, 6, 5},  {"act1", "relu", 0, 0, 0},
+      {"pool1", "maxpool2d", 0, 0, 0}, {"conv2", "conv2d", 6, 16, 5},
+      {"act2", "relu", 0, 0, 0},     {"pool2", "maxpool2d", 0, 0, 0},
+      {"flat", "flatten", 0, 0, 0},  {"fc1", "linear", 400, 10, 0},
+  };
+  return spec;
+}
+
+}  // namespace mmm

@@ -1,0 +1,79 @@
+#ifndef MMM_NN_ARCHITECTURE_H_
+#define MMM_NN_ARCHITECTURE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serialize/json.h"
+#include "nn/sequential.h"
+
+namespace mmm {
+
+/// \brief Description of one layer in an architecture.
+struct LayerSpec {
+  std::string name;   ///< unique within the architecture ("fc1", "conv2").
+  std::string type;   ///< linear | conv2d | tanh | relu | sigmoid |
+                      ///< maxpool2d | flatten
+  size_t in = 0;      ///< in features/channels (linear, conv2d)
+  size_t out = 0;     ///< out features/channels (linear, conv2d)
+  size_t kernel = 0;  ///< kernel size (conv2d)
+
+  bool operator==(const LayerSpec& other) const = default;
+};
+
+/// \brief Serializable description of a model architecture.
+///
+/// This is the artifact the paper calls "model architecture": all models of a
+/// multi-model set share one ArchitectureSpec, so the Baseline approach
+/// persists it exactly once per set while MMlib-base persists it once per
+/// model (optimization opportunity O1).
+struct ArchitectureSpec {
+  /// Family label ("FFNN-48", "FFNN-69", "CIFAR").
+  std::string family;
+  /// Per-sample input shape, excluding the batch dimension ({4} or {3,32,32}).
+  std::vector<size_t> input_shape;
+  std::vector<LayerSpec> layers;
+
+  /// Instantiates an uninitialized network from the spec.
+  Result<std::unique_ptr<Sequential>> Build() const;
+
+  /// Total number of trainable scalars implied by the spec.
+  size_t ParameterCount() const;
+
+  /// Names of layers that own parameters, in order ("fc1", "fc2", ...).
+  std::vector<std::string> ParameterLayerNames() const;
+
+  JsonValue ToJson() const;
+  static Result<ArchitectureSpec> FromJson(const JsonValue& json);
+
+  /// A Python-like source listing of the architecture. MMlib-base persists
+  /// this "model code" artifact with every model, as the original MMlib does.
+  std::string SourceCode() const;
+
+  bool operator==(const ArchitectureSpec& other) const = default;
+};
+
+/// \name Model zoo (paper §4.1).
+/// Parameter counts match the paper exactly.
+/// @{
+
+/// Battery FFNN with hidden width `hidden`: 4 inputs (current, temperature,
+/// charge, state-of-health), three hidden tanh layers, one linear output.
+ArchitectureSpec MakeBatteryFfnnSpec(size_t hidden, const std::string& family);
+
+/// FFNN-48: 4,993 parameters (Heinrich et al. best performer).
+ArchitectureSpec Ffnn48Spec();
+
+/// FFNN-69: 10,075 parameters (identical shape, wider layers).
+ArchitectureSpec Ffnn69Spec();
+
+/// CIFAR convnet: 6,882 parameters
+/// (conv 3->6 k5, pool, conv 6->16 k5, pool, fc 400->10).
+ArchitectureSpec CifarNetSpec();
+/// @}
+
+}  // namespace mmm
+
+#endif  // MMM_NN_ARCHITECTURE_H_

@@ -1,0 +1,45 @@
+#include "nn/conv2d.h"
+
+#include "tensor/conv_ops.h"
+
+namespace mmm {
+
+Conv2d::Conv2d(size_t in_channels, size_t out_channels, size_t kernel_size)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      weight_("weight",
+              Tensor(Shape{out_channels, in_channels, kernel_size, kernel_size})),
+      bias_("bias", Tensor(Shape{out_channels})) {}
+
+Tensor Conv2d::Forward(const Tensor& input) {
+  cached_input_ = input;
+  return Conv2dForward(input, weight_.value, bias_.value);
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  return Conv2dBackward(cached_input_, weight_.value, grad_output, &weight_.grad,
+                        &bias_.grad);
+}
+
+Tensor MaxPool2d::Forward(const Tensor& input) {
+  cached_input_shape_ = input.shape();
+  return MaxPool2dForward(input, &argmax_);
+}
+
+Tensor MaxPool2d::Backward(const Tensor& grad_output) {
+  return MaxPool2dBackward(cached_input_shape_, grad_output, argmax_);
+}
+
+Tensor Flatten::Forward(const Tensor& input) {
+  MMM_DCHECK(input.ndim() >= 2);
+  cached_input_shape_ = input.shape();
+  size_t batch = input.dim(0);
+  return input.Reshape(Shape{batch, input.numel() / batch});
+}
+
+Tensor Flatten::Backward(const Tensor& grad_output) {
+  return grad_output.Reshape(cached_input_shape_);
+}
+
+}  // namespace mmm

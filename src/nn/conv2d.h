@@ -1,0 +1,61 @@
+#ifndef MMM_NN_CONV2D_H_
+#define MMM_NN_CONV2D_H_
+
+#include "nn/module.h"
+
+namespace mmm {
+
+/// \brief 2-D convolution layer (stride 1, no padding, square kernels).
+///
+/// weight has shape [out_channels, in_channels, k, k]; bias [out_channels].
+/// Input is NCHW.
+class Conv2d : public Module {
+ public:
+  Conv2d(size_t in_channels, size_t out_channels, size_t kernel_size);
+
+  std::string TypeName() const override { return "conv2d"; }
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
+
+  size_t in_channels() const { return in_channels_; }
+  size_t out_channels() const { return out_channels_; }
+  size_t kernel_size() const { return kernel_size_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  size_t in_channels_;
+  size_t out_channels_;
+  size_t kernel_size_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+/// \brief 2x2 / stride-2 max pooling.
+class MaxPool2d : public Module {
+ public:
+  std::string TypeName() const override { return "maxpool2d"; }
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Shape cached_input_shape_;
+  std::vector<size_t> argmax_;
+};
+
+/// \brief Collapses [N, C, H, W] to [N, C*H*W] between conv and FC stages.
+class Flatten : public Module {
+ public:
+  std::string TypeName() const override { return "flatten"; }
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_NN_CONV2D_H_

@@ -1,0 +1,60 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace mmm {
+
+void InitUniform(Tensor* tensor, Rng* rng, float bound) {
+  for (float& x : tensor->mutable_data()) {
+    x = static_cast<float>(rng->NextUniform(-bound, bound));
+  }
+}
+
+void InitXavierUniform(Tensor* tensor, Rng* rng, size_t fan_in, size_t fan_out) {
+  float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  InitUniform(tensor, rng, bound);
+}
+
+void InitKaimingUniform(Tensor* tensor, Rng* rng, size_t fan_in) {
+  float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  InitUniform(tensor, rng, bound);
+}
+
+namespace {
+
+/// Derives (fan_in, fan_out) from a weight shape: [out, in] for linear,
+/// [out, in, k, k] for conv.
+std::pair<size_t, size_t> FanSizes(const Shape& shape) {
+  if (shape.size() == 2) return {shape[1], shape[0]};
+  if (shape.size() == 4) {
+    size_t receptive = shape[2] * shape[3];
+    return {shape[1] * receptive, shape[0] * receptive};
+  }
+  return {shape.empty() ? 1 : shape[0], shape.empty() ? 1 : shape[0]};
+}
+
+}  // namespace
+
+void InitNetwork(Sequential* network, Rng* rng) {
+  for (auto& [layer_name, child] : network->children()) {
+    (void)layer_name;
+    auto params = child->Parameters();
+    if (params.empty()) continue;
+    size_t fan_in = 1;
+    for (Parameter* p : params) {
+      if (p->name == "weight") {
+        auto [in, out] = FanSizes(p->value.shape());
+        fan_in = in;
+        InitXavierUniform(&p->value, rng, in, out);
+      }
+    }
+    for (Parameter* p : params) {
+      if (p->name == "bias") {
+        float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+        InitUniform(&p->value, rng, bound);
+      }
+    }
+  }
+}
+
+}  // namespace mmm

@@ -1,0 +1,30 @@
+#ifndef MMM_NN_INIT_H_
+#define MMM_NN_INIT_H_
+
+#include "common/rng.h"
+#include "nn/sequential.h"
+
+namespace mmm {
+
+/// \file
+/// Deterministic parameter initialization. Every initializer consumes an Rng
+/// stream; the stream's seed is recorded in the training provenance so the
+/// Provenance approach can reproduce initial parameters exactly.
+
+/// Uniform in [-bound, bound].
+void InitUniform(Tensor* tensor, Rng* rng, float bound);
+
+/// Glorot/Xavier uniform given fan-in and fan-out.
+void InitXavierUniform(Tensor* tensor, Rng* rng, size_t fan_in, size_t fan_out);
+
+/// Kaiming/He uniform given fan-in (for ReLU networks).
+void InitKaimingUniform(Tensor* tensor, Rng* rng, size_t fan_in);
+
+/// Initializes every layer of `network` in order: weights Xavier-uniform
+/// (fan sizes derived from the parameter shape), biases uniform in
+/// [-1/sqrt(fan_in), 1/sqrt(fan_in)] (PyTorch's Linear default).
+void InitNetwork(Sequential* network, Rng* rng);
+
+}  // namespace mmm
+
+#endif  // MMM_NN_INIT_H_

@@ -1,0 +1,31 @@
+#include "nn/linear.h"
+
+#include "tensor/ops.h"
+
+namespace mmm {
+
+Linear::Linear(size_t in_features, size_t out_features)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_("weight", Tensor(Shape{out_features, in_features})),
+      bias_("bias", Tensor(Shape{out_features})) {}
+
+Tensor Linear::Forward(const Tensor& input) {
+  MMM_DCHECK(input.ndim() == 2 && input.dim(1) == in_features_);
+  cached_input_ = input;
+  // [batch, in] x [out, in]^T -> [batch, out]
+  Tensor out = MatMulTransposedB(input, weight_.value);
+  return AddRowVector(out, bias_.value);
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  MMM_DCHECK(grad_output.ndim() == 2 && grad_output.dim(1) == out_features_);
+  MMM_DCHECK(grad_output.dim(0) == cached_input_.dim(0));
+  // grad_w [out, in] += grad_output^T [out, batch] x input [batch, in]
+  AddInPlace(&weight_.grad, MatMulTransposedA(grad_output, cached_input_));
+  AddInPlace(&bias_.grad, SumRows(grad_output));
+  // grad_in [batch, in] = grad_output [batch, out] x weight [out, in]
+  return MatMul(grad_output, weight_.value);
+}
+
+}  // namespace mmm

@@ -1,0 +1,37 @@
+#ifndef MMM_NN_LINEAR_H_
+#define MMM_NN_LINEAR_H_
+
+#include "nn/module.h"
+
+namespace mmm {
+
+/// \brief Fully connected layer: y = x W^T + b.
+///
+/// weight has shape [out_features, in_features] (PyTorch convention, which
+/// keeps our state dicts byte-compatible with the paper's layout); bias has
+/// shape [out_features]. Input is [batch, in_features].
+class Linear : public Module {
+ public:
+  Linear(size_t in_features, size_t out_features);
+
+  std::string TypeName() const override { return "linear"; }
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
+
+  size_t in_features() const { return in_features_; }
+  size_t out_features() const { return out_features_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  size_t in_features_;
+  size_t out_features_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_NN_LINEAR_H_

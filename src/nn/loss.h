@@ -1,0 +1,51 @@
+#ifndef MMM_NN_LOSS_H_
+#define MMM_NN_LOSS_H_
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace mmm {
+
+/// \brief Base class for losses: Forward returns the scalar loss,
+/// Backward the gradient wrt the prediction.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  virtual std::string TypeName() const = 0;
+
+  /// Computes the mean loss over the batch and caches state for Backward.
+  virtual float Forward(const Tensor& prediction, const Tensor& target) = 0;
+
+  /// Gradient of the mean loss with respect to the prediction.
+  virtual Tensor Backward() = 0;
+};
+
+/// \brief Mean squared error, averaged over all elements. Used by the
+/// battery voltage-regression models.
+class MSELoss : public Loss {
+ public:
+  std::string TypeName() const override { return "mse"; }
+  float Forward(const Tensor& prediction, const Tensor& target) override;
+  Tensor Backward() override;
+
+ private:
+  Tensor cached_diff_;
+};
+
+/// \brief Softmax + negative log likelihood, averaged over the batch.
+/// `target` is a length-batch tensor of class indices. Used by CifarNet.
+class CrossEntropyLoss : public Loss {
+ public:
+  std::string TypeName() const override { return "cross_entropy"; }
+  float Forward(const Tensor& prediction, const Tensor& target) override;
+  Tensor Backward() override;
+
+ private:
+  Tensor cached_softmax_;
+  Tensor cached_target_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_NN_LOSS_H_

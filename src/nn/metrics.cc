@@ -1,0 +1,102 @@
+#include "nn/metrics.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace mmm {
+namespace {
+
+Status CheckSameShape(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    return Status::InvalidArgument("metric inputs must share a shape");
+  }
+  if (a.numel() == 0) {
+    return Status::InvalidArgument("metric inputs must be non-empty");
+  }
+  return Status::OK();
+}
+
+Status CheckClassified(const Tensor& logits, const Tensor& labels) {
+  if (logits.ndim() != 2 || labels.ndim() != 1 ||
+      logits.dim(0) != labels.dim(0)) {
+    return Status::InvalidArgument(
+        "classification metrics expect logits [n, k] and labels [n]");
+  }
+  if (logits.dim(0) == 0) {
+    return Status::InvalidArgument("metric inputs must be non-empty");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> Accuracy(const Tensor& logits, const Tensor& labels) {
+  MMM_RETURN_NOT_OK(CheckClassified(logits, labels));
+  std::vector<size_t> predicted = ArgMaxRows(logits);
+  size_t correct = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == static_cast<size_t>(labels.at(i))) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+Result<double> Rmse(const Tensor& prediction, const Tensor& target) {
+  MMM_RETURN_NOT_OK(CheckSameShape(prediction, target));
+  double acc = 0.0;
+  for (size_t i = 0; i < prediction.numel(); ++i) {
+    double diff = static_cast<double>(prediction.at(i)) - target.at(i);
+    acc += diff * diff;
+  }
+  return std::sqrt(acc / static_cast<double>(prediction.numel()));
+}
+
+Result<double> MeanAbsoluteError(const Tensor& prediction, const Tensor& target) {
+  MMM_RETURN_NOT_OK(CheckSameShape(prediction, target));
+  double acc = 0.0;
+  for (size_t i = 0; i < prediction.numel(); ++i) {
+    acc += std::fabs(static_cast<double>(prediction.at(i)) - target.at(i));
+  }
+  return acc / static_cast<double>(prediction.numel());
+}
+
+Result<double> RSquared(const Tensor& prediction, const Tensor& target) {
+  MMM_RETURN_NOT_OK(CheckSameShape(prediction, target));
+  double mean = 0.0;
+  for (size_t i = 0; i < target.numel(); ++i) mean += target.at(i);
+  mean /= static_cast<double>(target.numel());
+  double residual = 0.0, total = 0.0;
+  for (size_t i = 0; i < target.numel(); ++i) {
+    double r = static_cast<double>(target.at(i)) - prediction.at(i);
+    double t = static_cast<double>(target.at(i)) - mean;
+    residual += r * r;
+    total += t * t;
+  }
+  if (total == 0.0) {
+    return Status::InvalidArgument("R^2 undefined for constant targets");
+  }
+  return 1.0 - residual / total;
+}
+
+Result<std::vector<std::vector<size_t>>> ConfusionMatrix(const Tensor& logits,
+                                                         const Tensor& labels,
+                                                         size_t num_classes) {
+  MMM_RETURN_NOT_OK(CheckClassified(logits, labels));
+  if (logits.dim(1) != num_classes) {
+    return Status::InvalidArgument("logits have ", logits.dim(1),
+                                   " columns, expected ", num_classes);
+  }
+  std::vector<std::vector<size_t>> matrix(num_classes,
+                                          std::vector<size_t>(num_classes, 0));
+  std::vector<size_t> predicted = ArgMaxRows(logits);
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    auto actual = static_cast<size_t>(labels.at(i));
+    if (actual >= num_classes) {
+      return Status::InvalidArgument("label ", actual, " out of range");
+    }
+    ++matrix[actual][predicted[i]];
+  }
+  return matrix;
+}
+
+}  // namespace mmm

@@ -1,0 +1,36 @@
+#ifndef MMM_NN_METRICS_H_
+#define MMM_NN_METRICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace mmm {
+
+/// \file
+/// Model-quality metrics used by the examples and the workload driver to
+/// show that managed models genuinely improve when retrained.
+
+/// Fraction of rows whose argmax matches the label. `logits` is [n, k],
+/// `labels` is [n] class indices.
+Result<double> Accuracy(const Tensor& logits, const Tensor& labels);
+
+/// Root-mean-square error over all elements (shapes must match).
+Result<double> Rmse(const Tensor& prediction, const Tensor& target);
+
+/// Mean absolute error over all elements (shapes must match).
+Result<double> MeanAbsoluteError(const Tensor& prediction, const Tensor& target);
+
+/// Coefficient of determination (R^2) of a regression, computed over all
+/// elements. 1 = perfect, 0 = predicting the mean, negative = worse.
+Result<double> RSquared(const Tensor& prediction, const Tensor& target);
+
+/// k x k confusion matrix; entry [actual][predicted] counts samples.
+Result<std::vector<std::vector<size_t>>> ConfusionMatrix(const Tensor& logits,
+                                                         const Tensor& labels,
+                                                         size_t num_classes);
+
+}  // namespace mmm
+
+#endif  // MMM_NN_METRICS_H_

@@ -1,0 +1,57 @@
+#include "nn/model.h"
+
+#include "nn/init.h"
+
+namespace mmm {
+
+Result<Model> Model::Create(const ArchitectureSpec& spec) {
+  MMM_ASSIGN_OR_RETURN(std::unique_ptr<Sequential> network, spec.Build());
+  return Model(spec, std::move(network));
+}
+
+Result<Model> Model::CreateInitialized(const ArchitectureSpec& spec,
+                                       uint64_t seed) {
+  MMM_ASSIGN_OR_RETURN(Model model, Create(spec));
+  Rng rng = Rng(seed).Fork("init");
+  InitNetwork(model.network(), &rng);
+  return model;
+}
+
+StateDict Model::GetStateDict() const {
+  StateDict state;
+  for (const NamedParameter& named : network_->NamedParameters()) {
+    state.emplace_back(named.qualified_name, named.parameter->value);
+  }
+  return state;
+}
+
+Status Model::LoadStateDict(const StateDict& state) {
+  std::vector<NamedParameter> named = network_->NamedParameters();
+  if (named.size() != state.size()) {
+    return Status::InvalidArgument("state dict has ", state.size(),
+                                   " entries, model expects ", named.size());
+  }
+  for (size_t i = 0; i < named.size(); ++i) {
+    if (named[i].qualified_name != state[i].first) {
+      return Status::InvalidArgument("state dict key mismatch at ", i, ": '",
+                                     state[i].first, "' vs '",
+                                     named[i].qualified_name, "'");
+    }
+    if (named[i].parameter->value.shape() != state[i].second.shape()) {
+      return Status::InvalidArgument("state dict shape mismatch for '",
+                                     state[i].first, "'");
+    }
+  }
+  for (size_t i = 0; i < named.size(); ++i) {
+    named[i].parameter->value = state[i].second;
+  }
+  return Status::OK();
+}
+
+Result<Model> Model::Clone() const {
+  MMM_ASSIGN_OR_RETURN(Model copy, Create(spec_));
+  MMM_RETURN_NOT_OK(copy.LoadStateDict(GetStateDict()));
+  return copy;
+}
+
+}  // namespace mmm

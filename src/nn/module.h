@@ -1,0 +1,41 @@
+#ifndef MMM_NN_MODULE_H_
+#define MMM_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+
+namespace mmm {
+
+/// \brief Base class of all neural-network layers.
+///
+/// Training uses explicit reverse-mode differentiation: Forward caches
+/// whatever the layer needs, Backward consumes the output gradient and
+/// returns the input gradient while accumulating parameter gradients.
+/// Modules are single-threaded and evaluate in a fixed order, keeping
+/// training bit-deterministic (required by the Provenance approach).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Layer type identifier used in ArchitectureSpec ("linear", "conv2d", ...).
+  virtual std::string TypeName() const = 0;
+
+  /// Computes the layer output; caches activations needed by Backward.
+  virtual Tensor Forward(const Tensor& input) = 0;
+
+  /// Propagates `grad_output` backward; accumulates parameter gradients and
+  /// returns the gradient with respect to the forward input. Must be called
+  /// after Forward on the same input.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Pointers to this module's own parameters (empty for activations).
+  virtual std::vector<Parameter*> Parameters() { return {}; }
+};
+
+}  // namespace mmm
+
+#endif  // MMM_NN_MODULE_H_

@@ -1,0 +1,77 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace mmm {
+
+SGD::SGD(std::vector<Parameter*> parameters, float learning_rate, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(parameters_.size());
+    for (Parameter* p : parameters_) velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void SGD::Step() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Parameter* p = parameters_[i];
+    if (!p->trainable) continue;
+    auto value = p->value.mutable_data();
+    auto grad = p->grad.data();
+    if (momentum_ == 0.0f) {
+      for (size_t j = 0; j < value.size(); ++j) {
+        float g = grad[j] + weight_decay_ * value[j];
+        value[j] -= learning_rate_ * g;
+      }
+    } else {
+      auto velocity = velocity_[i].mutable_data();
+      for (size_t j = 0; j < value.size(); ++j) {
+        float g = grad[j] + weight_decay_ * value[j];
+        velocity[j] = momentum_ * velocity[j] + g;
+        value[j] -= learning_rate_ * velocity[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> parameters, float learning_rate, float beta1,
+           float beta2, float epsilon)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  first_moment_.reserve(parameters_.size());
+  second_moment_.reserve(parameters_.size());
+  for (Parameter* p : parameters_) {
+    first_moment_.emplace_back(p->value.shape());
+    second_moment_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Parameter* p = parameters_[i];
+    if (!p->trainable) continue;
+    auto value = p->value.mutable_data();
+    auto grad = p->grad.data();
+    auto m = first_moment_[i].mutable_data();
+    auto v = second_moment_[i].mutable_data();
+    for (size_t j = 0; j < value.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+      float m_hat = m[j] / bias1;
+      float v_hat = v[j] / bias2;
+      value[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace mmm

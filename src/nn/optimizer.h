@@ -1,0 +1,76 @@
+#ifndef MMM_NN_OPTIMIZER_H_
+#define MMM_NN_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace mmm {
+
+/// \brief Base class for gradient-descent optimizers.
+///
+/// Optimizers hold borrowed pointers to the network's parameters and update
+/// only those marked `trainable` — partial model updates freeze all but the
+/// retrained layers (paper §2.1).
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> parameters)
+      : parameters_(std::move(parameters)) {}
+  virtual ~Optimizer() = default;
+
+  virtual std::string TypeName() const = 0;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad() {
+    for (Parameter* p : parameters_) p->ZeroGrad();
+  }
+
+ protected:
+  std::vector<Parameter*> parameters_;
+};
+
+/// \brief Stochastic gradient descent with optional momentum and weight decay.
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<Parameter*> parameters, float learning_rate,
+      float momentum = 0.0f, float weight_decay = 0.0f);
+
+  std::string TypeName() const override { return "sgd"; }
+  void Step() override;
+
+  float learning_rate() const { return learning_rate_; }
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba, 2015).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> parameters, float learning_rate,
+       float beta1 = 0.9f, float beta2 = 0.999f, float epsilon = 1e-8f);
+
+  std::string TypeName() const override { return "adam"; }
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> first_moment_;
+  std::vector<Tensor> second_moment_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_NN_OPTIMIZER_H_

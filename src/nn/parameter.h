@@ -1,0 +1,34 @@
+#ifndef MMM_NN_PARAMETER_H_
+#define MMM_NN_PARAMETER_H_
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace mmm {
+
+/// \brief A trainable tensor with its gradient accumulator.
+///
+/// `name` is the local name within the owning module ("weight"/"bias");
+/// Sequential prefixes it with the layer name to form the qualified
+/// state-dict key ("fc1.weight") that the management approaches persist.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  /// Frozen parameters are skipped by optimizers. Partial model updates
+  /// (paper §2.1: "retrain single layers") freeze the other layers.
+  bool trainable = true;
+
+  Parameter() = default;
+  Parameter(std::string param_name, Tensor initial)
+      : name(std::move(param_name)),
+        value(std::move(initial)),
+        grad(value.shape()) {}
+
+  void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+}  // namespace mmm
+
+#endif  // MMM_NN_PARAMETER_H_

@@ -1,0 +1,90 @@
+#include "nn/sequential.h"
+
+#include <algorithm>
+
+namespace mmm {
+
+Module* Sequential::Add(std::string name, std::unique_ptr<Module> module) {
+  MMM_DCHECK(!name.empty() && name.find('.') == std::string::npos);
+  for (const auto& [existing, _] : children_) {
+    MMM_DCHECK(existing != name);
+  }
+  children_.emplace_back(std::move(name), std::move(module));
+  return children_.back().second.get();
+}
+
+Tensor Sequential::Forward(const Tensor& input) {
+  Tensor activation = input;
+  for (auto& [_, child] : children_) {
+    activation = child->Forward(activation);
+  }
+  return activation;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    grad = it->second->Backward(grad);
+  }
+  return grad;
+}
+
+std::vector<Parameter*> Sequential::Parameters() {
+  std::vector<Parameter*> params;
+  for (auto& [_, child] : children_) {
+    for (Parameter* p : child->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+std::vector<NamedParameter> Sequential::NamedParameters() {
+  std::vector<NamedParameter> named;
+  for (auto& [name, child] : children_) {
+    for (Parameter* p : child->Parameters()) {
+      named.push_back({name + "." + p->name, p});
+    }
+  }
+  return named;
+}
+
+Result<Module*> Sequential::Child(const std::string& name) {
+  for (auto& [child_name, child] : children_) {
+    if (child_name == name) return child.get();
+  }
+  return Status::NotFound("sequential has no child '", name, "'");
+}
+
+size_t Sequential::ParameterCount() {
+  size_t count = 0;
+  for (Parameter* p : Parameters()) count += p->value.numel();
+  return count;
+}
+
+void Sequential::ZeroGrad() {
+  for (Parameter* p : Parameters()) p->ZeroGrad();
+}
+
+Status Sequential::SetTrainableLayers(const std::vector<std::string>& layers) {
+  if (layers.empty()) {
+    for (Parameter* p : Parameters()) p->trainable = true;
+    return Status::OK();
+  }
+  for (const std::string& layer : layers) {
+    bool found = false;
+    for (const auto& [child_name, _] : children_) {
+      if (child_name == layer) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::InvalidArgument("unknown layer '", layer, "'");
+  }
+  for (auto& [child_name, child] : children_) {
+    bool trainable =
+        std::find(layers.begin(), layers.end(), child_name) != layers.end();
+    for (Parameter* p : child->Parameters()) p->trainable = trainable;
+  }
+  return Status::OK();
+}
+
+}  // namespace mmm

@@ -1,0 +1,66 @@
+#ifndef MMM_NN_SEQUENTIAL_H_
+#define MMM_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace mmm {
+
+/// \brief A named parameter within a network ("fc1.weight" -> Parameter*).
+struct NamedParameter {
+  std::string qualified_name;
+  Parameter* parameter;
+};
+
+/// \brief Container running child modules in order.
+///
+/// Children are registered with stable names ("fc1", "act1", ...); parameter
+/// keys are "<child>.<param>". The ordered list of named parameters is the
+/// model's *state dict* — the unit of persistence for every management
+/// approach.
+class Sequential : public Module {
+ public:
+  std::string TypeName() const override { return "sequential"; }
+
+  /// Appends a child module under `name` (must be unique, non-empty,
+  /// '.'-free) and returns a borrowed pointer to it.
+  Module* Add(std::string name, std::unique_ptr<Module> module);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+
+  /// Qualified parameters in deterministic (layer, parameter) order.
+  std::vector<NamedParameter> NamedParameters();
+
+  /// Looks up a child by name.
+  Result<Module*> Child(const std::string& name);
+  const std::vector<std::pair<std::string, std::unique_ptr<Module>>>& children()
+      const {
+    return children_;
+  }
+
+  /// Total number of scalar parameters.
+  size_t ParameterCount();
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Sets `trainable` on every parameter whose layer name is in `layers`
+  /// (and clears it on all others). Passing an empty list unfreezes all.
+  /// Unknown layer names are an InvalidArgument error.
+  Status SetTrainableLayers(const std::vector<std::string>& layers);
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<Module>>> children_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_NN_SEQUENTIAL_H_

@@ -1,0 +1,224 @@
+#include "prov/environment.h"
+
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <thread>
+
+namespace mmm {
+namespace {
+
+std::string ReadCpuModel() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      size_t colon = line.find(':');
+      if (colon != std::string::npos && colon + 2 <= line.size()) {
+        return line.substr(colon + 2);
+      }
+    }
+  }
+  return "unknown";
+}
+
+std::string ReadCpuFlags() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("flags", 0) == 0) {
+      size_t colon = line.find(':');
+      if (colon != std::string::npos && colon + 2 <= line.size()) {
+        return line.substr(colon + 2);
+      }
+    }
+  }
+  return "";
+}
+
+/// Runtime system libraries a DL deployment records (the slice of `dpkg -l`
+/// the training stack links against).
+std::vector<std::string> RepresentativeOsPackages() {
+  return {
+      "libc6/2.31-0ubuntu9.2",        "libstdc++6/10.2.0-5ubuntu1",
+      "libgcc-s1/10.2.0-5ubuntu1",    "libgomp1/10.2.0-5ubuntu1",
+      "libopenblas0/0.3.8+ds-1",      "liblapack3/3.9.0-1build1",
+      "libblas3/3.9.0-1build1",       "libcudnn8/8.0.5.39-1+cuda11.0",
+      "libcublas11/11.2.0.252-1",     "libcufft10/10.2.1.245-1",
+      "libcurand10/10.2.1.245-1",     "libcusolver10/10.5.0.245-1",
+      "libcusparse11/11.1.1.245-1",   "libnccl2/2.8.3-1+cuda11.0",
+      "libjpeg-turbo8/2.0.3-0ubuntu1","libpng16-16/1.6.37-2",
+      "libtiff5/4.1.0+git191117-2",   "libwebp6/0.6.1-2ubuntu0.20.04.1",
+      "zlib1g/1:1.2.11.dfsg-2ubuntu1","libzstd1/1.4.4+dfsg-3ubuntu0.1",
+      "liblz4-1/1.9.2-2ubuntu0.20.04.1",
+      "libssl1.1/1.1.1f-1ubuntu2.1",  "libcurl4/7.68.0-1ubuntu2.4",
+      "libffi7/3.3-4",                "libsqlite3-0/3.31.1-4ubuntu0.2",
+      "libmongoc-1.0-0/1.16.1-1build1",
+      "libbson-1.0-0/1.16.1-1build1", "libnuma1/2.0.12-1",
+      "libtbb2/2020.1-2",             "libprotobuf17/3.6.1.3-2ubuntu5",
+      "python3.8/3.8.5-1~20.04.2",    "python3-pip/20.0.2-5ubuntu1.1",
+      "git/1:2.25.1-1ubuntu3",        "cmake/3.16.3-1ubuntu1",
+      "gcc-9/9.3.0-17ubuntu1~20.04",  "ninja-build/1.10.0-1build1",
+  };
+}
+
+uint64_t ReadTotalMemory() {
+  std::ifstream meminfo("/proc/meminfo");
+  std::string key;
+  uint64_t kb = 0;
+  while (meminfo >> key >> kb) {
+    if (key == "MemTotal:") return kb * 1024;
+    std::string rest;
+    std::getline(meminfo, rest);
+  }
+  return 0;
+}
+
+/// Representative DL-stack package list (the paper's stack is PyTorch
+/// 1.7.1). A realistic-length `pip freeze` of a full conda+PyTorch
+/// environment runs to ~170 entries; its serialized size is a major part of
+/// the per-model metadata overhead that MMlib-base pays and Baseline avoids
+/// (§4.2 attributes ~8 KB of redundant metadata to every model).
+std::vector<std::string> RepresentativePackages() {
+  std::vector<std::string> packages = {
+      "torch==1.7.1",         "torchvision==0.8.2", "numpy==1.19.5",
+      "pandas==1.2.1",        "scipy==1.6.0",       "scikit-learn==0.24.1",
+      "matplotlib==3.3.3",    "pillow==8.1.0",      "pymongo==3.11.2",
+      "boto3==1.16.63",       "requests==2.25.1",   "urllib3==1.26.2",
+      "protobuf==3.14.0",     "six==1.15.0",        "python-dateutil==2.8.1",
+      "pytz==2020.5",         "typing-extensions==3.7.4.3",
+      "dataclasses==0.6",     "future==0.18.2",     "joblib==1.0.0",
+      "threadpoolctl==2.1.0", "kiwisolver==1.3.1",  "cycler==0.10.0",
+      "pyparsing==2.4.7",     "botocore==1.19.63",  "jmespath==0.10.0",
+      "s3transfer==0.3.4",    "certifi==2020.12.5", "chardet==4.0.0",
+      "idna==2.10",           "mmlib==0.2.0",       "tqdm==4.56.0",
+      "absl-py==0.11.0",      "aiohttp==3.7.3",     "alembic==1.5.2",
+      "appdirs==1.4.4",       "astunparse==1.6.3",  "async-timeout==3.0.1",
+      "attrs==20.3.0",        "backcall==0.2.0",    "bleach==3.2.2",
+      "cachetools==4.2.0",    "cffi==1.14.4",       "click==7.1.2",
+      "cloudpickle==1.6.0",   "colorama==0.4.4",    "conda==4.9.2",
+      "cryptography==3.3.1",  "databricks-cli==0.14.1",
+      "decorator==4.4.2",     "defusedxml==0.6.0",  "dill==0.3.3",
+      "docker==4.4.1",        "entrypoints==0.3",   "filelock==3.0.12",
+      "flask==1.1.2",         "fsspec==0.8.5",      "gitdb==4.0.5",
+      "gitpython==3.1.12",    "google-auth==1.24.0",
+      "google-auth-oauthlib==0.4.2",                "google-pasta==0.2.0",
+      "greenlet==1.0.0",      "grpcio==1.34.1",     "gunicorn==20.0.4",
+      "h5py==3.1.0",          "html5lib==1.1",      "importlib-metadata==3.4.0",
+      "ipykernel==5.4.3",     "ipython==7.19.0",    "ipywidgets==7.6.3",
+      "itsdangerous==1.1.0",  "jedi==0.18.0",       "jinja2==2.11.2",
+      "jsonschema==3.2.0",    "jupyter-client==6.1.11",
+      "jupyter-core==4.7.0",  "keras-preprocessing==1.1.2",
+      "lightgbm==3.1.1",      "llvmlite==0.35.0",   "markdown==3.3.3",
+      "markupsafe==1.1.1",    "mistune==0.8.4",     "mlflow==1.13.1",
+      "multidict==5.1.0",     "nbclient==0.5.1",    "nbconvert==6.0.7",
+      "nbformat==5.1.2",      "nest-asyncio==1.4.3",
+      "networkx==2.5",        "notebook==6.2.0",    "numba==0.52.0",
+      "oauthlib==3.1.0",      "onnx==1.8.0",        "onnxruntime==1.6.0",
+      "opt-einsum==3.3.0",    "packaging==20.8",    "pandocfilters==1.4.3",
+      "parso==0.8.1",         "pexpect==4.8.0",     "pickleshare==0.7.5",
+      "pip==20.3.3",          "prometheus-client==0.9.0",
+      "prometheus-flask-exporter==0.18.1",          "prompt-toolkit==3.0.10",
+      "ptyprocess==0.7.0",    "py4j==0.10.9",       "pyarrow==2.0.0",
+      "pyasn1==0.4.8",        "pyasn1-modules==0.2.8",
+      "pycosat==0.6.3",       "pycparser==2.20",    "pygments==2.7.4",
+      "pyopenssl==20.0.1",    "pyrsistent==0.17.3", "pysocks==1.7.1",
+      "pyyaml==5.3.1",        "pyzmq==21.0.1",      "querystring-parser==1.2.4",
+      "regex==2020.11.13",    "requests-oauthlib==1.3.0",
+      "rsa==4.7",             "ruamel-yaml==0.15.87",
+      "sacremoses==0.0.43",   "seaborn==0.11.1",    "send2trash==1.5.0",
+      "sentencepiece==0.1.95",
+      "setuptools==51.3.3",   "smmap==3.0.4",       "sqlalchemy==1.3.22",
+      "sqlparse==0.4.1",      "tabulate==0.8.7",    "tensorboard==2.4.1",
+      "tensorboard-plugin-wit==1.8.0",              "terminado==0.9.2",
+      "testpath==0.4.4",      "tokenizers==0.9.4",  "tornado==6.1",
+      "traitlets==5.0.5",     "transformers==4.2.2",
+      "wcwidth==0.2.5",       "webencodings==0.5.1",
+      "websocket-client==0.57.0",                   "werkzeug==1.0.1",
+      "wheel==0.36.2",        "widgetsnbextension==3.5.1",
+      "wrapt==1.12.1",        "xgboost==1.3.3",     "yarl==1.6.3",
+      "zipp==3.4.0",          "zstandard==0.14.1",
+  };
+  return packages;
+}
+
+}  // namespace
+
+EnvironmentInfo EnvironmentInfo::Capture() {
+  EnvironmentInfo info;
+  utsname uts{};
+  if (uname(&uts) == 0) {
+    info.os_name = uts.sysname;
+    info.os_version = uts.release;
+    info.hostname = uts.nodename;
+  } else {
+    info.os_name = "unknown";
+  }
+  info.cpu_model = ReadCpuModel();
+  info.cpu_cores = static_cast<int>(std::thread::hardware_concurrency());
+  info.total_memory_bytes = ReadTotalMemory();
+  info.library_version = "mmm-1.0.0";
+  info.python_version = "3.8.5";
+  info.cuda_version = "";
+  info.gpu_name = "";
+  info.cpu_flags = ReadCpuFlags();
+  info.packages = RepresentativePackages();
+  info.os_packages = RepresentativeOsPackages();
+  return info;
+}
+
+JsonValue EnvironmentInfo::ToJson() const {
+  JsonValue json = JsonValue::Object();
+  json.Set("os_name", os_name);
+  json.Set("os_version", os_version);
+  json.Set("hostname", hostname);
+  json.Set("cpu_model", cpu_model);
+  json.Set("cpu_cores", static_cast<int64_t>(cpu_cores));
+  json.Set("total_memory_bytes", static_cast<int64_t>(total_memory_bytes));
+  json.Set("library_version", library_version);
+  json.Set("python_version", python_version);
+  json.Set("cuda_version", cuda_version);
+  json.Set("gpu_name", gpu_name);
+  json.Set("cpu_flags", cpu_flags);
+  JsonValue package_array = JsonValue::Array();
+  for (const std::string& package : packages) package_array.Append(package);
+  json.Set("packages", std::move(package_array));
+  JsonValue os_package_array = JsonValue::Array();
+  for (const std::string& package : os_packages) {
+    os_package_array.Append(package);
+  }
+  json.Set("os_packages", std::move(os_package_array));
+  return json;
+}
+
+Result<EnvironmentInfo> EnvironmentInfo::FromJson(const JsonValue& json) {
+  EnvironmentInfo info;
+  MMM_ASSIGN_OR_RETURN(info.os_name, json.GetString("os_name"));
+  info.os_version = json.GetStringOr("os_version", "");
+  info.hostname = json.GetStringOr("hostname", "");
+  info.cpu_model = json.GetStringOr("cpu_model", "");
+  info.cpu_cores = static_cast<int>(json.GetInt64Or("cpu_cores", 0));
+  info.total_memory_bytes =
+      static_cast<uint64_t>(json.GetInt64Or("total_memory_bytes", 0));
+  info.library_version = json.GetStringOr("library_version", "");
+  info.python_version = json.GetStringOr("python_version", "");
+  info.cuda_version = json.GetStringOr("cuda_version", "");
+  info.gpu_name = json.GetStringOr("gpu_name", "");
+  info.cpu_flags = json.GetStringOr("cpu_flags", "");
+  MMM_ASSIGN_OR_RETURN(const JsonValue* package_array, json.Get("packages"));
+  for (const JsonValue& package : package_array->array_items()) {
+    MMM_ASSIGN_OR_RETURN(std::string name, package.AsString());
+    info.packages.push_back(std::move(name));
+  }
+  if (json.Has("os_packages")) {
+    MMM_ASSIGN_OR_RETURN(const JsonValue* os_array, json.Get("os_packages"));
+    for (const JsonValue& package : os_array->array_items()) {
+      MMM_ASSIGN_OR_RETURN(std::string name, package.AsString());
+      info.os_packages.push_back(std::move(name));
+    }
+  }
+  return info;
+}
+
+}  // namespace mmm

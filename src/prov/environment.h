@@ -1,0 +1,50 @@
+#ifndef MMM_PROV_ENVIRONMENT_H_
+#define MMM_PROV_ENVIRONMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serialize/json.h"
+
+namespace mmm {
+
+/// \brief Snapshot of the software/hardware environment a model was trained
+/// in.
+///
+/// MMlib's provenance approach records "seeds, detailed soft and hardware
+/// information, and the source code of the training pipeline" (paper §2.2).
+/// MMlib-base persists one EnvironmentInfo *per model* (part of its ~8 KB
+/// per-model overhead); our approaches persist it once per set (O1/O2).
+struct EnvironmentInfo {
+  std::string os_name;
+  std::string os_version;
+  std::string hostname;
+  std::string cpu_model;
+  int cpu_cores = 0;
+  uint64_t total_memory_bytes = 0;
+  std::string library_version;  ///< this library's version
+  std::string python_version;   ///< interpreter of the recorded DL stack
+  std::string cuda_version;     ///< accelerator stack ("" when CPU-only)
+  std::string gpu_name;
+  /// CPU feature flags, as /proc/cpuinfo reports them.
+  std::string cpu_flags;
+  /// Installed package list ("name==version"), as `pip freeze` would emit.
+  std::vector<std::string> packages;
+  /// System package list ("name/version"), as `dpkg -l` / `rpm -qa` would
+  /// emit for the relevant runtime libraries.
+  std::vector<std::string> os_packages;
+
+  /// Captures the current machine's environment (reads /proc and uname) and
+  /// a representative DL-stack package list.
+  static EnvironmentInfo Capture();
+
+  JsonValue ToJson() const;
+  static Result<EnvironmentInfo> FromJson(const JsonValue& json);
+
+  bool operator==(const EnvironmentInfo& other) const = default;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_PROV_ENVIRONMENT_H_

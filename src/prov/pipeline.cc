@@ -1,0 +1,68 @@
+#include "prov/pipeline.h"
+
+#include "common/strings.h"
+#include "serialize/sha256.h"
+
+namespace mmm {
+
+TrainPipelineSpec TrainPipelineSpec::Create(TrainConfig config, std::string code) {
+  TrainPipelineSpec spec;
+  spec.train_config = std::move(config);
+  spec.pipeline_code = std::move(code);
+  spec.code_hash = Sha256::Hash(spec.pipeline_code).ToHex();
+  return spec;
+}
+
+Status TrainPipelineSpec::Validate() const {
+  if (Sha256::Hash(pipeline_code).ToHex() != code_hash) {
+    return Status::Corruption("pipeline code hash mismatch");
+  }
+  return Status::OK();
+}
+
+JsonValue TrainPipelineSpec::ToJson() const {
+  JsonValue json = JsonValue::Object();
+  json.Set("train_config", train_config.ToJson());
+  json.Set("pipeline_code", pipeline_code);
+  json.Set("code_hash", code_hash);
+  return json;
+}
+
+Result<TrainPipelineSpec> TrainPipelineSpec::FromJson(const JsonValue& json) {
+  TrainPipelineSpec spec;
+  MMM_ASSIGN_OR_RETURN(const JsonValue* config_json, json.Get("train_config"));
+  MMM_ASSIGN_OR_RETURN(spec.train_config, TrainConfig::FromJson(*config_json));
+  MMM_ASSIGN_OR_RETURN(spec.pipeline_code, json.GetString("pipeline_code"));
+  MMM_ASSIGN_OR_RETURN(spec.code_hash, json.GetString("code_hash"));
+  return spec;
+}
+
+std::string CanonicalPipelineCode(const TrainConfig& config) {
+  std::string code;
+  code += "def update_model(model, dataset, config):\n";
+  code += "    # deterministic single-threaded fp32 training\n";
+  code += StringFormat("    optimizer = %s(model.parameters(), lr=%g",
+                       config.optimizer == "adam" ? "Adam" : "SGD",
+                       static_cast<double>(config.learning_rate));
+  if (config.momentum != 0.0f) {
+    code += StringFormat(", momentum=%g", static_cast<double>(config.momentum));
+  }
+  code += ")\n";
+  code += StringFormat("    criterion = %s()\n",
+                       config.loss == "cross_entropy" ? "CrossEntropyLoss"
+                                                      : "MSELoss");
+  code += StringFormat("    loader = DataLoader(dataset, batch_size=%zu,\n",
+                       config.batch_size);
+  code += StringFormat("                        shuffle_seed=%llu)\n",
+                       static_cast<unsigned long long>(config.shuffle_seed));
+  code += StringFormat("    for epoch in range(%d):\n", config.epochs);
+  code += "        for x, y in loader:\n";
+  code += "            optimizer.zero_grad()\n";
+  code += "            loss = criterion(model(x), y)\n";
+  code += "            loss.backward()\n";
+  code += "            optimizer.step()\n";
+  code += "    return model\n";
+  return code;
+}
+
+}  // namespace mmm

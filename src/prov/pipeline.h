@@ -1,0 +1,44 @@
+#ifndef MMM_PROV_PIPELINE_H_
+#define MMM_PROV_PIPELINE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "nn/trainer.h"
+#include "serialize/json.h"
+
+namespace mmm {
+
+/// \brief Complete, replayable description of a training pipeline.
+///
+/// "the training procedure for updating the models differs only by the used
+/// data" (paper §3.4) — so one TrainPipelineSpec per model set suffices. It
+/// bundles the deterministic TrainConfig with the pipeline source code and
+/// its hash; replaying the config on the referenced data reproduces the
+/// trained parameters bit-exactly.
+struct TrainPipelineSpec {
+  TrainConfig train_config;
+  /// Source listing of the pipeline (persisted verbatim, as MMlib does).
+  std::string pipeline_code;
+  /// Hex SHA-256 of `pipeline_code`, used to detect drift at recovery time.
+  std::string code_hash;
+
+  /// Builds a spec and fills in the code hash.
+  static TrainPipelineSpec Create(TrainConfig config, std::string code);
+
+  /// Returns Corruption if `code_hash` no longer matches `pipeline_code`.
+  Status Validate() const;
+
+  JsonValue ToJson() const;
+  static Result<TrainPipelineSpec> FromJson(const JsonValue& json);
+
+  bool operator==(const TrainPipelineSpec& other) const = default;
+};
+
+/// The canonical pipeline source listing for this library's deterministic
+/// trainer (what a Python MMlib deployment would persist as pipeline code).
+std::string CanonicalPipelineCode(const TrainConfig& config);
+
+}  // namespace mmm
+
+#endif  // MMM_PROV_PIPELINE_H_

@@ -1,0 +1,22 @@
+#include "prov/replay.h"
+
+namespace mmm {
+
+Status ReplayEngine::ReplayUpdate(Model* model, const TrainPipelineSpec& pipeline,
+                                  const DatasetRef& data_ref, size_t max_samples) {
+  if (resolver_ == nullptr) {
+    return Status::InvalidArgument("replay engine has no dataset resolver");
+  }
+  MMM_RETURN_NOT_OK(pipeline.Validate());
+  MMM_ASSIGN_OR_RETURN(TrainingData data, resolver_->Resolve(data_ref));
+  if (max_samples > 0 && data.size() > max_samples) {
+    data = data.Head(max_samples);
+  }
+  MMM_ASSIGN_OR_RETURN(
+      TrainReport report,
+      TrainModel(model, data.inputs, data.targets, pipeline.train_config));
+  (void)report;
+  return Status::OK();
+}
+
+}  // namespace mmm

@@ -1,0 +1,259 @@
+#include "serialize/compress.h"
+
+#include <cstring>
+
+#include "serialize/binary_io.h"
+
+namespace mmm {
+namespace {
+
+constexpr uint8_t kMagic[4] = {'M', 'M', 'Z', '1'};
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr size_t kHashBits = 16;
+
+uint32_t HashWindow(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void WriteLength(std::vector<uint8_t>* out, size_t value) {
+  // LZ4-style length extension: 255-continuation bytes.
+  while (value >= 255) {
+    out->push_back(255);
+    value -= 255;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+}  // namespace
+
+std::string_view CompressionName(Compression method) {
+  switch (method) {
+    case Compression::kNone:
+      return "none";
+    case Compression::kLz:
+      return "lz";
+    case Compression::kShuffleLz:
+      return "shuffle-lz";
+  }
+  return "?";
+}
+
+Result<Compression> CompressionFromName(std::string_view name) {
+  if (name == "none") return Compression::kNone;
+  if (name == "lz") return Compression::kLz;
+  if (name == "shuffle-lz") return Compression::kShuffleLz;
+  return Status::InvalidArgument("unknown compression '", name, "'");
+}
+
+std::vector<uint8_t> LzCompress(std::span<const uint8_t> input) {
+  std::vector<uint8_t> out;
+  out.reserve(input.size() / 2 + 32);
+  const size_t n = input.size();
+  std::vector<uint32_t> table(size_t{1} << kHashBits, 0xffffffffu);
+
+  size_t anchor = 0;  // start of pending literals
+  size_t pos = 0;
+  while (n >= kMinMatch && pos + kMinMatch <= n) {
+    // Find a match candidate via the hash table.
+    uint32_t hash = HashWindow(input.data() + pos);
+    uint32_t candidate = table[hash];
+    table[hash] = static_cast<uint32_t>(pos);
+    bool has_match = candidate != 0xffffffffu && pos - candidate <= kMaxOffset &&
+                     std::memcmp(input.data() + candidate, input.data() + pos,
+                                 kMinMatch) == 0;
+    if (!has_match) {
+      ++pos;
+      continue;
+    }
+    // Extend the match forward.
+    size_t match_len = kMinMatch;
+    while (pos + match_len < n &&
+           input[candidate + match_len] == input[pos + match_len]) {
+      ++match_len;
+    }
+    // Emit [token][literal ext][literals][offset][match ext].
+    size_t literal_len = pos - anchor;
+    size_t offset = pos - candidate;
+    size_t match_code = match_len - kMinMatch;
+    uint8_t token = static_cast<uint8_t>(
+        (std::min<size_t>(literal_len, 15) << 4) |
+        std::min<size_t>(match_code, 15));
+    out.push_back(token);
+    if (literal_len >= 15) WriteLength(&out, literal_len - 15);
+    out.insert(out.end(), input.begin() + anchor, input.begin() + pos);
+    out.push_back(static_cast<uint8_t>(offset));
+    out.push_back(static_cast<uint8_t>(offset >> 8));
+    if (match_code >= 15) WriteLength(&out, match_code - 15);
+
+    pos += match_len;
+    anchor = pos;
+    if (pos + kMinMatch <= n) {
+      // Insert one more table entry inside the match for better coverage.
+      table[HashWindow(input.data() + pos - 2)] = static_cast<uint32_t>(pos - 2);
+    }
+  }
+  // Trailing literals.
+  size_t literal_len = n - anchor;
+  if (literal_len > 0 || n == 0) {
+    uint8_t token = static_cast<uint8_t>(std::min<size_t>(literal_len, 15) << 4);
+    out.push_back(token);
+    if (literal_len >= 15) WriteLength(&out, literal_len - 15);
+    out.insert(out.end(), input.begin() + anchor, input.end());
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> LzDecompress(std::span<const uint8_t> input,
+                                          size_t raw_size) {
+  std::vector<uint8_t> out;
+  out.reserve(raw_size);
+  size_t pos = 0;
+  auto read_length = [&](size_t base) -> Result<size_t> {
+    size_t value = base;
+    if (base == 15) {
+      while (true) {
+        if (pos >= input.size()) {
+          return Status::Corruption("lz: truncated length at ", pos);
+        }
+        uint8_t byte = input[pos++];
+        value += byte;
+        if (byte != 255) break;
+      }
+    }
+    return value;
+  };
+
+  while (out.size() < raw_size) {
+    if (pos >= input.size()) {
+      return Status::Corruption("lz: truncated stream at ", pos);
+    }
+    uint8_t token = input[pos++];
+    MMM_ASSIGN_OR_RETURN(size_t literal_len, read_length(token >> 4));
+    if (pos + literal_len > input.size()) {
+      return Status::Corruption("lz: literals run past end at ", pos);
+    }
+    if (out.size() + literal_len > raw_size) {
+      return Status::Corruption("lz: output overflow in literals");
+    }
+    out.insert(out.end(), input.begin() + pos, input.begin() + pos + literal_len);
+    pos += literal_len;
+    if (out.size() >= raw_size) break;
+
+    if (pos + 2 > input.size()) {
+      return Status::Corruption("lz: truncated match offset at ", pos);
+    }
+    size_t offset = input[pos] | (static_cast<size_t>(input[pos + 1]) << 8);
+    pos += 2;
+    if (offset == 0 || offset > out.size()) {
+      return Status::Corruption("lz: invalid match offset ", offset);
+    }
+    MMM_ASSIGN_OR_RETURN(size_t match_code, read_length(token & 0x0f));
+    size_t match_len = match_code + kMinMatch;
+    if (out.size() + match_len > raw_size) {
+      return Status::Corruption("lz: output overflow in match");
+    }
+    // Byte-by-byte copy: overlapping matches (offset < match_len) are the
+    // run-length case and must replicate already-written output.
+    size_t src = out.size() - offset;
+    for (size_t i = 0; i < match_len; ++i) {
+      out.push_back(out[src + i]);
+    }
+  }
+  if (out.size() != raw_size) {
+    return Status::Corruption("lz: decompressed ", out.size(), " bytes, want ",
+                              raw_size);
+  }
+  return out;
+}
+
+std::vector<uint8_t> ShuffleBytes(std::span<const uint8_t> input, size_t stride) {
+  if (stride <= 1) return {input.begin(), input.end()};
+  const size_t groups = input.size() / stride;
+  std::vector<uint8_t> out;
+  out.reserve(input.size());
+  for (size_t plane = 0; plane < stride; ++plane) {
+    for (size_t g = 0; g < groups; ++g) {
+      out.push_back(input[g * stride + plane]);
+    }
+  }
+  out.insert(out.end(), input.begin() + groups * stride, input.end());
+  return out;
+}
+
+std::vector<uint8_t> UnshuffleBytes(std::span<const uint8_t> input,
+                                    size_t stride) {
+  if (stride <= 1) return {input.begin(), input.end()};
+  const size_t groups = input.size() / stride;
+  std::vector<uint8_t> out(input.size());
+  for (size_t plane = 0; plane < stride; ++plane) {
+    for (size_t g = 0; g < groups; ++g) {
+      out[g * stride + plane] = input[plane * groups + g];
+    }
+  }
+  for (size_t i = groups * stride; i < input.size(); ++i) out[i] = input[i];
+  return out;
+}
+
+std::vector<uint8_t> CompressBlob(Compression method,
+                                  std::span<const uint8_t> input) {
+  BinaryWriter header;
+  header.WriteBytes(std::span<const uint8_t>(kMagic, 4));
+  header.WriteUint8(static_cast<uint8_t>(method));
+  header.WriteVarint(input.size());
+  std::vector<uint8_t> out = header.TakeBuffer();
+
+  switch (method) {
+    case Compression::kNone:
+      out.insert(out.end(), input.begin(), input.end());
+      break;
+    case Compression::kLz: {
+      std::vector<uint8_t> payload = LzCompress(input);
+      out.insert(out.end(), payload.begin(), payload.end());
+      break;
+    }
+    case Compression::kShuffleLz: {
+      std::vector<uint8_t> shuffled = ShuffleBytes(input, 4);
+      std::vector<uint8_t> payload = LzCompress(shuffled);
+      out.insert(out.end(), payload.begin(), payload.end());
+      break;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> DecompressBlob(std::span<const uint8_t> input) {
+  if (input.size() < 5 || std::memcmp(input.data(), kMagic, 4) != 0) {
+    // Raw legacy blob.
+    return std::vector<uint8_t>(input.begin(), input.end());
+  }
+  BinaryReader reader(input);
+  MMM_RETURN_NOT_OK(reader.Skip(4));
+  MMM_ASSIGN_OR_RETURN(uint8_t method_byte, reader.ReadUint8());
+  if (method_byte > static_cast<uint8_t>(Compression::kShuffleLz)) {
+    return Status::Corruption("unknown compression method ", method_byte);
+  }
+  auto method = static_cast<Compression>(method_byte);
+  MMM_ASSIGN_OR_RETURN(uint64_t raw_size, reader.ReadVarint());
+  std::span<const uint8_t> payload = input.subspan(reader.offset());
+
+  switch (method) {
+    case Compression::kNone:
+      if (payload.size() != raw_size) {
+        return Status::Corruption("stored blob size mismatch");
+      }
+      return std::vector<uint8_t>(payload.begin(), payload.end());
+    case Compression::kLz:
+      return LzDecompress(payload, raw_size);
+    case Compression::kShuffleLz: {
+      MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> shuffled,
+                           LzDecompress(payload, raw_size));
+      return UnshuffleBytes(shuffled, 4);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace mmm

@@ -1,0 +1,61 @@
+#ifndef MMM_SERIALIZE_COMPRESS_H_
+#define MMM_SERIALIZE_COMPRESS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mmm {
+
+/// Compression method for blob artifacts (the paper's §4.5 future work:
+/// "evaluate if it is beneficial to integrate compression techniques into
+/// our approaches").
+enum class Compression : uint8_t {
+  kNone = 0,
+  /// LZ77 with greedy hash-chain matching (LZ4-style token format).
+  kLz = 1,
+  /// Byte-plane shuffle (stride 4, for float32 payloads) followed by LZ.
+  /// Grouping the exponent bytes of neighboring floats makes runs the LZ
+  /// stage can exploit.
+  kShuffleLz = 2,
+};
+
+std::string_view CompressionName(Compression method);
+Result<Compression> CompressionFromName(std::string_view name);
+
+/// \brief Compresses `input` into a self-describing blob:
+/// magic "MMZ1", method byte, varint raw size, payload.
+/// kNone stores the payload verbatim (still framed, so decoding is uniform).
+std::vector<uint8_t> CompressBlob(Compression method,
+                                  std::span<const uint8_t> input);
+
+/// \brief Inverse of CompressBlob. If `input` does not start with the
+/// compression magic it is returned unchanged (raw legacy blob).
+Result<std::vector<uint8_t>> DecompressBlob(std::span<const uint8_t> input);
+
+/// \name Raw primitives (exposed for tests and benchmarks).
+/// @{
+
+/// LZ77-compresses `input` (no framing). Always succeeds; incompressible
+/// data expands by at most ~1/255 + 16 bytes.
+std::vector<uint8_t> LzCompress(std::span<const uint8_t> input);
+
+/// Decompresses LzCompress output; `raw_size` must be the original size.
+Result<std::vector<uint8_t>> LzDecompress(std::span<const uint8_t> input,
+                                          size_t raw_size);
+
+/// Splits `input` into `stride` byte planes: all 1st bytes, all 2nd bytes, …
+/// The tail (input.size() % stride) is appended verbatim.
+std::vector<uint8_t> ShuffleBytes(std::span<const uint8_t> input, size_t stride);
+
+/// Inverse of ShuffleBytes.
+std::vector<uint8_t> UnshuffleBytes(std::span<const uint8_t> input,
+                                    size_t stride);
+/// @}
+
+}  // namespace mmm
+
+#endif  // MMM_SERIALIZE_COMPRESS_H_

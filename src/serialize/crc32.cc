@@ -1,0 +1,43 @@
+#include "serialize/crc32.h"
+
+#include <array>
+
+namespace mmm {
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0xedb88320u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32::Extend(uint32_t crc, std::span<const uint8_t> data) {
+  const auto& table = Table();
+  crc = ~crc;
+  for (uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32::Compute(std::span<const uint8_t> data) { return Extend(0, data); }
+
+uint32_t Crc32::Compute(std::string_view data) {
+  return Compute(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(data.data()), data.size()));
+}
+
+}  // namespace mmm

@@ -1,0 +1,26 @@
+#ifndef MMM_SERIALIZE_CRC32_H_
+#define MMM_SERIALIZE_CRC32_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace mmm {
+
+/// \brief CRC-32 (IEEE 802.3 polynomial, reflected).
+///
+/// Every blob artifact written by the approaches carries a CRC32 footer so
+/// recovery can distinguish truncation/corruption from logic errors.
+class Crc32 {
+ public:
+  /// Extends `crc` (use 0 for the first chunk) over `data`.
+  static uint32_t Extend(uint32_t crc, std::span<const uint8_t> data);
+
+  /// One-shot checksum.
+  static uint32_t Compute(std::span<const uint8_t> data);
+  static uint32_t Compute(std::string_view data);
+};
+
+}  // namespace mmm
+
+#endif  // MMM_SERIALIZE_CRC32_H_

@@ -1,0 +1,130 @@
+#ifndef MMM_SERIALIZE_JSON_H_
+#define MMM_SERIALIZE_JSON_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mmm {
+
+/// \brief Dynamically typed JSON document node.
+///
+/// Used for every metadata artifact in the library (document-store records,
+/// architecture specs, provenance records). Objects preserve insertion order
+/// so that serialization is byte-deterministic — a property the Update
+/// approach's hash-based change detection relies on.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Constructs null.
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(std::nullptr_t) : type_(Type::kNull) {}        // NOLINT
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  JsonValue(double value) : type_(Type::kNumber), number_(value) {}  // NOLINT
+  JsonValue(int value)                                       // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(int64_t value)                                   // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(uint64_t value)                                  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(uint32_t value)                                  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(const char* value) : type_(Type::kString), string_(value) {}  // NOLINT
+  JsonValue(std::string value)                               // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+  JsonValue(std::string_view value)                          // NOLINT
+      : type_(Type::kString), string_(value) {}
+
+  /// Returns an empty array / object.
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// \name Checked accessors.
+  /// @{
+  Result<bool> AsBool() const;
+  Result<double> AsDouble() const;
+  Result<int64_t> AsInt64() const;
+  Result<std::string> AsString() const;
+  /// @}
+
+  /// \name Unchecked accessors (caller must have verified the type).
+  /// @{
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  /// @}
+
+  /// \name Array operations.
+  /// @{
+  size_t ArraySize() const { return items_.size(); }
+  void Append(JsonValue value);
+  Result<const JsonValue*> At(size_t index) const;
+  const std::vector<JsonValue>& array_items() const { return items_; }
+  /// @}
+
+  /// \name Object operations (insertion-ordered).
+  /// @{
+  size_t ObjectSize() const { return members_.size(); }
+  /// Inserts or overwrites a member.
+  void Set(std::string key, JsonValue value);
+  bool Has(std::string_view key) const;
+  /// Returns the member or NotFound.
+  Result<const JsonValue*> Get(std::string_view key) const;
+  /// Convenience typed getters: NotFound if absent, InvalidArgument on type
+  /// mismatch.
+  Result<std::string> GetString(std::string_view key) const;
+  Result<double> GetDouble(std::string_view key) const;
+  Result<int64_t> GetInt64(std::string_view key) const;
+  Result<bool> GetBool(std::string_view key) const;
+  /// Typed getter with default for optional members.
+  std::string GetStringOr(std::string_view key, std::string fallback) const;
+  int64_t GetInt64Or(std::string_view key, int64_t fallback) const;
+  double GetDoubleOr(std::string_view key, double fallback) const;
+  const std::vector<std::pair<std::string, JsonValue>>& object_members() const {
+    return members_;
+  }
+  /// @}
+
+  /// Serializes compactly ({"a":1}).
+  std::string Dump() const;
+  /// Serializes with 2-space indentation.
+  std::string DumpPretty() const;
+
+  /// Parses a JSON document; Corruption on malformed input.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  /// Deep structural equality.
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+  static void DumpStringTo(const std::string& value, std::string* out);
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                              // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;    // kObject
+};
+
+}  // namespace mmm
+
+#endif  // MMM_SERIALIZE_JSON_H_

@@ -1,0 +1,54 @@
+#ifndef MMM_SERIALIZE_SHA256_H_
+#define MMM_SERIALIZE_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace mmm {
+
+/// \brief A 256-bit digest.
+struct Sha256Digest {
+  std::array<uint8_t, 32> bytes{};
+
+  /// Lowercase hex representation (64 characters).
+  std::string ToHex() const;
+
+  bool operator==(const Sha256Digest& other) const { return bytes == other.bytes; }
+  bool operator!=(const Sha256Digest& other) const { return !(*this == other); }
+};
+
+/// \brief Incremental SHA-256 (FIPS 180-4).
+///
+/// The Update approach hashes every layer's parameter bytes to detect which
+/// layers changed between model-set versions without loading the previous
+/// set's parameters.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs more input.
+  void Update(std::span<const uint8_t> data);
+  void Update(std::string_view data);
+
+  /// Finalizes and returns the digest. The hasher must not be reused after.
+  Sha256Digest Finish();
+
+  /// One-shot helpers.
+  static Sha256Digest Hash(std::span<const uint8_t> data);
+  static Sha256Digest Hash(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_bytes_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_size_ = 0;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_SERIALIZE_SHA256_H_

@@ -1,0 +1,294 @@
+#include "storage/env.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+namespace mmm {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Env backed by the host filesystem via <filesystem> and stdio.
+class PosixEnv : public Env {
+ public:
+  Status WriteFile(const std::string& path, std::span<const uint8_t> data) override {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+      return Status::IOError("cannot open for write: ", path);
+    }
+    size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), file);
+    int close_rc = std::fclose(file);
+    if (written != data.size() || close_rc != 0) {
+      return Status::IOError("short write to ", path);
+    }
+    return Status::OK();
+  }
+
+  Status AppendToFile(const std::string& path,
+                      std::span<const uint8_t> data) override {
+    std::FILE* file = std::fopen(path.c_str(), "ab");
+    if (file == nullptr) {
+      return Status::IOError("cannot open for append: ", path);
+    }
+    size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), file);
+    int close_rc = std::fclose(file);
+    if (written != data.size() || close_rc != 0) {
+      return Status::IOError("short append to ", path);
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<uint8_t>> ReadFile(const std::string& path) override {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      return Status::NotFound("cannot open for read: ", path);
+    }
+    std::fseek(file, 0, SEEK_END);
+    long size = std::ftell(file);
+    std::fseek(file, 0, SEEK_SET);
+    std::vector<uint8_t> data(static_cast<size_t>(size < 0 ? 0 : size));
+    size_t read = data.empty() ? 0 : std::fread(data.data(), 1, data.size(), file);
+    std::fclose(file);
+    if (read != data.size()) {
+      return Status::IOError("short read from ", path);
+    }
+    return data;
+  }
+
+  Result<std::vector<uint8_t>> ReadFileRange(const std::string& path,
+                                             uint64_t offset,
+                                             uint64_t length) override {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      return Status::NotFound("cannot open for read: ", path);
+    }
+    std::fseek(file, 0, SEEK_END);
+    long size = std::ftell(file);
+    if (size < 0 || offset + length > static_cast<uint64_t>(size)) {
+      std::fclose(file);
+      return Status::OutOfRange("range [", offset, ", ", offset + length,
+                                ") past end of ", path);
+    }
+    std::fseek(file, static_cast<long>(offset), SEEK_SET);
+    std::vector<uint8_t> data(length);
+    size_t read = data.empty() ? 0 : std::fread(data.data(), 1, length, file);
+    std::fclose(file);
+    if (read != length) {
+      return Status::IOError("short ranged read from ", path);
+    }
+    return data;
+  }
+
+  Result<bool> FileExists(const std::string& path) override {
+    std::error_code ec;
+    bool exists = fs::exists(path, ec);
+    if (ec) return Status::IOError("exists(", path, "): ", ec.message());
+    return exists;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    std::error_code ec;
+    uint64_t size = fs::file_size(path, ec);
+    if (ec) return Status::IOError("file_size(", path, "): ", ec.message());
+    return size;
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    std::error_code ec;
+    fs::remove(path, ec);
+    if (ec) return Status::IOError("remove(", path, "): ", ec.message());
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) return Status::IOError("create_directories(", path, "): ", ec.message());
+    return Status::OK();
+  }
+
+  Status RemoveDirs(const std::string& path) override {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    if (ec) return Status::IOError("remove_all(", path, "): ", ec.message());
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (entry.is_regular_file()) names.push_back(entry.path().filename().string());
+    }
+    if (ec) return Status::IOError("list(", path, "): ", ec.message());
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+// ---------------------------------------------------------------------------
+// InMemoryEnv
+
+Status InMemoryEnv::WriteFile(const std::string& path,
+                              std::span<const uint8_t> data) {
+  for (auto& [name, contents] : files_) {
+    if (name == path) {
+      contents.assign(data.begin(), data.end());
+      return Status::OK();
+    }
+  }
+  files_.emplace_back(path, std::vector<uint8_t>(data.begin(), data.end()));
+  return Status::OK();
+}
+
+Status InMemoryEnv::AppendToFile(const std::string& path,
+                                 std::span<const uint8_t> data) {
+  for (auto& [name, contents] : files_) {
+    if (name == path) {
+      contents.insert(contents.end(), data.begin(), data.end());
+      return Status::OK();
+    }
+  }
+  return WriteFile(path, data);
+}
+
+Result<std::vector<uint8_t>> InMemoryEnv::ReadFile(const std::string& path) {
+  for (const auto& [name, contents] : files_) {
+    if (name == path) return contents;
+  }
+  return Status::NotFound("in-memory env: no file ", path);
+}
+
+Result<std::vector<uint8_t>> InMemoryEnv::ReadFileRange(const std::string& path,
+                                                        uint64_t offset,
+                                                        uint64_t length) {
+  for (const auto& [name, contents] : files_) {
+    if (name != path) continue;
+    if (offset + length > contents.size()) {
+      return Status::OutOfRange("range [", offset, ", ", offset + length,
+                                ") past end of ", path);
+    }
+    return std::vector<uint8_t>(contents.begin() + offset,
+                                contents.begin() + offset + length);
+  }
+  return Status::NotFound("in-memory env: no file ", path);
+}
+
+Result<bool> InMemoryEnv::FileExists(const std::string& path) {
+  for (const auto& [name, _] : files_) {
+    if (name == path) return true;
+  }
+  return false;
+}
+
+Result<uint64_t> InMemoryEnv::FileSize(const std::string& path) {
+  for (const auto& [name, contents] : files_) {
+    if (name == path) return static_cast<uint64_t>(contents.size());
+  }
+  return Status::NotFound("in-memory env: no file ", path);
+}
+
+Status InMemoryEnv::DeleteFile(const std::string& path) {
+  for (auto it = files_.begin(); it != files_.end(); ++it) {
+    if (it->first == path) {
+      files_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status InMemoryEnv::CreateDirs(const std::string&) { return Status::OK(); }
+
+Status InMemoryEnv::RemoveDirs(const std::string& path) {
+  std::string prefix = path;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::erase_if(files_, [&](const auto& entry) {
+    return entry.first.rfind(prefix, 0) == 0;
+  });
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> InMemoryEnv::ListDir(const std::string& path) {
+  std::string prefix = path;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> names;
+  for (const auto& [name, _] : files_) {
+    if (name.rfind(prefix, 0) == 0) {
+      std::string rest = name.substr(prefix.size());
+      if (rest.find('/') == std::string::npos) names.push_back(rest);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv
+
+Status FaultInjectionEnv::MaybeFail() {
+  if (fail_after_ >= 0 && write_count_ >= fail_after_) {
+    return Status::IOError("injected write failure (write #", write_count_, ")");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::WriteFile(const std::string& path,
+                                    std::span<const uint8_t> data) {
+  Status fail = MaybeFail();
+  ++write_count_;
+  if (!fail.ok()) return fail;
+  return base_->WriteFile(path, data);
+}
+
+Status FaultInjectionEnv::AppendToFile(const std::string& path,
+                                       std::span<const uint8_t> data) {
+  Status fail = MaybeFail();
+  ++write_count_;
+  if (!fail.ok()) return fail;
+  return base_->AppendToFile(path, data);
+}
+
+Result<std::vector<uint8_t>> FaultInjectionEnv::ReadFile(const std::string& path) {
+  return base_->ReadFile(path);
+}
+
+Result<std::vector<uint8_t>> FaultInjectionEnv::ReadFileRange(
+    const std::string& path, uint64_t offset, uint64_t length) {
+  return base_->ReadFileRange(path, offset, length);
+}
+
+Result<bool> FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  return base_->DeleteFile(path);
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& path) {
+  return base_->CreateDirs(path);
+}
+
+Status FaultInjectionEnv::RemoveDirs(const std::string& path) {
+  return base_->RemoveDirs(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(const std::string& path) {
+  return base_->ListDir(path);
+}
+
+}  // namespace mmm

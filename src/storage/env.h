@@ -1,0 +1,115 @@
+#ifndef MMM_STORAGE_ENV_H_
+#define MMM_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mmm {
+
+/// \brief Filesystem abstraction (RocksDB-style Env).
+///
+/// The stores talk to the filesystem exclusively through an Env so tests can
+/// substitute an in-memory implementation and failure-injection wrappers.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Writes `data` to `path`, replacing any existing file.
+  virtual Status WriteFile(const std::string& path,
+                           std::span<const uint8_t> data) = 0;
+
+  /// Appends `data` to `path`, creating the file if needed.
+  virtual Status AppendToFile(const std::string& path,
+                              std::span<const uint8_t> data) = 0;
+
+  /// Reads the whole file.
+  virtual Result<std::vector<uint8_t>> ReadFile(const std::string& path) = 0;
+
+  /// Reads `length` bytes starting at `offset`. Fails with OutOfRange if the
+  /// range extends past the end of the file.
+  virtual Result<std::vector<uint8_t>> ReadFileRange(const std::string& path,
+                                                     uint64_t offset,
+                                                     uint64_t length) = 0;
+
+  virtual Result<bool> FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// Creates a directory and all missing parents.
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// Recursively removes a directory tree (no-op if absent).
+  virtual Status RemoveDirs(const std::string& path) = 0;
+
+  /// Lists regular files directly under `path` (names, not full paths),
+  /// sorted lexicographically.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
+
+  /// The process-wide POSIX-filesystem Env.
+  static Env* Default();
+};
+
+/// \brief Heap-backed Env for unit tests (no disk access).
+class InMemoryEnv : public Env {
+ public:
+  Status WriteFile(const std::string& path, std::span<const uint8_t> data) override;
+  Status AppendToFile(const std::string& path,
+                      std::span<const uint8_t> data) override;
+  Result<std::vector<uint8_t>> ReadFile(const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadFileRange(const std::string& path,
+                                             uint64_t offset,
+                                             uint64_t length) override;
+  Result<bool> FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Status RemoveDirs(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+
+ private:
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> files_;
+};
+
+/// \brief Env decorator that fails the N-th write, for recovery tests.
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  /// After this call, the `fail_after`-th subsequent write (0-based) and all
+  /// later writes fail with IOError.
+  void FailWritesAfter(int64_t fail_after) { fail_after_ = fail_after; }
+  /// Clears the failure plan.
+  void Heal() { fail_after_ = -1; }
+
+  int64_t write_count() const { return write_count_; }
+
+  Status WriteFile(const std::string& path, std::span<const uint8_t> data) override;
+  Status AppendToFile(const std::string& path,
+                      std::span<const uint8_t> data) override;
+  Result<std::vector<uint8_t>> ReadFile(const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadFileRange(const std::string& path,
+                                             uint64_t offset,
+                                             uint64_t length) override;
+  Result<bool> FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Status RemoveDirs(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+
+ private:
+  Status MaybeFail();
+
+  Env* base_;
+  int64_t fail_after_ = -1;
+  int64_t write_count_ = 0;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_STORAGE_ENV_H_

@@ -1,0 +1,86 @@
+#ifndef MMM_STORAGE_FILE_STORE_H_
+#define MMM_STORAGE_FILE_STORE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/latency_model.h"
+#include "storage/store_stats.h"
+
+namespace mmm {
+
+/// \brief Named-blob store backed by an Env directory.
+///
+/// This is the "file store" of the paper's storage architecture: parameter
+/// blobs, architecture snapshots, and code artifacts live here. Every
+/// operation updates StoreStats and charges the configured latency model to
+/// the simulated clock, so benchmarks can report modeled store time per
+/// approach.
+class FileStore {
+ public:
+  /// \param env filesystem to use
+  /// \param root directory all blobs live under (created on Open)
+  /// \param latency per-op/per-byte cost model charged to `sim_clock`
+  /// \param sim_clock modeled-time sink; may be nullptr to disable accounting
+  FileStore(Env* env, std::string root, StoreLatencyModel latency = {},
+            SimulatedClock* sim_clock = nullptr);
+
+  /// Creates the root directory.
+  Status Open();
+
+  /// Writes a blob; overwrites silently. Blob names must be non-empty and
+  /// must not contain '/'.
+  Status Put(const std::string& name, std::span<const uint8_t> data);
+
+  /// Writes a string blob.
+  Status PutString(const std::string& name, std::string_view data);
+
+  /// Appends to a blob (creates it if absent). Lets writers stream large
+  /// artifacts — e.g. a parameter blob for a fleet larger than RAM —
+  /// without buffering them.
+  Status Append(const std::string& name, std::span<const uint8_t> data);
+
+  /// Reads a blob.
+  Result<std::vector<uint8_t>> Get(const std::string& name);
+
+  /// Reads a blob as a string.
+  Result<std::string> GetString(const std::string& name);
+
+  /// Reads `length` bytes of a blob starting at `offset` (one store
+  /// round-trip; enables selective model recovery from set-level blobs).
+  Result<std::vector<uint8_t>> GetRange(const std::string& name,
+                                        uint64_t offset, uint64_t length);
+
+  /// Size of a stored blob in bytes.
+  Result<uint64_t> Size(const std::string& name);
+
+  Result<bool> Exists(const std::string& name);
+  Status Delete(const std::string& name);
+
+  /// Names of all blobs, sorted.
+  Result<std::vector<std::string>> List();
+
+  const StoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  const std::string& root() const { return root_; }
+
+ private:
+  Status ValidateName(const std::string& name) const;
+  void Charge(uint64_t bytes);
+
+  Env* env_;
+  std::string root_;
+  StoreLatencyModel latency_;
+  SimulatedClock* sim_clock_;
+  StoreStats stats_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_STORAGE_FILE_STORE_H_

@@ -1,0 +1,64 @@
+#ifndef MMM_STORAGE_LATENCY_MODEL_H_
+#define MMM_STORAGE_LATENCY_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mmm {
+
+/// \brief Cost model of one store backend: a fixed per-operation round-trip
+/// latency plus a per-byte transfer cost.
+struct StoreLatencyModel {
+  /// Charged once per store operation (insert/get/put/read).
+  uint64_t per_op_nanos = 0;
+  /// Charged per byte moved in or out of the store.
+  double per_byte_nanos = 0.0;
+
+  uint64_t CostNanos(uint64_t bytes) const {
+    return per_op_nanos + static_cast<uint64_t>(per_byte_nanos *
+                                                static_cast<double>(bytes));
+  }
+};
+
+/// \brief Latency profile of one evaluation setup (paper §4.1).
+///
+/// The paper runs on two machines whose measured differences are dominated by
+/// the speed of the connection to the document store ("The reason is the
+/// faster connections to the document store on the server setup", §4.3). We
+/// model each setup as a pair of latency models; see DESIGN.md §1 for the
+/// substitution rationale.
+struct SetupProfile {
+  std::string name;
+  StoreLatencyModel document_store;
+  StoreLatencyModel file_store;
+
+  /// Apple M1 Pro laptop setup: document-store round-trips ~0.45 ms (local
+  /// service over loopback with container indirection), SSD file store.
+  static SetupProfile M1() {
+    SetupProfile p;
+    p.name = "M1";
+    p.document_store = {450'000, 0.30};   // 0.45 ms/op, ~3.3 GB/s
+    p.file_store = {55'000, 0.45};        // 55 us/op,  ~2.2 GB/s
+    return p;
+  }
+
+  /// Threadripper server setup: fast local connection to the document store.
+  static SetupProfile Server() {
+    SetupProfile p;
+    p.name = "server";
+    p.document_store = {60'000, 0.20};    // 60 us/op, ~5 GB/s
+    p.file_store = {30'000, 0.30};        // 30 us/op, ~3.3 GB/s
+    return p;
+  }
+
+  /// Zero-cost profile for unit tests.
+  static SetupProfile None() {
+    SetupProfile p;
+    p.name = "none";
+    return p;
+  }
+};
+
+}  // namespace mmm
+
+#endif  // MMM_STORAGE_LATENCY_MODEL_H_

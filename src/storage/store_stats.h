@@ -1,0 +1,42 @@
+#ifndef MMM_STORAGE_STORE_STATS_H_
+#define MMM_STORAGE_STORE_STATS_H_
+
+#include <cstdint>
+
+namespace mmm {
+
+/// \brief Operation and byte counters for one store.
+///
+/// The evaluation's storage-consumption metric is `bytes_written` scoped to
+/// one save operation; the write-overhead analysis (opportunity O3 in §3.1)
+/// uses `write_ops`.
+struct StoreStats {
+  uint64_t write_ops = 0;
+  uint64_t read_ops = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+
+  void Reset() { *this = StoreStats{}; }
+
+  StoreStats operator-(const StoreStats& other) const {
+    StoreStats d;
+    d.write_ops = write_ops - other.write_ops;
+    d.read_ops = read_ops - other.read_ops;
+    d.bytes_written = bytes_written - other.bytes_written;
+    d.bytes_read = bytes_read - other.bytes_read;
+    return d;
+  }
+
+  StoreStats operator+(const StoreStats& other) const {
+    StoreStats s;
+    s.write_ops = write_ops + other.write_ops;
+    s.read_ops = read_ops + other.read_ops;
+    s.bytes_written = bytes_written + other.bytes_written;
+    s.bytes_read = bytes_read + other.bytes_read;
+    return s;
+  }
+};
+
+}  // namespace mmm
+
+#endif  // MMM_STORAGE_STORE_STATS_H_

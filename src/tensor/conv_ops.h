@@ -1,0 +1,35 @@
+#ifndef MMM_TENSOR_CONV_OPS_H_
+#define MMM_TENSOR_CONV_OPS_H_
+
+#include "tensor/tensor.h"
+
+namespace mmm {
+
+/// \file
+/// Direct 2-D convolution and max-pooling kernels (NCHW layout, stride 1,
+/// no padding — all the CIFAR model needs). Forward functions return the
+/// output; backward functions return input gradients and fill parameter
+/// gradients where applicable.
+
+/// input [N, Cin, H, W], weight [Cout, Cin, K, K], bias [Cout]
+/// -> [N, Cout, H-K+1, W-K+1].
+Tensor Conv2dForward(const Tensor& input, const Tensor& weight, const Tensor& bias);
+
+/// Gradients of Conv2dForward. `grad_output` has the forward output's shape.
+/// Returns grad wrt input; accumulates into *grad_weight / *grad_bias (which
+/// must be pre-shaped like weight / bias).
+Tensor Conv2dBackward(const Tensor& input, const Tensor& weight,
+                      const Tensor& grad_output, Tensor* grad_weight,
+                      Tensor* grad_bias);
+
+/// 2x2 max pooling with stride 2. `argmax` (optional out) records the flat
+/// input index of each selected element for the backward pass.
+Tensor MaxPool2dForward(const Tensor& input, std::vector<size_t>* argmax);
+
+/// Scatters `grad_output` back through the recorded argmax indices.
+Tensor MaxPool2dBackward(const Shape& input_shape, const Tensor& grad_output,
+                         const std::vector<size_t>& argmax);
+
+}  // namespace mmm
+
+#endif  // MMM_TENSOR_CONV_OPS_H_

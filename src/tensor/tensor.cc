@@ -1,0 +1,72 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace mmm {
+
+size_t Tensor::NumElements(const Shape& shape) {
+  size_t n = 1;
+  for (size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  MMM_DCHECK(data_.size() == NumElements(shape_));
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<float> values) {
+  Shape shape{values.size()};
+  return Tensor(std::move(shape), std::move(values));
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  MMM_DCHECK(NumElements(new_shape) == numel());
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::Fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+bool Tensor::Equals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+bool Tensor::AllClose(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out += "x";
+    out += std::to_string(shape_[i]);
+  }
+  out += "] {";
+  size_t show = std::min<size_t>(8, data_.size());
+  for (size_t i = 0; i < show; ++i) {
+    if (i > 0) out += ", ";
+    out += StringFormat("%g", data_[i]);
+  }
+  if (data_.size() > show) out += ", ...";
+  out += "}";
+  return out;
+}
+
+}  // namespace mmm

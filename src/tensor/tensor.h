@@ -1,0 +1,112 @@
+#ifndef MMM_TENSOR_TENSOR_H_
+#define MMM_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mmm {
+
+/// Row-major tensor shape.
+using Shape = std::vector<size_t>;
+
+/// \brief Dense row-major float32 tensor.
+///
+/// The numeric foundation of the NN substrate. Deliberately simple: always
+/// contiguous, always float32 (the paper's models are float32 — "4 Byte
+/// floats", §4.2), deep-copy semantics. Shape violations are programmer
+/// errors and abort via MMM_DCHECK; fallible I/O lives in
+/// tensor/tensor_serialize.h and returns Status.
+class Tensor {
+ public:
+  /// Constructs an empty (0-element, 0-dim) tensor.
+  Tensor() = default;
+
+  /// Constructs a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Constructs from explicit data; `data.size()` must match the shape.
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// \name Factories
+  /// @{
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(Shape shape, float value);
+  /// 1-D tensor from values.
+  static Tensor FromVector(std::vector<float> values);
+  /// @}
+
+  const Shape& shape() const { return shape_; }
+  size_t ndim() const { return shape_.size(); }
+  /// Total number of elements.
+  size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Size of dimension `dim`.
+  size_t dim(size_t d) const {
+    MMM_DCHECK(d < shape_.size());
+    return shape_[d];
+  }
+
+  std::span<const float> data() const { return data_; }
+  std::span<float> mutable_data() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  /// \name Element access (row-major).
+  /// @{
+  float& at(size_t i) {
+    MMM_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  float at(size_t i) const {
+    MMM_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  float& at2(size_t i, size_t j) {
+    MMM_DCHECK(ndim() == 2 && i < shape_[0] && j < shape_[1]);
+    return data_[i * shape_[1] + j];
+  }
+  float at2(size_t i, size_t j) const {
+    MMM_DCHECK(ndim() == 2 && i < shape_[0] && j < shape_[1]);
+    return data_[i * shape_[1] + j];
+  }
+  float& at4(size_t n, size_t c, size_t h, size_t w) {
+    MMM_DCHECK(ndim() == 4);
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  float at4(size_t n, size_t c, size_t h, size_t w) const {
+    MMM_DCHECK(ndim() == 4);
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  /// @}
+
+  /// Returns a tensor with the same data and a new shape of equal numel.
+  Tensor Reshape(Shape new_shape) const;
+
+  /// Fills every element with `value`.
+  void Fill(float value);
+
+  /// Exact bitwise equality of shape and data.
+  bool Equals(const Tensor& other) const;
+
+  /// True when shapes match and elements differ by at most `atol`.
+  bool AllClose(const Tensor& other, float atol = 1e-6f) const;
+
+  /// "[2x3] {1, 2, 3, ...}" (first 8 elements).
+  std::string ToString() const;
+
+  /// Number of elements implied by a shape.
+  static size_t NumElements(const Shape& shape);
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_TENSOR_TENSOR_H_

@@ -1,0 +1,31 @@
+#include "tensor/tensor_serialize.h"
+
+namespace mmm {
+
+void WriteTensor(BinaryWriter* writer, const Tensor& tensor) {
+  writer->WriteVarint(tensor.ndim());
+  for (size_t d : tensor.shape()) writer->WriteVarint(d);
+  writer->WriteFloatSpan(tensor.data());
+}
+
+Result<Tensor> ReadTensor(BinaryReader* reader) {
+  MMM_ASSIGN_OR_RETURN(uint64_t ndim, reader->ReadVarint());
+  if (ndim > 8) {
+    return Status::Corruption("tensor with implausible rank ", ndim);
+  }
+  Shape shape(ndim);
+  size_t numel = ndim == 0 ? 0 : 1;
+  for (size_t i = 0; i < ndim; ++i) {
+    MMM_ASSIGN_OR_RETURN(uint64_t d, reader->ReadVarint());
+    shape[i] = d;
+    numel *= d;
+  }
+  if (reader->remaining() < numel * sizeof(float)) {
+    return Status::Corruption("tensor data truncated: need ", numel, " floats");
+  }
+  std::vector<float> data(numel);
+  MMM_RETURN_NOT_OK(reader->ReadFloatSpan(numel, data.data()));
+  return Tensor(std::move(shape), std::move(data));
+}
+
+}  // namespace mmm

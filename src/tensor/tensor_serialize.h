@@ -1,0 +1,18 @@
+#ifndef MMM_TENSOR_TENSOR_SERIALIZE_H_
+#define MMM_TENSOR_TENSOR_SERIALIZE_H_
+
+#include "common/result.h"
+#include "serialize/binary_io.h"
+#include "tensor/tensor.h"
+
+namespace mmm {
+
+/// Writes a tensor as: varint ndim, varint dims..., raw float32 data.
+void WriteTensor(BinaryWriter* writer, const Tensor& tensor);
+
+/// Inverse of WriteTensor.
+Result<Tensor> ReadTensor(BinaryReader* reader);
+
+}  // namespace mmm
+
+#endif  // MMM_TENSOR_TENSOR_SERIALIZE_H_

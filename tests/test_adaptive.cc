@@ -1,0 +1,123 @@
+#include "core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/scenario.h"
+
+namespace mmm {
+namespace {
+
+using testing::TempDir;
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  AdaptiveTest() : temp_("adaptive") {
+    ScenarioConfig config = ScenarioConfig::Battery(30);
+    config.samples_per_dataset = 32;
+    scenario_ = std::make_unique<MultiModelScenario>(config);
+    scenario_->Init().Check();
+    ModelSetManager::Options options;
+    options.root_dir = temp_.path() + "/store";
+    options.resolver = scenario_.get();
+    manager_ = ModelSetManager::Open(options).ValueOrDie();
+  }
+
+  TempDir temp_;
+  std::unique_ptr<MultiModelScenario> scenario_;
+  std::unique_ptr<ModelSetManager> manager_;
+};
+
+TEST_F(AdaptiveTest, ArchivalWorkloadSticksWithProvenance) {
+  AdaptivePolicyOptions options;  // default profile = storage-first archive
+  AdaptiveModelSetManager adaptive(manager_.get(), options);
+  adaptive.SaveInitial(scenario_->current_set()).status().Check();
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ModelSetUpdateInfo update = scenario_->AdvanceCycle().ValueOrDie();
+    ASSERT_OK(adaptive.SaveDerived(scenario_->current_set(), update).status());
+    EXPECT_EQ(adaptive.current_choice(), ApproachType::kProvenance);
+  }
+  // Everything stays recoverable.
+  ASSERT_OK_AND_ASSIGN(ModelSet recovered, adaptive.Recover(adaptive.head()));
+  EXPECT_EQ(recovered.models.size(), 30u);
+}
+
+TEST_F(AdaptiveTest, HeavyRecoveryTrafficMovesAwayFromProvenance) {
+  AdaptivePolicyOptions options;
+  options.profile.recover_time_weight = 2.0;
+  options.profile.retrain_seconds_per_model = 600.0;
+  options.smoothing = 0.8;  // adapt quickly in this short test
+  AdaptiveModelSetManager adaptive(manager_.get(), options);
+  adaptive.SaveInitial(scenario_->current_set()).status().Check();
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    // The set is recovered many times per save: TTR starts to dominate.
+    for (int r = 0; r < 5; ++r) {
+      adaptive.Recover(adaptive.head()).status().Check();
+    }
+    ModelSetUpdateInfo update = scenario_->AdvanceCycle().ValueOrDie();
+    ASSERT_OK(adaptive.SaveDerived(scenario_->current_set(), update).status());
+  }
+  EXPECT_NE(adaptive.current_choice(), ApproachType::kProvenance);
+  EXPECT_GT(adaptive.profile().recoveries_per_save, 1.0);
+}
+
+TEST_F(AdaptiveTest, SwitchingApproachesKeepsEverySetRecoverable) {
+  AdaptivePolicyOptions options;
+  options.smoothing = 1.0;  // follow the latest observation exactly
+  AdaptiveModelSetManager adaptive(manager_.get(), options);
+  adaptive.SaveInitial(scenario_->current_set()).status().Check();
+
+  std::vector<std::string> ids{adaptive.head()};
+  std::vector<ModelSet> states;
+  states.push_back(scenario_->current_set());
+
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    // Alternate the recovery pressure to force approach switches.
+    if (cycle % 2 == 1) {
+      for (int r = 0; r < 8; ++r) adaptive.Recover(ids.back()).status().Check();
+      options.profile.recover_time_weight = 3.0;
+    }
+    ModelSetUpdateInfo update = scenario_->AdvanceCycle().ValueOrDie();
+    ASSERT_OK(adaptive.SaveDerived(scenario_->current_set(), update).status());
+    ids.push_back(adaptive.head());
+    states.push_back(scenario_->current_set());
+  }
+
+  // Every historical version recovers bit-exactly regardless of which
+  // approach archived it.
+  for (size_t v = 0; v < ids.size(); ++v) {
+    ASSERT_OK_AND_ASSIGN(ModelSet recovered, manager_->Recover(ids[v]));
+    ASSERT_EQ(recovered.models.size(), states[v].models.size());
+    for (size_t m = 0; m < recovered.models.size(); ++m) {
+      for (size_t p = 0; p < recovered.models[m].size(); ++p) {
+        ASSERT_TRUE(recovered.models[m][p].second.Equals(
+            states[v].models[m][p].second))
+            << "version " << v << " model " << m;
+      }
+    }
+  }
+}
+
+TEST_F(AdaptiveTest, ObservedUpdateRateTracksWorkload) {
+  AdaptivePolicyOptions options;
+  options.profile.update_rate = 0.5;  // wrong prior
+  options.smoothing = 0.5;
+  AdaptiveModelSetManager adaptive(manager_.get(), options);
+  adaptive.SaveInitial(scenario_->current_set()).status().Check();
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    ModelSetUpdateInfo update = scenario_->AdvanceCycle().ValueOrDie();
+    ASSERT_OK(adaptive.SaveDerived(scenario_->current_set(), update).status());
+  }
+  // The scenario updates ~13% of 30 models (2 full + 2 partial); the
+  // estimate must have moved well below the 0.5 prior.
+  EXPECT_LT(adaptive.profile().update_rate, 0.2);
+  EXPECT_GT(adaptive.profile().update_rate, 0.05);
+  // Partial updates retrain fc3+fc4 (~48% of FFNN-48's parameters), so the
+  // blended fraction sits between that and 1.0.
+  EXPECT_LT(adaptive.profile().updated_param_fraction, 1.0);
+  EXPECT_GT(adaptive.profile().updated_param_fraction, 0.4);
+}
+
+}  // namespace
+}  // namespace mmm

@@ -1,0 +1,153 @@
+#include "nn/architecture.h"
+
+#include <gtest/gtest.h>
+
+#include "core/model_set.h"
+#include "nn/model.h"
+#include "tests/test_util.h"
+
+namespace mmm {
+namespace {
+
+// The paper's exact parameter counts (§4.1): FFNN-48 has 4,993 parameters,
+// FFNN-69 has 10,075, the CIFAR convnet has 6,882.
+TEST(ArchitectureTest, Ffnn48HasExactly4993Parameters) {
+  EXPECT_EQ(Ffnn48Spec().ParameterCount(), 4993u);
+}
+
+TEST(ArchitectureTest, Ffnn69HasExactly10075Parameters) {
+  EXPECT_EQ(Ffnn69Spec().ParameterCount(), 10075u);
+}
+
+TEST(ArchitectureTest, CifarNetHasExactly6882Parameters) {
+  EXPECT_EQ(CifarNetSpec().ParameterCount(), 6882u);
+}
+
+TEST(ArchitectureTest, BuiltNetworkMatchesSpecCount) {
+  for (const ArchitectureSpec& spec :
+       {Ffnn48Spec(), Ffnn69Spec(), CifarNetSpec()}) {
+    ASSERT_OK_AND_ASSIGN(auto network, spec.Build());
+    EXPECT_EQ(network->ParameterCount(), spec.ParameterCount()) << spec.family;
+  }
+}
+
+TEST(ArchitectureTest, LayoutMatchesBuiltNetwork) {
+  for (const ArchitectureSpec& spec :
+       {Ffnn48Spec(), Ffnn69Spec(), CifarNetSpec()}) {
+    ASSERT_OK_AND_ASSIGN(auto network, spec.Build());
+    auto named = network->NamedParameters();
+    ParamLayout layout = LayoutOf(spec);
+    ASSERT_EQ(named.size(), layout.size()) << spec.family;
+    for (size_t i = 0; i < named.size(); ++i) {
+      EXPECT_EQ(named[i].qualified_name, layout[i].first);
+      EXPECT_EQ(named[i].parameter->value.shape(), layout[i].second);
+    }
+    EXPECT_EQ(LayoutNumel(layout), spec.ParameterCount());
+  }
+}
+
+TEST(ArchitectureTest, JsonRoundTrip) {
+  for (const ArchitectureSpec& spec :
+       {Ffnn48Spec(), Ffnn69Spec(), CifarNetSpec()}) {
+    ASSERT_OK_AND_ASSIGN(ArchitectureSpec decoded,
+                         ArchitectureSpec::FromJson(spec.ToJson()));
+    EXPECT_EQ(decoded, spec);
+  }
+}
+
+TEST(ArchitectureTest, JsonRoundTripThroughText) {
+  ArchitectureSpec spec = CifarNetSpec();
+  ASSERT_OK_AND_ASSIGN(JsonValue parsed, JsonValue::Parse(spec.ToJson().Dump()));
+  ASSERT_OK_AND_ASSIGN(ArchitectureSpec decoded,
+                       ArchitectureSpec::FromJson(parsed));
+  EXPECT_EQ(decoded, spec);
+}
+
+TEST(ArchitectureTest, BuildRejectsUnknownLayerType) {
+  ArchitectureSpec spec;
+  spec.family = "broken";
+  spec.layers = {{"x", "transformer", 0, 0, 0}};
+  EXPECT_TRUE(spec.Build().status().IsInvalidArgument());
+}
+
+TEST(ArchitectureTest, BuildRejectsIncompleteLinear) {
+  ArchitectureSpec spec;
+  spec.family = "broken";
+  spec.layers = {{"fc", "linear", 0, 5, 0}};
+  EXPECT_TRUE(spec.Build().status().IsInvalidArgument());
+}
+
+TEST(ArchitectureTest, SourceCodeListsLayers) {
+  std::string code = Ffnn48Spec().SourceCode();
+  EXPECT_NE(code.find("class FFNN-48"), std::string::npos);
+  EXPECT_NE(code.find("self.fc1 = Linear(4, 48)"), std::string::npos);
+  EXPECT_NE(code.find("self.fc4 = Linear(48, 1)"), std::string::npos);
+  EXPECT_NE(code.find("def forward"), std::string::npos);
+}
+
+TEST(ArchitectureTest, ParameterLayerNames) {
+  EXPECT_EQ(Ffnn48Spec().ParameterLayerNames(),
+            (std::vector<std::string>{"fc1", "fc2", "fc3", "fc4"}));
+  EXPECT_EQ(CifarNetSpec().ParameterLayerNames(),
+            (std::vector<std::string>{"conv1", "conv2", "fc1"}));
+}
+
+TEST(ArchitectureTest, FfnnForwardShape) {
+  ASSERT_OK_AND_ASSIGN(Model model, Model::CreateInitialized(Ffnn48Spec(), 1));
+  Tensor out = model.Predict(testing::RandomTensor(Shape{7, 4}, 2));
+  EXPECT_EQ(out.shape(), (Shape{7, 1}));
+}
+
+TEST(ArchitectureTest, CifarForwardShape) {
+  ASSERT_OK_AND_ASSIGN(Model model, Model::CreateInitialized(CifarNetSpec(), 1));
+  Tensor out = model.Predict(testing::RandomTensor(Shape{2, 3, 32, 32}, 2));
+  EXPECT_EQ(out.shape(), (Shape{2, 10}));
+}
+
+TEST(ModelTest, StateDictRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(Model a, Model::CreateInitialized(Ffnn48Spec(), 5));
+  ASSERT_OK_AND_ASSIGN(Model b, Model::Create(Ffnn48Spec()));
+  ASSERT_OK(b.LoadStateDict(a.GetStateDict()));
+  Tensor input = testing::RandomTensor(Shape{3, 4}, 6);
+  EXPECT_TRUE(a.Predict(input).Equals(b.Predict(input)));
+}
+
+TEST(ModelTest, LoadStateDictRejectsMismatchedKeys) {
+  ASSERT_OK_AND_ASSIGN(Model model, Model::Create(Ffnn48Spec()));
+  StateDict state = model.GetStateDict();
+  state[0].first = "wrong.key";
+  EXPECT_TRUE(model.LoadStateDict(state).IsInvalidArgument());
+}
+
+TEST(ModelTest, LoadStateDictRejectsWrongShape) {
+  ASSERT_OK_AND_ASSIGN(Model model, Model::Create(Ffnn48Spec()));
+  StateDict state = model.GetStateDict();
+  state[0].second = Tensor(Shape{1, 1});
+  EXPECT_TRUE(model.LoadStateDict(state).IsInvalidArgument());
+}
+
+TEST(ModelTest, LoadStateDictRejectsWrongCount) {
+  ASSERT_OK_AND_ASSIGN(Model model, Model::Create(Ffnn48Spec()));
+  StateDict state = model.GetStateDict();
+  state.pop_back();
+  EXPECT_TRUE(model.LoadStateDict(state).IsInvalidArgument());
+}
+
+TEST(ModelTest, CloneIsDeep) {
+  ASSERT_OK_AND_ASSIGN(Model a, Model::CreateInitialized(Ffnn48Spec(), 7));
+  ASSERT_OK_AND_ASSIGN(Model b, a.Clone());
+  // Mutating the clone leaves the original untouched.
+  b.network()->NamedParameters()[0].parameter->value.Fill(0.0f);
+  EXPECT_FALSE(a.GetStateDict()[0].second.Equals(b.GetStateDict()[0].second));
+}
+
+TEST(ModelTest, InitializationIsSeedDeterministic) {
+  ASSERT_OK_AND_ASSIGN(Model a, Model::CreateInitialized(Ffnn48Spec(), 9));
+  ASSERT_OK_AND_ASSIGN(Model b, Model::CreateInitialized(Ffnn48Spec(), 9));
+  ASSERT_OK_AND_ASSIGN(Model c, Model::CreateInitialized(Ffnn48Spec(), 10));
+  EXPECT_TRUE(a.GetStateDict()[0].second.Equals(b.GetStateDict()[0].second));
+  EXPECT_FALSE(a.GetStateDict()[0].second.Equals(c.GetStateDict()[0].second));
+}
+
+}  // namespace
+}  // namespace mmm

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "battery/data_gen.h"
+#include "battery/drive_cycle.h"
+#include "battery/ecm.h"
+#include "battery/ocv.h"
+#include "tests/test_util.h"
+
+namespace mmm {
+namespace {
+
+TEST(OcvTest, MonotonicallyIncreasing) {
+  double previous = OcvCurve::Voltage(0.0);
+  for (double soc = 0.01; soc <= 1.0; soc += 0.01) {
+    double v = OcvCurve::Voltage(soc);
+    EXPECT_GT(v, previous) << "at soc " << soc;
+    previous = v;
+  }
+}
+
+TEST(OcvTest, EndpointsAreLiIonTypical) {
+  EXPECT_NEAR(OcvCurve::Voltage(0.0), 2.8, 0.01);
+  EXPECT_NEAR(OcvCurve::Voltage(1.0), 4.2, 0.01);
+  EXPECT_GT(OcvCurve::Voltage(0.5), 3.5);
+  EXPECT_LT(OcvCurve::Voltage(0.5), 3.8);
+}
+
+TEST(OcvTest, ClampsOutOfRange) {
+  EXPECT_EQ(OcvCurve::Voltage(-0.5), OcvCurve::Voltage(0.0));
+  EXPECT_EQ(OcvCurve::Voltage(1.5), OcvCurve::Voltage(1.0));
+}
+
+TEST(OcvTest, SlopeIsPositive) {
+  for (double soc = 0.0; soc <= 1.0; soc += 0.05) {
+    EXPECT_GT(OcvCurve::Slope(soc), 0.0);
+  }
+}
+
+TEST(OcvTest, InterpolationIsExactAtKnots) {
+  // Knot spacing is 1/(KnotCount-1); interpolation midway should lie between
+  // the neighbors.
+  double step = 1.0 / (OcvCurve::KnotCount() - 1);
+  double mid = OcvCurve::Voltage(step / 2);
+  EXPECT_GT(mid, OcvCurve::Voltage(0.0));
+  EXPECT_LT(mid, OcvCurve::Voltage(step));
+}
+
+TEST(EcmTest, DischargeDropsSocAndSagsVoltage) {
+  EcmCell cell(EcmParameters{});
+  cell.ResetState(0.9);
+  double ocv = OcvCurve::Voltage(0.9);
+  double v = cell.Step(/*current_a=*/5.0, /*dt_seconds=*/1.0);
+  EXPECT_LT(v, ocv);              // voltage sag under load
+  EXPECT_LT(cell.state().soc, 0.9);
+}
+
+TEST(EcmTest, ChargeRaisesVoltageAboveOcv) {
+  EcmCell cell(EcmParameters{});
+  cell.ResetState(0.5);
+  double ocv = OcvCurve::Voltage(0.5);
+  double v = cell.Step(/*current_a=*/-3.0, 1.0);
+  EXPECT_GT(v, ocv);
+  EXPECT_GT(cell.state().soc, 0.5);
+}
+
+TEST(EcmTest, RestRelaxesPolarization) {
+  EcmCell cell(EcmParameters{});
+  cell.ResetState(0.8);
+  for (int i = 0; i < 60; ++i) cell.Step(8.0, 1.0);
+  double polarization_after_load =
+      cell.state().v_rc1_volt + cell.state().v_rc2_volt;
+  EXPECT_GT(polarization_after_load, 0.01);
+  for (int i = 0; i < 600; ++i) cell.Step(0.0, 1.0);
+  double polarization_after_rest =
+      cell.state().v_rc1_volt + cell.state().v_rc2_volt;
+  EXPECT_LT(polarization_after_rest, polarization_after_load * 0.2);
+}
+
+TEST(EcmTest, CoulombCountingMatchesCapacity) {
+  EcmParameters params;
+  params.capacity_ah = 2.0;
+  EcmCell cell(params);
+  cell.ResetState(1.0);
+  // Discharge 1 A for 1 hour = 1 Ah = half the capacity.
+  for (int i = 0; i < 3600; ++i) cell.Step(1.0, 1.0);
+  EXPECT_NEAR(cell.state().soc, 0.5, 0.01);
+}
+
+TEST(EcmTest, TemperatureRisesUnderLoadAndRelaxes) {
+  EcmCell cell(EcmParameters{}, /*ambient=*/25.0);
+  cell.ResetState(0.9);
+  for (int i = 0; i < 300; ++i) cell.Step(10.0, 1.0);
+  double hot = cell.state().temperature_c;
+  EXPECT_GT(hot, 25.5);
+  for (int i = 0; i < 3600; ++i) cell.Step(0.0, 1.0);
+  EXPECT_LT(cell.state().temperature_c, hot);
+  EXPECT_NEAR(cell.state().temperature_c, 25.0, 1.0);
+}
+
+TEST(EcmTest, AgingIncreasesSagAndDropsCapacity) {
+  EcmCell fresh(EcmParameters{});
+  EcmCell aged(EcmParameters{});
+  aged.SetSoh(0.8);
+  fresh.ResetState(0.8);
+  aged.ResetState(0.8);
+  double v_fresh = fresh.Step(8.0, 1.0);
+  double v_aged = aged.Step(8.0, 1.0);
+  EXPECT_LT(v_aged, v_fresh);  // more resistance when aged
+  EXPECT_LT(aged.EffectiveCapacityAh(), fresh.EffectiveCapacityAh());
+}
+
+TEST(EcmTest, SohIsClamped) {
+  EcmCell cell(EcmParameters{});
+  cell.SetSoh(0.1);
+  EXPECT_EQ(cell.state().soh, 0.5);
+  cell.SetSoh(1.5);
+  EXPECT_EQ(cell.state().soh, 1.0);
+}
+
+TEST(EcmTest, SocIsClamped) {
+  EcmCell cell(EcmParameters{});
+  cell.ResetState(0.01);
+  for (int i = 0; i < 600; ++i) cell.Step(20.0, 10.0);
+  EXPECT_EQ(cell.state().soc, 0.0);
+}
+
+TEST(EcmTest, PerturbedParametersDifferPerCell) {
+  Rng rng_a = Rng(7).Fork("cell-params", 1);
+  Rng rng_b = Rng(7).Fork("cell-params", 2);
+  EcmParameters a = EcmParameters::Perturbed(EcmParameters{}, &rng_a);
+  EcmParameters b = EcmParameters::Perturbed(EcmParameters{}, &rng_b);
+  EXPECT_NE(a.r0_ohm, b.r0_ohm);
+  // ... but are reproducible for the same stream.
+  Rng rng_a2 = Rng(7).Fork("cell-params", 1);
+  EcmParameters a2 = EcmParameters::Perturbed(EcmParameters{}, &rng_a2);
+  EXPECT_EQ(a.r0_ohm, a2.r0_ohm);
+}
+
+TEST(DriveCycleTest, DeterministicPerCycleIndex) {
+  DriveCycleGenerator gen(42);
+  EXPECT_EQ(gen.Generate(3, 500), gen.Generate(3, 500));
+  EXPECT_NE(gen.Generate(3, 500), gen.Generate(4, 500));
+}
+
+TEST(DriveCycleTest, RespectsCurrentBounds) {
+  DriveCycleGenerator gen(1);
+  for (uint64_t cycle = 0; cycle < 5; ++cycle) {
+    for (double current : gen.Generate(cycle, 2000)) {
+      EXPECT_LE(current, DriveCycleGenerator::kMaxDischargeA);
+      EXPECT_GE(current, -DriveCycleGenerator::kMaxRegenA);
+    }
+  }
+}
+
+TEST(DriveCycleTest, ProducesRequestedLength) {
+  DriveCycleGenerator gen(1);
+  EXPECT_EQ(gen.Generate(0, 1).size(), 1u);
+  EXPECT_EQ(gen.Generate(0, 1234).size(), 1234u);
+}
+
+TEST(DriveCycleTest, ContainsBothDischargeAndRegen) {
+  DriveCycleGenerator gen(5);
+  std::vector<double> trace = gen.Generate(0, 5000);
+  double max_current = *std::max_element(trace.begin(), trace.end());
+  double min_current = *std::min_element(trace.begin(), trace.end());
+  EXPECT_GT(max_current, 3.0);   // real acceleration happens
+  EXPECT_LT(min_current, -0.5);  // regenerative braking happens
+}
+
+TEST(DriveCycleTest, NetDischargeOverLongHorizon) {
+  DriveCycleGenerator gen(6);
+  std::vector<double> trace = gen.Generate(1, 10000);
+  double total = 0.0;
+  for (double c : trace) total += c;
+  EXPECT_GT(total, 0.0);  // driving consumes energy overall
+}
+
+TEST(BatteryDataGenTest, ShapesAndDeterminism) {
+  BatteryDataConfig config;
+  config.samples_per_cycle = 100;
+  BatteryDataGenerator gen(config);
+  TrainingData a = gen.GenerateCellDataset(3, 1, 0.95);
+  EXPECT_EQ(a.inputs.shape(), (Shape{100, 4}));
+  EXPECT_EQ(a.targets.shape(), (Shape{100, 1}));
+  TrainingData b = gen.GenerateCellDataset(3, 1, 0.95);
+  EXPECT_TRUE(a.inputs.Equals(b.inputs));
+  EXPECT_TRUE(a.targets.Equals(b.targets));
+}
+
+TEST(BatteryDataGenTest, DifferentCellsAndCyclesDiffer) {
+  BatteryDataConfig config;
+  config.samples_per_cycle = 50;
+  BatteryDataGenerator gen(config);
+  TrainingData base = gen.GenerateCellDataset(1, 1, 0.95);
+  EXPECT_FALSE(base.targets.Equals(gen.GenerateCellDataset(2, 1, 0.95).targets));
+  EXPECT_FALSE(base.targets.Equals(gen.GenerateCellDataset(1, 2, 0.95).targets));
+}
+
+TEST(BatteryDataGenTest, SohChangesTargets) {
+  BatteryDataConfig config;
+  config.samples_per_cycle = 50;
+  BatteryDataGenerator gen(config);
+  TrainingData fresh = gen.GenerateCellDataset(1, 1, 1.0);
+  TrainingData aged = gen.GenerateCellDataset(1, 1, 0.8);
+  EXPECT_TRUE(fresh.inputs.AllClose(aged.inputs, 1e-2f));  // same drive trace
+  EXPECT_FALSE(fresh.targets.AllClose(aged.targets, 1e-4f));
+}
+
+TEST(BatteryDataGenTest, NormalizedFeaturesAreBounded) {
+  BatteryDataConfig config;
+  config.samples_per_cycle = 500;
+  BatteryDataGenerator gen(config);
+  TrainingData data = gen.GenerateCellDataset(7, 2, 0.9);
+  for (float x : data.inputs.data()) {
+    EXPECT_LT(std::fabs(x), 3.0f);
+  }
+  for (float y : data.targets.data()) {
+    EXPECT_LT(std::fabs(y), 3.0f);
+  }
+}
+
+TEST(BatteryDataGenTest, PackDatasetsShapesAndDeterminism) {
+  BatteryDataConfig config;
+  config.samples_per_cycle = 60;
+  BatteryDataGenerator gen(config);
+  std::vector<double> sohs{1.0, 0.95, 0.9, 1.0};
+  std::vector<TrainingData> a = gen.GeneratePackDatasets(3, 1, sohs);
+  ASSERT_EQ(a.size(), 4u);
+  for (const TrainingData& data : a) {
+    EXPECT_EQ(data.inputs.shape(), (Shape{60, 4}));
+    EXPECT_EQ(data.targets.shape(), (Shape{60, 1}));
+  }
+  std::vector<TrainingData> b = gen.GeneratePackDatasets(3, 1, sohs);
+  EXPECT_TRUE(a[2].targets.Equals(b[2].targets));
+  std::vector<TrainingData> other_pack = gen.GeneratePackDatasets(4, 1, sohs);
+  EXPECT_FALSE(a[2].targets.Equals(other_pack[2].targets));
+}
+
+TEST(BatteryDataGenTest, PackCellsShareCurrentButDifferInVoltage) {
+  BatteryDataConfig config;
+  config.samples_per_cycle = 100;
+  BatteryDataGenerator gen(config);
+  std::vector<TrainingData> datasets =
+      gen.GeneratePackDatasets(1, 1, {1.0, 1.0, 0.8});
+  // Column 0 (current) identical across cells; targets differ (cell 2 is
+  // aged, plus manufacturing spread).
+  for (size_t t = 0; t < 100; ++t) {
+    EXPECT_EQ(datasets[0].inputs.at2(t, 0), datasets[1].inputs.at2(t, 0));
+  }
+  EXPECT_FALSE(datasets[0].targets.AllClose(datasets[2].targets, 1e-4f));
+}
+
+TEST(BatteryDataGenTest, NoiseMakesTargetsNonSmooth) {
+  // With zero noise the same config yields smoother targets; the noisy
+  // version must differ from the clean one.
+  BatteryDataConfig noisy;
+  noisy.samples_per_cycle = 50;
+  BatteryDataConfig clean = noisy;
+  clean.voltage_noise_stddev = 0.0;
+  TrainingData a = BatteryDataGenerator(noisy).GenerateCellDataset(1, 1, 1.0);
+  TrainingData b = BatteryDataGenerator(clean).GenerateCellDataset(1, 1, 1.0);
+  EXPECT_TRUE(a.inputs.Equals(b.inputs));
+  EXPECT_FALSE(a.targets.Equals(b.targets));
+}
+
+}  // namespace
+}  // namespace mmm

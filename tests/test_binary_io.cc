@@ -1,0 +1,133 @@
+#include "serialize/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace mmm {
+namespace {
+
+TEST(BinaryIoTest, PrimitiveRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteUint8(0xab);
+  writer.WriteUint16(0x1234);
+  writer.WriteUint32(0xdeadbeef);
+  writer.WriteUint64(0x0123456789abcdefULL);
+  writer.WriteInt32(-42);
+  writer.WriteInt64(-1);
+  writer.WriteFloat(3.5f);
+  writer.WriteDouble(-2.25);
+
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadUint8().ValueOrDie(), 0xab);
+  EXPECT_EQ(reader.ReadUint16().ValueOrDie(), 0x1234);
+  EXPECT_EQ(reader.ReadUint32().ValueOrDie(), 0xdeadbeefu);
+  EXPECT_EQ(reader.ReadUint64().ValueOrDie(), 0x0123456789abcdefULL);
+  EXPECT_EQ(reader.ReadInt32().ValueOrDie(), -42);
+  EXPECT_EQ(reader.ReadInt64().ValueOrDie(), -1);
+  EXPECT_EQ(reader.ReadFloat().ValueOrDie(), 3.5f);
+  EXPECT_EQ(reader.ReadDouble().ValueOrDie(), -2.25);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BinaryIoTest, LittleEndianLayout) {
+  BinaryWriter writer;
+  writer.WriteUint32(0x01020304);
+  ASSERT_EQ(writer.size(), 4u);
+  EXPECT_EQ(writer.buffer()[0], 0x04);
+  EXPECT_EQ(writer.buffer()[3], 0x01);
+}
+
+TEST(BinaryIoTest, StringRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteString("");
+  writer.WriteString("hello");
+  std::string with_nul("a\0b", 3);
+  writer.WriteString(with_nul);
+
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadString().ValueOrDie(), "");
+  EXPECT_EQ(reader.ReadString().ValueOrDie(), "hello");
+  EXPECT_EQ(reader.ReadString().ValueOrDie(), with_nul);
+}
+
+TEST(BinaryIoTest, FloatVectorRoundTrip) {
+  std::vector<float> values{1.0f, -2.5f, 0.0f, 1e-30f, 1e30f};
+  BinaryWriter writer;
+  writer.WriteFloatVector(values);
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadFloatVector().ValueOrDie(), values);
+}
+
+TEST(BinaryIoTest, TruncatedReadsFailWithCorruption) {
+  BinaryWriter writer;
+  writer.WriteUint32(7);
+  BinaryReader reader(std::span<const uint8_t>(writer.buffer().data(), 2));
+  EXPECT_TRUE(reader.ReadUint32().status().IsCorruption());
+}
+
+TEST(BinaryIoTest, TruncatedStringFails) {
+  BinaryWriter writer;
+  writer.WriteVarint(100);  // claims 100 bytes but provides none
+  BinaryReader reader(writer.buffer());
+  EXPECT_TRUE(reader.ReadString().status().IsCorruption());
+}
+
+TEST(BinaryIoTest, TruncatedVarintFails) {
+  std::vector<uint8_t> bytes{0x80, 0x80};  // continuation bits, no terminator
+  BinaryReader reader(bytes);
+  EXPECT_TRUE(reader.ReadVarint().status().IsCorruption());
+}
+
+TEST(BinaryIoTest, OverlongVarintFails) {
+  std::vector<uint8_t> bytes(11, 0x80);
+  bytes.back() = 0x02;
+  BinaryReader reader(bytes);
+  EXPECT_TRUE(reader.ReadVarint().status().IsCorruption());
+}
+
+TEST(BinaryIoTest, SkipAdvancesAndChecksBounds) {
+  BinaryWriter writer;
+  writer.WriteUint32(0xaabbccdd);
+  BinaryReader reader(writer.buffer());
+  ASSERT_OK(reader.Skip(2));
+  EXPECT_EQ(reader.remaining(), 2u);
+  EXPECT_TRUE(reader.Skip(3).IsCorruption());
+}
+
+class VarintSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintSweep, RoundTrips) {
+  BinaryWriter writer;
+  writer.WriteVarint(GetParam());
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadVarint().ValueOrDie(), GetParam());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeValues, VarintSweep,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 129ULL, 16383ULL, 16384ULL,
+                      0xffffffffULL, 0x100000000ULL, 0x7fffffffffffffffULL,
+                      0xffffffffffffffffULL));
+
+TEST(BinaryIoTest, RandomizedVarintRoundTrip) {
+  Rng rng(99);
+  BinaryWriter writer;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 500; ++i) {
+    // Mix small and large magnitudes.
+    uint64_t v = rng.NextUint64() >> rng.NextBounded(64);
+    values.push_back(v);
+    writer.WriteVarint(v);
+  }
+  BinaryReader reader(writer.buffer());
+  for (uint64_t v : values) {
+    EXPECT_EQ(reader.ReadVarint().ValueOrDie(), v);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+}  // namespace
+}  // namespace mmm

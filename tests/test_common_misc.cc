@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/env_config.h"
+#include "common/id.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "storage/latency_model.h"
+#include "tests/test_util.h"
+
+namespace mmm {
+namespace {
+
+TEST(IdGeneratorTest, IdsAreUniqueAndPrefixed) {
+  IdGenerator ids(1);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::string id = ids.Next("set");
+    EXPECT_TRUE(StartsWith(id, "set-"));
+    EXPECT_TRUE(seen.insert(id).second) << id;
+  }
+  EXPECT_EQ(ids.count(), 1000u);
+}
+
+TEST(IdGeneratorTest, DeterministicForSeed) {
+  IdGenerator a(5), b(5);
+  EXPECT_EQ(a.Next("x"), b.Next("x"));
+  EXPECT_EQ(a.Next("x"), b.Next("x"));
+}
+
+TEST(IdGeneratorTest, CounterEncodedInOrder) {
+  IdGenerator ids(2);
+  std::string first = ids.Next("set");
+  std::string second = ids.Next("set");
+  EXPECT_LT(first.substr(0, 10), second.substr(0, 10));
+}
+
+TEST(IdGeneratorTest, AdvanceToPreventsReuse) {
+  IdGenerator ids(3);
+  std::string a = ids.Next("set");
+  IdGenerator reopened(3);
+  reopened.AdvanceTo(1);
+  std::string b = reopened.Next("set");
+  EXPECT_NE(a.substr(0, 10), b.substr(0, 10));
+  // AdvanceTo never moves backwards.
+  reopened.AdvanceTo(0);
+  EXPECT_EQ(reopened.count(), 2u);
+}
+
+TEST(ClockTest, StopWatchMeasuresElapsed) {
+  StopWatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  double elapsed = watch.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.009);
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(ClockTest, SimulatedClockAccumulates) {
+  SimulatedClock clock;
+  EXPECT_EQ(clock.nanos(), 0u);
+  clock.Advance(1'000'000);
+  clock.Advance(500'000);
+  EXPECT_EQ(clock.nanos(), 1'500'000u);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 0.0015);
+  clock.Reset();
+  EXPECT_EQ(clock.nanos(), 0u);
+}
+
+TEST(LatencyModelTest, CostCombinesOpAndBytes) {
+  StoreLatencyModel model{1000, 2.0};
+  EXPECT_EQ(model.CostNanos(0), 1000u);
+  EXPECT_EQ(model.CostNanos(500), 2000u);
+  StoreLatencyModel zero;
+  EXPECT_EQ(zero.CostNanos(12345), 0u);
+}
+
+TEST(LatencyModelTest, PaperSetupsAreOrdered) {
+  SetupProfile m1 = SetupProfile::M1();
+  SetupProfile server = SetupProfile::Server();
+  // §4.3: the server's document-store connection is faster.
+  EXPECT_GT(m1.document_store.per_op_nanos, server.document_store.per_op_nanos);
+  EXPECT_EQ(SetupProfile::None().document_store.per_op_nanos, 0u);
+}
+
+TEST(EnvConfigTest, ParsesValuesWithDefaults) {
+  ::setenv("MMM_TEST_INT", "42", 1);
+  ::setenv("MMM_TEST_DOUBLE", "2.5", 1);
+  ::setenv("MMM_TEST_STRING", "hello", 1);
+  ::setenv("MMM_TEST_BOOL_OFF", "off", 1);
+  EXPECT_EQ(GetEnvInt64("MMM_TEST_INT", -1), 42);
+  EXPECT_EQ(GetEnvInt64("MMM_TEST_ABSENT", -1), -1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("MMM_TEST_DOUBLE", 0.0), 2.5);
+  EXPECT_EQ(GetEnvString("MMM_TEST_STRING", "d"), "hello");
+  EXPECT_EQ(GetEnvString("MMM_TEST_ABSENT", "d"), "d");
+  EXPECT_FALSE(GetEnvBool("MMM_TEST_BOOL_OFF", true));
+  EXPECT_TRUE(GetEnvBool("MMM_TEST_INT", false));
+  ::setenv("MMM_TEST_GARBAGE", "xyz", 1);
+  EXPECT_EQ(GetEnvInt64("MMM_TEST_GARBAGE", 7), 7);
+}
+
+TEST(LoggingTest, ThresholdFilters) {
+  LogLevel original = Logger::threshold();
+  Logger::set_threshold(LogLevel::kError);
+  // Below-threshold logging must be side-effect free (no crash, no output
+  // assertions possible here, but exercise the path).
+  MMM_LOG(kDebug) << "invisible " << 42;
+  MMM_LOG(kInfo) << "also invisible";
+  Logger::set_threshold(original);
+}
+
+TEST(LoggingTest, DcheckPassesOnTrue) {
+  MMM_DCHECK(1 + 1 == 2);  // must not abort
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mmm

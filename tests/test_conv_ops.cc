@@ -1,0 +1,141 @@
+#include "tensor/conv_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mmm {
+namespace {
+
+using testing::RandomTensor;
+
+TEST(ConvOpsTest, IdentityKernelPassesThrough) {
+  // 1x1 kernel with weight 1, bias 0 is the identity.
+  Tensor input = RandomTensor(Shape{1, 1, 4, 4}, 1);
+  Tensor weight = Tensor::Full(Shape{1, 1, 1, 1}, 1.0f);
+  Tensor bias(Shape{1});
+  Tensor out = Conv2dForward(input, weight, bias);
+  EXPECT_TRUE(out.Equals(input));
+}
+
+TEST(ConvOpsTest, KnownSmallConvolution) {
+  // 1x1x3x3 input, 2x2 averaging-like kernel.
+  Tensor input(Shape{1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor weight = Tensor::Full(Shape{1, 1, 2, 2}, 1.0f);
+  Tensor bias(Shape{1}, {0.5f});
+  Tensor out = Conv2dForward(input, weight, bias);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(out.at4(0, 0, 0, 0), 1 + 2 + 4 + 5 + 0.5f);
+  EXPECT_EQ(out.at4(0, 0, 1, 1), 5 + 6 + 8 + 9 + 0.5f);
+}
+
+TEST(ConvOpsTest, BiasAppliedPerOutputChannel) {
+  Tensor input = Tensor::Zeros(Shape{1, 1, 2, 2});
+  Tensor weight = Tensor::Zeros(Shape{3, 1, 1, 1});
+  Tensor bias(Shape{3}, {1.0f, 2.0f, 3.0f});
+  Tensor out = Conv2dForward(input, weight, bias);
+  EXPECT_EQ(out.at4(0, 0, 1, 1), 1.0f);
+  EXPECT_EQ(out.at4(0, 1, 0, 0), 2.0f);
+  EXPECT_EQ(out.at4(0, 2, 1, 0), 3.0f);
+}
+
+TEST(ConvOpsTest, OutputShape) {
+  Tensor input(Shape{2, 3, 32, 32});
+  Tensor weight(Shape{6, 3, 5, 5});
+  Tensor bias(Shape{6});
+  Tensor out = Conv2dForward(input, weight, bias);
+  EXPECT_EQ(out.shape(), (Shape{2, 6, 28, 28}));
+}
+
+// Numerical gradient check of the conv backward pass.
+TEST(ConvOpsTest, BackwardMatchesNumericalGradient) {
+  const Shape in_shape{1, 2, 5, 5};
+  const Shape w_shape{3, 2, 3, 3};
+  Tensor input = RandomTensor(in_shape, 10);
+  Tensor weight = RandomTensor(w_shape, 11);
+  Tensor bias = RandomTensor(Shape{3}, 12);
+
+  // Loss = sum of outputs => grad_output = ones.
+  auto loss = [&](const Tensor& in, const Tensor& w, const Tensor& b) {
+    Tensor out = Conv2dForward(in, w, b);
+    float acc = 0.0f;
+    for (float x : out.data()) acc += x;
+    return acc;
+  };
+
+  Tensor out = Conv2dForward(input, weight, bias);
+  Tensor grad_output = Tensor::Full(out.shape(), 1.0f);
+  Tensor grad_weight(w_shape);
+  Tensor grad_bias(Shape{3});
+  Tensor grad_input =
+      Conv2dBackward(input, weight, grad_output, &grad_weight, &grad_bias);
+
+  const float eps = 1e-2f;
+  // Spot-check a handful of coordinates in each gradient.
+  for (size_t i : {0u, 7u, 24u, 49u}) {
+    Tensor plus = input, minus = input;
+    plus.at(i) += eps;
+    minus.at(i) -= eps;
+    float numeric = (loss(plus, weight, bias) - loss(minus, weight, bias)) /
+                    (2 * eps);
+    EXPECT_NEAR(grad_input.at(i), numeric, 2e-2f) << "input grad @" << i;
+  }
+  for (size_t i : {0u, 5u, 17u, 53u}) {
+    Tensor plus = weight, minus = weight;
+    plus.at(i) += eps;
+    minus.at(i) -= eps;
+    float numeric = (loss(input, plus, bias) - loss(input, minus, bias)) /
+                    (2 * eps);
+    EXPECT_NEAR(grad_weight.at(i), numeric, 2e-2f) << "weight grad @" << i;
+  }
+  for (size_t i : {0u, 1u, 2u}) {
+    Tensor plus = bias, minus = bias;
+    plus.at(i) += eps;
+    minus.at(i) -= eps;
+    float numeric = (loss(input, weight, plus) - loss(input, weight, minus)) /
+                    (2 * eps);
+    EXPECT_NEAR(grad_bias.at(i), numeric, 2e-2f) << "bias grad @" << i;
+  }
+}
+
+TEST(MaxPoolTest, SelectsMaxima) {
+  Tensor input(Shape{1, 1, 4, 4},
+               {1, 2, 5, 6,
+                3, 4, 7, 8,
+                9, 10, 13, 14,
+                11, 12, 15, 16});
+  std::vector<size_t> argmax;
+  Tensor out = MaxPool2dForward(input, &argmax);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(out.at4(0, 0, 0, 0), 4.0f);
+  EXPECT_EQ(out.at4(0, 0, 0, 1), 8.0f);
+  EXPECT_EQ(out.at4(0, 0, 1, 0), 12.0f);
+  EXPECT_EQ(out.at4(0, 0, 1, 1), 16.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  Tensor input(Shape{1, 1, 2, 2}, {1, 4, 2, 3});
+  std::vector<size_t> argmax;
+  Tensor out = MaxPool2dForward(input, &argmax);
+  ASSERT_EQ(out.numel(), 1u);
+  Tensor grad_out(Shape{1, 1, 1, 1}, {5.0f});
+  Tensor grad_in = MaxPool2dBackward(input.shape(), grad_out, argmax);
+  EXPECT_TRUE(grad_in.Equals(Tensor(Shape{1, 1, 2, 2}, {0, 5, 0, 0})));
+}
+
+TEST(MaxPoolTest, MultiChannelShapes) {
+  Tensor input = RandomTensor(Shape{2, 6, 28, 28}, 3);
+  std::vector<size_t> argmax;
+  Tensor out = MaxPool2dForward(input, &argmax);
+  EXPECT_EQ(out.shape(), (Shape{2, 6, 14, 14}));
+  EXPECT_EQ(argmax.size(), out.numel());
+  // Every pooled value must be >= all four source values.
+  Tensor grad = MaxPool2dBackward(input.shape(), Tensor::Full(out.shape(), 1.0f),
+                                  argmax);
+  float total = 0.0f;
+  for (float g : grad.data()) total += g;
+  EXPECT_EQ(total, static_cast<float>(out.numel()));
+}
+
+}  // namespace
+}  // namespace mmm

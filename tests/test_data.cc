@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/cifar_synthetic.h"
+#include "data/dataset.h"
+#include "data/dataset_ref.h"
+#include "data/normalizer.h"
+#include "tests/test_util.h"
+
+namespace mmm {
+namespace {
+
+using testing::RandomTensor;
+
+TEST(TrainingDataTest, SizeAndHead) {
+  TrainingData data{RandomTensor(Shape{10, 4}, 1), RandomTensor(Shape{10, 1}, 2)};
+  EXPECT_EQ(data.size(), 10u);
+  TrainingData head = data.Head(4);
+  EXPECT_EQ(head.size(), 4u);
+  EXPECT_EQ(head.inputs.shape(), (Shape{4, 4}));
+  // Head keeps prefix rows exactly.
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(head.inputs.at(i), data.inputs.at(i));
+  }
+}
+
+TEST(TrainingDataTest, HeadLargerThanSizeIsIdentity) {
+  TrainingData data{RandomTensor(Shape{5, 2}, 3), RandomTensor(Shape{5, 1}, 4)};
+  TrainingData head = data.Head(100);
+  EXPECT_EQ(head.size(), 5u);
+  EXPECT_TRUE(head.inputs.Equals(data.inputs));
+}
+
+TEST(TrainingDataTest, HeadOfHighRankInputs) {
+  TrainingData data{RandomTensor(Shape{6, 3, 4, 4}, 5), RandomTensor(Shape{6}, 6)};
+  TrainingData head = data.Head(2);
+  EXPECT_EQ(head.inputs.shape(), (Shape{2, 3, 4, 4}));
+  EXPECT_EQ(head.targets.shape(), (Shape{2}));
+}
+
+TEST(NormalizerTest, NormalizeDenormalizeRoundTrip) {
+  FeatureNormalizer norm({1.0f, -2.0f}, {2.0f, 0.5f});
+  Tensor m(Shape{3, 2}, {1, -2, 3, -1, 5, 0});
+  ASSERT_OK_AND_ASSIGN(Tensor normalized, norm.Normalize(m));
+  EXPECT_EQ(normalized.at2(0, 0), 0.0f);
+  EXPECT_EQ(normalized.at2(0, 1), 0.0f);
+  EXPECT_EQ(normalized.at2(1, 0), 1.0f);
+  ASSERT_OK_AND_ASSIGN(Tensor back, norm.Denormalize(normalized));
+  EXPECT_TRUE(back.AllClose(m, 1e-5f));
+}
+
+TEST(NormalizerTest, RejectsWrongWidth) {
+  FeatureNormalizer norm({0.0f}, {1.0f});
+  EXPECT_TRUE(norm.Normalize(Tensor(Shape{2, 3})).status().IsInvalidArgument());
+  EXPECT_TRUE(norm.Normalize(Tensor(Shape{4})).status().IsInvalidArgument());
+}
+
+TEST(NormalizerTest, JsonRoundTrip) {
+  FeatureNormalizer norm({1.5f, -0.25f, 3.0f}, {2.0f, 4.0f, 0.125f});
+  ASSERT_OK_AND_ASSIGN(FeatureNormalizer decoded,
+                       FeatureNormalizer::FromJson(norm.ToJson()));
+  EXPECT_EQ(decoded, norm);
+}
+
+TEST(NormalizerTest, FromJsonRejectsZeroScale) {
+  FeatureNormalizer norm({1.0f}, {1.0f});
+  JsonValue json = norm.ToJson();
+  JsonValue scales = JsonValue::Array();
+  scales.Append(0.0);
+  json.Set("scales", std::move(scales));
+  EXPECT_TRUE(FeatureNormalizer::FromJson(json).status().IsCorruption());
+}
+
+TEST(DatasetRefTest, JsonRoundTrip) {
+  DatasetRef ref{"battery://cell/17/cycle/2", "abc123"};
+  ASSERT_OK_AND_ASSIGN(DatasetRef decoded, DatasetRef::FromJson(ref.ToJson()));
+  EXPECT_EQ(decoded, ref);
+}
+
+TEST(DatasetRefTest, HashIsContentSensitive) {
+  TrainingData a{RandomTensor(Shape{4, 2}, 1), RandomTensor(Shape{4, 1}, 2)};
+  TrainingData b = a;
+  EXPECT_EQ(HashTrainingData(a), HashTrainingData(b));
+  b.targets.at(0) += 1e-6f;
+  EXPECT_NE(HashTrainingData(a), HashTrainingData(b));
+}
+
+TEST(DatasetRefTest, HashCoversShapeNotJustBytes) {
+  TrainingData a{Tensor(Shape{2, 2}, {1, 2, 3, 4}), Tensor(Shape{2}, {0, 1})};
+  TrainingData b{Tensor(Shape{4, 1}, {1, 2, 3, 4}), Tensor(Shape{2}, {0, 1})};
+  EXPECT_NE(HashTrainingData(a), HashTrainingData(b));
+}
+
+TEST(CifarSyntheticTest, ShapesAndLabelRange) {
+  CifarSyntheticGenerator gen(9);
+  TrainingData data = gen.Generate(0, 0, 32);
+  EXPECT_EQ(data.inputs.shape(), (Shape{32, 3, 32, 32}));
+  EXPECT_EQ(data.targets.shape(), (Shape{32}));
+  for (float label : data.targets.data()) {
+    EXPECT_GE(label, 0.0f);
+    EXPECT_LT(label, 10.0f);
+    EXPECT_EQ(label, std::floor(label));
+  }
+}
+
+TEST(CifarSyntheticTest, PixelsInUnitRange) {
+  CifarSyntheticGenerator gen(10);
+  TrainingData data = gen.Generate(1, 0, 8);
+  for (float p : data.inputs.data()) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(CifarSyntheticTest, DeterministicPerKey) {
+  CifarSyntheticGenerator gen(11);
+  TrainingData a = gen.Generate(5, 2, 16);
+  TrainingData b = gen.Generate(5, 2, 16);
+  EXPECT_TRUE(a.inputs.Equals(b.inputs));
+  EXPECT_TRUE(a.targets.Equals(b.targets));
+  EXPECT_FALSE(a.inputs.Equals(gen.Generate(6, 2, 16).inputs));
+  EXPECT_FALSE(a.inputs.Equals(gen.Generate(5, 3, 16).inputs));
+}
+
+TEST(CifarSyntheticTest, AllClassesAppear) {
+  CifarSyntheticGenerator gen(12);
+  TrainingData data = gen.Generate(0, 0, 500);
+  std::set<int> classes;
+  for (float label : data.targets.data()) {
+    classes.insert(static_cast<int>(label));
+  }
+  EXPECT_EQ(classes.size(), 10u);
+}
+
+TEST(CifarSyntheticTest, ClassesAreSeparableByMeanColor) {
+  // Two images of the same class should usually be closer in channel means
+  // than images of different classes — the signal a convnet learns.
+  CifarSyntheticGenerator gen(13);
+  TrainingData data = gen.Generate(0, 0, 200);
+  const size_t image = 3 * 32 * 32;
+  auto mean_of = [&](size_t i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < image; ++j) sum += data.inputs.at(i * image + j);
+    return sum / image;
+  };
+  // Average intra-class vs inter-class distance of image means.
+  double intra = 0.0, inter = 0.0;
+  int intra_n = 0, inter_n = 0;
+  for (size_t i = 0; i < 60; ++i) {
+    for (size_t j = i + 1; j < 60; ++j) {
+      double d = std::fabs(mean_of(i) - mean_of(j));
+      if (data.targets.at(i) == data.targets.at(j)) {
+        intra += d;
+        ++intra_n;
+      } else {
+        inter += d;
+        ++inter_n;
+      }
+    }
+  }
+  ASSERT_GT(intra_n, 0);
+  ASSERT_GT(inter_n, 0);
+  EXPECT_LT(intra / intra_n, inter / inter_n);
+}
+
+}  // namespace
+}  // namespace mmm

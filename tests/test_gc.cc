@@ -1,0 +1,193 @@
+#include "core/gc.h"
+
+#include <gtest/gtest.h>
+
+#include "core/inspect.h"
+#include "core/manager.h"
+#include "tests/test_util.h"
+#include "workload/scenario.h"
+
+namespace mmm {
+namespace {
+
+using testing::TempDir;
+
+class GcTest : public ::testing::Test {
+ protected:
+  GcTest() : temp_("gc") {
+    ScenarioConfig config = ScenarioConfig::Battery(15);
+    config.samples_per_dataset = 32;
+    scenario_ = std::make_unique<MultiModelScenario>(config);
+    scenario_->Init().Check();
+    ModelSetManager::Options options;
+    options.root_dir = temp_.path() + "/store";
+    options.resolver = scenario_.get();
+    manager_ = ModelSetManager::Open(options).ValueOrDie();
+  }
+
+  std::vector<std::string> BuildChain(ApproachType type, int cycles) {
+    std::vector<std::string> ids;
+    ids.push_back(
+        manager_->SaveInitial(type, scenario_->current_set()).ValueOrDie().set_id);
+    for (int i = 0; i < cycles; ++i) {
+      ModelSetUpdateInfo update = scenario_->AdvanceCycle().ValueOrDie();
+      update.base_set_id = ids.back();
+      ids.push_back(manager_
+                        ->SaveDerived(type, scenario_->current_set(), update)
+                        .ValueOrDie()
+                        .set_id);
+    }
+    return ids;
+  }
+
+  TempDir temp_;
+  std::unique_ptr<MultiModelScenario> scenario_;
+  std::unique_ptr<ModelSetManager> manager_;
+};
+
+TEST_F(GcTest, DeleteStandaloneSet) {
+  std::string id = manager_
+                       ->SaveInitial(ApproachType::kBaseline,
+                                     scenario_->current_set())
+                       .ValueOrDie()
+                       .set_id;
+  ASSERT_OK_AND_ASSIGN(DeleteReport report, DeleteSet(manager_->context(), id));
+  EXPECT_EQ(report.sets_deleted, 1u);
+  EXPECT_EQ(report.blobs_deleted, 2u);  // arch + params
+  EXPECT_GT(report.bytes_reclaimed, 15u * 4993 * 4);
+  EXPECT_TRUE(manager_->Recover(id).status().IsNotFound());
+  EXPECT_EQ(manager_->ListSets().ValueOrDie().size(), 0u);
+}
+
+TEST_F(GcTest, DeleteUnknownSetFails) {
+  EXPECT_TRUE(DeleteSet(manager_->context(), "nope").status().IsNotFound());
+}
+
+TEST_F(GcTest, RefusesToDeleteBaseOfChainWithoutCascade) {
+  std::vector<std::string> ids = BuildChain(ApproachType::kUpdate, 2);
+  Status st = DeleteSet(manager_->context(), ids[0]).status();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("dependent"), std::string::npos);
+  // Chain untouched.
+  EXPECT_OK(manager_->Recover(ids.back()).status());
+}
+
+TEST_F(GcTest, CascadeDeletesDependentsToo) {
+  std::vector<std::string> ids = BuildChain(ApproachType::kUpdate, 2);
+  DeleteOptions options;
+  options.cascade = true;
+  ASSERT_OK_AND_ASSIGN(DeleteReport report,
+                       DeleteSet(manager_->context(), ids[0], options));
+  EXPECT_EQ(report.sets_deleted, 3u);
+  for (const std::string& id : ids) {
+    EXPECT_TRUE(manager_->Recover(id).status().IsNotFound());
+  }
+  // No orphaned blobs.
+  EXPECT_TRUE(manager_->file_store()->List().ValueOrDie().empty());
+}
+
+TEST_F(GcTest, DeletingChainTipKeepsBaseRecoverable) {
+  std::vector<std::string> ids = BuildChain(ApproachType::kUpdate, 2);
+  ASSERT_OK_AND_ASSIGN(DeleteReport report,
+                       DeleteSet(manager_->context(), ids[2]));
+  EXPECT_EQ(report.sets_deleted, 1u);
+  EXPECT_OK(manager_->Recover(ids[1]).status());
+  EXPECT_OK(manager_->Recover(ids[0]).status());
+}
+
+TEST_F(GcTest, DeleteMMlibSetRemovesPerModelArtifacts) {
+  std::string id = manager_
+                       ->SaveInitial(ApproachType::kMMlibBase,
+                                     scenario_->current_set())
+                       .ValueOrDie()
+                       .set_id;
+  size_t blobs_before = manager_->file_store()->List().ValueOrDie().size();
+  EXPECT_EQ(blobs_before, 30u);  // weights + code per model
+  ASSERT_OK_AND_ASSIGN(DeleteReport report, DeleteSet(manager_->context(), id));
+  EXPECT_EQ(report.blobs_deleted, 30u);
+  EXPECT_TRUE(manager_->file_store()->List().ValueOrDie().empty());
+  EXPECT_EQ(manager_->doc_store()->Count("mmlib_models"), 0u);
+}
+
+TEST_F(GcTest, BaselineLineageDoesNotBlockDeletion) {
+  // Baseline derived sets only *record* lineage; they are independently
+  // recoverable, so deleting their base is allowed.
+  std::vector<std::string> ids = BuildChain(ApproachType::kBaseline, 1);
+  ASSERT_OK(DeleteSet(manager_->context(), ids[0]).status());
+  EXPECT_OK(manager_->Recover(ids[1]).status());
+}
+
+TEST_F(GcTest, RetainOnlyKeepsLineageClosure) {
+  std::vector<std::string> update_ids = BuildChain(ApproachType::kUpdate, 2);
+  std::string baseline_id = manager_
+                                ->SaveInitial(ApproachType::kBaseline,
+                                              scenario_->current_set())
+                                .ValueOrDie()
+                                .set_id;
+  // Keep only the newest update set: its whole chain must survive, the
+  // baseline snapshot must go.
+  ASSERT_OK_AND_ASSIGN(DeleteReport report,
+                       RetainOnly(manager_->context(), {update_ids.back()}));
+  EXPECT_EQ(report.sets_deleted, 1u);
+  EXPECT_EQ(report.deleted_set_ids[0], baseline_id);
+  EXPECT_OK(manager_->Recover(update_ids.back()).status());
+  ASSERT_OK_AND_ASSIGN(StoreValidationReport health,
+                       ValidateStore(manager_->context()));
+  EXPECT_TRUE(health.ok());
+}
+
+TEST_F(GcTest, RetainOnlyUnknownIdFails) {
+  BuildChain(ApproachType::kUpdate, 1);
+  EXPECT_TRUE(RetainOnly(manager_->context(), {"ghost"}).status().IsNotFound());
+}
+
+TEST_F(GcTest, TombstonesSurviveReopen) {
+  std::vector<std::string> ids = BuildChain(ApproachType::kUpdate, 1);
+  DeleteOptions cascade;
+  cascade.cascade = true;
+  ASSERT_OK(DeleteSet(manager_->context(), ids[0], cascade).status());
+
+  ModelSetManager::Options options;
+  options.root_dir = temp_.path() + "/store";
+  options.resolver = scenario_.get();
+  auto reopened = ModelSetManager::Open(options).ValueOrDie();
+  EXPECT_TRUE(reopened->Recover(ids[0]).status().IsNotFound());
+  EXPECT_TRUE(reopened->Recover(ids[1]).status().IsNotFound());
+  EXPECT_EQ(reopened->ListSets().ValueOrDie().size(), 0u);
+}
+
+TEST(DocumentStoreRemoveTest, RemoveAndReinsert) {
+  InMemoryEnv env;
+  DocumentStore store(&env, "/wal");
+  store.Open().Check();
+  JsonValue doc = JsonValue::Object();
+  doc.Set("_id", "a");
+  doc.Set("v", 1);
+  store.Insert("c", doc).Check();
+  ASSERT_OK(store.Remove("c", "a"));
+  EXPECT_TRUE(store.Get("c", "a").status().IsNotFound());
+  EXPECT_TRUE(store.Remove("c", "a").IsNotFound());
+  // The id becomes insertable again.
+  doc.Set("v", 2);
+  ASSERT_OK(store.Insert("c", doc));
+  EXPECT_EQ(store.Get("c", "a").ValueOrDie().GetInt64("v").ValueOrDie(), 2);
+}
+
+TEST(DocumentStoreRemoveTest, IndexStaysConsistentAfterMiddleRemove) {
+  InMemoryEnv env;
+  DocumentStore store(&env, "/wal");
+  store.Open().Check();
+  for (int i = 0; i < 5; ++i) {
+    JsonValue doc = JsonValue::Object();
+    doc.Set("_id", "d" + std::to_string(i));
+    doc.Set("v", i);
+    store.Insert("c", doc).Check();
+  }
+  ASSERT_OK(store.Remove("c", "d2"));
+  EXPECT_EQ(store.Count("c"), 4u);
+  EXPECT_EQ(store.Get("c", "d4").ValueOrDie().GetInt64("v").ValueOrDie(), 4);
+  EXPECT_EQ(store.Get("c", "d0").ValueOrDie().GetInt64("v").ValueOrDie(), 0);
+}
+
+}  // namespace
+}  // namespace mmm

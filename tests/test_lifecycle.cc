@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/adaptive.h"
+#include "core/gc.h"
+#include "core/streaming.h"
+#include "nn/metrics.h"
+#include "tests/test_util.h"
+#include "workload/scenario.h"
+
+namespace mmm {
+namespace {
+
+using testing::TempDir;
+
+// End-to-end lifecycle: commission a fleet (streamed), run update cycles
+// under every approach, retire old versions, compact, reopen, and analyse a
+// single cell — the full deployment story of the paper plus this
+// repository's extensions, in one test.
+TEST(LifecycleTest, FullDeploymentStory) {
+  TempDir temp("lifecycle");
+  ScenarioConfig config = ScenarioConfig::Battery(24);
+  config.samples_per_dataset = 48;
+  MultiModelScenario scenario(config);
+  ASSERT_OK(scenario.Init());
+
+  ModelSetManager::Options options;
+  options.root_dir = temp.path() + "/store";
+  options.resolver = &scenario;
+  ASSERT_OK_AND_ASSIGN(auto manager, ModelSetManager::Open(options));
+
+  // --- Commissioning: stream the initial fleet into a baseline snapshot.
+  ASSERT_OK_AND_ASSIGN(auto writer,
+                       StreamingSnapshotWriter::Begin(
+                           manager->context(), config.spec, 24));
+  for (const StateDict& model : scenario.current_set().models) {
+    ASSERT_OK(writer->Append(model));
+  }
+  ASSERT_OK_AND_ASSIGN(SaveResult commissioned, writer->Finish());
+
+  // --- Deployment: three update cycles archived with the Update approach,
+  // seeded from the streamed snapshot's models.
+  ASSERT_OK_AND_ASSIGN(ModelSet seeded, manager->Recover(commissioned.set_id));
+  ASSERT_OK_AND_ASSIGN(SaveResult u1,
+                       manager->SaveInitial(ApproachType::kUpdate, seeded));
+  std::vector<std::string> versions{u1.set_id};
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_OK_AND_ASSIGN(ModelSetUpdateInfo update, scenario.AdvanceCycle());
+    update.base_set_id = versions.back();
+    ASSERT_OK_AND_ASSIGN(
+        SaveResult saved,
+        manager->SaveDerived(ApproachType::kUpdate, scenario.current_set(),
+                             update));
+    versions.push_back(saved.set_id);
+  }
+
+  // --- Incident analysis: selectively recover one cell's history.
+  size_t cell = 11;
+  ASSERT_OK_AND_ASSIGN(std::vector<StateDict> now,
+                       manager->RecoverModels(versions.back(), {cell}));
+  ASSERT_OK_AND_ASSIGN(std::vector<StateDict> commissioned_state,
+                       manager->RecoverModels(commissioned.set_id, {cell}));
+  ASSERT_EQ(now.size(), 1u);
+  ASSERT_EQ(commissioned_state.size(), 1u);
+  EXPECT_TRUE(commissioned_state[0][0].second.Equals(seeded.models[cell][0].second));
+  EXPECT_TRUE(
+      now[0][0].second.Equals(scenario.current_set().models[cell][0].second));
+
+  // The current model genuinely beats the commissioned one on fresh data
+  // when the cell was updated at least once; both must at least be finite.
+  BatteryDataGenerator generator({config.seed, 128, 0.004, 1.0, 25.0});
+  TrainingData fresh = generator.GenerateCellDataset(cell, 3, 0.97);
+  Model current_model = Model::Create(config.spec).ValueOrDie();
+  ASSERT_OK(current_model.LoadStateDict(now[0]));
+  ASSERT_OK_AND_ASSIGN(double rmse,
+                       Rmse(current_model.Predict(fresh.inputs), fresh.targets));
+  EXPECT_LT(rmse, 10.0);
+
+  // --- Retention: keep only the newest chain, drop the streamed snapshot.
+  ASSERT_OK_AND_ASSIGN(DeleteReport gc,
+                       RetainOnly(manager->context(), {versions.back()}));
+  EXPECT_EQ(gc.sets_deleted, 1u);  // the commissioned snapshot
+  ASSERT_OK_AND_ASSIGN(uint64_t wal_before,
+                       manager->doc_store()->WalBytes());
+  ASSERT_OK(manager->CompactStore());
+  ASSERT_OK_AND_ASSIGN(uint64_t wal_after, manager->doc_store()->WalBytes());
+  EXPECT_LT(wal_after, wal_before);
+
+  // --- The store survives a reopen with full integrity.
+  ASSERT_OK_AND_ASSIGN(auto reopened, ModelSetManager::Open(options));
+  ASSERT_OK_AND_ASSIGN(StoreValidationReport health, reopened->ValidateStore());
+  EXPECT_TRUE(health.ok()) << (health.problems.empty()
+                                   ? ""
+                                   : health.problems.front());
+  ASSERT_OK_AND_ASSIGN(ModelSet final_state,
+                       reopened->Recover(versions.back()));
+  for (size_t m = 0; m < final_state.models.size(); ++m) {
+    for (size_t p = 0; p < final_state.models[m].size(); ++p) {
+      ASSERT_TRUE(final_state.models[m][p].second.Equals(
+          scenario.current_set().models[m][p].second));
+    }
+  }
+  EXPECT_TRUE(reopened->Recover(commissioned.set_id).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace mmm

@@ -1,0 +1,132 @@
+#include "core/manager.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/scenario.h"
+
+namespace mmm {
+namespace {
+
+using testing::TempDir;
+
+TEST(ApproachTypeTest, NamesRoundTrip) {
+  for (ApproachType type : kAllApproaches) {
+    ASSERT_OK_AND_ASSIGN(ApproachType parsed,
+                         ApproachTypeFromName(ApproachTypeName(type)));
+    EXPECT_EQ(parsed, type);
+  }
+  EXPECT_TRUE(ApproachTypeFromName("bogus").status().IsInvalidArgument());
+}
+
+TEST(ManagerTest, OpenRequiresRootDir) {
+  ModelSetManager::Options options;
+  EXPECT_TRUE(ModelSetManager::Open(options).status().IsInvalidArgument());
+}
+
+TEST(ManagerTest, DispatchesRecoveryByApproach) {
+  TempDir temp("manager");
+  ModelSetManager::Options options;
+  options.root_dir = temp.path() + "/store";
+  ASSERT_OK_AND_ASSIGN(auto manager, ModelSetManager::Open(options));
+
+  ASSERT_OK_AND_ASSIGN(ModelSet set, MakeInitializedSet(Ffnn48Spec(), 5, 1));
+  std::map<ApproachType, std::string> ids;
+  for (ApproachType type : kAllApproaches) {
+    ASSERT_OK_AND_ASSIGN(SaveResult saved, manager->SaveInitial(type, set));
+    ids[type] = saved.set_id;
+  }
+  // Recover() must route each id to the approach that saved it.
+  for (ApproachType type : kAllApproaches) {
+    ASSERT_OK_AND_ASSIGN(ModelSet recovered, manager->Recover(ids[type]));
+    EXPECT_EQ(recovered.models.size(), 5u) << ApproachTypeName(type);
+    EXPECT_TRUE(recovered.models[2][3].second.Equals(set.models[2][3].second));
+  }
+}
+
+TEST(ManagerTest, PersistsAcrossReopen) {
+  TempDir temp("manager-reopen");
+  ASSERT_OK_AND_ASSIGN(ModelSet set, MakeInitializedSet(Ffnn48Spec(), 4, 2));
+  std::string saved_id;
+  {
+    ModelSetManager::Options options;
+    options.root_dir = temp.path() + "/store";
+    ASSERT_OK_AND_ASSIGN(auto manager, ModelSetManager::Open(options));
+    ASSERT_OK_AND_ASSIGN(SaveResult saved,
+                         manager->SaveInitial(ApproachType::kBaseline, set));
+    saved_id = saved.set_id;
+  }
+  // A second session over the same directory sees the set ...
+  ModelSetManager::Options options;
+  options.root_dir = temp.path() + "/store";
+  ASSERT_OK_AND_ASSIGN(auto manager, ModelSetManager::Open(options));
+  ASSERT_OK_AND_ASSIGN(ModelSet recovered, manager->Recover(saved_id));
+  EXPECT_TRUE(recovered.models[0][0].second.Equals(set.models[0][0].second));
+  // ... and can save new sets without id collisions.
+  ASSERT_OK_AND_ASSIGN(SaveResult again,
+                       manager->SaveInitial(ApproachType::kBaseline, set));
+  EXPECT_NE(again.set_id, saved_id);
+}
+
+TEST(ManagerTest, UpdateChainSurvivesReopen) {
+  TempDir temp("manager-chain");
+  ScenarioConfig config = ScenarioConfig::Battery(10);
+  config.samples_per_dataset = 32;
+  MultiModelScenario scenario(config);
+  ASSERT_OK(scenario.Init());
+
+  std::string head;
+  {
+    ModelSetManager::Options options;
+    options.root_dir = temp.path() + "/store";
+    ASSERT_OK_AND_ASSIGN(auto manager, ModelSetManager::Open(options));
+    ASSERT_OK_AND_ASSIGN(
+        SaveResult initial,
+        manager->SaveInitial(ApproachType::kUpdate, scenario.current_set()));
+    ASSERT_OK_AND_ASSIGN(ModelSetUpdateInfo update, scenario.AdvanceCycle());
+    update.base_set_id = initial.set_id;
+    ASSERT_OK_AND_ASSIGN(SaveResult derived,
+                         manager->SaveDerived(ApproachType::kUpdate,
+                                              scenario.current_set(), update));
+    head = derived.set_id;
+  }
+  ModelSetManager::Options options;
+  options.root_dir = temp.path() + "/store";
+  ASSERT_OK_AND_ASSIGN(auto manager, ModelSetManager::Open(options));
+  RecoverStats stats;
+  ASSERT_OK_AND_ASSIGN(ModelSet recovered, manager->Recover(head, &stats));
+  EXPECT_EQ(stats.sets_recovered, 2u);
+  EXPECT_TRUE(recovered.models[3][1].second.Equals(
+      scenario.current_set().models[3][1].second));
+}
+
+TEST(ManagerTest, SimulatedClockAccumulatesWithProfile) {
+  TempDir temp("manager-clock");
+  ModelSetManager::Options options;
+  options.root_dir = temp.path() + "/store";
+  options.profile = SetupProfile::M1();
+  ASSERT_OK_AND_ASSIGN(auto manager, ModelSetManager::Open(options));
+  ASSERT_OK_AND_ASSIGN(ModelSet set, MakeInitializedSet(Ffnn48Spec(), 3, 3));
+  ASSERT_OK_AND_ASSIGN(SaveResult saved,
+                       manager->SaveInitial(ApproachType::kMMlibBase, set));
+  // 3 models -> >= 9 store ops, M1 doc latency 0.45 ms each.
+  EXPECT_GT(saved.simulated_store_nanos, 3u * 450'000);
+}
+
+TEST(ManagerTest, M1ProfileChargesMoreThanServer) {
+  ASSERT_OK_AND_ASSIGN(ModelSet set, MakeInitializedSet(Ffnn48Spec(), 10, 4));
+  auto run = [&](SetupProfile profile) {
+    TempDir temp("manager-profile");
+    ModelSetManager::Options options;
+    options.root_dir = temp.path() + "/store";
+    options.profile = profile;
+    auto manager = ModelSetManager::Open(options).ValueOrDie();
+    return manager->SaveInitial(ApproachType::kMMlibBase, set)
+        .ValueOrDie()
+        .simulated_store_nanos;
+  };
+  EXPECT_GT(run(SetupProfile::M1()), 3 * run(SetupProfile::Server()));
+}
+
+}  // namespace
+}  // namespace mmm

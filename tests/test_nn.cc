@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace mmm {
+namespace {
+
+using testing::RandomTensor;
+
+// Generic numerical gradient check for any module: loss = sum(Forward(x)).
+void CheckModuleGradients(Module* module, const Tensor& input, float eps = 1e-2f,
+                          float tol = 2e-2f) {
+  Tensor out = module->Forward(input);
+  Tensor grad_out = Tensor::Full(out.shape(), 1.0f);
+  for (Parameter* p : module->Parameters()) p->ZeroGrad();
+  Tensor grad_in = module->Backward(grad_out);
+
+  auto loss_for = [&](const Tensor& x) {
+    Tensor y = module->Forward(x);
+    float acc = 0.0f;
+    for (float v : y.data()) acc += v;
+    return acc;
+  };
+
+  // Input gradient (spot-check up to 8 coordinates).
+  for (size_t i = 0; i < input.numel(); i += std::max<size_t>(1, input.numel() / 8)) {
+    Tensor plus = input, minus = input;
+    plus.at(i) += eps;
+    minus.at(i) -= eps;
+    float numeric = (loss_for(plus) - loss_for(minus)) / (2 * eps);
+    ASSERT_NEAR(grad_in.at(i), numeric, tol) << "input grad @" << i;
+  }
+  // Parameter gradients.
+  for (Parameter* p : module->Parameters()) {
+    for (size_t i = 0; i < p->value.numel();
+         i += std::max<size_t>(1, p->value.numel() / 8)) {
+      float original = p->value.at(i);
+      p->value.at(i) = original + eps;
+      float plus = loss_for(input);
+      p->value.at(i) = original - eps;
+      float minus = loss_for(input);
+      p->value.at(i) = original;
+      float numeric = (plus - minus) / (2 * eps);
+      ASSERT_NEAR(p->grad.at(i), numeric, tol)
+          << p->name << " grad @" << i;
+    }
+  }
+  // Restore caches for any subsequent Backward.
+  module->Forward(input);
+}
+
+TEST(LinearTest, ForwardMatchesManualComputation) {
+  Linear layer(2, 3);
+  layer.weight().value = Tensor(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  layer.bias().value = Tensor(Shape{3}, {0.1f, 0.2f, 0.3f});
+  Tensor input(Shape{1, 2}, {10, 20});
+  Tensor out = layer.Forward(input);
+  EXPECT_NEAR(out.at2(0, 0), 10 * 1 + 20 * 2 + 0.1f, 1e-5f);
+  EXPECT_NEAR(out.at2(0, 1), 10 * 3 + 20 * 4 + 0.2f, 1e-5f);
+  EXPECT_NEAR(out.at2(0, 2), 10 * 5 + 20 * 6 + 0.3f, 1e-5f);
+}
+
+TEST(LinearTest, GradientsMatchNumerical) {
+  Linear layer(4, 3);
+  Rng rng(7);
+  for (float& x : layer.weight().value.mutable_data()) {
+    x = static_cast<float>(rng.NextUniform(-0.5, 0.5));
+  }
+  for (float& x : layer.bias().value.mutable_data()) {
+    x = static_cast<float>(rng.NextUniform(-0.5, 0.5));
+  }
+  CheckModuleGradients(&layer, RandomTensor(Shape{3, 4}, 5));
+}
+
+TEST(ActivationTest, TanhForwardAndGradient) {
+  Tanh layer;
+  Tensor input(Shape{1, 3}, {-1.0f, 0.0f, 2.0f});
+  Tensor out = layer.Forward(input);
+  EXPECT_NEAR(out.at(0), std::tanh(-1.0f), 1e-6f);
+  EXPECT_EQ(out.at(1), 0.0f);
+  CheckModuleGradients(&layer, RandomTensor(Shape{2, 5}, 6), 1e-3f, 1e-3f);
+}
+
+TEST(ActivationTest, ReLUForwardAndGradient) {
+  ReLU layer;
+  Tensor input(Shape{1, 4}, {-2, -0.5f, 0.5f, 3});
+  Tensor out = layer.Forward(input);
+  EXPECT_TRUE(out.Equals(Tensor(Shape{1, 4}, {0, 0, 0.5f, 3})));
+  Tensor grad = layer.Backward(Tensor::Full(Shape{1, 4}, 1.0f));
+  EXPECT_TRUE(grad.Equals(Tensor(Shape{1, 4}, {0, 0, 1, 1})));
+}
+
+TEST(ActivationTest, SigmoidForwardAndGradient) {
+  Sigmoid layer;
+  Tensor input(Shape{1, 1}, {0.0f});
+  EXPECT_NEAR(layer.Forward(input).at(0), 0.5f, 1e-6f);
+  CheckModuleGradients(&layer, RandomTensor(Shape{2, 3}, 8), 1e-3f, 1e-3f);
+}
+
+TEST(Conv2dModuleTest, GradientsMatchNumerical) {
+  Conv2d layer(2, 3, 3);
+  Rng rng(9);
+  for (Parameter* p : layer.Parameters()) {
+    for (float& x : p->value.mutable_data()) {
+      x = static_cast<float>(rng.NextUniform(-0.3, 0.3));
+    }
+  }
+  CheckModuleGradients(&layer, RandomTensor(Shape{1, 2, 6, 6}, 10));
+}
+
+TEST(FlattenTest, RoundTripsShapes) {
+  Flatten layer;
+  Tensor input = RandomTensor(Shape{2, 3, 4, 4}, 11);
+  Tensor out = layer.Forward(input);
+  EXPECT_EQ(out.shape(), (Shape{2, 48}));
+  Tensor back = layer.Backward(out);
+  EXPECT_EQ(back.shape(), input.shape());
+  EXPECT_TRUE(back.Equals(input));
+}
+
+TEST(SequentialTest, NamedParametersAreQualifiedAndOrdered) {
+  Sequential net;
+  net.Add("fc1", std::make_unique<Linear>(4, 8));
+  net.Add("act1", std::make_unique<Tanh>());
+  net.Add("fc2", std::make_unique<Linear>(8, 1));
+  auto named = net.NamedParameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].qualified_name, "fc1.weight");
+  EXPECT_EQ(named[1].qualified_name, "fc1.bias");
+  EXPECT_EQ(named[2].qualified_name, "fc2.weight");
+  EXPECT_EQ(named[3].qualified_name, "fc2.bias");
+  EXPECT_EQ(net.ParameterCount(), 4u * 8 + 8 + 8 + 1);
+}
+
+TEST(SequentialTest, ChildLookup) {
+  Sequential net;
+  net.Add("fc1", std::make_unique<Linear>(2, 2));
+  EXPECT_OK(net.Child("fc1").status());
+  EXPECT_TRUE(net.Child("nope").status().IsNotFound());
+}
+
+TEST(SequentialTest, ForwardComposes) {
+  Sequential net;
+  auto* fc = static_cast<Linear*>(net.Add("fc", std::make_unique<Linear>(2, 2)));
+  fc->weight().value = Tensor(Shape{2, 2}, {1, 0, 0, 1});  // identity
+  net.Add("act", std::make_unique<ReLU>());
+  Tensor out = net.Forward(Tensor(Shape{1, 2}, {-3, 4}));
+  EXPECT_TRUE(out.Equals(Tensor(Shape{1, 2}, {0, 4})));
+}
+
+TEST(SequentialTest, SetTrainableLayersFreezesOthers) {
+  Sequential net;
+  net.Add("fc1", std::make_unique<Linear>(2, 2));
+  net.Add("fc2", std::make_unique<Linear>(2, 2));
+  ASSERT_OK(net.SetTrainableLayers({"fc2"}));
+  auto named = net.NamedParameters();
+  EXPECT_FALSE(named[0].parameter->trainable);  // fc1.weight
+  EXPECT_TRUE(named[2].parameter->trainable);   // fc2.weight
+  ASSERT_OK(net.SetTrainableLayers({}));
+  EXPECT_TRUE(named[0].parameter->trainable);
+}
+
+TEST(SequentialTest, SetTrainableLayersRejectsUnknown) {
+  Sequential net;
+  net.Add("fc1", std::make_unique<Linear>(2, 2));
+  EXPECT_TRUE(net.SetTrainableLayers({"bogus"}).IsInvalidArgument());
+}
+
+TEST(SequentialTest, BackwardGradCheckThroughStack) {
+  Sequential net;
+  net.Add("fc1", std::make_unique<Linear>(3, 5));
+  net.Add("act1", std::make_unique<Tanh>());
+  net.Add("fc2", std::make_unique<Linear>(5, 2));
+  Rng rng(13);
+  InitNetwork(&net, &rng);
+  CheckModuleGradients(&net, RandomTensor(Shape{2, 3}, 14));
+}
+
+TEST(InitTest, DeterministicForSameSeed) {
+  Sequential a, b;
+  a.Add("fc", std::make_unique<Linear>(4, 4));
+  b.Add("fc", std::make_unique<Linear>(4, 4));
+  Rng rng_a(5), rng_b(5);
+  InitNetwork(&a, &rng_a);
+  InitNetwork(&b, &rng_b);
+  EXPECT_TRUE(a.NamedParameters()[0].parameter->value.Equals(
+      b.NamedParameters()[0].parameter->value));
+}
+
+TEST(InitTest, XavierBoundsRespected) {
+  Tensor w(Shape{48, 4});
+  Rng rng(3);
+  InitXavierUniform(&w, &rng, 4, 48);
+  float bound = std::sqrt(6.0f / 52.0f);
+  for (float x : w.data()) {
+    EXPECT_LE(std::fabs(x), bound);
+  }
+  EXPECT_GT(MaxAbs(w), bound * 0.5f);  // actually spread out
+}
+
+TEST(LossTest, MSEKnownValue) {
+  MSELoss loss;
+  Tensor pred(Shape{2, 1}, {1.0f, 3.0f});
+  Tensor target(Shape{2, 1}, {0.0f, 1.0f});
+  EXPECT_NEAR(loss.Forward(pred, target), (1.0f + 4.0f) / 2.0f, 1e-6f);
+  Tensor grad = loss.Backward();
+  EXPECT_NEAR(grad.at(0), 2.0f * 1.0f / 2.0f, 1e-6f);
+  EXPECT_NEAR(grad.at(1), 2.0f * 2.0f / 2.0f, 1e-6f);
+}
+
+TEST(LossTest, MSEZeroWhenEqual) {
+  MSELoss loss;
+  Tensor x(Shape{3, 1}, {1, 2, 3});
+  EXPECT_EQ(loss.Forward(x, x), 0.0f);
+}
+
+TEST(LossTest, CrossEntropyKnownValue) {
+  CrossEntropyLoss loss;
+  // Uniform logits => loss = log(num_classes).
+  Tensor pred = Tensor::Zeros(Shape{1, 10});
+  Tensor target(Shape{1}, {3.0f});
+  EXPECT_NEAR(loss.Forward(pred, target), std::log(10.0f), 1e-5f);
+}
+
+TEST(LossTest, CrossEntropyGradientSumsToZero) {
+  CrossEntropyLoss loss;
+  Tensor pred = RandomTensor(Shape{4, 10}, 17);
+  Tensor target(Shape{4}, {0.0f, 3.0f, 9.0f, 5.0f});
+  loss.Forward(pred, target);
+  Tensor grad = loss.Backward();
+  for (size_t i = 0; i < 4; ++i) {
+    float row_sum = 0.0f;
+    for (size_t j = 0; j < 10; ++j) row_sum += grad.at2(i, j);
+    EXPECT_NEAR(row_sum, 0.0f, 1e-5f);
+  }
+}
+
+TEST(LossTest, CrossEntropyGradCheck) {
+  CrossEntropyLoss loss;
+  Tensor pred = RandomTensor(Shape{3, 5}, 19);
+  Tensor target(Shape{3}, {1.0f, 4.0f, 0.0f});
+  loss.Forward(pred, target);
+  Tensor grad = loss.Backward();
+  const float eps = 1e-2f;
+  for (size_t i = 0; i < pred.numel(); i += 3) {
+    Tensor plus = pred, minus = pred;
+    plus.at(i) += eps;
+    minus.at(i) -= eps;
+    CrossEntropyLoss fresh;
+    float numeric =
+        (fresh.Forward(plus, target) - fresh.Forward(minus, target)) / (2 * eps);
+    EXPECT_NEAR(grad.at(i), numeric, 1e-3f);
+  }
+}
+
+TEST(OptimizerTest, SGDStepMath) {
+  Parameter p("w", Tensor(Shape{2}, {1.0f, 2.0f}));
+  p.grad = Tensor(Shape{2}, {0.5f, -1.0f});
+  SGD sgd({&p}, /*learning_rate=*/0.1f);
+  sgd.Step();
+  EXPECT_NEAR(p.value.at(0), 1.0f - 0.1f * 0.5f, 1e-6f);
+  EXPECT_NEAR(p.value.at(1), 2.0f + 0.1f * 1.0f, 1e-6f);
+}
+
+TEST(OptimizerTest, SGDSkipsFrozenParameters) {
+  Parameter p("w", Tensor(Shape{1}, {1.0f}));
+  p.grad = Tensor(Shape{1}, {1.0f});
+  p.trainable = false;
+  SGD sgd({&p}, 0.1f);
+  sgd.Step();
+  EXPECT_EQ(p.value.at(0), 1.0f);
+}
+
+TEST(OptimizerTest, SGDMomentumAccumulates) {
+  Parameter p("w", Tensor(Shape{1}, {0.0f}));
+  SGD sgd({&p}, 0.1f, /*momentum=*/0.9f);
+  p.grad = Tensor(Shape{1}, {1.0f});
+  sgd.Step();  // v=1,   w=-0.1
+  sgd.Step();  // v=1.9, w=-0.29
+  EXPECT_NEAR(p.value.at(0), -0.29f, 1e-6f);
+}
+
+TEST(OptimizerTest, SGDWeightDecayShrinks) {
+  Parameter p("w", Tensor(Shape{1}, {10.0f}));
+  p.grad = Tensor(Shape{1}, {0.0f});
+  SGD sgd({&p}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  sgd.Step();
+  EXPECT_NEAR(p.value.at(0), 10.0f - 0.1f * 0.5f * 10.0f, 1e-5f);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 by feeding grad = 2(w-3).
+  Parameter p("w", Tensor(Shape{1}, {0.0f}));
+  Adam adam({&p}, 0.1f);
+  for (int i = 0; i < 500; ++i) {
+    p.grad = Tensor(Shape{1}, {2.0f * (p.value.at(0) - 3.0f)});
+    adam.Step();
+  }
+  EXPECT_NEAR(p.value.at(0), 3.0f, 0.05f);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  Parameter p("w", Tensor(Shape{2}, {1, 1}));
+  p.grad = Tensor(Shape{2}, {5, 5});
+  SGD sgd({&p}, 0.1f);
+  sgd.ZeroGrad();
+  EXPECT_TRUE(p.grad.Equals(Tensor(Shape{2})));
+}
+
+}  // namespace
+}  // namespace mmm

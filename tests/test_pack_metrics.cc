@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "battery/pack.h"
+#include "nn/metrics.h"
+#include "tests/test_util.h"
+
+namespace mmm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SeriesPack
+
+TEST(SeriesPackTest, PackVoltageIsSumOfCells) {
+  PackConfig config;
+  config.num_cells = 6;
+  SeriesPack pack(config);
+  pack.ResetState(0.9);
+  double pack_v = pack.Step(5.0, 1.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < pack.size(); ++i) {
+    sum += pack.cell(i).state().terminal_voltage;
+  }
+  EXPECT_NEAR(pack_v, sum, 1e-9);
+  EXPECT_NEAR(pack_v, pack.PackVoltage(), 1e-9);
+  EXPECT_GT(pack_v, 6 * 3.0);
+  EXPECT_LT(pack_v, 6 * 4.3);
+}
+
+TEST(SeriesPackTest, CellsAreInhomogeneous) {
+  PackConfig config;
+  config.num_cells = 8;
+  SeriesPack pack(config);
+  pack.ResetState(0.8);
+  for (int t = 0; t < 120; ++t) pack.Step(8.0, 1.0);
+  // Manufacturing spread shows up as a voltage spread under load.
+  EXPECT_GT(pack.MaxCellVoltage() - pack.MinCellVoltage(), 1e-4);
+}
+
+TEST(SeriesPackTest, DeterministicForSeed) {
+  PackConfig config;
+  config.num_cells = 4;
+  SeriesPack a(config), b(config);
+  a.ResetState(0.7);
+  b.ResetState(0.7);
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_DOUBLE_EQ(a.Step(6.0, 1.0), b.Step(6.0, 1.0));
+  }
+}
+
+TEST(SeriesPackTest, AgedCellIsTheWeakestUnderLoad) {
+  PackConfig config;
+  config.num_cells = 10;
+  config.parameter_spread = 0.01;
+  SeriesPack pack(config);
+  pack.AgeCell(4, 0.75);
+  pack.ResetState(0.8);
+  for (int t = 0; t < 30; ++t) pack.Step(10.0, 1.0);
+  EXPECT_EQ(pack.WeakestCell(), 4u);
+}
+
+TEST(SeriesPackTest, MeanSocDropsUnderDischarge) {
+  PackConfig config;
+  config.num_cells = 5;
+  SeriesPack pack(config);
+  pack.ResetState(0.9);
+  double before = pack.MeanSoc();
+  for (int t = 0; t < 600; ++t) pack.Step(10.0, 1.0);
+  EXPECT_LT(pack.MeanSoc(), before - 0.05);
+}
+
+TEST(SeriesPackTest, NeighborCouplingReducesTemperatureSpread) {
+  PackConfig coupled;
+  coupled.num_cells = 6;
+  coupled.neighbor_coupling_w_per_k = 1.0;
+  PackConfig isolated = coupled;
+  isolated.neighbor_coupling_w_per_k = 0.0;
+  SeriesPack a(coupled), b(isolated);
+  a.ResetState(0.9);
+  b.ResetState(0.9);
+  // Heat one end cell strongly, then let the string equalize at rest.
+  a.AgeCell(0, 0.6);  // aged cell heats more under the same current
+  b.AgeCell(0, 0.6);
+  for (int t = 0; t < 300; ++t) {
+    a.Step(10.0, 1.0);
+    b.Step(10.0, 1.0);
+  }
+  EXPECT_LT(a.TemperatureSpread(), b.TemperatureSpread());
+  EXPECT_GT(b.TemperatureSpread(), 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(MetricsTest, AccuracyCountsArgmaxMatches) {
+  Tensor logits(Shape{3, 2}, {0.9f, 0.1f, 0.2f, 0.8f, 0.6f, 0.4f});
+  Tensor labels(Shape{3}, {0.0f, 1.0f, 1.0f});
+  EXPECT_NEAR(Accuracy(logits, labels).ValueOrDie(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, AccuracyRejectsBadShapes) {
+  EXPECT_TRUE(Accuracy(Tensor(Shape{2, 3}), Tensor(Shape{3}))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Accuracy(Tensor(Shape{0, 3}), Tensor(Shape{0}))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MetricsTest, RmseAndMaeKnownValues) {
+  Tensor pred(Shape{4, 1}, {1, 2, 3, 4});
+  Tensor target(Shape{4, 1}, {1, 2, 3, 8});
+  EXPECT_NEAR(Rmse(pred, target).ValueOrDie(), std::sqrt(16.0 / 4.0), 1e-6);
+  EXPECT_NEAR(MeanAbsoluteError(pred, target).ValueOrDie(), 1.0, 1e-6);
+  EXPECT_EQ(Rmse(pred, pred).ValueOrDie(), 0.0);
+}
+
+TEST(MetricsTest, RmseRejectsShapeMismatch) {
+  EXPECT_TRUE(
+      Rmse(Tensor(Shape{2}), Tensor(Shape{3})).status().IsInvalidArgument());
+}
+
+TEST(MetricsTest, RSquaredBehaviour) {
+  Tensor target(Shape{4, 1}, {1, 2, 3, 4});
+  EXPECT_NEAR(RSquared(target, target).ValueOrDie(), 1.0, 1e-9);
+  Tensor mean_pred = Tensor::Full(Shape{4, 1}, 2.5f);
+  EXPECT_NEAR(RSquared(mean_pred, target).ValueOrDie(), 0.0, 1e-6);
+  Tensor constant = Tensor::Full(Shape{4, 1}, 1.0f);
+  EXPECT_TRUE(RSquared(target, constant).status().IsInvalidArgument());
+}
+
+TEST(MetricsTest, ConfusionMatrixCounts) {
+  Tensor logits(Shape{4, 3}, {
+      1, 0, 0,   // pred 0, actual 0
+      0, 1, 0,   // pred 1, actual 1
+      1, 0, 0,   // pred 0, actual 2
+      0, 0, 1,   // pred 2, actual 2
+  });
+  Tensor labels(Shape{4}, {0, 1, 2, 2});
+  auto matrix = ConfusionMatrix(logits, labels, 3).ValueOrDie();
+  EXPECT_EQ(matrix[0][0], 1u);
+  EXPECT_EQ(matrix[1][1], 1u);
+  EXPECT_EQ(matrix[2][0], 1u);
+  EXPECT_EQ(matrix[2][2], 1u);
+  EXPECT_EQ(matrix[0][1], 0u);
+}
+
+TEST(MetricsTest, ConfusionMatrixValidates) {
+  Tensor logits(Shape{1, 3}, {1, 0, 0});
+  EXPECT_TRUE(ConfusionMatrix(logits, Tensor(Shape{1}, {5.0f}), 3)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ConfusionMatrix(logits, Tensor(Shape{1}, {0.0f}), 4)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mmm

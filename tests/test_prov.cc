@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "prov/environment.h"
+#include "prov/pipeline.h"
+#include "prov/replay.h"
+#include "tests/test_util.h"
+
+namespace mmm {
+namespace {
+
+using testing::RandomTensor;
+
+TEST(EnvironmentTest, CaptureFillsFields) {
+  EnvironmentInfo info = EnvironmentInfo::Capture();
+  EXPECT_FALSE(info.os_name.empty());
+  EXPECT_GT(info.cpu_cores, 0);
+  EXPECT_FALSE(info.packages.empty());
+  EXPECT_FALSE(info.library_version.empty());
+}
+
+TEST(EnvironmentTest, JsonRoundTrip) {
+  EnvironmentInfo info = EnvironmentInfo::Capture();
+  ASSERT_OK_AND_ASSIGN(EnvironmentInfo decoded,
+                       EnvironmentInfo::FromJson(info.ToJson()));
+  EXPECT_EQ(decoded, info);
+}
+
+TEST(EnvironmentTest, JsonRoundTripThroughText) {
+  EnvironmentInfo info = EnvironmentInfo::Capture();
+  ASSERT_OK_AND_ASSIGN(JsonValue parsed, JsonValue::Parse(info.ToJson().Dump()));
+  ASSERT_OK_AND_ASSIGN(EnvironmentInfo decoded, EnvironmentInfo::FromJson(parsed));
+  EXPECT_EQ(decoded, info);
+}
+
+TEST(EnvironmentTest, SerializedSizeIsRealistic) {
+  // MMlib-base persists this per model; it must be a nontrivial artifact
+  // (the paper measures ~KBs of per-model overhead).
+  EnvironmentInfo info = EnvironmentInfo::Capture();
+  EXPECT_GT(info.ToJson().Dump().size(), 500u);
+}
+
+TEST(PipelineTest, CreateFillsHashAndValidates) {
+  TrainConfig config;
+  TrainPipelineSpec spec =
+      TrainPipelineSpec::Create(config, CanonicalPipelineCode(config));
+  EXPECT_OK(spec.Validate());
+  EXPECT_EQ(spec.code_hash.size(), 64u);
+}
+
+TEST(PipelineTest, ValidateDetectsTampering) {
+  TrainConfig config;
+  TrainPipelineSpec spec = TrainPipelineSpec::Create(config, "code v1");
+  spec.pipeline_code = "code v2";
+  EXPECT_TRUE(spec.Validate().IsCorruption());
+}
+
+TEST(PipelineTest, JsonRoundTrip) {
+  TrainConfig config;
+  config.shuffle_seed = 0xdeadbeefcafef00dULL;
+  config.trainable_layers = {"fc4"};
+  TrainPipelineSpec spec =
+      TrainPipelineSpec::Create(config, CanonicalPipelineCode(config));
+  ASSERT_OK_AND_ASSIGN(TrainPipelineSpec decoded,
+                       TrainPipelineSpec::FromJson(spec.ToJson()));
+  EXPECT_EQ(decoded, spec);
+  EXPECT_OK(decoded.Validate());
+}
+
+TEST(PipelineTest, CanonicalCodeReflectsConfig) {
+  TrainConfig config;
+  config.optimizer = "adam";
+  config.loss = "cross_entropy";
+  config.epochs = 7;
+  std::string code = CanonicalPipelineCode(config);
+  EXPECT_NE(code.find("Adam"), std::string::npos);
+  EXPECT_NE(code.find("CrossEntropyLoss"), std::string::npos);
+  EXPECT_NE(code.find("range(7)"), std::string::npos);
+}
+
+// A resolver serving one in-memory dataset.
+class FakeResolver : public DatasetResolver {
+ public:
+  explicit FakeResolver(TrainingData data) : data_(std::move(data)) {}
+
+  Result<TrainingData> Resolve(const DatasetRef& ref) override {
+    if (ref.uri != "fake://data") return Status::NotFound("no such uri: ", ref.uri);
+    if (!ref.content_hash.empty() &&
+        ref.content_hash != HashTrainingData(data_)) {
+      return Status::Corruption("hash mismatch");
+    }
+    return data_;
+  }
+
+ private:
+  TrainingData data_;
+};
+
+TrainingData SmallRegression() {
+  return {RandomTensor(Shape{32, 4}, 1), RandomTensor(Shape{32, 1}, 2)};
+}
+
+TEST(ReplayTest, ReplayReproducesTrainingBitExactly) {
+  TrainingData data = SmallRegression();
+  FakeResolver resolver(data);
+  ReplayEngine engine(&resolver);
+
+  TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 8;
+  config.learning_rate = 0.05f;
+  config.shuffle_seed = 0xffffffff00000001ULL;
+  TrainPipelineSpec pipeline =
+      TrainPipelineSpec::Create(config, CanonicalPipelineCode(config));
+
+  ASSERT_OK_AND_ASSIGN(Model original, Model::CreateInitialized(Ffnn48Spec(), 3));
+  ASSERT_OK_AND_ASSIGN(Model replayed, original.Clone());
+
+  ASSERT_OK(TrainModel(&original, data.inputs, data.targets, config).status());
+  DatasetRef ref{"fake://data", HashTrainingData(data)};
+  ASSERT_OK(engine.ReplayUpdate(&replayed, pipeline, ref));
+
+  StateDict a = original.GetStateDict(), b = replayed.GetStateDict();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].second.Equals(b[i].second)) << a[i].first;
+  }
+}
+
+TEST(ReplayTest, MaxSamplesCapsTraining) {
+  TrainingData data = SmallRegression();
+  FakeResolver resolver(data);
+  ReplayEngine engine(&resolver);
+  TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 8;
+  TrainPipelineSpec pipeline =
+      TrainPipelineSpec::Create(config, CanonicalPipelineCode(config));
+
+  ASSERT_OK_AND_ASSIGN(Model full, Model::CreateInitialized(Ffnn48Spec(), 5));
+  ASSERT_OK_AND_ASSIGN(Model capped, full.Clone());
+  DatasetRef ref{"fake://data", ""};
+  ASSERT_OK(engine.ReplayUpdate(&full, pipeline, ref, /*max_samples=*/0));
+  ASSERT_OK(engine.ReplayUpdate(&capped, pipeline, ref, /*max_samples=*/8));
+  // A reduced-data replay is an approximation: parameters differ.
+  EXPECT_FALSE(
+      full.GetStateDict()[0].second.Equals(capped.GetStateDict()[0].second));
+}
+
+TEST(ReplayTest, HashMismatchIsCorruption) {
+  FakeResolver resolver(SmallRegression());
+  ReplayEngine engine(&resolver);
+  TrainConfig config;
+  TrainPipelineSpec pipeline =
+      TrainPipelineSpec::Create(config, CanonicalPipelineCode(config));
+  ASSERT_OK_AND_ASSIGN(Model model, Model::CreateInitialized(Ffnn48Spec(), 6));
+  DatasetRef ref{"fake://data", std::string(64, '0')};
+  EXPECT_TRUE(engine.ReplayUpdate(&model, pipeline, ref).IsCorruption());
+}
+
+TEST(ReplayTest, InvalidPipelineIsRejected) {
+  FakeResolver resolver(SmallRegression());
+  ReplayEngine engine(&resolver);
+  TrainConfig config;
+  TrainPipelineSpec pipeline = TrainPipelineSpec::Create(config, "code");
+  pipeline.pipeline_code = "tampered";
+  ASSERT_OK_AND_ASSIGN(Model model, Model::CreateInitialized(Ffnn48Spec(), 7));
+  EXPECT_TRUE(
+      engine.ReplayUpdate(&model, pipeline, DatasetRef{"fake://data", ""})
+          .IsCorruption());
+}
+
+TEST(ReplayTest, MissingResolverIsInvalidArgument) {
+  ReplayEngine engine(nullptr);
+  TrainConfig config;
+  TrainPipelineSpec pipeline =
+      TrainPipelineSpec::Create(config, CanonicalPipelineCode(config));
+  ASSERT_OK_AND_ASSIGN(Model model, Model::CreateInitialized(Ffnn48Spec(), 8));
+  EXPECT_TRUE(
+      engine.ReplayUpdate(&model, pipeline, DatasetRef{"fake://data", ""})
+          .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mmm

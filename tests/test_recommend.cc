@@ -1,0 +1,108 @@
+#include "core/recommend.h"
+
+#include <gtest/gtest.h>
+
+namespace mmm {
+namespace {
+
+TEST(RecommendTest, PaperScenarioPicksProvenance) {
+  // §4.5: "Considering that our highest priority is storage consumption and
+  // we assume model recoveries to happen rarely, Provenance is the best
+  // approach."
+  WorkloadProfile workload;  // defaults = the paper's deployment scenario
+  Recommendation rec = RecommendApproach(workload);
+  EXPECT_EQ(rec.approach, ApproachType::kProvenance);
+  EXPECT_FALSE(rec.rationale.empty());
+  EXPECT_EQ(rec.estimates.size(), 4u);
+}
+
+TEST(RecommendTest, TtrPriorityPicksBaseline) {
+  // §4.5: "If the storage consumption is not important and TTR has the
+  // highest priority, Baseline is the best approach."
+  WorkloadProfile workload;
+  workload.storage_weight = 0.0;
+  workload.save_time_weight = 0.1;
+  workload.recover_time_weight = 10.0;
+  workload.recoveries_per_save = 1.0;
+  Recommendation rec = RecommendApproach(workload);
+  EXPECT_EQ(rec.approach, ApproachType::kBaseline);
+}
+
+TEST(RecommendTest, ModerateRecoveryCostPicksUpdate) {
+  // §4.5: "If this [long retraining] is not acceptable, Update is the next
+  // best approach" — storage still matters but recoveries are frequent
+  // enough that retraining is too expensive.
+  WorkloadProfile workload;
+  workload.recoveries_per_save = 0.5;
+  workload.recover_time_weight = 1.0;
+  workload.retrain_seconds_per_model = 3600.0;  // expensive retraining
+  Recommendation rec = RecommendApproach(workload);
+  EXPECT_EQ(rec.approach, ApproachType::kUpdate);
+}
+
+TEST(RecommendTest, MMlibBaseIsNeverRecommended) {
+  // MMlib-base is dominated by Baseline on every metric.
+  for (double update_rate : {0.05, 0.1, 0.3, 1.0}) {
+    for (double recoveries : {0.0, 0.1, 1.0, 10.0}) {
+      WorkloadProfile workload;
+      workload.update_rate = update_rate;
+      workload.recoveries_per_save = recoveries;
+      EXPECT_NE(RecommendApproach(workload).approach, ApproachType::kMMlibBase);
+    }
+  }
+}
+
+TEST(RecommendTest, EstimatesAreSortedBestFirst) {
+  Recommendation rec = RecommendApproach(WorkloadProfile{});
+  for (size_t i = 1; i < rec.estimates.size(); ++i) {
+    EXPECT_LE(rec.estimates[i - 1].weighted_score,
+              rec.estimates[i].weighted_score);
+  }
+  EXPECT_EQ(rec.estimates.front().approach, rec.approach);
+}
+
+TEST(RecommendTest, UpdateStorageScalesWithUpdateRate) {
+  WorkloadProfile low, high;
+  low.update_rate = 0.1;
+  high.update_rate = 0.3;
+  double bytes_low =
+      EstimateApproachCost(ApproachType::kUpdate, low).storage_bytes_per_cycle;
+  double bytes_high =
+      EstimateApproachCost(ApproachType::kUpdate, high).storage_bytes_per_cycle;
+  EXPECT_GT(bytes_high, bytes_low * 1.5);
+  // Baseline's storage is rate-independent (§4.2 finding).
+  EXPECT_EQ(
+      EstimateApproachCost(ApproachType::kBaseline, low).storage_bytes_per_cycle,
+      EstimateApproachCost(ApproachType::kBaseline, high).storage_bytes_per_cycle);
+}
+
+TEST(RecommendTest, ProvenanceStorageIsModelSizeIndependent) {
+  WorkloadProfile small, large;
+  small.params_per_model = 4993;
+  large.params_per_model = 10075;
+  double a = EstimateApproachCost(ApproachType::kProvenance, small)
+                 .storage_bytes_per_cycle;
+  double b = EstimateApproachCost(ApproachType::kProvenance, large)
+                 .storage_bytes_per_cycle;
+  EXPECT_EQ(a, b);  // §4.2: "storage consumption for Provenance is not
+                    // affected by the larger model"
+}
+
+TEST(RecommendTest, EstimatedOrderingMatchesPaperFigure3) {
+  // At U3 with 10% updates: Provenance < Update < Baseline < MMlib-base.
+  WorkloadProfile workload;
+  double prov = EstimateApproachCost(ApproachType::kProvenance, workload)
+                    .storage_bytes_per_cycle;
+  double update =
+      EstimateApproachCost(ApproachType::kUpdate, workload).storage_bytes_per_cycle;
+  double baseline = EstimateApproachCost(ApproachType::kBaseline, workload)
+                        .storage_bytes_per_cycle;
+  double mmlib = EstimateApproachCost(ApproachType::kMMlibBase, workload)
+                     .storage_bytes_per_cycle;
+  EXPECT_LT(prov, update);
+  EXPECT_LT(update, baseline);
+  EXPECT_LT(baseline, mmlib);
+}
+
+}  // namespace
+}  // namespace mmm

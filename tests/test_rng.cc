@@ -1,0 +1,174 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace mmm {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextFloatInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    float x = rng.NextFloat();
+    EXPECT_GE(x, 0.0f);
+    EXPECT_LT(x, 1.0f);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(11);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextUniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsAreSane) {
+  Rng rng(19);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / n;
+  double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(variance, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParamsScales) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(29);
+  std::vector<size_t> perm = rng.Permutation(100);
+  std::set<size_t> values(perm.begin(), perm.end());
+  EXPECT_EQ(values.size(), 100u);
+  EXPECT_EQ(*values.begin(), 0u);
+  EXPECT_EQ(*values.rbegin(), 99u);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(31);
+  std::vector<int> values{1, 2, 3, 4, 5, 6};
+  std::vector<int> original = values;
+  rng.Shuffle(&values);
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(37);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(RngTest, ForkIsIndependentOfConsumption) {
+  Rng a(41);
+  Rng fork_before = a.Fork("child", 3);
+  a.NextUint64();
+  a.NextUint64();
+  Rng fork_after = a.Fork("child", 3);
+  EXPECT_EQ(fork_before.NextUint64(), fork_after.NextUint64());
+}
+
+TEST(RngTest, ForkPurposeAndIndexMatter) {
+  Rng a(43);
+  EXPECT_NE(a.Fork("x", 0).NextUint64(), a.Fork("y", 0).NextUint64());
+  EXPECT_NE(a.Fork("x", 0).NextUint64(), a.Fork("x", 1).NextUint64());
+}
+
+TEST(RngTest, Mix64IsDeterministicAndSpread) {
+  EXPECT_EQ(Rng::Mix64(12345), Rng::Mix64(12345));
+  EXPECT_NE(Rng::Mix64(1), Rng::Mix64(2));
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformityChiSquaredAcrossBuckets) {
+  Rng rng(GetParam());
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 32000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0.0;
+  for (int count : counts) {
+    double d = count - expected;
+    chi2 += d * d / expected;
+  }
+  // 15 dof; 99.9th percentile ~ 37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST_P(RngSeedSweep, GaussianCacheKeepsStreamDeterministic) {
+  Rng a(GetParam()), b(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.NextGaussian(), b.NextGaussian());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xdeadbeefULL,
+                                           0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace mmm

@@ -1,0 +1,108 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "tests/test_util.h"
+
+namespace mmm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status st = Status::NotFound("missing ", 42);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing 42");
+  EXPECT_EQ(st.ToString(), "not-found: missing 42");
+}
+
+TEST(StatusTest, AllCodesRoundTripThroughPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "io-error");
+}
+
+TEST(StatusTest, WithContextPrependsAndKeepsCode) {
+  Status st = Status::IOError("disk full");
+  Status wrapped = st.WithContext("while saving set ", 7);
+  EXPECT_TRUE(wrapped.IsIOError());
+  EXPECT_EQ(wrapped.message(), "while saving set 7: disk full");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status st = Status::OK().WithContext("irrelevant");
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    MMM_RETURN_NOT_OK(Status::Corruption("inner"));
+    return Status::Internal("unreachable");
+  };
+  EXPECT_TRUE(fails().IsCorruption());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> result = std::string("yes");
+  EXPECT_EQ(result.ValueOr("no"), "yes");
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(5);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).ValueOrDie();
+  EXPECT_EQ(*value, 5);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::InvalidArgument("fail requested");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    MMM_ASSIGN_OR_RETURN(int value, inner(fail));
+    return value * 2;
+  };
+  EXPECT_EQ(outer(false).ValueOrDie(), 14);
+  EXPECT_TRUE(outer(true).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mmm

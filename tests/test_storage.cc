@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include "storage/document_store.h"
+#include "storage/env.h"
+#include "storage/file_store.h"
+#include "tests/test_util.h"
+
+namespace mmm {
+namespace {
+
+using testing::TempDir;
+
+std::span<const uint8_t> AsBytes(std::string_view s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+// ---------------------------------------------------------------------------
+// Env implementations, exercised uniformly.
+
+enum class EnvKind { kPosix, kInMemory };
+
+class EnvSweep : public ::testing::TestWithParam<EnvKind> {
+ protected:
+  EnvSweep() : temp_("env") {
+    if (GetParam() == EnvKind::kPosix) {
+      env_ = Env::Default();
+      root_ = temp_.path();
+    } else {
+      env_ = &in_memory_;
+      root_ = "/mem";
+      in_memory_.CreateDirs(root_).Check();
+    }
+  }
+
+  TempDir temp_;
+  InMemoryEnv in_memory_;
+  Env* env_ = nullptr;
+  std::string root_;
+};
+
+TEST_P(EnvSweep, WriteReadRoundTrip) {
+  std::string path = root_ + "/file.bin";
+  ASSERT_OK(env_->WriteFile(path, AsBytes("hello")));
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> data, env_->ReadFile(path));
+  EXPECT_EQ(std::string(data.begin(), data.end()), "hello");
+}
+
+TEST_P(EnvSweep, WriteOverwrites) {
+  std::string path = root_ + "/file.bin";
+  ASSERT_OK(env_->WriteFile(path, AsBytes("aaaa")));
+  ASSERT_OK(env_->WriteFile(path, AsBytes("bb")));
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> data, env_->ReadFile(path));
+  EXPECT_EQ(data.size(), 2u);
+}
+
+TEST_P(EnvSweep, AppendAccumulates) {
+  std::string path = root_ + "/log";
+  ASSERT_OK(env_->AppendToFile(path, AsBytes("one;")));
+  ASSERT_OK(env_->AppendToFile(path, AsBytes("two;")));
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> data, env_->ReadFile(path));
+  EXPECT_EQ(std::string(data.begin(), data.end()), "one;two;");
+}
+
+TEST_P(EnvSweep, EmptyFileRoundTrip) {
+  std::string path = root_ + "/empty";
+  ASSERT_OK(env_->WriteFile(path, {}));
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> data, env_->ReadFile(path));
+  EXPECT_TRUE(data.empty());
+}
+
+TEST_P(EnvSweep, MissingFileIsNotFound) {
+  EXPECT_TRUE(env_->ReadFile(root_ + "/missing").status().IsNotFound());
+  EXPECT_FALSE(env_->FileExists(root_ + "/missing").ValueOrDie());
+}
+
+TEST_P(EnvSweep, FileSizeAndExists) {
+  std::string path = root_ + "/sized";
+  ASSERT_OK(env_->WriteFile(path, AsBytes("12345")));
+  EXPECT_TRUE(env_->FileExists(path).ValueOrDie());
+  EXPECT_EQ(env_->FileSize(path).ValueOrDie(), 5u);
+}
+
+TEST_P(EnvSweep, ReadFileRange) {
+  std::string path = root_ + "/ranged";
+  ASSERT_OK(env_->WriteFile(path, AsBytes("0123456789")));
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> mid, env_->ReadFileRange(path, 3, 4));
+  EXPECT_EQ(std::string(mid.begin(), mid.end()), "3456");
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> all, env_->ReadFileRange(path, 0, 10));
+  EXPECT_EQ(all.size(), 10u);
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> none, env_->ReadFileRange(path, 5, 0));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_P(EnvSweep, ReadFileRangePastEndFails) {
+  std::string path = root_ + "/ranged2";
+  ASSERT_OK(env_->WriteFile(path, AsBytes("abc")));
+  EXPECT_TRUE(env_->ReadFileRange(path, 2, 5).status().IsOutOfRange());
+  EXPECT_TRUE(env_->ReadFileRange(root_ + "/missing", 0, 1).status().IsNotFound());
+}
+
+TEST_P(EnvSweep, DeleteRemoves) {
+  std::string path = root_ + "/gone";
+  ASSERT_OK(env_->WriteFile(path, AsBytes("x")));
+  ASSERT_OK(env_->DeleteFile(path));
+  EXPECT_FALSE(env_->FileExists(path).ValueOrDie());
+}
+
+TEST_P(EnvSweep, ListDirSortsNames) {
+  ASSERT_OK(env_->WriteFile(root_ + "/b", AsBytes("1")));
+  ASSERT_OK(env_->WriteFile(root_ + "/a", AsBytes("2")));
+  ASSERT_OK(env_->WriteFile(root_ + "/c", AsBytes("3")));
+  ASSERT_OK_AND_ASSIGN(std::vector<std::string> names, env_->ListDir(root_));
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Envs, EnvSweep,
+                         ::testing::Values(EnvKind::kPosix, EnvKind::kInMemory));
+
+TEST(FaultInjectionEnvTest, FailsScheduledWrites) {
+  InMemoryEnv base;
+  FaultInjectionEnv env(&base);
+  env.FailWritesAfter(2);
+  EXPECT_OK(env.WriteFile("/a", AsBytes("1")));
+  EXPECT_OK(env.WriteFile("/b", AsBytes("2")));
+  EXPECT_TRUE(env.WriteFile("/c", AsBytes("3")).IsIOError());
+  EXPECT_TRUE(env.AppendToFile("/d", AsBytes("4")).IsIOError());
+  env.Heal();
+  EXPECT_OK(env.WriteFile("/e", AsBytes("5")));
+  EXPECT_EQ(env.write_count(), 5);
+}
+
+// ---------------------------------------------------------------------------
+// FileStore
+
+TEST(FileStoreTest, PutGetRoundTrip) {
+  InMemoryEnv env;
+  FileStore store(&env, "/store");
+  ASSERT_OK(store.Open());
+  ASSERT_OK(store.PutString("blob", "payload"));
+  EXPECT_EQ(store.GetString("blob").ValueOrDie(), "payload");
+  EXPECT_TRUE(store.Exists("blob").ValueOrDie());
+  EXPECT_FALSE(store.Exists("other").ValueOrDie());
+}
+
+TEST(FileStoreTest, RejectsBadNames) {
+  InMemoryEnv env;
+  FileStore store(&env, "/store");
+  ASSERT_OK(store.Open());
+  EXPECT_TRUE(store.PutString("", "x").IsInvalidArgument());
+  EXPECT_TRUE(store.PutString("a/b", "x").IsInvalidArgument());
+  EXPECT_TRUE(store.Get("../escape").status().IsInvalidArgument());
+}
+
+TEST(FileStoreTest, TracksStats) {
+  InMemoryEnv env;
+  FileStore store(&env, "/store");
+  ASSERT_OK(store.Open());
+  ASSERT_OK(store.PutString("a", "12345"));
+  ASSERT_OK(store.PutString("b", "123"));
+  store.Get("a").ValueOrDie();
+  EXPECT_EQ(store.stats().write_ops, 2u);
+  EXPECT_EQ(store.stats().bytes_written, 8u);
+  EXPECT_EQ(store.stats().read_ops, 1u);
+  EXPECT_EQ(store.stats().bytes_read, 5u);
+  store.ResetStats();
+  EXPECT_EQ(store.stats().write_ops, 0u);
+}
+
+TEST(FileStoreTest, ChargesLatencyToSimulatedClock) {
+  InMemoryEnv env;
+  SimulatedClock clock;
+  StoreLatencyModel latency{1000, 2.0};  // 1 us + 2 ns/B
+  FileStore store(&env, "/store", latency, &clock);
+  ASSERT_OK(store.Open());
+  ASSERT_OK(store.PutString("a", std::string(500, 'x')));
+  EXPECT_EQ(clock.nanos(), 1000u + 1000u);
+  store.Get("a").ValueOrDie();
+  EXPECT_EQ(clock.nanos(), 2u * 2000u);
+}
+
+TEST(FileStoreTest, GetRangeAndSize) {
+  InMemoryEnv env;
+  SimulatedClock clock;
+  FileStore store(&env, "/store", {1000, 1.0}, &clock);
+  ASSERT_OK(store.Open());
+  ASSERT_OK(store.PutString("blob", "abcdefghij"));
+  EXPECT_EQ(store.Size("blob").ValueOrDie(), 10u);
+  uint64_t before = clock.nanos();
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> range, store.GetRange("blob", 2, 3));
+  EXPECT_EQ(std::string(range.begin(), range.end()), "cde");
+  // Ranged reads are charged only for the bytes moved.
+  EXPECT_EQ(clock.nanos() - before, 1000u + 3u);
+  EXPECT_TRUE(store.GetRange("blob", 8, 5).status().IsOutOfRange());
+}
+
+TEST(FileStoreTest, ListsBlobs) {
+  InMemoryEnv env;
+  FileStore store(&env, "/store");
+  ASSERT_OK(store.Open());
+  ASSERT_OK(store.PutString("z", "1"));
+  ASSERT_OK(store.PutString("a", "2"));
+  EXPECT_EQ(store.List().ValueOrDie(), (std::vector<std::string>{"a", "z"}));
+  ASSERT_OK(store.Delete("a"));
+  EXPECT_EQ(store.List().ValueOrDie(), (std::vector<std::string>{"z"}));
+}
+
+// ---------------------------------------------------------------------------
+// DocumentStore
+
+JsonValue MakeDoc(const std::string& id, int value) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("_id", id);
+  doc.Set("value", value);
+  return doc;
+}
+
+TEST(DocumentStoreTest, InsertGetRoundTrip) {
+  InMemoryEnv env;
+  DocumentStore store(&env, "/wal");
+  ASSERT_OK(store.Open());
+  ASSERT_OK(store.Insert("sets", MakeDoc("s1", 7)));
+  ASSERT_OK_AND_ASSIGN(JsonValue doc, store.Get("sets", "s1"));
+  EXPECT_EQ(doc.GetInt64("value").ValueOrDie(), 7);
+}
+
+TEST(DocumentStoreTest, RequiresObjectWithId) {
+  InMemoryEnv env;
+  DocumentStore store(&env, "/wal");
+  ASSERT_OK(store.Open());
+  EXPECT_TRUE(store.Insert("c", JsonValue(3)).IsInvalidArgument());
+  JsonValue no_id = JsonValue::Object();
+  no_id.Set("x", 1);
+  EXPECT_TRUE(store.Insert("c", no_id).IsInvalidArgument());
+}
+
+TEST(DocumentStoreTest, RejectsDuplicateIds) {
+  InMemoryEnv env;
+  DocumentStore store(&env, "/wal");
+  ASSERT_OK(store.Open());
+  ASSERT_OK(store.Insert("c", MakeDoc("dup", 1)));
+  EXPECT_TRUE(store.Insert("c", MakeDoc("dup", 2)).IsAlreadyExists());
+  // Same id in a different collection is fine.
+  EXPECT_OK(store.Insert("d", MakeDoc("dup", 3)));
+}
+
+TEST(DocumentStoreTest, GetMissing) {
+  InMemoryEnv env;
+  DocumentStore store(&env, "/wal");
+  ASSERT_OK(store.Open());
+  EXPECT_TRUE(store.Get("nope", "x").status().IsNotFound());
+  ASSERT_OK(store.Insert("c", MakeDoc("a", 1)));
+  EXPECT_TRUE(store.Get("c", "missing").status().IsNotFound());
+}
+
+TEST(DocumentStoreTest, FindByFieldEquality) {
+  InMemoryEnv env;
+  DocumentStore store(&env, "/wal");
+  ASSERT_OK(store.Open());
+  for (int i = 0; i < 5; ++i) {
+    JsonValue doc = MakeDoc("m" + std::to_string(i), i);
+    doc.Set("set_id", i < 3 ? "s1" : "s2");
+    ASSERT_OK(store.Insert("models", doc));
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<JsonValue> found,
+                       store.Find("models", "set_id", JsonValue("s1")));
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_EQ(found[0].GetString("_id").ValueOrDie(), "m0");
+  EXPECT_EQ(found[2].GetString("_id").ValueOrDie(), "m2");
+}
+
+TEST(DocumentStoreTest, AllAndCount) {
+  InMemoryEnv env;
+  DocumentStore store(&env, "/wal");
+  ASSERT_OK(store.Open());
+  EXPECT_EQ(store.Count("c"), 0u);
+  ASSERT_OK(store.Insert("c", MakeDoc("a", 1)));
+  ASSERT_OK(store.Insert("c", MakeDoc("b", 2)));
+  EXPECT_EQ(store.Count("c"), 2u);
+  EXPECT_EQ(store.All("c").ValueOrDie().size(), 2u);
+  EXPECT_EQ(store.Collections(), (std::vector<std::string>{"c"}));
+}
+
+TEST(DocumentStoreTest, PersistsAcrossReopen) {
+  InMemoryEnv env;
+  {
+    DocumentStore store(&env, "/wal");
+    ASSERT_OK(store.Open());
+    ASSERT_OK(store.Insert("sets", MakeDoc("s1", 1)));
+    ASSERT_OK(store.Insert("models", MakeDoc("m1", 2)));
+  }
+  DocumentStore reopened(&env, "/wal");
+  ASSERT_OK(reopened.Open());
+  EXPECT_EQ(reopened.Get("sets", "s1").ValueOrDie().GetInt64("value").ValueOrDie(),
+            1);
+  EXPECT_EQ(reopened.Count("models"), 1u);
+  // Duplicate detection survives reopen.
+  EXPECT_TRUE(reopened.Insert("sets", MakeDoc("s1", 9)).IsAlreadyExists());
+}
+
+TEST(DocumentStoreTest, TornTailIsDroppedOnRecovery) {
+  InMemoryEnv env;
+  {
+    DocumentStore store(&env, "/wal");
+    ASSERT_OK(store.Open());
+    ASSERT_OK(store.Insert("c", MakeDoc("a", 1)));
+    ASSERT_OK(store.Insert("c", MakeDoc("b", 2)));
+  }
+  // Simulate a crash mid-append: an incomplete record without a newline.
+  std::string torn = R"({"collection":"c","doc":{"_id":"cc","va)";
+  ASSERT_OK(env.AppendToFile(
+      "/wal", {reinterpret_cast<const uint8_t*>(torn.data()), torn.size()}));
+  DocumentStore recovered(&env, "/wal");
+  ASSERT_OK(recovered.Open());
+  EXPECT_EQ(recovered.Count("c"), 2u);  // torn record dropped
+  EXPECT_TRUE(recovered.Get("c", "cc").status().IsNotFound());
+  // The store accepts new writes after recovery.
+  EXPECT_OK(recovered.Insert("c", MakeDoc("d", 3)));
+}
+
+TEST(DocumentStoreTest, MidFileGarbageStillFailsOpen) {
+  InMemoryEnv env;
+  std::string wal = "garbage line\n";
+  JsonValue record = JsonValue::Object();
+  record.Set("collection", "c");
+  record.Set("doc", MakeDoc("a", 1));
+  wal += record.Dump() + "\n";
+  ASSERT_OK(env.WriteFile(
+      "/wal", {reinterpret_cast<const uint8_t*>(wal.data()), wal.size()}));
+  DocumentStore store(&env, "/wal");
+  EXPECT_TRUE(store.Open().IsCorruption());
+}
+
+TEST(DocumentStoreTest, CompactShrinksWalAndPreservesState) {
+  InMemoryEnv env;
+  DocumentStore store(&env, "/wal");
+  ASSERT_OK(store.Open());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(store.Insert("c", MakeDoc("d" + std::to_string(i), i)));
+  }
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_OK(store.Remove("c", "d" + std::to_string(i)));
+  }
+  uint64_t before = store.WalBytes().ValueOrDie();
+  ASSERT_OK(store.Compact());
+  uint64_t after = store.WalBytes().ValueOrDie();
+  EXPECT_LT(after, before / 2);
+  EXPECT_EQ(store.Count("c"), 5u);
+
+  // The compacted log reloads to the same state.
+  DocumentStore reopened(&env, "/wal");
+  ASSERT_OK(reopened.Open());
+  EXPECT_EQ(reopened.Count("c"), 5u);
+  EXPECT_EQ(reopened.Get("c", "d17").ValueOrDie().GetInt64("value").ValueOrDie(),
+            17);
+  EXPECT_TRUE(reopened.Get("c", "d3").status().IsNotFound());
+}
+
+TEST(DocumentStoreTest, CompactEmptyStoreWritesEmptyWal) {
+  InMemoryEnv env;
+  DocumentStore store(&env, "/wal");
+  ASSERT_OK(store.Open());
+  ASSERT_OK(store.Compact());
+  EXPECT_EQ(store.WalBytes().ValueOrDie(), 0u);
+}
+
+TEST(DocumentStoreTest, CorruptWalFailsOpen) {
+  InMemoryEnv env;
+  std::string garbage = "not json\n";
+  ASSERT_OK(env.WriteFile("/wal", {reinterpret_cast<const uint8_t*>(garbage.data()),
+                                   garbage.size()}));
+  DocumentStore store(&env, "/wal");
+  EXPECT_TRUE(store.Open().IsCorruption());
+}
+
+TEST(DocumentStoreTest, ChargesLatencyPerOperation) {
+  InMemoryEnv env;
+  SimulatedClock clock;
+  StoreLatencyModel latency{10000, 0.0};
+  DocumentStore store(&env, "/wal", latency, &clock);
+  ASSERT_OK(store.Open());
+  ASSERT_OK(store.Insert("c", MakeDoc("a", 1)));
+  store.Get("c", "a").ValueOrDie();
+  EXPECT_EQ(clock.nanos(), 20000u);
+}
+
+TEST(StoreStatsTest, Arithmetic) {
+  StoreStats a{10, 5, 100, 50};
+  StoreStats b{4, 2, 40, 20};
+  StoreStats diff = a - b;
+  EXPECT_EQ(diff.write_ops, 6u);
+  EXPECT_EQ(diff.bytes_read, 30u);
+  StoreStats sum = a + b;
+  EXPECT_EQ(sum.write_ops, 14u);
+  EXPECT_EQ(sum.bytes_written, 140u);
+}
+
+}  // namespace
+}  // namespace mmm

@@ -1,0 +1,146 @@
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "core/blob_formats.h"
+#include "core/inspect.h"
+#include "core/manager.h"
+#include "tests/test_util.h"
+
+namespace mmm {
+namespace {
+
+using testing::TempDir;
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  StreamingTest() : temp_("streaming") {
+    ModelSetManager::Options options;
+    options.root_dir = temp_.path() + "/store";
+    manager_ = ModelSetManager::Open(options).ValueOrDie();
+  }
+
+  TempDir temp_;
+  std::unique_ptr<ModelSetManager> manager_;
+};
+
+TEST_F(StreamingTest, StreamedSnapshotIsByteCompatible) {
+  ASSERT_OK_AND_ASSIGN(ModelSet set, MakeInitializedSet(Ffnn48Spec(), 25, 1));
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      StreamingSnapshotWriter::Begin(manager_->context(), set.spec, 25));
+  for (const StateDict& model : set.models) {
+    ASSERT_OK(writer->Append(model));
+  }
+  ASSERT_OK_AND_ASSIGN(SaveResult saved, writer->Finish());
+
+  // The streamed blob equals the in-memory encoder's output bit for bit.
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> streamed,
+                       manager_->file_store()->Get(saved.set_id + ".params.bin"));
+  EXPECT_EQ(streamed, EncodeParamBlob(set));
+}
+
+TEST_F(StreamingTest, RecoverableThroughEveryReadPath) {
+  ASSERT_OK_AND_ASSIGN(ModelSet set, MakeInitializedSet(Ffnn48Spec(), 12, 2));
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      StreamingSnapshotWriter::Begin(manager_->context(), set.spec, 12));
+  for (const StateDict& model : set.models) ASSERT_OK(writer->Append(model));
+  ASSERT_OK_AND_ASSIGN(SaveResult saved, writer->Finish());
+
+  // Full recovery (validates the streamed CRC).
+  ASSERT_OK_AND_ASSIGN(ModelSet recovered, manager_->Recover(saved.set_id));
+  EXPECT_TRUE(recovered.models[7][3].second.Equals(set.models[7][3].second));
+  // Selective recovery via ranged reads.
+  ASSERT_OK_AND_ASSIGN(std::vector<StateDict> selected,
+                       manager_->RecoverModels(saved.set_id, {11, 0}));
+  EXPECT_TRUE(selected[0][5].second.Equals(set.models[11][5].second));
+  EXPECT_TRUE(selected[1][5].second.Equals(set.models[0][5].second));
+  // Store validation.
+  ASSERT_OK_AND_ASSIGN(StoreValidationReport report, manager_->ValidateStore());
+  EXPECT_TRUE(report.ok()) << (report.problems.empty()
+                                   ? ""
+                                   : report.problems.front());
+}
+
+TEST_F(StreamingTest, BoundedMemoryAccounting) {
+  // The writer itself holds only per-model staging: the file-store bytes
+  // grow model by model.
+  ASSERT_OK_AND_ASSIGN(ModelSet set, MakeInitializedSet(Ffnn48Spec(), 3, 3));
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      StreamingSnapshotWriter::Begin(manager_->context(), set.spec, 3));
+  uint64_t after_begin = manager_->file_store()->stats().bytes_written;
+  ASSERT_OK(writer->Append(set.models[0]));
+  uint64_t after_one = manager_->file_store()->stats().bytes_written;
+  EXPECT_EQ(after_one - after_begin, 4993u * 4);
+  ASSERT_OK(writer->Append(set.models[1]));
+  ASSERT_OK(writer->Append(set.models[2]));
+  ASSERT_OK(writer->Finish().status());
+}
+
+TEST_F(StreamingTest, CountMismatchFailsFinish) {
+  ASSERT_OK_AND_ASSIGN(ModelSet set, MakeInitializedSet(Ffnn48Spec(), 4, 4));
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      StreamingSnapshotWriter::Begin(manager_->context(), set.spec, 4));
+  ASSERT_OK(writer->Append(set.models[0]));
+  EXPECT_TRUE(writer->Finish().status().IsInvalidArgument());
+}
+
+TEST_F(StreamingTest, AppendBeyondDeclaredCountFails) {
+  ASSERT_OK_AND_ASSIGN(ModelSet set, MakeInitializedSet(Ffnn48Spec(), 2, 5));
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      StreamingSnapshotWriter::Begin(manager_->context(), set.spec, 1));
+  ASSERT_OK(writer->Append(set.models[0]));
+  EXPECT_TRUE(writer->Append(set.models[1]).IsInvalidArgument());
+}
+
+TEST_F(StreamingTest, AppendAfterFinishFails) {
+  ASSERT_OK_AND_ASSIGN(ModelSet set, MakeInitializedSet(Ffnn48Spec(), 1, 6));
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      StreamingSnapshotWriter::Begin(manager_->context(), set.spec, 1));
+  ASSERT_OK(writer->Append(set.models[0]));
+  ASSERT_OK(writer->Finish().status());
+  EXPECT_TRUE(writer->Append(set.models[0]).IsInvalidArgument());
+  EXPECT_TRUE(writer->Finish().status().IsInvalidArgument());
+}
+
+TEST_F(StreamingTest, RejectsMismatchedModel) {
+  ASSERT_OK_AND_ASSIGN(ModelSet set, MakeInitializedSet(Ffnn69Spec(), 1, 7));
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      StreamingSnapshotWriter::Begin(manager_->context(), Ffnn48Spec(), 1));
+  EXPECT_TRUE(writer->Append(set.models[0]).IsInvalidArgument());
+}
+
+TEST_F(StreamingTest, RejectsCompressionContext) {
+  TempDir temp("streaming-compressed");
+  ModelSetManager::Options options;
+  options.root_dir = temp.path() + "/store";
+  options.blob_compression = Compression::kShuffleLz;
+  auto manager = ModelSetManager::Open(options).ValueOrDie();
+  EXPECT_TRUE(
+      StreamingSnapshotWriter::Begin(manager->context(), Ffnn48Spec(), 1)
+          .status()
+          .IsUnimplemented());
+}
+
+TEST_F(StreamingTest, StreamedSetCanSeedAnUpdateChain) {
+  // A streamed snapshot is a normal baseline set; Baseline recovers it and
+  // a fresh Update chain can start from the same models.
+  ASSERT_OK_AND_ASSIGN(ModelSet set, MakeInitializedSet(Ffnn48Spec(), 8, 8));
+  ASSERT_OK_AND_ASSIGN(
+      auto writer,
+      StreamingSnapshotWriter::Begin(manager_->context(), set.spec, 8));
+  for (const StateDict& model : set.models) ASSERT_OK(writer->Append(model));
+  ASSERT_OK_AND_ASSIGN(SaveResult saved, writer->Finish());
+  ASSERT_OK_AND_ASSIGN(ModelSet recovered, manager_->Recover(saved.set_id));
+  ASSERT_OK(
+      manager_->SaveInitial(ApproachType::kUpdate, recovered).status());
+}
+
+}  // namespace
+}  // namespace mmm

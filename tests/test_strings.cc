@@ -1,0 +1,75 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mmm {
+namespace {
+
+TEST(StringsTest, JoinBasics) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, SplitBasics) {
+  EXPECT_EQ(Split("a/b/c", '/'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", '/'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("/x/", '/'), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(StringsTest, SplitJoinRoundTrip) {
+  std::vector<std::string> parts{"battery:", "", "cell", "17", "cycle", "2"};
+  EXPECT_EQ(Split(Join(parts, "/"), '/'), parts);
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("set-000001", "set-"));
+  EXPECT_FALSE(StartsWith("se", "set-"));
+  EXPECT_TRUE(EndsWith("blob.params.bin", ".bin"));
+  EXPECT_FALSE(EndsWith("bin", ".bin"));
+}
+
+TEST(StringsTest, HexEncodeKnownValues) {
+  std::vector<uint8_t> bytes{0x00, 0x0f, 0xff, 0xa5};
+  EXPECT_EQ(HexEncode(bytes), "000fffa5");
+}
+
+TEST(StringsTest, HexDecodeInvertsEncode) {
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<uint8_t> bytes(rng.NextBounded(64));
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.NextBounded(256));
+    std::vector<uint8_t> decoded;
+    ASSERT_TRUE(HexDecode(HexEncode(bytes), &decoded));
+    EXPECT_EQ(decoded, bytes);
+  }
+}
+
+TEST(StringsTest, HexDecodeRejectsMalformed) {
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(HexDecode("abc", &out));   // odd length
+  EXPECT_FALSE(HexDecode("zz", &out));    // non-hex
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KiB");
+  EXPECT_EQ(HumanBytes(100 * 1024 * 1024), "100.00 MiB");
+}
+
+TEST(StringsTest, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(2.5), "2.500 s");
+  EXPECT_EQ(HumanSeconds(0.0025), "2.500 ms");
+  EXPECT_EQ(HumanSeconds(2.5e-6), "2.500 us");
+}
+
+TEST(StringsTest, StringFormat) {
+  EXPECT_EQ(StringFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StringFormat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace mmm

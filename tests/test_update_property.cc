@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/manager.h"
+#include "tests/test_util.h"
+
+namespace mmm {
+namespace {
+
+using testing::TempDir;
+
+// Property suite: the Update approach must capture *arbitrary* parameter
+// changes — any subset of tensors, any magnitude (including sign flips,
+// zeros, subnormals) — purely via hash comparison, across multi-step chains,
+// for both diff encodings and all compression codecs.
+
+struct PropertyParam {
+  uint64_t seed;
+  DiffEncoding encoding;
+  Compression codec;
+};
+
+class UpdatePropertySweep : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(UpdatePropertySweep, RandomMutationChainsRoundTrip) {
+  const PropertyParam param = GetParam();
+  TempDir temp("update-property");
+  ModelSetManager::Options options;
+  options.root_dir = temp.path() + "/store";
+  options.update_options.diff_encoding = param.encoding;
+  options.blob_compression = param.codec;
+  auto manager = ModelSetManager::Open(options).ValueOrDie();
+
+  Rng rng(param.seed);
+  ModelSet set = MakeInitializedSet(Ffnn48Spec(), 12, param.seed).ValueOrDie();
+  std::string head =
+      manager->SaveInitial(ApproachType::kUpdate, set).ValueOrDie().set_id;
+  std::vector<ModelSet> history{set};
+
+  for (int step = 0; step < 4; ++step) {
+    ModelSet base = set;
+    // Mutate a random subset of (model, tensor) pairs in random ways.
+    size_t mutations = rng.NextBounded(20);
+    for (size_t k = 0; k < mutations; ++k) {
+      StateDict& model = set.models[rng.NextBounded(set.models.size())];
+      Tensor& tensor = model[rng.NextBounded(model.size())].second;
+      switch (rng.NextBounded(4)) {
+        case 0:  // single-element nudge
+          tensor.at(rng.NextBounded(tensor.numel())) +=
+              static_cast<float>(rng.NextGaussian(0.0, 0.1));
+          break;
+        case 1:  // zero out
+          tensor.Fill(0.0f);
+          break;
+        case 2:  // sign flip of everything
+          for (float& x : tensor.mutable_data()) x = -x;
+          break;
+        default:  // tiny subnormal-scale perturbation of one element
+          tensor.at(rng.NextBounded(tensor.numel())) += 1e-40f;
+          break;
+      }
+    }
+    ModelSetUpdateInfo update;
+    update.base_set_id = head;
+    update.base_set = &base;
+    head = manager->SaveDerived(ApproachType::kUpdate, set, update)
+               .ValueOrDie()
+               .set_id;
+    history.push_back(set);
+  }
+
+  // Full recovery reproduces the final state bit-exactly.
+  ASSERT_OK_AND_ASSIGN(ModelSet recovered, manager->Recover(head));
+  for (size_t m = 0; m < set.models.size(); ++m) {
+    for (size_t p = 0; p < set.models[m].size(); ++p) {
+      ASSERT_TRUE(recovered.models[m][p].second.Equals(set.models[m][p].second))
+          << "model " << m << " param " << p;
+    }
+  }
+  // Selective recovery agrees for a random subset of models.
+  std::vector<size_t> indices;
+  for (int i = 0; i < 4; ++i) {
+    indices.push_back(rng.NextBounded(set.models.size()));
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<StateDict> selected,
+                       manager->RecoverModels(head, indices));
+  for (size_t i = 0; i < indices.size(); ++i) {
+    for (size_t p = 0; p < selected[i].size(); ++p) {
+      ASSERT_TRUE(selected[i][p].second.Equals(
+          set.models[indices[i]][p].second))
+          << "selective model " << indices[i] << " param " << p;
+    }
+  }
+  // The store stays healthy.
+  ASSERT_OK_AND_ASSIGN(StoreValidationReport report,
+                       ValidateStore(manager->context()));
+  EXPECT_TRUE(report.ok()) << (report.problems.empty()
+                                   ? ""
+                                   : report.problems.front());
+}
+
+std::string ParamName(const ::testing::TestParamInfo<PropertyParam>& info) {
+  std::string name = "seed" + std::to_string(info.param.seed);
+  name += info.param.encoding == DiffEncoding::kXorBase ? "_xor" : "_abs";
+  name += info.param.codec == Compression::kNone
+              ? "_raw"
+              : (info.param.codec == Compression::kLz ? "_lz" : "_shufflelz");
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mutations, UpdatePropertySweep,
+    ::testing::Values(
+        PropertyParam{1, DiffEncoding::kAbsolute, Compression::kNone},
+        PropertyParam{2, DiffEncoding::kAbsolute, Compression::kShuffleLz},
+        PropertyParam{3, DiffEncoding::kXorBase, Compression::kNone},
+        PropertyParam{4, DiffEncoding::kXorBase, Compression::kShuffleLz},
+        PropertyParam{5, DiffEncoding::kAbsolute, Compression::kLz},
+        PropertyParam{6, DiffEncoding::kXorBase, Compression::kLz},
+        PropertyParam{7, DiffEncoding::kXorBase, Compression::kShuffleLz},
+        PropertyParam{8, DiffEncoding::kAbsolute, Compression::kNone}),
+    ParamName);
+
+}  // namespace
+}  // namespace mmm
