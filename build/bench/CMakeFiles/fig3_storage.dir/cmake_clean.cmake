@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_storage.dir/fig3_storage.cpp.o"
+  "CMakeFiles/fig3_storage.dir/fig3_storage.cpp.o.d"
+  "fig3_storage"
+  "fig3_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

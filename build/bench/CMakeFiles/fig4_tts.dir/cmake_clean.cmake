@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_tts.dir/fig4_tts.cpp.o"
+  "CMakeFiles/fig4_tts.dir/fig4_tts.cpp.o.d"
+  "fig4_tts"
+  "fig4_tts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

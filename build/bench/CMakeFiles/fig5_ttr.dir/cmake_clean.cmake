@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ttr.dir/fig5_ttr.cpp.o"
+  "CMakeFiles/fig5_ttr.dir/fig5_ttr.cpp.o.d"
+  "fig5_ttr"
+  "fig5_ttr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ttr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

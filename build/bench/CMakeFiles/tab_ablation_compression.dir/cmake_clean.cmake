@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ablation_compression.dir/tab_ablation_compression.cpp.o"
+  "CMakeFiles/tab_ablation_compression.dir/tab_ablation_compression.cpp.o.d"
+  "tab_ablation_compression"
+  "tab_ablation_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ablation_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

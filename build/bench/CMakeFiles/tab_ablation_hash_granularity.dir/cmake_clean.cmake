@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ablation_hash_granularity.dir/tab_ablation_hash_granularity.cpp.o"
+  "CMakeFiles/tab_ablation_hash_granularity.dir/tab_ablation_hash_granularity.cpp.o.d"
+  "tab_ablation_hash_granularity"
+  "tab_ablation_hash_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ablation_hash_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ablation_snapshot_interval.dir/tab_ablation_snapshot_interval.cpp.o"
+  "CMakeFiles/tab_ablation_snapshot_interval.dir/tab_ablation_snapshot_interval.cpp.o.d"
+  "tab_ablation_snapshot_interval"
+  "tab_ablation_snapshot_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ablation_snapshot_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_model_size_sweep.dir/tab_model_size_sweep.cpp.o"
+  "CMakeFiles/tab_model_size_sweep.dir/tab_model_size_sweep.cpp.o.d"
+  "tab_model_size_sweep"
+  "tab_model_size_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_model_size_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

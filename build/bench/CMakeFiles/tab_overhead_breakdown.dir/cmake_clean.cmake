@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_overhead_breakdown.dir/tab_overhead_breakdown.cpp.o"
+  "CMakeFiles/tab_overhead_breakdown.dir/tab_overhead_breakdown.cpp.o.d"
+  "tab_overhead_breakdown"
+  "tab_overhead_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_overhead_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

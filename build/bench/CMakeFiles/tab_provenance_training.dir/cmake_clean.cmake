@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_provenance_training.dir/tab_provenance_training.cpp.o"
+  "CMakeFiles/tab_provenance_training.dir/tab_provenance_training.cpp.o.d"
+  "tab_provenance_training"
+  "tab_provenance_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_provenance_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_selective_recovery.dir/tab_selective_recovery.cpp.o"
+  "CMakeFiles/tab_selective_recovery.dir/tab_selective_recovery.cpp.o.d"
+  "tab_selective_recovery"
+  "tab_selective_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_selective_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_update_rate_sweep.dir/tab_update_rate_sweep.cpp.o"
+  "CMakeFiles/tab_update_rate_sweep.dir/tab_update_rate_sweep.cpp.o.d"
+  "tab_update_rate_sweep"
+  "tab_update_rate_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_update_rate_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

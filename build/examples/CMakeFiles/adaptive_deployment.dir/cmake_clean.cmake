@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_deployment.dir/adaptive_deployment.cpp.o"
+  "CMakeFiles/adaptive_deployment.dir/adaptive_deployment.cpp.o.d"
+  "adaptive_deployment"
+  "adaptive_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approach_advisor.dir/approach_advisor.cpp.o"
+  "CMakeFiles/approach_advisor.dir/approach_advisor.cpp.o.d"
+  "approach_advisor"
+  "approach_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approach_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_classifiers.dir/image_classifiers.cpp.o"
+  "CMakeFiles/image_classifiers.dir/image_classifiers.cpp.o.d"
+  "image_classifiers"
+  "image_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

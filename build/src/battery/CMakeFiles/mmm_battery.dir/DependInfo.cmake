@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/battery/data_gen.cc" "src/battery/CMakeFiles/mmm_battery.dir/data_gen.cc.o" "gcc" "src/battery/CMakeFiles/mmm_battery.dir/data_gen.cc.o.d"
+  "/root/repo/src/battery/drive_cycle.cc" "src/battery/CMakeFiles/mmm_battery.dir/drive_cycle.cc.o" "gcc" "src/battery/CMakeFiles/mmm_battery.dir/drive_cycle.cc.o.d"
+  "/root/repo/src/battery/ecm.cc" "src/battery/CMakeFiles/mmm_battery.dir/ecm.cc.o" "gcc" "src/battery/CMakeFiles/mmm_battery.dir/ecm.cc.o.d"
+  "/root/repo/src/battery/ocv.cc" "src/battery/CMakeFiles/mmm_battery.dir/ocv.cc.o" "gcc" "src/battery/CMakeFiles/mmm_battery.dir/ocv.cc.o.d"
+  "/root/repo/src/battery/pack.cc" "src/battery/CMakeFiles/mmm_battery.dir/pack.cc.o" "gcc" "src/battery/CMakeFiles/mmm_battery.dir/pack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mmm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mmm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/mmm_serialize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmm_battery.dir/data_gen.cc.o"
+  "CMakeFiles/mmm_battery.dir/data_gen.cc.o.d"
+  "CMakeFiles/mmm_battery.dir/drive_cycle.cc.o"
+  "CMakeFiles/mmm_battery.dir/drive_cycle.cc.o.d"
+  "CMakeFiles/mmm_battery.dir/ecm.cc.o"
+  "CMakeFiles/mmm_battery.dir/ecm.cc.o.d"
+  "CMakeFiles/mmm_battery.dir/ocv.cc.o"
+  "CMakeFiles/mmm_battery.dir/ocv.cc.o.d"
+  "CMakeFiles/mmm_battery.dir/pack.cc.o"
+  "CMakeFiles/mmm_battery.dir/pack.cc.o.d"
+  "libmmm_battery.a"
+  "libmmm_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmm_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

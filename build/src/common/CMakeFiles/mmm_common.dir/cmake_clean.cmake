@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmm_common.dir/env_config.cc.o"
+  "CMakeFiles/mmm_common.dir/env_config.cc.o.d"
+  "CMakeFiles/mmm_common.dir/id.cc.o"
+  "CMakeFiles/mmm_common.dir/id.cc.o.d"
+  "CMakeFiles/mmm_common.dir/logging.cc.o"
+  "CMakeFiles/mmm_common.dir/logging.cc.o.d"
+  "CMakeFiles/mmm_common.dir/rng.cc.o"
+  "CMakeFiles/mmm_common.dir/rng.cc.o.d"
+  "CMakeFiles/mmm_common.dir/status.cc.o"
+  "CMakeFiles/mmm_common.dir/status.cc.o.d"
+  "CMakeFiles/mmm_common.dir/strings.cc.o"
+  "CMakeFiles/mmm_common.dir/strings.cc.o.d"
+  "libmmm_common.a"
+  "libmmm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

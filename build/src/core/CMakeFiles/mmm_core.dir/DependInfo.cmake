@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cc" "src/core/CMakeFiles/mmm_core.dir/adaptive.cc.o" "gcc" "src/core/CMakeFiles/mmm_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/core/baseline.cc" "src/core/CMakeFiles/mmm_core.dir/baseline.cc.o" "gcc" "src/core/CMakeFiles/mmm_core.dir/baseline.cc.o.d"
+  "/root/repo/src/core/blob_formats.cc" "src/core/CMakeFiles/mmm_core.dir/blob_formats.cc.o" "gcc" "src/core/CMakeFiles/mmm_core.dir/blob_formats.cc.o.d"
+  "/root/repo/src/core/gc.cc" "src/core/CMakeFiles/mmm_core.dir/gc.cc.o" "gcc" "src/core/CMakeFiles/mmm_core.dir/gc.cc.o.d"
+  "/root/repo/src/core/inspect.cc" "src/core/CMakeFiles/mmm_core.dir/inspect.cc.o" "gcc" "src/core/CMakeFiles/mmm_core.dir/inspect.cc.o.d"
+  "/root/repo/src/core/manager.cc" "src/core/CMakeFiles/mmm_core.dir/manager.cc.o" "gcc" "src/core/CMakeFiles/mmm_core.dir/manager.cc.o.d"
+  "/root/repo/src/core/mmlib_base.cc" "src/core/CMakeFiles/mmm_core.dir/mmlib_base.cc.o" "gcc" "src/core/CMakeFiles/mmm_core.dir/mmlib_base.cc.o.d"
+  "/root/repo/src/core/model_set.cc" "src/core/CMakeFiles/mmm_core.dir/model_set.cc.o" "gcc" "src/core/CMakeFiles/mmm_core.dir/model_set.cc.o.d"
+  "/root/repo/src/core/provenance.cc" "src/core/CMakeFiles/mmm_core.dir/provenance.cc.o" "gcc" "src/core/CMakeFiles/mmm_core.dir/provenance.cc.o.d"
+  "/root/repo/src/core/recommend.cc" "src/core/CMakeFiles/mmm_core.dir/recommend.cc.o" "gcc" "src/core/CMakeFiles/mmm_core.dir/recommend.cc.o.d"
+  "/root/repo/src/core/set_codec.cc" "src/core/CMakeFiles/mmm_core.dir/set_codec.cc.o" "gcc" "src/core/CMakeFiles/mmm_core.dir/set_codec.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/mmm_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/mmm_core.dir/streaming.cc.o.d"
+  "/root/repo/src/core/update.cc" "src/core/CMakeFiles/mmm_core.dir/update.cc.o" "gcc" "src/core/CMakeFiles/mmm_core.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/mmm_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mmm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mmm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mmm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mmm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/prov/CMakeFiles/mmm_prov.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmm_core.dir/adaptive.cc.o"
+  "CMakeFiles/mmm_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/mmm_core.dir/baseline.cc.o"
+  "CMakeFiles/mmm_core.dir/baseline.cc.o.d"
+  "CMakeFiles/mmm_core.dir/blob_formats.cc.o"
+  "CMakeFiles/mmm_core.dir/blob_formats.cc.o.d"
+  "CMakeFiles/mmm_core.dir/gc.cc.o"
+  "CMakeFiles/mmm_core.dir/gc.cc.o.d"
+  "CMakeFiles/mmm_core.dir/inspect.cc.o"
+  "CMakeFiles/mmm_core.dir/inspect.cc.o.d"
+  "CMakeFiles/mmm_core.dir/manager.cc.o"
+  "CMakeFiles/mmm_core.dir/manager.cc.o.d"
+  "CMakeFiles/mmm_core.dir/mmlib_base.cc.o"
+  "CMakeFiles/mmm_core.dir/mmlib_base.cc.o.d"
+  "CMakeFiles/mmm_core.dir/model_set.cc.o"
+  "CMakeFiles/mmm_core.dir/model_set.cc.o.d"
+  "CMakeFiles/mmm_core.dir/provenance.cc.o"
+  "CMakeFiles/mmm_core.dir/provenance.cc.o.d"
+  "CMakeFiles/mmm_core.dir/recommend.cc.o"
+  "CMakeFiles/mmm_core.dir/recommend.cc.o.d"
+  "CMakeFiles/mmm_core.dir/set_codec.cc.o"
+  "CMakeFiles/mmm_core.dir/set_codec.cc.o.d"
+  "CMakeFiles/mmm_core.dir/streaming.cc.o"
+  "CMakeFiles/mmm_core.dir/streaming.cc.o.d"
+  "CMakeFiles/mmm_core.dir/update.cc.o"
+  "CMakeFiles/mmm_core.dir/update.cc.o.d"
+  "libmmm_core.a"
+  "libmmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

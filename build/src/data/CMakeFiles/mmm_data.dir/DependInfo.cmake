@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cifar_synthetic.cc" "src/data/CMakeFiles/mmm_data.dir/cifar_synthetic.cc.o" "gcc" "src/data/CMakeFiles/mmm_data.dir/cifar_synthetic.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/mmm_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/mmm_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/dataset_ref.cc" "src/data/CMakeFiles/mmm_data.dir/dataset_ref.cc.o" "gcc" "src/data/CMakeFiles/mmm_data.dir/dataset_ref.cc.o.d"
+  "/root/repo/src/data/normalizer.cc" "src/data/CMakeFiles/mmm_data.dir/normalizer.cc.o" "gcc" "src/data/CMakeFiles/mmm_data.dir/normalizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/mmm_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mmm_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmm_data.dir/cifar_synthetic.cc.o"
+  "CMakeFiles/mmm_data.dir/cifar_synthetic.cc.o.d"
+  "CMakeFiles/mmm_data.dir/dataset.cc.o"
+  "CMakeFiles/mmm_data.dir/dataset.cc.o.d"
+  "CMakeFiles/mmm_data.dir/dataset_ref.cc.o"
+  "CMakeFiles/mmm_data.dir/dataset_ref.cc.o.d"
+  "CMakeFiles/mmm_data.dir/normalizer.cc.o"
+  "CMakeFiles/mmm_data.dir/normalizer.cc.o.d"
+  "libmmm_data.a"
+  "libmmm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

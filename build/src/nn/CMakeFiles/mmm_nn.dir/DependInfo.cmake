@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/mmm_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/mmm_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/architecture.cc" "src/nn/CMakeFiles/mmm_nn.dir/architecture.cc.o" "gcc" "src/nn/CMakeFiles/mmm_nn.dir/architecture.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/mmm_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/mmm_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/mmm_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/mmm_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/mmm_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/mmm_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/mmm_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/mmm_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/metrics.cc" "src/nn/CMakeFiles/mmm_nn.dir/metrics.cc.o" "gcc" "src/nn/CMakeFiles/mmm_nn.dir/metrics.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/nn/CMakeFiles/mmm_nn.dir/model.cc.o" "gcc" "src/nn/CMakeFiles/mmm_nn.dir/model.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/mmm_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/mmm_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/nn/CMakeFiles/mmm_nn.dir/sequential.cc.o" "gcc" "src/nn/CMakeFiles/mmm_nn.dir/sequential.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/mmm_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/mmm_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/mmm_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mmm_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmm_nn.dir/activations.cc.o"
+  "CMakeFiles/mmm_nn.dir/activations.cc.o.d"
+  "CMakeFiles/mmm_nn.dir/architecture.cc.o"
+  "CMakeFiles/mmm_nn.dir/architecture.cc.o.d"
+  "CMakeFiles/mmm_nn.dir/conv2d.cc.o"
+  "CMakeFiles/mmm_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/mmm_nn.dir/init.cc.o"
+  "CMakeFiles/mmm_nn.dir/init.cc.o.d"
+  "CMakeFiles/mmm_nn.dir/linear.cc.o"
+  "CMakeFiles/mmm_nn.dir/linear.cc.o.d"
+  "CMakeFiles/mmm_nn.dir/loss.cc.o"
+  "CMakeFiles/mmm_nn.dir/loss.cc.o.d"
+  "CMakeFiles/mmm_nn.dir/metrics.cc.o"
+  "CMakeFiles/mmm_nn.dir/metrics.cc.o.d"
+  "CMakeFiles/mmm_nn.dir/model.cc.o"
+  "CMakeFiles/mmm_nn.dir/model.cc.o.d"
+  "CMakeFiles/mmm_nn.dir/optimizer.cc.o"
+  "CMakeFiles/mmm_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/mmm_nn.dir/sequential.cc.o"
+  "CMakeFiles/mmm_nn.dir/sequential.cc.o.d"
+  "CMakeFiles/mmm_nn.dir/trainer.cc.o"
+  "CMakeFiles/mmm_nn.dir/trainer.cc.o.d"
+  "libmmm_nn.a"
+  "libmmm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

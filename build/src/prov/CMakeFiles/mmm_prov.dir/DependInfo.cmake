@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prov/environment.cc" "src/prov/CMakeFiles/mmm_prov.dir/environment.cc.o" "gcc" "src/prov/CMakeFiles/mmm_prov.dir/environment.cc.o.d"
+  "/root/repo/src/prov/pipeline.cc" "src/prov/CMakeFiles/mmm_prov.dir/pipeline.cc.o" "gcc" "src/prov/CMakeFiles/mmm_prov.dir/pipeline.cc.o.d"
+  "/root/repo/src/prov/replay.cc" "src/prov/CMakeFiles/mmm_prov.dir/replay.cc.o" "gcc" "src/prov/CMakeFiles/mmm_prov.dir/replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/mmm_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mmm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mmm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mmm_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

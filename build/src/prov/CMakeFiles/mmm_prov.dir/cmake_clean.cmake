@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmm_prov.dir/environment.cc.o"
+  "CMakeFiles/mmm_prov.dir/environment.cc.o.d"
+  "CMakeFiles/mmm_prov.dir/pipeline.cc.o"
+  "CMakeFiles/mmm_prov.dir/pipeline.cc.o.d"
+  "CMakeFiles/mmm_prov.dir/replay.cc.o"
+  "CMakeFiles/mmm_prov.dir/replay.cc.o.d"
+  "libmmm_prov.a"
+  "libmmm_prov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmm_prov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serialize/binary_io.cc" "src/serialize/CMakeFiles/mmm_serialize.dir/binary_io.cc.o" "gcc" "src/serialize/CMakeFiles/mmm_serialize.dir/binary_io.cc.o.d"
+  "/root/repo/src/serialize/compress.cc" "src/serialize/CMakeFiles/mmm_serialize.dir/compress.cc.o" "gcc" "src/serialize/CMakeFiles/mmm_serialize.dir/compress.cc.o.d"
+  "/root/repo/src/serialize/crc32.cc" "src/serialize/CMakeFiles/mmm_serialize.dir/crc32.cc.o" "gcc" "src/serialize/CMakeFiles/mmm_serialize.dir/crc32.cc.o.d"
+  "/root/repo/src/serialize/json.cc" "src/serialize/CMakeFiles/mmm_serialize.dir/json.cc.o" "gcc" "src/serialize/CMakeFiles/mmm_serialize.dir/json.cc.o.d"
+  "/root/repo/src/serialize/sha256.cc" "src/serialize/CMakeFiles/mmm_serialize.dir/sha256.cc.o" "gcc" "src/serialize/CMakeFiles/mmm_serialize.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

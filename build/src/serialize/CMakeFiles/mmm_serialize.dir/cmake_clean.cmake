@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmm_serialize.dir/binary_io.cc.o"
+  "CMakeFiles/mmm_serialize.dir/binary_io.cc.o.d"
+  "CMakeFiles/mmm_serialize.dir/compress.cc.o"
+  "CMakeFiles/mmm_serialize.dir/compress.cc.o.d"
+  "CMakeFiles/mmm_serialize.dir/crc32.cc.o"
+  "CMakeFiles/mmm_serialize.dir/crc32.cc.o.d"
+  "CMakeFiles/mmm_serialize.dir/json.cc.o"
+  "CMakeFiles/mmm_serialize.dir/json.cc.o.d"
+  "CMakeFiles/mmm_serialize.dir/sha256.cc.o"
+  "CMakeFiles/mmm_serialize.dir/sha256.cc.o.d"
+  "libmmm_serialize.a"
+  "libmmm_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmm_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

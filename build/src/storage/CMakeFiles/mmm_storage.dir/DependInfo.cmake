@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/document_store.cc" "src/storage/CMakeFiles/mmm_storage.dir/document_store.cc.o" "gcc" "src/storage/CMakeFiles/mmm_storage.dir/document_store.cc.o.d"
+  "/root/repo/src/storage/env.cc" "src/storage/CMakeFiles/mmm_storage.dir/env.cc.o" "gcc" "src/storage/CMakeFiles/mmm_storage.dir/env.cc.o.d"
+  "/root/repo/src/storage/file_store.cc" "src/storage/CMakeFiles/mmm_storage.dir/file_store.cc.o" "gcc" "src/storage/CMakeFiles/mmm_storage.dir/file_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/mmm_serialize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

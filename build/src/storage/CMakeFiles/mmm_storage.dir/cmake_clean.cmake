@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmm_storage.dir/document_store.cc.o"
+  "CMakeFiles/mmm_storage.dir/document_store.cc.o.d"
+  "CMakeFiles/mmm_storage.dir/env.cc.o"
+  "CMakeFiles/mmm_storage.dir/env.cc.o.d"
+  "CMakeFiles/mmm_storage.dir/file_store.cc.o"
+  "CMakeFiles/mmm_storage.dir/file_store.cc.o.d"
+  "libmmm_storage.a"
+  "libmmm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

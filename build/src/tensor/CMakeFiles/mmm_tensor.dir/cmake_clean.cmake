@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmm_tensor.dir/conv_ops.cc.o"
+  "CMakeFiles/mmm_tensor.dir/conv_ops.cc.o.d"
+  "CMakeFiles/mmm_tensor.dir/ops.cc.o"
+  "CMakeFiles/mmm_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/mmm_tensor.dir/tensor.cc.o"
+  "CMakeFiles/mmm_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/mmm_tensor.dir/tensor_serialize.cc.o"
+  "CMakeFiles/mmm_tensor.dir/tensor_serialize.cc.o.d"
+  "libmmm_tensor.a"
+  "libmmm_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmm_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

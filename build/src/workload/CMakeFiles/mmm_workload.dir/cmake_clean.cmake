@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmm_workload.dir/experiment.cc.o"
+  "CMakeFiles/mmm_workload.dir/experiment.cc.o.d"
+  "CMakeFiles/mmm_workload.dir/scenario.cc.o"
+  "CMakeFiles/mmm_workload.dir/scenario.cc.o.d"
+  "libmmm_workload.a"
+  "libmmm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmm_workload.a"
+)

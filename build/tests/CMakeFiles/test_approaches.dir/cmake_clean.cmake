@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_approaches.dir/test_approaches.cc.o"
+  "CMakeFiles/test_approaches.dir/test_approaches.cc.o.d"
+  "test_approaches"
+  "test_approaches.pdb"
+  "test_approaches[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

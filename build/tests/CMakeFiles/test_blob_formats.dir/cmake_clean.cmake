@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blob_formats.dir/test_blob_formats.cc.o"
+  "CMakeFiles/test_blob_formats.dir/test_blob_formats.cc.o.d"
+  "test_blob_formats"
+  "test_blob_formats.pdb"
+  "test_blob_formats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blob_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

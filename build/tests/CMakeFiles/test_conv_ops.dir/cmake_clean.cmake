@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv_ops.dir/test_conv_ops.cc.o"
+  "CMakeFiles/test_conv_ops.dir/test_conv_ops.cc.o.d"
+  "test_conv_ops"
+  "test_conv_ops.pdb"
+  "test_conv_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

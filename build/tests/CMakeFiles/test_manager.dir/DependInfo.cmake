@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_manager.cc" "tests/CMakeFiles/test_manager.dir/test_manager.cc.o" "gcc" "tests/CMakeFiles/test_manager.dir/test_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mmm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/mmm_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mmm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/prov/CMakeFiles/mmm_prov.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mmm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mmm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mmm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/mmm_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

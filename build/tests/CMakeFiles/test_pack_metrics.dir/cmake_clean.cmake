@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pack_metrics.dir/test_pack_metrics.cc.o"
+  "CMakeFiles/test_pack_metrics.dir/test_pack_metrics.cc.o.d"
+  "test_pack_metrics"
+  "test_pack_metrics.pdb"
+  "test_pack_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pack_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

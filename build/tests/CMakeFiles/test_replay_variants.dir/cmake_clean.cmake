@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_variants.dir/test_replay_variants.cc.o"
+  "CMakeFiles/test_replay_variants.dir/test_replay_variants.cc.o.d"
+  "test_replay_variants"
+  "test_replay_variants.pdb"
+  "test_replay_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selective_recovery.dir/test_selective_recovery.cc.o"
+  "CMakeFiles/test_selective_recovery.dir/test_selective_recovery.cc.o.d"
+  "test_selective_recovery"
+  "test_selective_recovery.pdb"
+  "test_selective_recovery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selective_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_codec.dir/test_set_codec.cc.o"
+  "CMakeFiles/test_set_codec.dir/test_set_codec.cc.o.d"
+  "test_set_codec"
+  "test_set_codec.pdb"
+  "test_set_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_update_property.dir/test_update_property.cc.o"
+  "CMakeFiles/test_update_property.dir/test_update_property.cc.o.d"
+  "test_update_property"
+  "test_update_property.pdb"
+  "test_update_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_update_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

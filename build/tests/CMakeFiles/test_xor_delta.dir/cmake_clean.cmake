@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xor_delta.dir/test_xor_delta.cc.o"
+  "CMakeFiles/test_xor_delta.dir/test_xor_delta.cc.o.d"
+  "test_xor_delta"
+  "test_xor_delta.pdb"
+  "test_xor_delta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xor_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

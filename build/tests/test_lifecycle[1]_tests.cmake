@@ -1,0 +1,3 @@
+add_test([=[LifecycleTest.FullDeploymentStory]=]  /root/repo/build/tests/test_lifecycle [==[--gtest_filter=LifecycleTest.FullDeploymentStory]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[LifecycleTest.FullDeploymentStory]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_lifecycle_TESTS LifecycleTest.FullDeploymentStory)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmmctl.dir/mmmctl.cpp.o"
+  "CMakeFiles/mmmctl.dir/mmmctl.cpp.o.d"
+  "mmmctl"
+  "mmmctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmmctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
