@@ -15,7 +15,9 @@
 #include "serialize/json.h"
 #include "serialize/sha256.h"
 #include "storage/document_store.h"
+#include "storage/executor.h"
 #include "storage/file_store.h"
+#include "storage/store_batch.h"
 #include "tensor/ops.h"
 
 namespace mmm {
@@ -80,6 +82,43 @@ void BM_ComputeHashTable(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ComputeHashTable)->Arg(100)->Arg(1000);
+
+void BM_ComputeHashTableParallel(benchmark::State& state) {
+  // Update's per-save hashing cost, fanned across pipeline lanes. Speedup
+  // over the lanes=1 row shows up on multi-core hosts only.
+  ModelSet set = MakeInitializedSet(Ffnn48Spec(), 1000, 1).ValueOrDie();
+  Executor executor(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeHashTable(set, &executor));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ComputeHashTableParallel)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_StoreBatchCommit(benchmark::State& state) {
+  // One save's worth of blob writes committed through the pipeline,
+  // parameterized by lane count (lanes=1 is the serial reference).
+  InMemoryEnv env;
+  FileStore file_store(&env, "/blobs");
+  file_store.Open().Check();
+  DocumentStore doc_store(&env, "/wal");
+  doc_store.Open().Check();
+  Executor executor(static_cast<size_t>(state.range(0)));
+  ModelSet set = MakeInitializedSet(Ffnn48Spec(), 32, 1).ValueOrDie();
+  for (auto _ : state) {
+    StoreBatch batch(&file_store, &doc_store, &executor);
+    for (size_t m = 0; m < set.models.size(); ++m) {
+      const StateDict* model = &set.models[m];
+      batch.PutBlobDeferred("m" + std::to_string(m) + ".bin",
+                            [model]() -> Result<std::vector<uint8_t>> {
+                              return EncodeStateDict(*model);
+                            });
+    }
+    batch.Commit().Check();
+  }
+  state.SetItemsProcessed(state.iterations() * set.models.size());
+}
+BENCHMARK(BM_StoreBatchCommit)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_DiffHashTables(benchmark::State& state) {
   ModelSet base =

@@ -10,14 +10,16 @@
 #include "serialize/compress.h"
 #include "storage/document_store.h"
 #include "storage/file_store.h"
+#include "storage/store_batch.h"
 
 namespace mmm {
 
 /// \brief Shared storage backends handed to every approach.
 ///
 /// One file store (parameter/architecture blobs), one document store
-/// (metadata), one id generator, and the simulated clock the stores charge
-/// their latency to.
+/// (metadata), one id generator, the simulated clock the stores charge
+/// their latency to, and the write-pipeline executor every save path fans
+/// its store ops out over.
 struct StoreContext {
   FileStore* file_store = nullptr;
   DocumentStore* doc_store = nullptr;
@@ -27,6 +29,10 @@ struct StoreContext {
   /// the paper's §4.5 future work. Reads auto-detect, so stores written
   /// with any setting stay readable.
   Compression blob_compression = Compression::kNone;
+  /// Worker pool for batched saves; nullptr means serial (one lane).
+  Executor* executor = nullptr;
+  /// Lane count / dispatch cost of the write pipeline (see store_batch.h).
+  StorePipelineOptions pipeline;
 
   Status Validate() const {
     if (file_store == nullptr || doc_store == nullptr || ids == nullptr) {
@@ -35,6 +41,15 @@ struct StoreContext {
     return Status::OK();
   }
 };
+
+/// Opens an op-batch over the context's stores and pipeline configuration.
+/// Approaches stage every write of one save into such a batch and commit it
+/// once — no save path talks to FileStore/DocumentStore write methods
+/// directly.
+inline StoreBatch MakeBatch(const StoreContext& context) {
+  return StoreBatch(context.file_store, context.doc_store, context.executor,
+                    context.pipeline);
+}
 
 /// \brief Outcome of saving one model set.
 struct SaveResult {

@@ -12,12 +12,16 @@ Result<SaveResult> BaselineApproach::SaveSnapshot(const ModelSet& set,
   SaveResult result;
   result.set_id = context_.ids->Next("set");
 
+  // One batch per save: both snapshot blobs plus the set document commit
+  // through the write pipeline together.
+  StoreBatch batch = MakeBatch(context_);
   SetDocument doc;
   doc.id = result.set_id;
   doc.approach = Name();
   doc.base_set_id = base_set_id;
-  MMM_RETURN_NOT_OK(WriteFullSnapshot(context_, result.set_id, set, &doc));
-  MMM_RETURN_NOT_OK(InsertSetDocument(context_, doc));
+  MMM_RETURN_NOT_OK(StageFullSnapshot(context_, &batch, result.set_id, set, &doc));
+  StageSetDocument(&batch, doc);
+  MMM_RETURN_NOT_OK(batch.Commit());
 
   capture.FillSave(&result);
   return result;

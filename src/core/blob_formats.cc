@@ -166,16 +166,20 @@ Result<StateDict> DecodeModelSlice(const ArchitectureSpec& spec,
   return state;
 }
 
-HashTable ComputeHashTable(const ModelSet& set) {
-  HashTable hashes;
-  hashes.reserve(set.models.size());
-  for (const StateDict& state : set.models) {
-    std::vector<Sha256Digest> model_hashes;
+HashTable ComputeHashTable(const ModelSet& set, Executor* executor) {
+  HashTable hashes(set.models.size());
+  auto hash_model = [&](size_t m) {
+    const StateDict& state = set.models[m];
+    std::vector<Sha256Digest>& model_hashes = hashes[m];
     model_hashes.reserve(state.size());
     for (const auto& [_, tensor] : state) {
       model_hashes.push_back(Sha256::Hash(TensorBytes(tensor)));
     }
-    hashes.push_back(std::move(model_hashes));
+  };
+  if (executor != nullptr && executor->lanes() > 1) {
+    executor->ParallelFor(set.models.size(), hash_model);
+  } else {
+    for (size_t m = 0; m < set.models.size(); ++m) hash_model(m);
   }
   return hashes;
 }

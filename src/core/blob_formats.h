@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "core/model_set.h"
 #include "serialize/sha256.h"
+#include "storage/executor.h"
 
 namespace mmm {
 
@@ -67,8 +68,11 @@ Result<StateDict> DecodeModelSlice(const ArchitectureSpec& spec,
 /// @{
 using HashTable = std::vector<std::vector<Sha256Digest>>;
 
-/// Hashes every parameter tensor of every model.
-HashTable ComputeHashTable(const ModelSet& set);
+/// Hashes every parameter tensor of every model. With a multi-lane
+/// `executor`, models are hashed in parallel (one model per work item); the
+/// result is identical to the serial computation since each lane writes only
+/// its own rows.
+HashTable ComputeHashTable(const ModelSet& set, Executor* executor = nullptr);
 
 std::vector<uint8_t> EncodeHashTable(const HashTable& hashes);
 Result<HashTable> DecodeHashTable(std::span<const uint8_t> blob);

@@ -1,5 +1,7 @@
 #include "core/manager.h"
 
+#include <algorithm>
+
 namespace mmm {
 
 std::string ApproachTypeName(ApproachType type) {
@@ -44,10 +46,13 @@ Result<std::unique_ptr<ModelSetManager>> ModelSetManager::Open(Options options) 
   // New ids must not collide with sets persisted by a previous session.
   manager->ids_->AdvanceTo(manager->doc_store_->Count(kSetCollection));
 
+  manager->executor_ =
+      std::make_unique<Executor>(std::max<size_t>(1, options.pipeline.lanes));
   manager->context_ = StoreContext{manager->file_store_.get(),
                                    manager->doc_store_.get(),
                                    manager->ids_.get(), &manager->sim_clock_,
-                                   options.blob_compression};
+                                   options.blob_compression,
+                                   manager->executor_.get(), options.pipeline};
 
   EnvironmentInfo environment = options.environment.has_value()
                                     ? *options.environment

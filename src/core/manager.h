@@ -65,6 +65,10 @@ class ModelSetManager {
     /// Compression for parameter/diff/hash blobs (§4.5 future work);
     /// reads auto-detect, so mixed stores are fine.
     Compression blob_compression = Compression::kNone;
+    /// Write-pipeline configuration. `pipeline.lanes = 1` (the default)
+    /// reproduces the paper's serialized cost model bit-exactly; more lanes
+    /// overlap blob writes, hashing, and compression across a worker pool.
+    StorePipelineOptions pipeline;
     /// Environment snapshot persisted by MMlib-base (per model) and
     /// Provenance (per set); defaults to EnvironmentInfo::Capture().
     std::optional<EnvironmentInfo> environment;
@@ -119,6 +123,7 @@ class ModelSetManager {
 
   SimulatedClock sim_clock_;
   std::unique_ptr<IdGenerator> ids_;
+  std::unique_ptr<Executor> executor_;
   std::unique_ptr<FileStore> file_store_;
   std::unique_ptr<DocumentStore> doc_store_;
   StoreContext context_;

@@ -32,16 +32,24 @@ Result<SaveResult> MMlibBaseApproach::SaveAllIndividually(const ModelSet& set) {
   train_info.Set("save_reason", "scheduled-update");
   train_info.Set("library", environment_.library_version);
 
+  // All per-model artifacts of one save commit through a single batch: the
+  // n weight encodes run as deferred work items across the pipeline lanes,
+  // while the n metadata inserts stay serialized on the one document-store
+  // connection (which is exactly what keeps MMlib-base expensive).
+  StoreBatch batch = MakeBatch(context_);
   for (size_t index = 0; index < set.models.size(); ++index) {
     // One weights artifact (state dict *with* keys — the per-model
     // serialization overhead Baseline eliminates) ...
     std::string model_id = StringFormat("%s-m%05zu", result.set_id.c_str(), index);
     std::string weights_blob = model_id + ".weights.bin";
-    MMM_RETURN_NOT_OK(context_.file_store->Put(
-        weights_blob, EncodeStateDict(set.models[index])));
+    const StateDict* model = &set.models[index];
+    batch.PutBlobDeferred(weights_blob,
+                          [model]() -> Result<std::vector<uint8_t>> {
+                            return EncodeStateDict(*model);
+                          });
     // ... one code artifact ...
     std::string code_blob = model_id + ".code.py";
-    MMM_RETURN_NOT_OK(context_.file_store->PutString(code_blob, source_code));
+    batch.PutBlobString(code_blob, source_code);
     // ... and one metadata document embedding architecture + environment.
     JsonValue doc = JsonValue::Object();
     doc.Set("_id", model_id);
@@ -52,7 +60,7 @@ Result<SaveResult> MMlibBaseApproach::SaveAllIndividually(const ModelSet& set) {
     doc.Set("train_info", train_info);
     doc.Set("weights_blob", weights_blob);
     doc.Set("code_blob", code_blob);
-    MMM_RETURN_NOT_OK(context_.doc_store->Insert(kMmlibModelCollection, doc));
+    batch.InsertDocument(kMmlibModelCollection, std::move(doc));
   }
 
   SetDocument set_doc;
@@ -61,7 +69,8 @@ Result<SaveResult> MMlibBaseApproach::SaveAllIndividually(const ModelSet& set) {
   set_doc.kind = "full";
   set_doc.family = set.spec.family;
   set_doc.num_models = set.models.size();
-  MMM_RETURN_NOT_OK(InsertSetDocument(context_, set_doc));
+  StageSetDocument(&batch, set_doc);
+  MMM_RETURN_NOT_OK(batch.Commit());
 
   capture.FillSave(&result);
   return result;

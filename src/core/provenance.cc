@@ -46,11 +46,13 @@ Result<SaveResult> ProvenanceApproach::SaveInitial(const ModelSet& set) {
 
   // "For the initial model set, we save complete model representations
   // using Baseline's logic." (§3.4)
+  StoreBatch batch = MakeBatch(context_);
   SetDocument doc;
   doc.id = result.set_id;
   doc.approach = Name();
-  MMM_RETURN_NOT_OK(WriteFullSnapshot(context_, result.set_id, set, &doc));
-  MMM_RETURN_NOT_OK(InsertSetDocument(context_, doc));
+  MMM_RETURN_NOT_OK(StageFullSnapshot(context_, &batch, result.set_id, set, &doc));
+  StageSetDocument(&batch, doc);
+  MMM_RETURN_NOT_OK(batch.Commit());
 
   capture.FillSave(&result);
   return result;
@@ -123,8 +125,10 @@ Result<SaveResult> ProvenanceApproach::SaveDerived(
   doc.num_models = set.models.size();
   doc.chain_depth = base_doc.chain_depth + 1;
   doc.prov_blob = result.set_id + ".prov.json";
-  MMM_RETURN_NOT_OK(context_.file_store->PutString(doc.prov_blob, record.Dump()));
-  MMM_RETURN_NOT_OK(InsertSetDocument(context_, doc));
+  StoreBatch batch = MakeBatch(context_);
+  batch.PutBlobString(doc.prov_blob, record.Dump());
+  StageSetDocument(&batch, doc);
+  MMM_RETURN_NOT_OK(batch.Commit());
 
   capture.FillSave(&result);
   return result;

@@ -94,22 +94,36 @@ Result<ArchitectureSpec> DecodeArchBlob(const std::string& text) {
   return spec;
 }
 
-Status WriteFullSnapshot(const StoreContext& context, const std::string& set_id,
-                         const ModelSet& set, SetDocument* doc) {
+Status StageFullSnapshot(const StoreContext& context, StoreBatch* batch,
+                         const std::string& set_id, const ModelSet& set,
+                         SetDocument* doc) {
   doc->arch_blob = set_id + ".arch.json";
   doc->param_blob = set_id + ".params.bin";
-  MMM_RETURN_NOT_OK(
-      context.file_store->PutString(doc->arch_blob, EncodeArchBlob(set.spec)));
-  std::vector<uint8_t> params = EncodeParamBlob(set);
-  if (context.blob_compression != Compression::kNone) {
-    params = CompressBlob(context.blob_compression, params);
-  }
-  MMM_RETURN_NOT_OK(context.file_store->Put(doc->param_blob, params));
+  batch->PutBlobString(doc->arch_blob, EncodeArchBlob(set.spec));
+  // The parameter encode dominates a snapshot save; produce it on a
+  // pipeline lane so it overlaps with the batch's other work.
+  const ModelSet* set_ptr = &set;
+  const Compression compression = context.blob_compression;
+  batch->PutBlobDeferred(
+      doc->param_blob, [set_ptr, compression]() -> Result<std::vector<uint8_t>> {
+        std::vector<uint8_t> params = EncodeParamBlob(*set_ptr);
+        if (compression != Compression::kNone) {
+          params = CompressBlob(compression, params);
+        }
+        return params;
+      });
   doc->kind = "full";
   doc->chain_depth = 0;
   doc->family = set.spec.family;
   doc->num_models = set.models.size();
   return Status::OK();
+}
+
+Status WriteFullSnapshot(const StoreContext& context, const std::string& set_id,
+                         const ModelSet& set, SetDocument* doc) {
+  StoreBatch batch = MakeBatch(context);
+  MMM_RETURN_NOT_OK(StageFullSnapshot(context, &batch, set_id, set, doc));
+  return batch.Commit();
 }
 
 Result<ModelSet> ReadFullSnapshot(const StoreContext& context,
@@ -196,8 +210,14 @@ Result<std::vector<StateDict>> ReadModelsFromSnapshot(
   return out;
 }
 
+void StageSetDocument(StoreBatch* batch, const SetDocument& doc) {
+  batch->InsertDocument(kSetCollection, doc.ToJson());
+}
+
 Status InsertSetDocument(const StoreContext& context, const SetDocument& doc) {
-  return context.doc_store->Insert(kSetCollection, doc.ToJson());
+  StoreBatch batch = MakeBatch(context);
+  StageSetDocument(&batch, doc);
+  return batch.Commit();
 }
 
 Result<SetDocument> FetchSetDocument(const StoreContext& context,

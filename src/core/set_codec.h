@@ -59,8 +59,17 @@ class StatsCapture {
 /// "using Baseline's logic").
 /// @{
 
-/// Writes the architecture blob + concatenated param blob for `set` under
-/// `set_id`, and fills the artifact names into `doc`.
+/// Stages the architecture blob + concatenated param blob for `set` under
+/// `set_id` into `batch`, and fills the artifact names into `doc`. The
+/// parameter encode (and compression) runs as a deferred work item on a
+/// pipeline lane at commit time, so `set` must outlive the batch's
+/// Commit().
+Status StageFullSnapshot(const StoreContext& context, StoreBatch* batch,
+                         const std::string& set_id, const ModelSet& set,
+                         SetDocument* doc);
+
+/// Single-op convenience over StageFullSnapshot: stages into a fresh batch
+/// and commits it immediately.
 Status WriteFullSnapshot(const StoreContext& context, const std::string& set_id,
                          const ModelSet& set, SetDocument* doc);
 
@@ -84,7 +93,12 @@ Result<ArchitectureSpec> ReadSnapshotSpec(const StoreContext& context,
 Status CheckIndices(const std::vector<size_t>& indices, uint64_t num_models);
 /// @}
 
-/// Inserts the set document into the metadata collection.
+/// Stages the set document for insertion into the metadata collection.
+/// `doc` is captured by value at staging time, so every field must be final.
+void StageSetDocument(StoreBatch* batch, const SetDocument& doc);
+
+/// Single-op convenience over StageSetDocument: stages into a fresh batch
+/// and commits it immediately.
 Status InsertSetDocument(const StoreContext& context, const SetDocument& doc);
 
 /// Fetches and parses a set document.

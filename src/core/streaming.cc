@@ -109,9 +109,10 @@ Result<SaveResult> StreamingSnapshotWriter::Finish() {
   doc.num_models = num_models_;
   doc.arch_blob = set_id_ + ".arch.json";
   doc.param_blob = blob_name_;
-  MMM_RETURN_NOT_OK(
-      context_.file_store->PutString(doc.arch_blob, EncodeArchBlob(spec_)));
-  MMM_RETURN_NOT_OK(InsertSetDocument(context_, doc));
+  StoreBatch batch = MakeBatch(context_);
+  batch.PutBlobString(doc.arch_blob, EncodeArchBlob(spec_));
+  StageSetDocument(&batch, doc);
+  MMM_RETURN_NOT_OK(batch.Commit());
 
   SaveResult result;
   result.set_id = set_id_;

@@ -13,21 +13,33 @@ Result<SaveResult> UpdateApproach::SaveSnapshotWithHashes(
   SaveResult result;
   result.set_id = context_.ids->Next("set");
 
+  // Per-layer hashing fans out across the pipeline's lanes (one work item
+  // per model), then the snapshot blobs, hash blob, and set document all
+  // commit through one batch.
+  HashTable hash_table = ComputeHashTable(set, context_.executor);
+
+  StoreBatch batch = MakeBatch(context_);
   SetDocument doc;
   doc.id = result.set_id;
   doc.approach = Name();
   doc.base_set_id = base_set_id;
-  MMM_RETURN_NOT_OK(WriteFullSnapshot(context_, result.set_id, set, &doc));
+  MMM_RETURN_NOT_OK(StageFullSnapshot(context_, &batch, result.set_id, set, &doc));
 
   // Persist the per-layer hashes so the *next* save can detect changes
   // without loading this set's parameters (paper §3.3 step 2).
   doc.hash_blob = result.set_id + ".hashes.bin";
-  std::vector<uint8_t> hashes = EncodeHashTable(ComputeHashTable(set));
-  if (context_.blob_compression != Compression::kNone) {
-    hashes = CompressBlob(context_.blob_compression, hashes);
-  }
-  MMM_RETURN_NOT_OK(context_.file_store->Put(doc.hash_blob, hashes));
-  MMM_RETURN_NOT_OK(InsertSetDocument(context_, doc));
+  const HashTable* hashes_ptr = &hash_table;
+  const Compression compression = context_.blob_compression;
+  batch.PutBlobDeferred(
+      doc.hash_blob, [hashes_ptr, compression]() -> Result<std::vector<uint8_t>> {
+        std::vector<uint8_t> hashes = EncodeHashTable(*hashes_ptr);
+        if (compression != Compression::kNone) {
+          hashes = CompressBlob(compression, hashes);
+        }
+        return hashes;
+      });
+  StageSetDocument(&batch, doc);
+  MMM_RETURN_NOT_OK(batch.Commit());
 
   capture.FillSave(&result);
   return result;
@@ -74,8 +86,8 @@ Result<SaveResult> UpdateApproach::SaveDerived(const ModelSet& set,
   result.set_id = context_.ids->Next("set");
 
   // Step 1 (§3.3): reference to the base set and metadata — the SetDocument.
-  // Step 2: hash every model's layers.
-  HashTable current_hashes = ComputeHashTable(set);
+  // Step 2: hash every model's layers, fanned out across the pipeline lanes.
+  HashTable current_hashes = ComputeHashTable(set, context_.executor);
   // Step 3: identify changed parameters against the base set's hash blob.
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored_hashes,
                        context_.file_store->Get(base_doc.hash_blob));
@@ -100,16 +112,36 @@ Result<SaveResult> UpdateApproach::SaveDerived(const ModelSet& set,
     return Status::InvalidArgument(
         "xor delta encoding needs ModelSetUpdateInfo::base_set");
   }
-  std::vector<uint8_t> diff =
-      EncodeDiffBlob(set, entries, options_.diff_encoding, update.base_set);
-  std::vector<uint8_t> hashes = EncodeHashTable(current_hashes);
-  if (context_.blob_compression != Compression::kNone) {
-    diff = CompressBlob(context_.blob_compression, diff);
-    hashes = CompressBlob(context_.blob_compression, hashes);
-  }
-  MMM_RETURN_NOT_OK(context_.file_store->Put(doc.diff_blob, diff));
-  MMM_RETURN_NOT_OK(context_.file_store->Put(doc.hash_blob, hashes));
-  MMM_RETURN_NOT_OK(InsertSetDocument(context_, doc));
+  // Diff encoding and hash encoding (plus compression) are independent work
+  // items; the batch runs them on separate lanes overlapping the writes.
+  StoreBatch batch = MakeBatch(context_);
+  const Compression compression = context_.blob_compression;
+  const DiffEncoding diff_encoding = options_.diff_encoding;
+  const ModelSet* set_ptr = &set;
+  const ModelSet* base_set_ptr = update.base_set;
+  const std::vector<DiffEntry>* entries_ptr = &entries;
+  batch.PutBlobDeferred(
+      doc.diff_blob,
+      [set_ptr, entries_ptr, diff_encoding, base_set_ptr,
+       compression]() -> Result<std::vector<uint8_t>> {
+        std::vector<uint8_t> diff =
+            EncodeDiffBlob(*set_ptr, *entries_ptr, diff_encoding, base_set_ptr);
+        if (compression != Compression::kNone) {
+          diff = CompressBlob(compression, diff);
+        }
+        return diff;
+      });
+  const HashTable* hashes_ptr = &current_hashes;
+  batch.PutBlobDeferred(
+      doc.hash_blob, [hashes_ptr, compression]() -> Result<std::vector<uint8_t>> {
+        std::vector<uint8_t> hashes = EncodeHashTable(*hashes_ptr);
+        if (compression != Compression::kNone) {
+          hashes = CompressBlob(compression, hashes);
+        }
+        return hashes;
+      });
+  StageSetDocument(&batch, doc);
+  MMM_RETURN_NOT_OK(batch.Commit());
 
   capture.FillSave(&result);
   return result;

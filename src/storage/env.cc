@@ -140,6 +140,7 @@ Env* Env::Default() {
 
 Status InMemoryEnv::WriteFile(const std::string& path,
                               std::span<const uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, contents] : files_) {
     if (name == path) {
       contents.assign(data.begin(), data.end());
@@ -152,16 +153,19 @@ Status InMemoryEnv::WriteFile(const std::string& path,
 
 Status InMemoryEnv::AppendToFile(const std::string& path,
                                  std::span<const uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, contents] : files_) {
     if (name == path) {
       contents.insert(contents.end(), data.begin(), data.end());
       return Status::OK();
     }
   }
-  return WriteFile(path, data);
+  files_.emplace_back(path, std::vector<uint8_t>(data.begin(), data.end()));
+  return Status::OK();
 }
 
 Result<std::vector<uint8_t>> InMemoryEnv::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, contents] : files_) {
     if (name == path) return contents;
   }
@@ -171,6 +175,7 @@ Result<std::vector<uint8_t>> InMemoryEnv::ReadFile(const std::string& path) {
 Result<std::vector<uint8_t>> InMemoryEnv::ReadFileRange(const std::string& path,
                                                         uint64_t offset,
                                                         uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, contents] : files_) {
     if (name != path) continue;
     if (offset + length > contents.size()) {
@@ -184,6 +189,7 @@ Result<std::vector<uint8_t>> InMemoryEnv::ReadFileRange(const std::string& path,
 }
 
 Result<bool> InMemoryEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, _] : files_) {
     if (name == path) return true;
   }
@@ -191,6 +197,7 @@ Result<bool> InMemoryEnv::FileExists(const std::string& path) {
 }
 
 Result<uint64_t> InMemoryEnv::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, contents] : files_) {
     if (name == path) return static_cast<uint64_t>(contents.size());
   }
@@ -198,6 +205,7 @@ Result<uint64_t> InMemoryEnv::FileSize(const std::string& path) {
 }
 
 Status InMemoryEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = files_.begin(); it != files_.end(); ++it) {
     if (it->first == path) {
       files_.erase(it);
@@ -210,6 +218,7 @@ Status InMemoryEnv::DeleteFile(const std::string& path) {
 Status InMemoryEnv::CreateDirs(const std::string&) { return Status::OK(); }
 
 Status InMemoryEnv::RemoveDirs(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string prefix = path;
   if (!prefix.empty() && prefix.back() != '/') prefix += '/';
   std::erase_if(files_, [&](const auto& entry) {
@@ -219,6 +228,7 @@ Status InMemoryEnv::RemoveDirs(const std::string& path) {
 }
 
 Result<std::vector<std::string>> InMemoryEnv::ListDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string prefix = path;
   if (!prefix.empty() && prefix.back() != '/') prefix += '/';
   std::vector<std::string> names;
@@ -236,25 +246,22 @@ Result<std::vector<std::string>> InMemoryEnv::ListDir(const std::string& path) {
 // FaultInjectionEnv
 
 Status FaultInjectionEnv::MaybeFail() {
-  if (fail_after_ >= 0 && write_count_ >= fail_after_) {
-    return Status::IOError("injected write failure (write #", write_count_, ")");
+  int64_t count = write_count_.fetch_add(1);
+  if (fail_after_ >= 0 && count >= fail_after_) {
+    return Status::IOError("injected write failure (write #", count, ")");
   }
   return Status::OK();
 }
 
 Status FaultInjectionEnv::WriteFile(const std::string& path,
                                     std::span<const uint8_t> data) {
-  Status fail = MaybeFail();
-  ++write_count_;
-  if (!fail.ok()) return fail;
+  MMM_RETURN_NOT_OK(MaybeFail());
   return base_->WriteFile(path, data);
 }
 
 Status FaultInjectionEnv::AppendToFile(const std::string& path,
                                        std::span<const uint8_t> data) {
-  Status fail = MaybeFail();
-  ++write_count_;
-  if (!fail.ok()) return fail;
+  MMM_RETURN_NOT_OK(MaybeFail());
   return base_->AppendToFile(path, data);
 }
 

@@ -1,7 +1,9 @@
 #ifndef MMM_STORAGE_ENV_H_
 #define MMM_STORAGE_ENV_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -54,7 +56,8 @@ class Env {
   static Env* Default();
 };
 
-/// \brief Heap-backed Env for unit tests (no disk access).
+/// \brief Heap-backed Env for unit tests (no disk access). Thread-safe, so
+/// it can stand in for the filesystem under the parallel write pipeline.
 class InMemoryEnv : public Env {
  public:
   Status WriteFile(const std::string& path, std::span<const uint8_t> data) override;
@@ -72,6 +75,7 @@ class InMemoryEnv : public Env {
   Result<std::vector<std::string>> ListDir(const std::string& path) override;
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::pair<std::string, std::vector<uint8_t>>> files_;
 };
 
@@ -86,7 +90,7 @@ class FaultInjectionEnv : public Env {
   /// Clears the failure plan.
   void Heal() { fail_after_ = -1; }
 
-  int64_t write_count() const { return write_count_; }
+  int64_t write_count() const { return write_count_.load(); }
 
   Status WriteFile(const std::string& path, std::span<const uint8_t> data) override;
   Status AppendToFile(const std::string& path,
@@ -107,7 +111,8 @@ class FaultInjectionEnv : public Env {
 
   Env* base_;
   int64_t fail_after_ = -1;
-  int64_t write_count_ = 0;
+  /// Atomic so batched writes racing through parallel lanes count exactly.
+  std::atomic<int64_t> write_count_ = 0;
 };
 
 }  // namespace mmm

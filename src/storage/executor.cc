@@ -1,0 +1,71 @@
+#include "storage/executor.h"
+
+namespace mmm {
+
+Executor::Executor(size_t lanes) : lanes_(lanes == 0 ? 1 : lanes) {
+  workers_.reserve(lanes_ - 1);
+  for (size_t lane = 1; lane < lanes_; ++lane) {
+    workers_.emplace_back([this, lane] { WorkerLoop(lane); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void Executor::RunLane(size_t lane, size_t count,
+                       const std::function<void(size_t)>& fn) {
+  for (size_t i = lane; i < count; i += lanes_) fn(i);
+}
+
+void Executor::ParallelFor(size_t count,
+                           const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (lanes_ == 1 || count == 1) {
+    // Inline fast path: no threads involved, items run in index order.
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    count_ = count;
+    lanes_done_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunLane(0, count, fn);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return lanes_done_ == lanes_ - 1; });
+  fn_ = nullptr;
+}
+
+void Executor::WorkerLoop(size_t lane) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this, seen] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      fn = fn_;
+      count = count_;
+    }
+    RunLane(lane, count, *fn);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++lanes_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace mmm

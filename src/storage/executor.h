@@ -1,0 +1,70 @@
+#ifndef MMM_STORAGE_EXECUTOR_H_
+#define MMM_STORAGE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mmm {
+
+/// \brief Fixed-size worker pool with deterministic work assignment.
+///
+/// The storage pipeline's parallelism substrate: StoreBatch fans blob writes
+/// and encode/hash/compress work out over the pool's lanes, and the latency
+/// model charges `max` across lanes instead of the serial sum.
+///
+/// Lane 0 always runs on the calling thread; only `lanes - 1` background
+/// threads exist. An Executor with one lane therefore executes everything
+/// inline, in index order, with no synchronization at all — bit-identical
+/// to the pre-pipeline serial code.
+///
+/// Work item `i` of a ParallelFor runs on lane `i % lanes`, and each lane
+/// processes its items in increasing index order. The work-to-lane
+/// assignment is thus deterministic and independent of thread scheduling:
+/// results written to per-index slots come out identical for any lane
+/// count, which is what makes recovered blobs reproducible.
+///
+/// Dispatch is not reentrant: work items must not call ParallelFor on the
+/// same Executor, and only one thread may dispatch at a time. Items on
+/// different lanes run concurrently, so they must not touch shared state
+/// without their own synchronization (per-index output slots are safe).
+class Executor {
+ public:
+  /// \param lanes number of parallel lanes (>= 1; 0 is clamped to 1).
+  explicit Executor(size_t lanes = 1);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  size_t lanes() const { return lanes_; }
+
+  /// Runs `fn(0) ... fn(count - 1)` across the lanes and returns when every
+  /// call has finished. Item `i` runs on lane `i % lanes()`.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop(size_t lane);
+  void RunLane(size_t lane, size_t count,
+               const std::function<void(size_t)>& fn);
+
+  size_t lanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* fn_ = nullptr;  ///< current dispatch
+  size_t count_ = 0;
+  uint64_t generation_ = 0;  ///< bumped per dispatch to wake the workers
+  size_t lanes_done_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_STORAGE_EXECUTOR_H_

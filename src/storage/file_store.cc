@@ -43,6 +43,22 @@ Status FileStore::Append(const std::string& name, std::span<const uint8_t> data)
   return Status::OK();
 }
 
+Status FileStore::PutDetached(const std::string& name,
+                              std::span<const uint8_t> data, StoreStats* stats,
+                              uint64_t* cost_nanos) const {
+  MMM_RETURN_NOT_OK(ValidateName(name));
+  MMM_RETURN_NOT_OK(env_->WriteFile(root_ + "/" + name, data));
+  ++stats->write_ops;
+  stats->bytes_written += data.size();
+  *cost_nanos = latency_.CostNanos(data.size());
+  return Status::OK();
+}
+
+void FileStore::MergeBatch(const StoreStats& delta, uint64_t charge_nanos) {
+  stats_ = stats_ + delta;
+  if (sim_clock_ != nullptr) sim_clock_->Advance(charge_nanos);
+}
+
 Result<std::vector<uint8_t>> FileStore::Get(const std::string& name) {
   MMM_RETURN_NOT_OK(ValidateName(name));
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> data, env_->ReadFile(root_ + "/" + name));

@@ -62,6 +62,23 @@ class FileStore {
   Result<bool> Exists(const std::string& name);
   Status Delete(const std::string& name);
 
+  /// \name Batched-write support (see storage/store_batch.h).
+  /// @{
+
+  /// Writes a blob like Put but defers all accounting to the caller: shared
+  /// stats are untouched, nothing is charged to the simulated clock, and the
+  /// op's counters and modeled cost are returned through `stats` /
+  /// `cost_nanos` instead. Safe to call concurrently for distinct names —
+  /// this is the entry point StoreBatch fans out across executor lanes.
+  Status PutDetached(const std::string& name, std::span<const uint8_t> data,
+                     StoreStats* stats, uint64_t* cost_nanos) const;
+
+  /// Folds a batch's merged per-lane counters back into this store's stats
+  /// and charges `charge_nanos` of modeled time (the batch's overlapped
+  /// total) to the simulated clock.
+  void MergeBatch(const StoreStats& delta, uint64_t charge_nanos);
+  /// @}
+
   /// Names of all blobs, sorted.
   Result<std::vector<std::string>> List();
 

@@ -1,0 +1,109 @@
+#ifndef MMM_STORAGE_STORE_BATCH_H_
+#define MMM_STORAGE_STORE_BATCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serialize/json.h"
+#include "storage/document_store.h"
+#include "storage/executor.h"
+#include "storage/file_store.h"
+
+namespace mmm {
+
+/// \brief Knobs of the batched write pipeline.
+struct StorePipelineOptions {
+  /// Number of parallel write lanes. 1 (the default) reproduces the paper's
+  /// serialized cost model bit-exactly: ops execute inline in staging order
+  /// and the modeled latency is the serial sum of per-op costs.
+  size_t lanes = 1;
+  /// Modeled cost of handing one file-store op to a parallel lane
+  /// (scheduling plus connection hand-off). Only charged when the batch
+  /// actually overlaps (lanes > 1) — a serial pipeline dispatches nothing.
+  uint64_t dispatch_nanos_per_op = 0;
+};
+
+/// Produces a blob payload on a worker lane. This is where CPU-heavy save
+/// work (state-dict encoding, diff encoding, compression) runs when the
+/// pipeline has more than one lane.
+using BlobProducer = std::function<Result<std::vector<uint8_t>>()>;
+
+/// \brief An op-batch over the file and document stores.
+///
+/// Callers stage blob writes, document inserts, and deferred
+/// encode/compress work items, then Commit() once. Commit executes
+/// independent file-store writes (and their producers) in parallel across
+/// the executor's lanes; document inserts always run serially on the
+/// committing thread, in staging order, modeling the single metadata-store
+/// connection.
+///
+/// Latency accounting models overlapped I/O lanes: file op `i` (staging
+/// order) is assigned to lane `i % lanes`, each lane's cost is the sum of
+/// its ops' modeled costs, and the batch charges
+/// `max(lane costs) + dispatch_nanos_per_op * file_ops` to the simulated
+/// clock. With one lane the max over a single lane is the serial sum and no
+/// dispatch cost applies, so lane=1 is bit-identical to issuing every op
+/// directly against the stores. Store statistics (`write_ops`,
+/// `bytes_written`) are collected per op and merged once per commit, so
+/// counters stay exact for any lane count.
+///
+/// Error handling: Commit returns the first failing op in *staging* order
+/// among the ops that ran, and skips the document phase if any file op
+/// failed. Blob writes that already completed are not rolled back (matching
+/// the pre-pipeline behavior of a failed multi-write save). Committing
+/// clears the batch either way.
+///
+/// Deferred producers may capture references to caller state (e.g. the
+/// ModelSet being saved); that state must stay alive and unmodified until
+/// Commit returns. A batch is single-owner: stage and commit from one
+/// thread.
+class StoreBatch {
+ public:
+  /// \param executor worker pool; nullptr means serial (one lane).
+  StoreBatch(FileStore* file_store, DocumentStore* doc_store,
+             Executor* executor = nullptr, StorePipelineOptions options = {});
+
+  /// Stages a blob write of ready bytes.
+  void PutBlob(std::string name, std::vector<uint8_t> data);
+  /// Stages a blob write of a string payload.
+  void PutBlobString(std::string name, std::string_view data);
+  /// Stages a blob write whose payload is produced on a worker lane at
+  /// commit time.
+  void PutBlobDeferred(std::string name, BlobProducer producer);
+  /// Stages a document insert. The document is captured by value at staging
+  /// time; inserts execute in staging order.
+  void InsertDocument(std::string collection, JsonValue doc);
+
+  size_t staged_ops() const { return ops_.size(); }
+
+  /// Executes every staged op as described above and clears the batch.
+  Status Commit();
+
+ private:
+  enum class OpKind { kBlobWrite, kDocInsert };
+
+  struct StagedOp {
+    OpKind kind;
+    std::string name;  ///< blob name (kBlobWrite) or collection (kDocInsert)
+    std::vector<uint8_t> data;
+    BlobProducer producer;  ///< non-null: produces `data` at commit time
+    JsonValue doc;
+  };
+
+  Status CommitSerial();
+  Status CommitParallel();
+
+  FileStore* file_store_;
+  DocumentStore* doc_store_;
+  Executor* executor_;
+  StorePipelineOptions options_;
+  std::vector<StagedOp> ops_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_STORAGE_STORE_BATCH_H_

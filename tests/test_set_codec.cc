@@ -16,7 +16,7 @@ class SetCodecTest : public ::testing::Test {
         doc_store_(&env_, "/wal"),
         ids_(7),
         context_{&file_store_, &doc_store_, &ids_, nullptr,
-                 Compression::kNone} {
+                 Compression::kNone, nullptr, {}} {
     file_store_.Open().Check();
     doc_store_.Open().Check();
   }

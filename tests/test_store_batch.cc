@@ -1,0 +1,391 @@
+#include "storage/store_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/blob_formats.h"
+#include "core/manager.h"
+#include "storage/executor.h"
+#include "tests/test_util.h"
+#include "workload/scenario.h"
+
+namespace mmm {
+namespace {
+
+using testing::TempDir;
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorTest, ClampsZeroLanesToOne) {
+  Executor executor(0);
+  EXPECT_EQ(executor.lanes(), 1u);
+}
+
+TEST(ExecutorTest, CoversEveryIndexExactlyOnce) {
+  for (size_t lanes : {1u, 2u, 3u, 8u}) {
+    Executor executor(lanes);
+    std::vector<int> hits(100, 0);
+    executor.ParallelFor(hits.size(), [&](size_t i) { hits[i]++; });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i], 1) << "index " << i << " with " << lanes << " lanes";
+    }
+  }
+}
+
+TEST(ExecutorTest, HandlesEmptyAndTinyCounts) {
+  Executor executor(4);
+  executor.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+  int calls = 0;
+  executor.ParallelFor(1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+  // Fewer items than lanes: the surplus lanes have nothing to do.
+  std::vector<int> hits(2, 0);
+  executor.ParallelFor(2, [&](size_t i) { hits[i]++; });
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits[1], 1);
+}
+
+TEST(ExecutorTest, ReusableAcrossDispatches) {
+  Executor executor(3);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int> hits(17, 0);
+    executor.ParallelFor(hits.size(), [&](size_t i) { hits[i]++; });
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StoreBatch
+// ---------------------------------------------------------------------------
+
+/// In-memory store pair with a configurable latency model and simulated
+/// clock. A plain struct (not a fixture) so tests can spin up several
+/// independent store worlds and compare them.
+struct Stores {
+  explicit Stores(StoreLatencyModel latency = {})
+      : file_store(&env, "/blobs", latency, &sim_clock),
+        doc_store(&env, "/wal", {}, &sim_clock) {
+    file_store.Open().Check();
+    doc_store.Open().Check();
+  }
+
+  /// Every blob name -> contents in the file store, for whole-store
+  /// comparisons across lane counts.
+  std::map<std::string, std::vector<uint8_t>> Blobs() {
+    std::map<std::string, std::vector<uint8_t>> blobs;
+    auto names = file_store.List().ValueOrDie();
+    for (const std::string& name : names) {
+      blobs[name] = file_store.Get(name).ValueOrDie();
+    }
+    return blobs;
+  }
+
+  InMemoryEnv env;
+  SimulatedClock sim_clock;
+  FileStore file_store;
+  DocumentStore doc_store;
+};
+
+JsonValue Doc(const std::string& id) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("_id", id);
+  return doc;
+}
+
+/// Stages the same mixed workload — eager blobs, string blobs, deferred
+/// producers, interleaved document inserts — on any batch.
+void StageMixedOps(StoreBatch* batch) {
+  batch->PutBlob("b0.bin", {0, 1, 2, 3});
+  batch->InsertDocument("sets", Doc("d0"));
+  batch->PutBlobString("b1.txt", "payload-one");
+  batch->PutBlobDeferred("b2.bin", []() -> Result<std::vector<uint8_t>> {
+    return std::vector<uint8_t>{9, 8, 7};
+  });
+  batch->PutBlobDeferred("b3.bin", []() -> Result<std::vector<uint8_t>> {
+    return std::vector<uint8_t>(100, 42);
+  });
+  batch->InsertDocument("sets", Doc("d1"));
+}
+
+TEST(StoreBatchTest, EmptyCommitIsFreeNoOp) {
+  Stores stores;
+  for (size_t lanes : {1u, 4u}) {
+    Executor executor(lanes);
+    StoreBatch batch(&stores.file_store, &stores.doc_store, &executor);
+    ASSERT_OK(batch.Commit());
+  }
+  EXPECT_EQ(stores.file_store.stats().write_ops, 0u);
+  EXPECT_EQ(stores.doc_store.stats().write_ops, 0u);
+  EXPECT_EQ(stores.sim_clock.nanos(), 0u);
+}
+
+TEST(StoreBatchTest, CommitClearsBatch) {
+  Stores stores;
+  Executor executor(2);
+  StoreBatch batch(&stores.file_store, &stores.doc_store, &executor);
+  StageMixedOps(&batch);
+  EXPECT_EQ(batch.staged_ops(), 6u);
+  ASSERT_OK(batch.Commit());
+  EXPECT_EQ(batch.staged_ops(), 0u);
+  // A failed commit clears too.
+  batch.PutBlob("bad/name", {1});
+  EXPECT_FALSE(batch.Commit().ok());
+  EXPECT_EQ(batch.staged_ops(), 0u);
+}
+
+TEST(StoreBatchTest, StoreContentsIdenticalAcrossLaneCounts) {
+  // Reference store written with one lane (no executor at all) ...
+  Stores reference;
+  {
+    StoreBatch batch(&reference.file_store, &reference.doc_store, nullptr);
+    StageMixedOps(&batch);
+    ASSERT_OK(batch.Commit());
+  }
+  auto reference_blobs = reference.Blobs();
+  auto reference_docs = reference.doc_store.All("sets").ValueOrDie();
+  ASSERT_EQ(reference_blobs.size(), 4u);
+  ASSERT_EQ(reference_docs.size(), 2u);
+
+  // ... must match stores written with any lane count, byte for byte and
+  // in document insertion order.
+  for (size_t lanes : {2u, 8u}) {
+    Stores fresh;
+    Executor executor(lanes);
+    StoreBatch batch(&fresh.file_store, &fresh.doc_store, &executor);
+    StageMixedOps(&batch);
+    ASSERT_OK(batch.Commit());
+    EXPECT_EQ(fresh.Blobs(), reference_blobs) << lanes << " lanes";
+    auto docs = fresh.doc_store.All("sets").ValueOrDie();
+    ASSERT_EQ(docs.size(), reference_docs.size());
+    for (size_t i = 0; i < docs.size(); ++i) {
+      EXPECT_EQ(docs[i].Dump(), reference_docs[i].Dump());
+    }
+  }
+}
+
+TEST(StoreBatchTest, CountersExactForAnyLaneCount) {
+  // Pipeline accounting must stay exact under parallelism — per-op deltas
+  // are merged once per commit, so counters cannot over- or under-count
+  // regardless of thread interleaving.
+  Stores reference;
+  {
+    StoreBatch batch(&reference.file_store, &reference.doc_store, nullptr);
+    StageMixedOps(&batch);
+    ASSERT_OK(batch.Commit());
+  }
+  EXPECT_EQ(reference.file_store.stats().write_ops, 4u);
+
+  for (size_t lanes : {2u, 4u}) {
+    Stores fresh;
+    Executor executor(lanes);
+    StoreBatch batch(&fresh.file_store, &fresh.doc_store, &executor);
+    StageMixedOps(&batch);
+    ASSERT_OK(batch.Commit());
+    EXPECT_EQ(fresh.file_store.stats().write_ops,
+              reference.file_store.stats().write_ops);
+    EXPECT_EQ(fresh.file_store.stats().bytes_written,
+              reference.file_store.stats().bytes_written);
+    EXPECT_EQ(fresh.doc_store.stats().write_ops,
+              reference.doc_store.stats().write_ops);
+    EXPECT_EQ(fresh.doc_store.stats().bytes_written,
+              reference.doc_store.stats().bytes_written);
+  }
+}
+
+// 100 ns per op + 1 ns per byte: costs are easy to compute by hand.
+StoreLatencyModel HandLatency() { return StoreLatencyModel{100, 1.0}; }
+
+void StageThreeBlobs(StoreBatch* batch) {
+  batch->PutBlob("a.bin", std::vector<uint8_t>(10, 1));  // cost 110
+  batch->PutBlob("b.bin", std::vector<uint8_t>(20, 2));  // cost 120
+  batch->PutBlob("c.bin", std::vector<uint8_t>(30, 3));  // cost 130
+}
+
+TEST(StoreBatchLatencyTest, SerialChargeIsSumOfOpCosts) {
+  // One lane reproduces the paper's serialized cost model: the batch charge
+  // equals the sum of per-op costs, no dispatch overhead.
+  Stores stores(HandLatency());
+  StorePipelineOptions options;
+  options.dispatch_nanos_per_op = 5;  // must NOT be charged serially
+  Executor executor(1);
+  StoreBatch batch(&stores.file_store, &stores.doc_store, &executor, options);
+  StageThreeBlobs(&batch);
+  ASSERT_OK(batch.Commit());
+  EXPECT_EQ(stores.sim_clock.nanos(), 110u + 120u + 130u);
+}
+
+TEST(StoreBatchLatencyTest, ParallelChargeIsMaxLanePlusDispatch) {
+  // Two lanes: op i lands on lane i % 2, so lane 0 costs 110 + 130 = 240
+  // and lane 1 costs 120. The batch charges max(240, 120) plus the per-op
+  // dispatch cost for all three ops.
+  Stores stores(HandLatency());
+  StorePipelineOptions options;
+  options.lanes = 2;
+  options.dispatch_nanos_per_op = 5;
+  Executor executor(2);
+  StoreBatch batch(&stores.file_store, &stores.doc_store, &executor, options);
+  StageThreeBlobs(&batch);
+  ASSERT_OK(batch.Commit());
+  EXPECT_EQ(stores.sim_clock.nanos(), 240u + 3u * 5u);
+}
+
+TEST(StoreBatchTest, SerialErrorStopsAtFailingOp) {
+  Stores stores;
+  StoreBatch batch(&stores.file_store, &stores.doc_store, nullptr);
+  batch.PutBlob("ok.bin", {1});
+  batch.PutBlob("bad/name", {2});  // '/' is rejected by the file store
+  batch.PutBlob("never.bin", {3});
+  batch.InsertDocument("sets", Doc("d0"));
+  Status status = batch.Commit();
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(stores.file_store.Exists("ok.bin").ValueOrDie());
+  // Serial commit aborts at the failure: later ops never ran.
+  EXPECT_FALSE(stores.file_store.Exists("never.bin").ValueOrDie());
+  EXPECT_EQ(stores.doc_store.Count("sets"), 0u);
+}
+
+TEST(StoreBatchTest, ParallelCommitReportsFirstStagedError) {
+  // Two failures staged at indices 1 (producer) and 3 (invalid name); the
+  // reported error must be index 1's, deterministically, for any lane
+  // count and any thread interleaving.
+  Stores stores;
+  Executor executor(8);
+  StoreBatch batch(&stores.file_store, &stores.doc_store, &executor);
+  batch.PutBlob("ok.bin", {1});
+  batch.PutBlobDeferred("enc.bin", []() -> Result<std::vector<uint8_t>> {
+    return Status::Internal("producer exploded");
+  });
+  batch.PutBlob("ok2.bin", {2});
+  batch.PutBlob("bad/name", {3});
+  batch.InsertDocument("sets", Doc("d0"));
+  Status status = batch.Commit();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("producer exploded"), std::string::npos)
+      << status.ToString();
+  // A file-phase failure always skips the document phase.
+  EXPECT_EQ(stores.doc_store.Count("sets"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel hashing
+// ---------------------------------------------------------------------------
+
+TEST(HashTableParallelTest, StableAcrossLaneCounts) {
+  ModelSet set = MakeInitializedSet(Ffnn48Spec(), 9, 3).ValueOrDie();
+  HashTable reference = ComputeHashTable(set);
+  for (size_t lanes : {1u, 2u, 8u}) {
+    Executor executor(lanes);
+    HashTable hashed = ComputeHashTable(set, &executor);
+    ASSERT_EQ(hashed.size(), reference.size()) << lanes << " lanes";
+    for (size_t m = 0; m < reference.size(); ++m) {
+      ASSERT_EQ(hashed[m].size(), reference[m].size());
+      for (size_t p = 0; p < reference[m].size(); ++p) {
+        EXPECT_TRUE(hashed[m][p] == reference[m][p])
+            << "model " << m << " param " << p << " with " << lanes
+            << " lanes";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: every approach is lane-invariant
+// ---------------------------------------------------------------------------
+
+struct ManagerRun {
+  std::unique_ptr<TempDir> temp;
+  std::unique_ptr<MultiModelScenario> scenario;
+  std::unique_ptr<ModelSetManager> manager;
+  std::vector<SaveResult> saves;
+  std::vector<ModelSet> recovered;
+};
+
+/// Saves an initial set plus one derived cycle with `type`, then recovers
+/// both, against a manager configured with `lanes` pipeline lanes. The
+/// scenario is deterministic in its config, so two runs see bit-identical
+/// workloads.
+ManagerRun RunApproach(ApproachType type, size_t lanes) {
+  ManagerRun run;
+  run.temp = std::make_unique<TempDir>(
+      "pipeline-" + ApproachTypeName(type) + "-" + std::to_string(lanes));
+  ScenarioConfig config = ScenarioConfig::Battery(6);
+  config.samples_per_dataset = 32;
+  run.scenario = std::make_unique<MultiModelScenario>(config);
+  EXPECT_OK(run.scenario->Init());
+
+  ModelSetManager::Options options;
+  options.root_dir = run.temp->path() + "/store";
+  options.resolver = run.scenario.get();
+  options.pipeline.lanes = lanes;
+  auto manager_or = ModelSetManager::Open(options);
+  EXPECT_OK(manager_or.status());
+  run.manager = std::move(manager_or).ValueOrDie();
+
+  SaveResult initial =
+      run.manager->SaveInitial(type, run.scenario->current_set()).ValueOrDie();
+  run.saves.push_back(initial);
+  ModelSetUpdateInfo update = run.scenario->AdvanceCycle().ValueOrDie();
+  update.base_set_id = initial.set_id;
+  run.saves.push_back(
+      run.manager->SaveDerived(type, run.scenario->current_set(), update)
+          .ValueOrDie());
+  for (const SaveResult& save : run.saves) {
+    run.recovered.push_back(run.manager->Recover(save.set_id).ValueOrDie());
+  }
+  return run;
+}
+
+TEST(PipelineEquivalenceTest, AllApproachesLaneInvariant) {
+  for (ApproachType type : kAllApproaches) {
+    SCOPED_TRACE(ApproachTypeName(type));
+    ManagerRun serial = RunApproach(type, /*lanes=*/1);
+    ManagerRun parallel = RunApproach(type, /*lanes=*/4);
+
+    // SaveResult counters are exact, not approximate, under parallelism.
+    ASSERT_EQ(serial.saves.size(), parallel.saves.size());
+    for (size_t i = 0; i < serial.saves.size(); ++i) {
+      EXPECT_EQ(serial.saves[i].set_id, parallel.saves[i].set_id);
+      EXPECT_EQ(serial.saves[i].bytes_written, parallel.saves[i].bytes_written);
+      EXPECT_EQ(serial.saves[i].file_store_writes,
+                parallel.saves[i].file_store_writes);
+      EXPECT_EQ(serial.saves[i].doc_store_writes,
+                parallel.saves[i].doc_store_writes);
+      EXPECT_EQ(serial.saves[i].simulated_store_nanos,
+                parallel.saves[i].simulated_store_nanos);
+    }
+
+    // Every persisted blob is byte-identical across lane counts.
+    auto names = serial.manager->file_store()->List().ValueOrDie();
+    auto parallel_names = parallel.manager->file_store()->List().ValueOrDie();
+    ASSERT_EQ(names, parallel_names);
+    for (const std::string& name : names) {
+      EXPECT_EQ(serial.manager->file_store()->Get(name).ValueOrDie(),
+                parallel.manager->file_store()->Get(name).ValueOrDie())
+          << "blob " << name;
+    }
+
+    // Recovery is bit-exact in both worlds.
+    ASSERT_EQ(serial.recovered.size(), parallel.recovered.size());
+    for (size_t s = 0; s < serial.recovered.size(); ++s) {
+      const ModelSet& a = serial.recovered[s];
+      const ModelSet& b = parallel.recovered[s];
+      ASSERT_EQ(a.models.size(), b.models.size());
+      for (size_t m = 0; m < a.models.size(); ++m) {
+        ASSERT_EQ(a.models[m].size(), b.models[m].size());
+        for (size_t p = 0; p < a.models[m].size(); ++p) {
+          EXPECT_TRUE(a.models[m][p].second.Equals(b.models[m][p].second))
+              << "set " << s << " model " << m << " param " << p;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmm
