@@ -33,6 +33,9 @@ struct StoreContext {
   Executor* executor = nullptr;
   /// Lane count / dispatch cost of the write pipeline (see store_batch.h).
   StorePipelineOptions pipeline;
+  /// Commit journal making every batch atomic across both stores; nullptr
+  /// commits without crash protection (see storage/journal.h).
+  CommitJournal* journal = nullptr;
 
   Status Validate() const {
     if (file_store == nullptr || doc_store == nullptr || ids == nullptr) {
@@ -48,7 +51,7 @@ struct StoreContext {
 /// directly.
 inline StoreBatch MakeBatch(const StoreContext& context) {
   return StoreBatch(context.file_store, context.doc_store, context.executor,
-                    context.pipeline);
+                    context.pipeline, context.journal);
 }
 
 /// \brief Outcome of saving one model set.

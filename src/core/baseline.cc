@@ -15,6 +15,7 @@ Result<SaveResult> BaselineApproach::SaveSnapshot(const ModelSet& set,
   // One batch per save: both snapshot blobs plus the set document commit
   // through the write pipeline together.
   StoreBatch batch = MakeBatch(context_);
+  batch.AnnotateCommit(result.set_id, Name());
   SetDocument doc;
   doc.id = result.set_id;
   doc.approach = Name();

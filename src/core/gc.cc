@@ -145,4 +145,54 @@ Result<DeleteReport> RetainOnly(const StoreContext& context,
   return report;
 }
 
+Result<OrphanReport> FindOrphanBlobs(const StoreContext& context) {
+  MMM_RETURN_NOT_OK(context.Validate());
+  std::set<std::string> live;
+  MMM_ASSIGN_OR_RETURN(auto by_id, LoadAllSetDocs(context));
+  for (const auto& [id, doc] : by_id) {
+    for (const std::string& blob :
+         {doc.arch_blob, doc.param_blob, doc.hash_blob, doc.diff_blob,
+          doc.prov_blob}) {
+      if (!blob.empty()) live.insert(blob);
+    }
+  }
+  if (context.doc_store->Count(kMmlibModelCollection) > 0) {
+    MMM_ASSIGN_OR_RETURN(std::vector<JsonValue> model_docs,
+                         context.doc_store->All(kMmlibModelCollection));
+    for (const JsonValue& doc : model_docs) {
+      for (const char* field : {"weights_blob", "code_blob"}) {
+        auto blob = doc.GetString(field);
+        if (blob.ok()) live.insert(blob.ValueOrDie());
+      }
+    }
+  }
+  if (context.journal != nullptr) {
+    for (const std::string& blob : context.journal->PendingBlobs()) {
+      live.insert(blob);
+    }
+  }
+
+  OrphanReport report;
+  MMM_ASSIGN_OR_RETURN(std::vector<std::string> blobs,
+                       context.file_store->List());
+  for (const std::string& blob : blobs) {
+    if (live.contains(blob)) continue;
+    report.orphan_blobs.push_back(blob);
+    auto size = context.file_store->Size(blob);
+    if (size.ok()) report.orphan_bytes += size.ValueOrDie();
+  }
+  return report;
+}
+
+Result<DeleteReport> SweepOrphanBlobs(const StoreContext& context) {
+  MMM_ASSIGN_OR_RETURN(OrphanReport orphans, FindOrphanBlobs(context));
+  DeleteReport report;
+  for (const std::string& blob : orphans.orphan_blobs) {
+    MMM_RETURN_NOT_OK(context.file_store->Delete(blob));
+    ++report.blobs_deleted;
+  }
+  report.bytes_reclaimed = orphans.orphan_bytes;
+  return report;
+}
+
 }  // namespace mmm

@@ -37,6 +37,25 @@ Result<DeleteReport> DeleteSet(const StoreContext& context,
 Result<DeleteReport> RetainOnly(const StoreContext& context,
                                 const std::vector<std::string>& keep_set_ids);
 
+/// \brief File-store blobs no metadata references (see FindOrphanBlobs).
+struct OrphanReport {
+  std::vector<std::string> orphan_blobs;
+  uint64_t orphan_bytes = 0;
+
+  bool clean() const { return orphan_blobs.empty(); }
+};
+
+/// Scans the file store for blobs that neither a set document, an MMlib
+/// per-model document, nor a pending commit-journal entry references.
+/// Journal-pending blobs are live by definition: they belong to an in-flight
+/// or crashed commit whose fate the next journal replay decides, so sweeping
+/// them here would race the recovery protocol. A store that only ever
+/// commits through journaled batches reports no orphans after replay.
+Result<OrphanReport> FindOrphanBlobs(const StoreContext& context);
+
+/// Deletes every orphan FindOrphanBlobs reports.
+Result<DeleteReport> SweepOrphanBlobs(const StoreContext& context);
+
 }  // namespace mmm
 
 #endif  // MMM_CORE_GC_H_

@@ -26,6 +26,37 @@ Result<ApproachType> ApproachTypeFromName(const std::string& name) {
   return Status::InvalidArgument("unknown approach '", name, "'");
 }
 
+namespace {
+
+/// One past the largest id counter among persisted sets (0 when empty).
+/// Ids look like "set-000004-a1b2c3d4": the counter sits between the last
+/// two dashes. Unparseable ids are skipped.
+Result<uint64_t> MaxPersistedIdCounter(DocumentStore* doc_store) {
+  uint64_t next = 0;
+  if (doc_store->Count(kSetCollection) == 0) return next;
+  MMM_ASSIGN_OR_RETURN(std::vector<JsonValue> docs,
+                       doc_store->All(kSetCollection));
+  for (const JsonValue& doc : docs) {
+    auto id = doc.GetString("_id");
+    if (!id.ok()) continue;
+    size_t suffix = id.ValueOrDie().rfind('-');
+    if (suffix == std::string::npos || suffix == 0) continue;
+    size_t counter = id.ValueOrDie().rfind('-', suffix - 1);
+    if (counter == std::string::npos) continue;
+    const std::string field =
+        id.ValueOrDie().substr(counter + 1, suffix - counter - 1);
+    if (field.empty() ||
+        field.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    next = std::max<uint64_t>(next,
+                              std::strtoull(field.c_str(), nullptr, 10) + 1);
+  }
+  return next;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<ModelSetManager>> ModelSetManager::Open(Options options) {
   if (options.root_dir.empty()) {
     return Status::InvalidArgument("manager needs a root_dir");
@@ -43,8 +74,26 @@ Result<std::unique_ptr<ModelSetManager>> ModelSetManager::Open(Options options) 
       env, options.root_dir + "/docstore.wal", options.profile.document_store,
       &manager->sim_clock_);
   MMM_RETURN_NOT_OK(manager->doc_store_->Open());
+
+  // Replay the commit journal before anything reads the stores: saves
+  // interrupted mid-commit are rolled back (or, past their commit mark,
+  // rolled forward), so the id counter below and every later query see only
+  // consistent all-or-nothing sets.
+  manager->journal_ = std::make_unique<CommitJournal>(
+      env, options.root_dir + "/commit.journal");
+  MMM_RETURN_NOT_OK(manager->journal_->Open());
+  MMM_ASSIGN_OR_RETURN(
+      manager->repair_report_,
+      manager->journal_->Replay(manager->file_store_.get(),
+                                manager->doc_store_.get()));
+
   // New ids must not collide with sets persisted by a previous session.
-  manager->ids_->AdvanceTo(manager->doc_store_->Count(kSetCollection));
+  // Deletions can leave the counters sparse (e.g. only "set-000004-…"
+  // survives a retention sweep), so the document count is not enough: scan
+  // the surviving ids and advance past the largest counter.
+  MMM_ASSIGN_OR_RETURN(uint64_t max_counter,
+                       MaxPersistedIdCounter(manager->doc_store_.get()));
+  manager->ids_->AdvanceTo(max_counter);
 
   manager->executor_ =
       std::make_unique<Executor>(std::max<size_t>(1, options.pipeline.lanes));
@@ -52,7 +101,8 @@ Result<std::unique_ptr<ModelSetManager>> ModelSetManager::Open(Options options) 
                                    manager->doc_store_.get(),
                                    manager->ids_.get(), &manager->sim_clock_,
                                    options.blob_compression,
-                                   manager->executor_.get(), options.pipeline};
+                                   manager->executor_.get(), options.pipeline,
+                                   manager->journal_.get()};
 
   EnvironmentInfo environment = options.environment.has_value()
                                     ? *options.environment

@@ -117,6 +117,11 @@ class ModelSetManager {
   SimulatedClock* sim_clock() { return &sim_clock_; }
   FileStore* file_store() { return file_store_.get(); }
   DocumentStore* doc_store() { return doc_store_.get(); }
+  CommitJournal* journal() { return journal_.get(); }
+
+  /// What the open-time journal replay found and repaired. A crash-free
+  /// shutdown yields an empty report (zero entries scanned).
+  const RepairReport& repair_report() const { return repair_report_; }
 
  private:
   ModelSetManager() = default;
@@ -126,6 +131,8 @@ class ModelSetManager {
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<FileStore> file_store_;
   std::unique_ptr<DocumentStore> doc_store_;
+  std::unique_ptr<CommitJournal> journal_;
+  RepairReport repair_report_;
   StoreContext context_;
   std::unique_ptr<MMlibBaseApproach> mmlib_base_;
   std::unique_ptr<BaselineApproach> baseline_;

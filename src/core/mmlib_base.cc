@@ -37,6 +37,7 @@ Result<SaveResult> MMlibBaseApproach::SaveAllIndividually(const ModelSet& set) {
   // while the n metadata inserts stay serialized on the one document-store
   // connection (which is exactly what keeps MMlib-base expensive).
   StoreBatch batch = MakeBatch(context_);
+  batch.AnnotateCommit(result.set_id, Name());
   for (size_t index = 0; index < set.models.size(); ++index) {
     // One weights artifact (state dict *with* keys — the per-model
     // serialization overhead Baseline eliminates) ...

@@ -47,6 +47,7 @@ Result<SaveResult> ProvenanceApproach::SaveInitial(const ModelSet& set) {
   // "For the initial model set, we save complete model representations
   // using Baseline's logic." (§3.4)
   StoreBatch batch = MakeBatch(context_);
+  batch.AnnotateCommit(result.set_id, Name());
   SetDocument doc;
   doc.id = result.set_id;
   doc.approach = Name();
@@ -126,6 +127,7 @@ Result<SaveResult> ProvenanceApproach::SaveDerived(
   doc.chain_depth = base_doc.chain_depth + 1;
   doc.prov_blob = result.set_id + ".prov.json";
   StoreBatch batch = MakeBatch(context_);
+  batch.AnnotateCommit(result.set_id, Name());
   batch.PutBlobString(doc.prov_blob, record.Dump());
   StageSetDocument(&batch, doc);
   MMM_RETURN_NOT_OK(batch.Commit());

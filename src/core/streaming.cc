@@ -110,6 +110,9 @@ Result<SaveResult> StreamingSnapshotWriter::Finish() {
   doc.arch_blob = set_id_ + ".arch.json";
   doc.param_blob = blob_name_;
   StoreBatch batch = MakeBatch(context_);
+  // Only the trailer commits through the batch: the parameter blob itself
+  // was streamed directly (Begin/Append), outside journal protection.
+  batch.AnnotateCommit(set_id_, doc.approach);
   batch.PutBlobString(doc.arch_blob, EncodeArchBlob(spec_));
   StageSetDocument(&batch, doc);
   MMM_RETURN_NOT_OK(batch.Commit());

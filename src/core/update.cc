@@ -19,6 +19,7 @@ Result<SaveResult> UpdateApproach::SaveSnapshotWithHashes(
   HashTable hash_table = ComputeHashTable(set, context_.executor);
 
   StoreBatch batch = MakeBatch(context_);
+  batch.AnnotateCommit(result.set_id, Name());
   SetDocument doc;
   doc.id = result.set_id;
   doc.approach = Name();
@@ -115,6 +116,7 @@ Result<SaveResult> UpdateApproach::SaveDerived(const ModelSet& set,
   // Diff encoding and hash encoding (plus compression) are independent work
   // items; the batch runs them on separate lanes overlapping the writes.
   StoreBatch batch = MakeBatch(context_);
+  batch.AnnotateCommit(result.set_id, Name());
   const Compression compression = context_.blob_compression;
   const DiffEncoding diff_encoding = options_.diff_encoding;
   const ModelSet* set_ptr = &set;

@@ -108,6 +108,13 @@ std::vector<uint8_t> LzCompress(std::span<const uint8_t> input) {
 
 Result<std::vector<uint8_t>> LzDecompress(std::span<const uint8_t> input,
                                           size_t raw_size) {
+  // `raw_size` may come from a corrupted header and must not drive
+  // allocation: every extension byte of this token format yields at most
+  // 255 output bytes, so no valid stream expands more than ~256x.
+  if (raw_size > input.size() * 256 + 64) {
+    return Status::Corruption("lz: implausible raw size ", raw_size, " for ",
+                              input.size(), " compressed bytes");
+  }
   std::vector<uint8_t> out;
   out.reserve(raw_size);
   size_t pos = 0;

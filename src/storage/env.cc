@@ -243,12 +243,52 @@ Result<std::vector<std::string>> InMemoryEnv::ListDir(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
+// Write-order tagging
+
+namespace {
+// The active tag of this thread, published by ScopedWriteOrderTag. One level
+// is enough: a batch wraps exactly the env write of one staged op.
+thread_local const WriteOrderGroup* tls_write_order_group = nullptr;
+thread_local size_t tls_write_order_index = 0;
+}  // namespace
+
+ScopedWriteOrderTag::ScopedWriteOrderTag(const WriteOrderGroup* group,
+                                         size_t index) {
+  tls_write_order_group = group;
+  tls_write_order_index = index;
+}
+
+ScopedWriteOrderTag::~ScopedWriteOrderTag() {
+  tls_write_order_group = nullptr;
+  tls_write_order_index = 0;
+}
+
+// ---------------------------------------------------------------------------
 // FaultInjectionEnv
 
 Status FaultInjectionEnv::MaybeFail() {
-  int64_t count = write_count_.fetch_add(1);
-  if (fail_after_ >= 0 && count >= fail_after_) {
-    return Status::IOError("injected write failure (write #", count, ")");
+  int64_t index;
+  int64_t fail_after;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const WriteOrderGroup* group = tls_write_order_group;
+    if (group != nullptr) {
+      int64_t base = group->base_.load(std::memory_order_relaxed);
+      if (base < 0) {
+        // First member of the group to arrive claims the whole block, so
+        // every member's index reflects staging order, not arrival order.
+        base = next_index_;
+        group->base_.store(base, std::memory_order_relaxed);
+        next_index_ += static_cast<int64_t>(group->size());
+      }
+      index = base + static_cast<int64_t>(tls_write_order_index);
+    } else {
+      index = next_index_++;
+    }
+    fail_after = fail_after_;
+  }
+  if (fail_after >= 0 && index >= fail_after) {
+    return Status::IOError("injected write failure (write #", index, ")");
   }
   return Status::OK();
 }

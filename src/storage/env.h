@@ -79,18 +79,75 @@ class InMemoryEnv : public Env {
   std::vector<std::pair<std::string, std::vector<uint8_t>>> files_;
 };
 
+/// \brief Declares how many writes a concurrent batch is about to issue so
+/// FaultInjectionEnv can number them by *staging* order, not arrival order.
+///
+/// A batch that fans writes out over worker lanes creates one group sized to
+/// its write count and wraps every write in a ScopedWriteOrderTag carrying
+/// the write's staging index. The first tagged write to reach the env claims
+/// a contiguous block of `size` write indices; each tagged write then gets
+/// index `block_base + staging_index` regardless of which lane delivered it
+/// first. A group is single-use: one batch commit against one env.
+class WriteOrderGroup {
+ public:
+  explicit WriteOrderGroup(size_t size) : size_(size) {}
+
+  size_t size() const { return size_; }
+
+ private:
+  friend class FaultInjectionEnv;
+  size_t size_;
+  /// First write index of the claimed block; -1 until a member write arrives.
+  mutable std::atomic<int64_t> base_{-1};
+};
+
+/// \brief RAII tag marking every env write on this thread as write number
+/// `index` of `group` (see WriteOrderGroup). Nesting is not supported.
+class ScopedWriteOrderTag {
+ public:
+  ScopedWriteOrderTag(const WriteOrderGroup* group, size_t index);
+  ~ScopedWriteOrderTag();
+
+  ScopedWriteOrderTag(const ScopedWriteOrderTag&) = delete;
+  ScopedWriteOrderTag& operator=(const ScopedWriteOrderTag&) = delete;
+};
+
 /// \brief Env decorator that fails the N-th write, for recovery tests.
+///
+/// Fault semantics: every WriteFile/AppendToFile gets a write index; after
+/// FailWritesAfter(n), writes with index >= n fail with IOError (and do not
+/// reach the base env), writes with a smaller index still succeed. Reads,
+/// deletes, and directory ops always pass through.
+///
+/// Indices are assigned in *staging* order: an untagged write takes the next
+/// free index on arrival, while writes tagged via WriteOrderGroup /
+/// ScopedWriteOrderTag receive `group base + staging index`, where the group
+/// claims a contiguous index block on its first member's arrival. Since a
+/// batch's writes fan out between two untagged writes, the block's position
+/// is the same no matter how many lanes race — so a fault plan hits the same
+/// logical write at any lane count, which is what makes crash-point sweeps
+/// reproducible under the parallel pipeline.
 class FaultInjectionEnv : public Env {
  public:
   explicit FaultInjectionEnv(Env* base) : base_(base) {}
 
-  /// After this call, the `fail_after`-th subsequent write (0-based) and all
-  /// later writes fail with IOError.
-  void FailWritesAfter(int64_t fail_after) { fail_after_ = fail_after; }
+  /// After this call, every write whose index is >= `fail_after` fails with
+  /// IOError. Indices already assigned are unaffected.
+  void FailWritesAfter(int64_t fail_after) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_after_ = fail_after;
+  }
   /// Clears the failure plan.
-  void Heal() { fail_after_ = -1; }
+  void Heal() {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_after_ = -1;
+  }
 
-  int64_t write_count() const { return write_count_.load(); }
+  /// Number of write indices assigned so far (failed writes included).
+  int64_t write_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_index_;
+  }
 
   Status WriteFile(const std::string& path, std::span<const uint8_t> data) override;
   Status AppendToFile(const std::string& path,
@@ -110,9 +167,11 @@ class FaultInjectionEnv : public Env {
   Status MaybeFail();
 
   Env* base_;
+  mutable std::mutex mu_;
   int64_t fail_after_ = -1;
-  /// Atomic so batched writes racing through parallel lanes count exactly.
-  std::atomic<int64_t> write_count_ = 0;
+  /// Next unassigned write index (== total writes seen, since tagged groups
+  /// reserve their whole block up front).
+  int64_t next_index_ = 0;
 };
 
 }  // namespace mmm

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 
+#include "serialize/crc32.h"
+
 namespace mmm {
 
 StoreBatch::StoreBatch(FileStore* file_store, DocumentStore* doc_store,
-                       Executor* executor, StorePipelineOptions options)
+                       Executor* executor, StorePipelineOptions options,
+                       CommitJournal* journal)
     : file_store_(file_store),
       doc_store_(doc_store),
       executor_(executor),
-      options_(options) {}
+      options_(options),
+      journal_(journal) {}
 
 void StoreBatch::PutBlob(std::string name, std::vector<uint8_t> data) {
   ops_.push_back(StagedOp{OpKind::kBlobWrite, std::move(name), std::move(data),
@@ -33,9 +37,19 @@ void StoreBatch::InsertDocument(std::string collection, JsonValue doc) {
                           nullptr, std::move(doc)});
 }
 
+void StoreBatch::AnnotateCommit(std::string set_id, std::string approach) {
+  set_id_ = std::move(set_id);
+  approach_ = std::move(approach);
+}
+
 Status StoreBatch::Commit() {
   const size_t lanes = executor_ != nullptr ? executor_->lanes() : 1;
-  Status status = lanes > 1 ? CommitParallel() : CommitSerial();
+  Status status;
+  if (journal_ != nullptr) {
+    status = CommitJournaled(lanes);
+  } else {
+    status = lanes > 1 ? CommitParallel() : CommitSerial();
+  }
   ops_.clear();
   return status;
 }
@@ -73,6 +87,7 @@ Status StoreBatch::CommitParallel() {
   std::vector<Status> statuses(blob_ops.size());
   std::vector<uint64_t> costs(blob_ops.size(), 0);
   std::vector<StoreStats> deltas(blob_ops.size());
+  WriteOrderGroup group(blob_ops.size());
   executor_->ParallelFor(blob_ops.size(), [&](size_t i) {
     StagedOp& op = ops_[blob_ops[i]];
     if (op.producer != nullptr) {
@@ -83,6 +98,9 @@ Status StoreBatch::CommitParallel() {
       }
       op.data = std::move(produced).ValueOrDie();
     }
+    // Tagged so fault-injection numbers this write by its staging index
+    // even though lanes race (see WriteOrderGroup in storage/env.h).
+    ScopedWriteOrderTag tag(&group, i);
     statuses[i] =
         file_store_->PutDetached(op.name, op.data, &deltas[i], &costs[i]);
   });
@@ -112,6 +130,112 @@ Status StoreBatch::CommitParallel() {
     MMM_RETURN_NOT_OK(doc_store_->Insert(op.name, op.doc));
   }
   return Status::OK();
+}
+
+Status StoreBatch::WriteBlobs(const std::vector<size_t>& blob_ops,
+                              size_t lanes) {
+  if (lanes <= 1) {
+    // Serial writes arrive in staging order, so no tagging is needed for
+    // the fault-injection numbering to match the parallel path's.
+    for (size_t index : blob_ops) {
+      StagedOp& op = ops_[index];
+      MMM_RETURN_NOT_OK(file_store_->Put(op.name, op.data));
+    }
+    return Status::OK();
+  }
+
+  std::vector<Status> statuses(blob_ops.size());
+  std::vector<uint64_t> costs(blob_ops.size(), 0);
+  std::vector<StoreStats> deltas(blob_ops.size());
+  WriteOrderGroup group(blob_ops.size());
+  executor_->ParallelFor(blob_ops.size(), [&](size_t i) {
+    StagedOp& op = ops_[blob_ops[i]];
+    ScopedWriteOrderTag tag(&group, i);
+    statuses[i] =
+        file_store_->PutDetached(op.name, op.data, &deltas[i], &costs[i]);
+  });
+
+  StoreStats merged;
+  std::vector<uint64_t> lane_nanos(lanes, 0);
+  for (size_t i = 0; i < blob_ops.size(); ++i) {
+    merged = merged + deltas[i];
+    lane_nanos[i % lanes] += costs[i];
+  }
+  uint64_t charge =
+      *std::max_element(lane_nanos.begin(), lane_nanos.end()) +
+      options_.dispatch_nanos_per_op * static_cast<uint64_t>(blob_ops.size());
+  file_store_->MergeBatch(merged, charge);
+
+  for (const Status& status : statuses) {
+    MMM_RETURN_NOT_OK(status);
+  }
+  return Status::OK();
+}
+
+Status StoreBatch::CommitJournaled(size_t lanes) {
+  // Phase 1 — produce every blob payload up front. A failed encode aborts
+  // before anything (journal included) is touched, and the begin record can
+  // declare the exact CRC of every payload about to be written.
+  std::vector<size_t> blob_ops;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].kind == OpKind::kBlobWrite) blob_ops.push_back(i);
+  }
+  std::vector<Status> produced(blob_ops.size());
+  auto produce = [&](size_t i) {
+    StagedOp& op = ops_[blob_ops[i]];
+    if (op.producer == nullptr) return;
+    Result<std::vector<uint8_t>> result = op.producer();
+    if (!result.ok()) {
+      produced[i] = std::move(result).status();
+      return;
+    }
+    op.data = std::move(result).ValueOrDie();
+    op.producer = nullptr;
+  };
+  if (lanes > 1) {
+    executor_->ParallelFor(blob_ops.size(), produce);
+  } else {
+    for (size_t i = 0; i < blob_ops.size(); ++i) produce(i);
+  }
+  for (const Status& status : produced) {
+    MMM_RETURN_NOT_OK(status);
+  }
+
+  // Phase 2 — declare every intended side effect before causing any.
+  std::vector<CommitJournal::BlobIntent> blob_intents;
+  blob_intents.reserve(blob_ops.size());
+  for (size_t index : blob_ops) {
+    blob_intents.push_back(
+        {ops_[index].name, Crc32::Compute(ops_[index].data)});
+  }
+  std::vector<CommitJournal::DocIntent> doc_intents;
+  for (const StagedOp& op : ops_) {
+    if (op.kind == OpKind::kDocInsert) doc_intents.push_back({op.name, op.doc});
+  }
+  MMM_ASSIGN_OR_RETURN(uint64_t txn,
+                       journal_->Begin(set_id_, approach_,
+                                       std::move(blob_intents),
+                                       std::move(doc_intents)));
+
+  // Phase 3 — blob writes. On failure the entry stays uncommitted and the
+  // next open rolls back whatever landed; no in-process cleanup, so a crash
+  // anywhere in here exercises exactly the recovery path.
+  MMM_RETURN_NOT_OK(WriteBlobs(blob_ops, lanes));
+
+  // Phase 4 — the atomicity point: from here on, recovery rolls forward.
+  MMM_RETURN_NOT_OK(journal_->MarkCommitted(txn));
+
+  // Phase 5 — document inserts, serial in staging order (one metadata-store
+  // connection). Idempotently completed by replay if interrupted.
+  for (StagedOp& op : ops_) {
+    if (op.kind != OpKind::kDocInsert) continue;
+    MMM_RETURN_NOT_OK(doc_store_->Insert(op.name, op.doc));
+  }
+
+  // Phase 6 — retire the entry. If this last append fails the save reports
+  // an error, but the store already holds the full commit (replay verifies
+  // and re-finishes it) — the "acknowledgement lost" outcome.
+  return journal_->MarkFinished(txn);
 }
 
 }  // namespace mmm

@@ -12,6 +12,7 @@
 #include "storage/document_store.h"
 #include "storage/executor.h"
 #include "storage/file_store.h"
+#include "storage/journal.h"
 
 namespace mmm {
 
@@ -53,9 +54,19 @@ using BlobProducer = std::function<Result<std::vector<uint8_t>>()>;
 ///
 /// Error handling: Commit returns the first failing op in *staging* order
 /// among the ops that ran, and skips the document phase if any file op
-/// failed. Blob writes that already completed are not rolled back (matching
-/// the pre-pipeline behavior of a failed multi-write save). Committing
-/// clears the batch either way.
+/// failed. Blob writes that already completed are not rolled back in
+/// process (matching the pre-pipeline behavior of a failed multi-write
+/// save); with a journal attached, the next open's journal replay rolls
+/// them back — or rolls the commit forward — so the stores converge to
+/// all-or-nothing (see storage/journal.h). Committing clears the batch
+/// either way.
+///
+/// With a journal, Commit additionally brackets the batch in a commit
+/// protocol: all deferred producers run first (so a failed encode touches
+/// nothing), then a `begin` intent record, then the blob writes, a `commit`
+/// mark, the document inserts, and a `finish` mark. Blob writes are
+/// numbered in staging order through a WriteOrderGroup, so fault-injection
+/// sweeps hit identical crash points at any lane count.
 ///
 /// Deferred producers may capture references to caller state (e.g. the
 /// ModelSet being saved); that state must stay alive and unmodified until
@@ -64,8 +75,10 @@ using BlobProducer = std::function<Result<std::vector<uint8_t>>()>;
 class StoreBatch {
  public:
   /// \param executor worker pool; nullptr means serial (one lane).
+  /// \param journal commit journal; nullptr commits without crash atomicity.
   StoreBatch(FileStore* file_store, DocumentStore* doc_store,
-             Executor* executor = nullptr, StorePipelineOptions options = {});
+             Executor* executor = nullptr, StorePipelineOptions options = {},
+             CommitJournal* journal = nullptr);
 
   /// Stages a blob write of ready bytes.
   void PutBlob(std::string name, std::vector<uint8_t> data);
@@ -77,6 +90,11 @@ class StoreBatch {
   /// Stages a document insert. The document is captured by value at staging
   /// time; inserts execute in staging order.
   void InsertDocument(std::string collection, JsonValue doc);
+
+  /// Labels the journal entry of this commit with the set being saved and
+  /// the approach saving it (for repair reports and fsck). Optional; only
+  /// meaningful when a journal is attached.
+  void AnnotateCommit(std::string set_id, std::string approach);
 
   size_t staged_ops() const { return ops_.size(); }
 
@@ -96,11 +114,19 @@ class StoreBatch {
 
   Status CommitSerial();
   Status CommitParallel();
+  Status CommitJournaled(size_t lanes);
+  /// Writes every staged blob (producers must have run already): in staging
+  /// order via Put for one lane, fanned out via PutDetached under a
+  /// WriteOrderGroup for more. Returns the first failure in staging order.
+  Status WriteBlobs(const std::vector<size_t>& blob_ops, size_t lanes);
 
   FileStore* file_store_;
   DocumentStore* doc_store_;
   Executor* executor_;
   StorePipelineOptions options_;
+  CommitJournal* journal_;
+  std::string set_id_;
+  std::string approach_;
   std::vector<StagedOp> ops_;
 };
 

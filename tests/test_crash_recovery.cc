@@ -1,0 +1,330 @@
+// Exhaustive crash-point sweep of every approach's save path.
+//
+// For each approach and lane count, a probe world first runs the whole
+// workload against a healed FaultInjectionEnv to learn how many env writes
+// each save issues. The sweep then re-runs the workload in a fresh world per
+// write index k, arms the fault so the k-th write of the target save (and
+// everything after it) fails, and asserts the crash contract after reopening:
+//
+//  - the journal replay reports a clean repair,
+//  - the store validates and has no orphan blobs (fsck-clean),
+//  - every previously saved set still recovers bit-exactly,
+//  - the interrupted save either vanished completely (rollback) or recovers
+//    bit-exactly (commit) — never a set with wrong bytes.
+//
+// Because FaultInjectionEnv numbers batched writes in staging order (see
+// WriteOrderGroup in storage/env.h), the sweep is deterministic and the
+// write counts are identical at lanes=1 and lanes=4.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "core/gc.h"
+#include "core/manager.h"
+#include "tests/test_util.h"
+#include "workload/scenario.h"
+
+namespace mmm {
+namespace {
+
+ScenarioConfig SweepScenario() {
+  // 4 models, half fully and a quarter partially retrained per cycle, with a
+  // tiny training load: big enough that every save stages several blobs,
+  // small enough that a sweep world costs milliseconds.
+  ScenarioConfig config = ScenarioConfig::Battery(4);
+  config.full_update_fraction = 0.5;
+  config.partial_update_fraction = 0.25;
+  config.samples_per_dataset = 32;
+  return config;
+}
+
+/// One isolated store universe: scenario + fault-injected in-memory env +
+/// manager. Worlds with the same seed config replay bit-identical workloads.
+struct World {
+  World() : fault(&base) {}
+
+  Status Open(ApproachType type, size_t lanes) {
+    approach = type;
+    scenario = std::make_unique<MultiModelScenario>(SweepScenario());
+    MMM_RETURN_NOT_OK(scenario->Init());
+    return Reopen(lanes);
+  }
+
+  /// Opens a fresh manager over the same env (journal replay runs here).
+  Status Reopen(size_t lanes) {
+    manager.reset();
+    ModelSetManager::Options options;
+    options.root_dir = "/store";
+    options.env = &fault;
+    options.resolver = scenario.get();
+    options.pipeline.lanes = lanes;
+    MMM_ASSIGN_OR_RETURN(manager, ModelSetManager::Open(options));
+    return Status::OK();
+  }
+
+  Result<SaveResult> SaveInitial() {
+    return manager->SaveInitial(approach, scenario->current_set());
+  }
+
+  Result<SaveResult> SaveDerived(const std::string& base_id,
+                                 const ModelSetUpdateInfo& update) {
+    ModelSetUpdateInfo derived = update;
+    derived.base_set_id = base_id;
+    return manager->SaveDerived(approach, scenario->current_set(), derived);
+  }
+
+  InMemoryEnv base;
+  FaultInjectionEnv fault;
+  ApproachType approach;
+  std::unique_ptr<MultiModelScenario> scenario;
+  std::unique_ptr<ModelSetManager> manager;
+};
+
+void ExpectSetEquals(const ModelSet& recovered, const ModelSet& expected,
+                     const std::string& label) {
+  ASSERT_EQ(recovered.models.size(), expected.models.size()) << label;
+  ASSERT_EQ(recovered.spec, expected.spec) << label;
+  for (size_t m = 0; m < recovered.models.size(); ++m) {
+    ASSERT_EQ(recovered.models[m].size(), expected.models[m].size()) << label;
+    for (size_t p = 0; p < recovered.models[m].size(); ++p) {
+      ASSERT_EQ(recovered.models[m][p].first, expected.models[m][p].first)
+          << label;
+      ASSERT_TRUE(
+          recovered.models[m][p].second.Equals(expected.models[m][p].second))
+          << label << ": model " << m << " param "
+          << recovered.models[m][p].first;
+    }
+  }
+}
+
+/// The in-process fsck: journal repair clean, store validates, no orphans.
+void ExpectStoreConsistent(World* world, const std::string& label) {
+  const RepairReport& repair = world->manager->repair_report();
+  EXPECT_TRUE(repair.clean()) << label << ": " << repair.problems.size()
+                              << " repair problem(s), first: "
+                              << (repair.problems.empty()
+                                      ? ""
+                                      : repair.problems.front());
+  ASSERT_OK_AND_ASSIGN(StoreValidationReport validation,
+                       world->manager->ValidateStore());
+  EXPECT_TRUE(validation.ok())
+      << label << ": "
+      << (validation.problems.empty() ? "" : validation.problems.front());
+  ASSERT_OK_AND_ASSIGN(OrphanReport orphans,
+                       FindOrphanBlobs(world->manager->context()));
+  EXPECT_TRUE(orphans.clean())
+      << label << ": "
+      << (orphans.clean() ? "" : orphans.orphan_blobs.front());
+}
+
+/// Asserts the interrupted save either fully vanished or fully committed.
+void ExpectRollbackOrCommit(World* world, const std::string& set_id,
+                            const ModelSet& expected,
+                            const std::string& label) {
+  auto doc = world->manager->doc_store()->Get(kSetCollection, set_id);
+  if (!doc.ok()) {
+    // Rollback: the set must be completely gone — FindOrphanBlobs (run by
+    // ExpectStoreConsistent) already proved no blob of it survived.
+    EXPECT_TRUE(doc.status().IsNotFound()) << label << ": " << doc.status();
+    return;
+  }
+  // Commit: the set must recover bit-exactly.
+  ASSERT_OK_AND_ASSIGN(ModelSet recovered, world->manager->Recover(set_id));
+  ExpectSetEquals(recovered, expected, label + " (committed)");
+}
+
+struct ProbeCounts {
+  int64_t before_initial = 0;
+  int64_t initial_writes = 0;
+  int64_t before_derived = 0;
+  int64_t derived_writes = 0;
+  std::string initial_id;
+  std::string derived_id;
+};
+
+/// Runs the whole workload healed and records per-save write counts.
+ProbeCounts Probe(ApproachType type, size_t lanes) {
+  ProbeCounts counts;
+  World world;
+  world.Open(type, lanes).Check();
+  counts.before_initial = world.fault.write_count();
+  auto initial = world.SaveInitial();
+  initial.status().Check();
+  counts.initial_id = initial.ValueOrDie().set_id;
+  counts.initial_writes = world.fault.write_count() - counts.before_initial;
+
+  auto update = world.scenario->AdvanceCycle();
+  update.status().Check();
+  counts.before_derived = world.fault.write_count();
+  auto derived = world.SaveDerived(counts.initial_id, update.ValueOrDie());
+  derived.status().Check();
+  counts.derived_id = derived.ValueOrDie().set_id;
+  counts.derived_writes = world.fault.write_count() - counts.before_derived;
+  return counts;
+}
+
+class CrashSweep : public ::testing::TestWithParam<ApproachType> {};
+
+TEST_P(CrashSweep, WriteCountsAreLaneInvariant) {
+  // The staging-order write numbering is what makes the sweep meaningful at
+  // lanes>1: the same fault index must denote the same logical write.
+  ProbeCounts serial = Probe(GetParam(), 1);
+  ProbeCounts parallel = Probe(GetParam(), 4);
+  EXPECT_EQ(serial.initial_writes, parallel.initial_writes);
+  EXPECT_EQ(serial.derived_writes, parallel.derived_writes);
+  EXPECT_EQ(serial.initial_id, parallel.initial_id);
+  EXPECT_EQ(serial.derived_id, parallel.derived_id);
+  EXPECT_GE(serial.initial_writes, 4);  // begin + blobs + commit + doc + finish
+}
+
+TEST_P(CrashSweep, EveryCrashPointOfInitialSaveRecovers) {
+  for (size_t lanes : {size_t{1}, size_t{4}}) {
+    ProbeCounts probe = Probe(GetParam(), lanes);
+    for (int64_t k = 0; k < probe.initial_writes; ++k) {
+      std::string label = ApproachTypeName(GetParam()) + " lanes=" +
+                          std::to_string(lanes) + " initial crash@" +
+                          std::to_string(k);
+      World world;
+      ASSERT_OK(world.Open(GetParam(), lanes));
+      ASSERT_EQ(world.fault.write_count(), probe.before_initial) << label;
+      world.fault.FailWritesAfter(probe.before_initial + k);
+      EXPECT_FALSE(world.SaveInitial().ok()) << label;
+      world.fault.Heal();
+      ASSERT_OK(world.Reopen(lanes));
+      ExpectStoreConsistent(&world, label);
+      ExpectRollbackOrCommit(&world, probe.initial_id,
+                             world.scenario->current_set(), label);
+    }
+  }
+}
+
+TEST_P(CrashSweep, EveryCrashPointOfDerivedSavePreservesBase) {
+  for (size_t lanes : {size_t{1}, size_t{4}}) {
+    ProbeCounts probe = Probe(GetParam(), lanes);
+    for (int64_t k = 0; k < probe.derived_writes; ++k) {
+      std::string label = ApproachTypeName(GetParam()) + " lanes=" +
+                          std::to_string(lanes) + " derived crash@" +
+                          std::to_string(k);
+      World world;
+      ASSERT_OK(world.Open(GetParam(), lanes));
+      ASSERT_OK(world.SaveInitial().status());
+      ModelSet initial_state = world.scenario->current_set();  // deep copy
+      ASSERT_OK_AND_ASSIGN(ModelSetUpdateInfo update,
+                           world.scenario->AdvanceCycle());
+      ASSERT_EQ(world.fault.write_count(), probe.before_derived) << label;
+      world.fault.FailWritesAfter(probe.before_derived + k);
+      EXPECT_FALSE(world.SaveDerived(probe.initial_id, update).ok()) << label;
+      world.fault.Heal();
+      ASSERT_OK(world.Reopen(lanes));
+      ExpectStoreConsistent(&world, label);
+      // The base set must have survived the crash untouched.
+      ASSERT_OK_AND_ASSIGN(ModelSet base_recovered,
+                           world.manager->Recover(probe.initial_id));
+      ExpectSetEquals(base_recovered, initial_state, label + " (base)");
+      ExpectRollbackOrCommit(&world, probe.derived_id,
+                             world.scenario->current_set(), label);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApproaches, CrashSweep,
+                         ::testing::Values(ApproachType::kMMlibBase,
+                                           ApproachType::kBaseline,
+                                           ApproachType::kUpdate,
+                                           ApproachType::kProvenance),
+                         [](const auto& info) {
+                           std::string name = ApproachTypeName(info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Recovery-path unit coverage the sweep cannot reach directly.
+
+TEST(CrashRecoveryTest, CleanWorldReportsEmptyRepair) {
+  World world;
+  ASSERT_OK(world.Open(ApproachType::kBaseline, 1));
+  ASSERT_OK(world.SaveInitial().status());
+  ASSERT_OK(world.Reopen(1));
+  EXPECT_EQ(world.manager->repair_report().entries_scanned, 0u);
+  EXPECT_FALSE(world.manager->repair_report().repaired_anything());
+  ExpectStoreConsistent(&world, "clean world");
+}
+
+TEST(CrashRecoveryTest, CommittedButUnfinishedEntryIsRolledForward) {
+  // Crash between the commit mark and the finish mark: the doc inserts are
+  // journaled intents, so replay must materialize the set document.
+  World world;
+  ASSERT_OK(world.Open(ApproachType::kBaseline, 1));
+  int64_t base = world.fault.write_count();
+  // Writes: begin(0) blobs(1,2) commit(3) doc(4) finish(5) — fail the doc
+  // insert, so the entry is committed but incomplete.
+  world.fault.FailWritesAfter(base + 4);
+  auto saved = world.SaveInitial();
+  EXPECT_FALSE(saved.ok());
+  EXPECT_EQ(world.manager->doc_store()->Count(kSetCollection), 0u);
+  world.fault.Heal();
+  ASSERT_OK(world.Reopen(1));
+  EXPECT_EQ(world.manager->repair_report().completed, 1u);
+  EXPECT_EQ(world.manager->repair_report().docs_inserted, 1u);
+  EXPECT_EQ(world.manager->doc_store()->Count(kSetCollection), 1u);
+  ExpectStoreConsistent(&world, "rolled forward");
+}
+
+TEST(CrashRecoveryTest, UncommittedEntryIsRolledBack) {
+  World world;
+  ASSERT_OK(world.Open(ApproachType::kBaseline, 1));
+  int64_t base = world.fault.write_count();
+  world.fault.FailWritesAfter(base + 2);  // fail the second blob write
+  EXPECT_FALSE(world.SaveInitial().ok());
+  world.fault.Heal();
+  // The first staged blob landed before the crash and is now orphaned...
+  ASSERT_OK_AND_ASSIGN(auto blobs, world.manager->file_store()->List());
+  EXPECT_EQ(blobs.size(), 1u);
+  ASSERT_OK(world.Reopen(1));
+  // ...until replay rolls the entry back.
+  EXPECT_EQ(world.manager->repair_report().rolled_back, 1u);
+  EXPECT_EQ(world.manager->repair_report().blobs_deleted, 1u);
+  ASSERT_OK_AND_ASSIGN(blobs, world.manager->file_store()->List());
+  EXPECT_TRUE(blobs.empty());
+  ExpectStoreConsistent(&world, "rolled back");
+}
+
+TEST(CrashRecoveryTest, PendingJournalBlobsAreLiveForGC) {
+  // A failed save leaves its journal entry pending in-process; the orphan
+  // scan must not treat its surviving blobs as sweepable — their fate
+  // belongs to the next replay.
+  World world;
+  ASSERT_OK(world.Open(ApproachType::kBaseline, 1));
+  int64_t base = world.fault.write_count();
+  world.fault.FailWritesAfter(base + 2);
+  EXPECT_FALSE(world.SaveInitial().ok());
+  world.fault.Heal();
+  EXPECT_EQ(world.manager->journal()->pending_entries(), 1u);
+  ASSERT_OK_AND_ASSIGN(OrphanReport orphans,
+                       FindOrphanBlobs(world.manager->context()));
+  EXPECT_TRUE(orphans.clean());
+}
+
+TEST(CrashRecoveryTest, TornJournalTailIsDropped) {
+  // A crash mid-append leaves half a begin record; reopening must treat the
+  // journal as ending before it.
+  World world;
+  ASSERT_OK(world.Open(ApproachType::kBaseline, 1));
+  ASSERT_OK(world.SaveInitial().status());
+  std::string torn = "{\"txn\":99,\"state\":\"begi";
+  ASSERT_OK(world.base.AppendToFile(
+      "/store/commit.journal",
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(torn.data()),
+                               torn.size())));
+  ASSERT_OK(world.Reopen(1));
+  EXPECT_TRUE(world.manager->repair_report().clean());
+  EXPECT_EQ(world.manager->doc_store()->Count(kSetCollection), 1u);
+  ExpectStoreConsistent(&world, "torn tail");
+}
+
+}  // namespace
+}  // namespace mmm

@@ -3,6 +3,9 @@
 //   mmmctl <store-dir> list                 list every saved set
 //   mmmctl <store-dir> lineage <set-id>     show a set's delta/prov chain
 //   mmmctl <store-dir> validate             full integrity check
+//   mmmctl <store-dir> fsck                 crash-recovery check: report the
+//                                           open-time journal replay, validate
+//                                           every set, and list orphan blobs
 //   mmmctl <store-dir> show <set-id>        metadata + artifact sizes
 //   mmmctl <store-dir> export <set-id> <out-dir>
 //                                           recover a set and write one
@@ -82,6 +85,55 @@ int CmdValidate(ModelSetManager* manager) {
   return 2;
 }
 
+int CmdFsck(ModelSetManager* manager) {
+  // Opening the store already replayed the commit journal; report what the
+  // replay repaired, then cross-check both stores against each other.
+  const RepairReport& repair = manager->repair_report();
+  if (repair.entries_scanned == 0) {
+    std::printf("journal: clean (no interrupted commits)\n");
+  } else {
+    std::printf(
+        "journal: %zu interrupted commit(s) — %zu rolled back, %zu completed "
+        "(%zu blobs deleted, %zu docs removed, %zu docs inserted)\n",
+        repair.entries_scanned, repair.rolled_back, repair.completed,
+        repair.blobs_deleted, repair.docs_removed, repair.docs_inserted);
+  }
+  bool healthy = repair.clean();
+  for (const std::string& problem : repair.problems) {
+    std::printf("PROBLEM: %s\n", problem.c_str());
+  }
+
+  auto report = manager->ValidateStore();
+  if (!report.ok()) return Fail(report.status());
+  const StoreValidationReport& r = report.ValueOrDie();
+  std::printf("checked %zu sets, %zu blobs, %s\n", r.sets_checked,
+              r.blobs_checked, HumanBytes(r.bytes_checked).c_str());
+  healthy = healthy && r.ok();
+  for (const std::string& problem : r.problems) {
+    std::printf("PROBLEM: %s\n", problem.c_str());
+  }
+
+  auto orphans = FindOrphanBlobs(manager->context());
+  if (!orphans.ok()) return Fail(orphans.status());
+  const OrphanReport& o = orphans.ValueOrDie();
+  if (o.clean()) {
+    std::printf("no orphan blobs\n");
+  } else {
+    healthy = false;
+    for (const std::string& blob : o.orphan_blobs) {
+      std::printf("PROBLEM: orphan blob '%s'\n", blob.c_str());
+    }
+    std::printf("%zu orphan blob(s), %s unaccounted\n", o.orphan_blobs.size(),
+                HumanBytes(o.orphan_bytes).c_str());
+  }
+
+  if (healthy) {
+    std::printf("store is consistent\n");
+    return 0;
+  }
+  return 2;
+}
+
 int CmdShow(ModelSetManager* manager, const std::string& set_id) {
   auto doc = manager->doc_store()->Get(kSetCollection, set_id);
   if (!doc.ok()) return Fail(doc.status());
@@ -147,7 +199,7 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: mmmctl <store-dir> "
-                 "{list | lineage <set-id> | validate | show <set-id> | "
+                 "{list | lineage <set-id> | validate | fsck | show <set-id> | "
                  "export <set-id> <out-dir> | delete <set-id> [--cascade] | "
                  "retain <set-id>... | compact}\n");
     return 64;
@@ -160,6 +212,7 @@ int main(int argc, char** argv) {
   std::string command = argv[2];
   if (command == "list") return CmdList(manager.ValueOrDie().get());
   if (command == "validate") return CmdValidate(manager.ValueOrDie().get());
+  if (command == "fsck") return CmdFsck(manager.ValueOrDie().get());
   if (command == "lineage" && argc >= 4) {
     return CmdLineage(manager.ValueOrDie().get(), argv[3]);
   }
