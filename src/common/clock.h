@@ -1,6 +1,7 @@
 #ifndef MMM_COMMON_CLOCK_H_
 #define MMM_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -45,16 +46,20 @@ class StopWatch {
 /// (whose differences come from store connection latency).
 class SimulatedClock {
  public:
-  /// Adds `nanos` of modeled time.
-  void Advance(uint64_t nanos) { nanos_ += nanos; }
+  /// Adds `nanos` of modeled time. Atomic, so concurrent store reads (the
+  /// serving layer's recovery workers) can charge one shared clock without
+  /// racing; the total is order-independent.
+  void Advance(uint64_t nanos) {
+    nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
 
-  void Reset() { nanos_ = 0; }
+  void Reset() { nanos_.store(0, std::memory_order_relaxed); }
 
-  uint64_t nanos() const { return nanos_; }
-  double seconds() const { return static_cast<double>(nanos_) * 1e-9; }
+  uint64_t nanos() const { return nanos_.load(std::memory_order_relaxed); }
+  double seconds() const { return static_cast<double>(nanos()) * 1e-9; }
 
  private:
-  uint64_t nanos_ = 0;
+  std::atomic<uint64_t> nanos_{0};
 };
 
 }  // namespace mmm

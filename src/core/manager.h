@@ -80,6 +80,10 @@ class ModelSetManager {
   /// The approach instance for `type`.
   ModelSetApproach* approach(ApproachType type);
 
+  /// The Update approach instance, typed — the only approach with a cached
+  /// recovery path (see UpdateApproach::RecoverCached).
+  UpdateApproach* update_approach() { return update_.get(); }
+
   /// Saves an initial set with the chosen approach.
   Result<SaveResult> SaveInitial(ApproachType type, const ModelSet& set);
 

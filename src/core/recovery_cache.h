@@ -1,0 +1,76 @@
+#ifndef MMM_CORE_RECOVERY_CACHE_H_
+#define MMM_CORE_RECOVERY_CACHE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/blob_formats.h"
+#include "core/model_set.h"
+#include "nn/architecture.h"
+#include "serialize/sha256.h"
+#include "tensor/tensor.h"
+
+namespace mmm {
+
+/// \brief Per-request cache effectiveness counters, filled by the cached
+/// recovery path (see UpdateApproach::RecoverCached).
+struct CacheRequestStats {
+  /// Layers served from the cache (content-hash lookups that hit).
+  uint64_t layer_hits = 0;
+  /// Layers that had to be fetched and decoded from the store.
+  uint64_t layer_misses = 0;
+  /// Set-metadata memo hits (hash table + architecture found cached).
+  uint64_t meta_hits = 0;
+  /// Set-metadata memo misses (hash blob re-read from the store).
+  uint64_t meta_misses = 0;
+  /// Sets assembled purely from cached layers (no blob read at all).
+  uint64_t sets_from_cache = 0;
+
+  CacheRequestStats& operator+=(const CacheRequestStats& other) {
+    layer_hits += other.layer_hits;
+    layer_misses += other.layer_misses;
+    meta_hits += other.meta_hits;
+    meta_misses += other.meta_misses;
+    sets_from_cache += other.sets_from_cache;
+    return *this;
+  }
+};
+
+/// \brief Interface of a layer-granular recovery cache, consulted by the
+/// Update approach's read path (implemented by serve/ModelSetService).
+///
+/// The cache key for parameter tensors is the per-layer SHA-256 content hash
+/// the Update approach already persists for change detection (§3.3 step 2):
+/// layers shared between a base set and its derived sets have identical
+/// hashes, so one cached decode serves every set that contains the layer.
+/// Entries are therefore immutable by construction — a content hash can
+/// never map to stale bytes — and the *document store* remains the single
+/// root of trust: every recovery starts with a live set-document fetch, so
+/// a cache can never resurrect a deleted set.
+///
+/// Implementations must be safe for concurrent calls; lookups and inserts
+/// are advisory (a cache may decline to admit or may have evicted anything).
+class RecoveryCache {
+ public:
+  virtual ~RecoveryCache() = default;
+
+  /// Fetches the tensor cached under a content hash into `out`.
+  virtual bool GetLayer(const Sha256Digest& hash, Tensor* out) = 0;
+
+  /// Offers a decoded layer for admission (may be declined).
+  virtual void PutLayer(const Sha256Digest& hash, const Tensor& value) = 0;
+
+  /// Fetches the memoized per-set metadata: the set's stored hash table and
+  /// the architecture it decodes against.
+  virtual bool GetSetMeta(const std::string& set_id, HashTable* hashes,
+                          ArchitectureSpec* spec) = 0;
+
+  /// Memoizes a set's hash table + architecture after a recovery resolved
+  /// them from the store.
+  virtual void PutSetMeta(const std::string& set_id, const HashTable& hashes,
+                          const ArchitectureSpec& spec) = 0;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_CORE_RECOVERY_CACHE_H_

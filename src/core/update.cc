@@ -318,27 +318,198 @@ Result<ModelSet> UpdateApproach::RecoverInternal(const std::string& set_id,
     return Status::Corruption("base set size ", set.models.size(),
                               " != derived size ", doc.num_models);
   }
+  MMM_RETURN_NOT_OK(ApplyDelta(doc, &set));
+  return set;
+}
+
+Status UpdateApproach::ApplyDelta(const SetDocument& doc, ModelSet* set) {
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored_diff,
                        context_.file_store->Get(doc.diff_blob));
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> diff_bytes,
                        DecompressBlob(stored_diff));
-  MMM_ASSIGN_OR_RETURN(DecodedDiff diff, DecodeDiffBlob(set.spec, diff_bytes));
+  MMM_ASSIGN_OR_RETURN(DecodedDiff diff, DecodeDiffBlob(set->spec, diff_bytes));
   for (size_t i = 0; i < diff.entries.size(); ++i) {
     const DiffEntry& entry = diff.entries[i];
-    if (entry.model_index >= set.models.size() ||
-        entry.param_index >= set.models[entry.model_index].size()) {
-      return Status::Corruption("diff entry out of range in set ", set_id);
+    if (entry.model_index >= set->models.size() ||
+        entry.param_index >= set->models[entry.model_index].size()) {
+      return Status::Corruption("diff entry out of range in set ", doc.id);
     }
-    Tensor& target = set.models[entry.model_index][entry.param_index].second;
+    Tensor& target = set->models[entry.model_index][entry.param_index].second;
     if (diff.encoding == DiffEncoding::kXorBase) {
       if (diff.tensors[i].shape() != target.shape()) {
-        return Status::Corruption("xor diff shape mismatch in set ", set_id);
+        return Status::Corruption("xor diff shape mismatch in set ", doc.id);
       }
       target = XorTensors(target, diff.tensors[i]);
     } else {
       target = std::move(diff.tensors[i]);
     }
   }
+  return Status::OK();
+}
+
+namespace {
+
+/// Reads and decodes a set's stored per-layer hash table.
+Result<HashTable> ReadStoredHashTable(const StoreContext& context,
+                                      const SetDocument& doc) {
+  if (doc.hash_blob.empty()) {
+    return Status::Corruption("set ", doc.id, " is missing its hash blob");
+  }
+  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored,
+                       context.file_store->Get(doc.hash_blob));
+  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, DecompressBlob(stored));
+  return DecodeHashTable(bytes);
+}
+
+/// Walks the delta chain (documents only) down to the root snapshot and
+/// reads its architecture blob — the cheap way to learn a delta set's spec
+/// without touching any parameter or diff blob.
+Result<ArchitectureSpec> ResolveChainSpec(const StoreContext& context,
+                                          SetDocument doc, uint64_t budget) {
+  while (doc.kind == "delta") {
+    if (budget-- == 0) {
+      return Status::Corruption("update chain too deep (cycle?) at ", doc.id);
+    }
+    MMM_ASSIGN_OR_RETURN(doc, FetchSetDocument(context, doc.base_set_id));
+  }
+  if (doc.kind != "full") {
+    return Status::Corruption("update chain does not end in a full snapshot");
+  }
+  return ReadSnapshotSpec(context, doc);
+}
+
+}  // namespace
+
+Result<ModelSet> UpdateApproach::RecoverCached(const std::string& set_id,
+                                               RecoveryCache* cache,
+                                               RecoverStats* stats,
+                                               CacheRequestStats* cache_stats) {
+  if (cache == nullptr) return Recover(set_id, stats);
+  MMM_RETURN_NOT_OK(context_.Validate());
+  StatsCapture capture(context_);
+  uint64_t depth_budget = context_.doc_store->Count(kSetCollection) + 1;
+  CacheRequestStats local;
+  MMM_ASSIGN_OR_RETURN(
+      ModelSet set,
+      RecoverCachedInternal(set_id, cache, stats, &local, depth_budget));
+  if (cache_stats != nullptr) *cache_stats += local;
+  capture.FillRecover(stats);
+  return set;
+}
+
+Result<ModelSet> UpdateApproach::RecoverCachedInternal(
+    const std::string& set_id, RecoveryCache* cache, RecoverStats* stats,
+    CacheRequestStats* cache_stats, uint64_t depth_budget) {
+  if (depth_budget == 0) {
+    return Status::Corruption("update recovery chain too deep (cycle?) at ",
+                              set_id);
+  }
+  // The set document is always fetched live. The document store stays the
+  // single root of trust, so recovering a deleted set fails right here no
+  // matter what the cache still holds — a cache hit can never resurrect a
+  // collected set.
+  MMM_ASSIGN_OR_RETURN(SetDocument doc, FetchSetDocument(context_, set_id));
+  if (doc.approach != Name()) {
+    return Status::InvalidArgument("set ", set_id, " was saved by '",
+                                   doc.approach, "', not update");
+  }
+  if (stats != nullptr) stats->sets_recovered += 1;
+
+  // Step 1: resolve the set's per-layer content hashes and architecture,
+  // memoized so a hot set costs no hash-blob or chain-walk reads.
+  HashTable hashes;
+  ArchitectureSpec spec;
+  if (cache->GetSetMeta(set_id, &hashes, &spec)) {
+    cache_stats->meta_hits += 1;
+  } else {
+    cache_stats->meta_misses += 1;
+    MMM_ASSIGN_OR_RETURN(hashes, ReadStoredHashTable(context_, doc));
+    MMM_ASSIGN_OR_RETURN(spec,
+                         ResolveChainSpec(context_, doc, depth_budget));
+  }
+  ParamLayout layout = LayoutOf(spec);
+  if (hashes.size() != doc.num_models) {
+    return Status::Corruption("hash table of ", set_id, " covers ",
+                              hashes.size(), " models, document says ",
+                              doc.num_models);
+  }
+  for (const auto& row : hashes) {
+    if (row.size() != layout.size()) {
+      return Status::Corruption("hash table of ", set_id,
+                                " disagrees with the parameter layout");
+    }
+  }
+
+  // Step 2: probe every layer by content hash. Layers shared with an
+  // already-served set (the base snapshot, or any sibling derived set) hit
+  // regardless of which set first brought them in.
+  std::vector<std::vector<Tensor>> cached_layers(hashes.size());
+  bool complete = true;
+  for (size_t m = 0; m < hashes.size(); ++m) {
+    cached_layers[m].resize(layout.size());
+    for (size_t p = 0; p < layout.size(); ++p) {
+      if (cache->GetLayer(hashes[m][p], &cached_layers[m][p])) {
+        cache_stats->layer_hits += 1;
+      } else {
+        cache_stats->layer_misses += 1;
+        complete = false;
+      }
+    }
+  }
+
+  // Step 3a: full hit — assemble without touching the file store.
+  if (complete) {
+    cache_stats->sets_from_cache += 1;
+    ModelSet set;
+    set.spec = spec;
+    set.models.resize(hashes.size());
+    for (size_t m = 0; m < hashes.size(); ++m) {
+      StateDict& state = set.models[m];
+      state.reserve(layout.size());
+      for (size_t p = 0; p < layout.size(); ++p) {
+        state.emplace_back(layout[p].first, std::move(cached_layers[m][p]));
+      }
+    }
+    cache->PutSetMeta(set_id, hashes, spec);
+    return set;
+  }
+
+  // Step 3b: miss — materialize from the store. A full snapshot decodes its
+  // parameter blob; a delta recovers its base *through the cache* (the
+  // memoized recursion) and applies the diff on top.
+  ModelSet set;
+  if (doc.kind == "full") {
+    MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored,
+                         context_.file_store->Get(doc.param_blob));
+    MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, DecompressBlob(stored));
+    MMM_ASSIGN_OR_RETURN(set.models, DecodeParamBlob(spec, blob));
+    set.spec = spec;
+    if (set.models.size() != doc.num_models) {
+      return Status::Corruption("set ", set_id, " holds ", set.models.size(),
+                                " models, document says ", doc.num_models);
+    }
+  } else if (doc.kind == "delta") {
+    MMM_ASSIGN_OR_RETURN(
+        set, RecoverCachedInternal(doc.base_set_id, cache, stats, cache_stats,
+                                   depth_budget - 1));
+    if (set.models.size() != doc.num_models) {
+      return Status::Corruption("base set size ", set.models.size(),
+                                " != derived size ", doc.num_models);
+    }
+    MMM_RETURN_NOT_OK(ApplyDelta(doc, &set));
+  } else {
+    return Status::Corruption("set ", set_id, " has unexpected kind '",
+                              doc.kind, "'");
+  }
+
+  // Step 4: offer every materialized layer back to the cache under its
+  // stored content hash (shared layers re-admit idempotently).
+  for (size_t m = 0; m < set.models.size(); ++m) {
+    for (size_t p = 0; p < set.models[m].size(); ++p) {
+      cache->PutLayer(hashes[m][p], set.models[m][p].second);
+    }
+  }
+  cache->PutSetMeta(set_id, hashes, set.spec);
   return set;
 }
 

@@ -5,8 +5,11 @@
 
 #include "core/approach.h"
 #include "core/blob_formats.h"
+#include "core/recovery_cache.h"
 
 namespace mmm {
+
+struct SetDocument;
 
 /// \brief Options of the Update approach.
 struct UpdateApproachOptions {
@@ -53,11 +56,37 @@ class UpdateApproach : public ModelSetApproach {
   using ModelSetApproach::Recover;
   using ModelSetApproach::RecoverModels;
 
+  /// Recovery through a layer-granular cache (the serving read path).
+  ///
+  /// Decomposes Recover into cacheable per-layer steps: the set's stored
+  /// per-layer content hashes are resolved first (memoized via
+  /// RecoveryCache::GetSetMeta), then every layer is probed in the cache by
+  /// its hash. A set whose layers all hit is assembled without reading a
+  /// single parameter or diff blob; otherwise the base set is recovered
+  /// recursively *through the same cache* — so a hot base set is fetched and
+  /// decoded once, and each derived set costs only its own diff blob — and
+  /// every materialized layer is offered back to the cache.
+  ///
+  /// Bit-exactness: cached tensors are keyed by their SHA-256 content hash,
+  /// so assembly reproduces exactly the bytes Recover would return. With
+  /// `cache == nullptr` this is plain Recover.
+  Result<ModelSet> RecoverCached(const std::string& set_id,
+                                 RecoveryCache* cache,
+                                 RecoverStats* stats = nullptr,
+                                 CacheRequestStats* cache_stats = nullptr);
+
  private:
   Result<SaveResult> SaveSnapshotWithHashes(const ModelSet& set,
                                             const std::string& base_set_id);
   Result<ModelSet> RecoverInternal(const std::string& set_id,
                                    RecoverStats* stats, uint64_t depth_budget);
+  Result<ModelSet> RecoverCachedInternal(const std::string& set_id,
+                                         RecoveryCache* cache,
+                                         RecoverStats* stats,
+                                         CacheRequestStats* cache_stats,
+                                         uint64_t depth_budget);
+  /// Reads, decodes, and applies `doc`'s diff blob onto `set` in place.
+  Status ApplyDelta(const SetDocument& doc, ModelSet* set);
 
   StoreContext context_;
   UpdateApproachOptions options_;

@@ -1,0 +1,322 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/inspect.h"
+#include "core/set_codec.h"
+
+namespace mmm {
+
+namespace {
+
+/// Raw-byte map key of a digest.
+std::string RawKey(const Sha256Digest& hash) {
+  return std::string(reinterpret_cast<const char*>(hash.bytes.data()),
+                     hash.bytes.size());
+}
+
+std::vector<Sha256Digest> Flatten(const HashTable& hashes) {
+  std::vector<Sha256Digest> flat;
+  for (const auto& row : hashes) flat.insert(flat.end(), row.begin(), row.end());
+  return flat;
+}
+
+uint64_t WallNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+bool ModelSetService::CacheAdapter::GetLayer(const Sha256Digest& hash,
+                                             Tensor* out) {
+  return service_->layer_cache_.Get(hash, out);
+}
+
+void ModelSetService::CacheAdapter::PutLayer(const Sha256Digest& hash,
+                                             const Tensor& value) {
+  service_->layer_cache_.Put(hash, value);
+}
+
+bool ModelSetService::CacheAdapter::GetSetMeta(const std::string& set_id,
+                                               HashTable* hashes,
+                                               ArchitectureSpec* spec) {
+  std::lock_guard<std::mutex> lock(service_->meta_mu_);
+  auto it = service_->meta_index_.find(set_id);
+  if (it == service_->meta_index_.end()) return false;
+  service_->meta_lru_.splice(service_->meta_lru_.begin(), service_->meta_lru_,
+                             it->second);
+  *hashes = it->second->hashes;
+  *spec = it->second->spec;
+  return true;
+}
+
+void ModelSetService::CacheAdapter::PutSetMeta(const std::string& set_id,
+                                               const HashTable& hashes,
+                                               const ArchitectureSpec& spec) {
+  std::lock_guard<std::mutex> lock(service_->meta_mu_);
+  // The hash index always learns the mapping — it is what lets the GC
+  // invalidate a set's layers even after the memo entry was evicted.
+  service_->hash_index_[set_id] = Flatten(hashes);
+  size_t bound = service_->options_.meta_cache_entries;
+  if (bound == 0) return;
+  auto it = service_->meta_index_.find(set_id);
+  if (it != service_->meta_index_.end()) {
+    service_->meta_lru_.splice(service_->meta_lru_.begin(),
+                               service_->meta_lru_, it->second);
+    it->second->hashes = hashes;
+    it->second->spec = spec;
+    return;
+  }
+  service_->meta_lru_.push_front(MetaEntry{set_id, hashes, spec});
+  service_->meta_index_[set_id] = service_->meta_lru_.begin();
+  while (service_->meta_lru_.size() > bound) {
+    service_->meta_index_.erase(service_->meta_lru_.back().set_id);
+    service_->meta_lru_.pop_back();
+  }
+}
+
+ModelSetService::ModelSetService(ModelSetManager* manager,
+                                 ModelSetServiceOptions options)
+    : manager_(manager),
+      options_(options),
+      layer_cache_(options.cache_capacity_bytes,
+                   options.cache_shards == 0 ? 1 : options.cache_shards),
+      adapter_(this),
+      executor_(std::make_unique<Executor>(
+          options.workers == 0 ? 1 : options.workers)) {}
+
+ModelSetService::~ModelSetService() = default;
+
+Result<ModelSet> ModelSetService::Recover(const std::string& set_id,
+                                          ServeResult* result) {
+  uint64_t start = WallNanos();
+  Result<ModelSet> recovered = [&]() -> Result<ModelSet> {
+    std::shared_lock<std::shared_mutex> lock(gate_);
+    return RecoverLocked(set_id, result);
+  }();
+  if (result != nullptr) {
+    result->set_id = set_id;
+    result->status = recovered.status();
+    result->wall_nanos = WallNanos() - start;
+  }
+  return recovered;
+}
+
+Result<ModelSet> ModelSetService::RecoverLocked(const std::string& set_id,
+                                                ServeResult* result) {
+  RecoverStats stats;
+  CacheRequestStats cache_stats;
+  Result<ModelSet> recovered = [&]() -> Result<ModelSet> {
+    if (!options_.cache_enabled) {
+      // Straight through the manager — bit-identical, byte-for-byte, to a
+      // direct Recover call (no extra document fetch, no cache probes).
+      return manager_->Recover(set_id, &stats);
+    }
+    MMM_ASSIGN_OR_RETURN(SetDocument doc,
+                         FetchSetDocument(manager_->context(), set_id));
+    if (doc.approach == "update") {
+      return manager_->update_approach()->RecoverCached(set_id, &adapter_,
+                                                        &stats, &cache_stats);
+    }
+    return manager_->Recover(set_id, &stats);
+  }();
+  if (result != nullptr) {
+    result->modeled_store_nanos = stats.simulated_store_nanos;
+    result->sets_walked = stats.sets_recovered;
+    result->cache = cache_stats;
+  }
+  return recovered;
+}
+
+std::vector<ServeResult> ModelSetService::Replay(
+    const std::vector<std::string>& set_ids, std::vector<ModelSet>* recovered) {
+  std::lock_guard<std::mutex> replay_lock(replay_mu_);
+  std::vector<ServeResult> results(set_ids.size());
+  if (recovered != nullptr) {
+    recovered->assign(set_ids.size(), ModelSet{});
+  }
+  executor_->ParallelFor(set_ids.size(), [&](size_t i) {
+    Result<ModelSet> r = Recover(set_ids[i], &results[i]);
+    if (recovered != nullptr && r.ok()) {
+      (*recovered)[i] = std::move(r).ValueOrDie();
+    }
+  });
+  return results;
+}
+
+Status ModelSetService::PinSet(const std::string& set_id) {
+  std::unique_lock<std::shared_mutex> lock(gate_);
+  if (!options_.cache_enabled) {
+    return Status::InvalidArgument("cannot pin: the cache is disabled");
+  }
+  {
+    std::lock_guard<std::mutex> pin_lock(pin_mu_);
+    if (pinned_sets_.count(set_id) != 0) {
+      return Status::AlreadyExists("set ", set_id, " is already pinned");
+    }
+  }
+  MMM_ASSIGN_OR_RETURN(SetDocument doc,
+                       FetchSetDocument(manager_->context(), set_id));
+  if (doc.approach != "update") {
+    return Status::InvalidArgument(
+        "only update-approach sets are cacheable; set ", set_id,
+        " was saved by '", doc.approach, "'");
+  }
+  // Materialize through the cache; this also records the set's hash table
+  // in the hash index, aligned m-major with set.models.
+  MMM_ASSIGN_OR_RETURN(ModelSet set, manager_->update_approach()->RecoverCached(
+                                         set_id, &adapter_, nullptr, nullptr));
+  std::vector<Sha256Digest> hashes = KnownHashesOf(set_id);
+  size_t layers_per_model = set.models.empty() ? 0 : set.models[0].size();
+  if (hashes.size() != set.models.size() * layers_per_model) {
+    return Status::Internal("hash index out of sync for set ", set_id);
+  }
+
+  std::lock_guard<std::mutex> pin_lock(pin_mu_);
+  for (size_t i = 0; i < hashes.size(); ++i) {
+    uint64_t& refs = pinned_hash_refs_[RawKey(hashes[i])];
+    if (refs == 0) {
+      const Tensor& value =
+          set.models[i / layers_per_model][i % layers_per_model].second;
+      // Pin in place if resident; otherwise admit pre-pinned so the entry
+      // can never lose a race against eviction.
+      if (!layer_cache_.Pin(hashes[i]) &&
+          !layer_cache_.Put(hashes[i], value, /*pinned=*/true)) {
+        // Roll back every reference taken so far (a set may repeat a hash
+        // when models share identical layer bytes).
+        pinned_hash_refs_.erase(RawKey(hashes[i]));
+        for (size_t j = 0; j < i; ++j) {
+          auto ref = pinned_hash_refs_.find(RawKey(hashes[j]));
+          if (ref != pinned_hash_refs_.end() && --ref->second == 0) {
+            pinned_hash_refs_.erase(ref);
+            layer_cache_.Unpin(hashes[j]);
+          }
+        }
+        return Status::InvalidArgument(
+            "cannot pin set ", set_id,
+            ": the cache cannot hold all its layers (capacity ",
+            layer_cache_.capacity_bytes(), " bytes)");
+      }
+    }
+    refs += 1;
+  }
+  pinned_sets_[set_id] = std::move(hashes);
+  return Status::OK();
+}
+
+Status ModelSetService::UnpinSet(const std::string& set_id) {
+  std::lock_guard<std::mutex> pin_lock(pin_mu_);
+  auto it = pinned_sets_.find(set_id);
+  if (it == pinned_sets_.end()) {
+    return Status::NotFound("set ", set_id, " is not pinned");
+  }
+  for (const Sha256Digest& hash : it->second) {
+    auto ref = pinned_hash_refs_.find(RawKey(hash));
+    if (ref == pinned_hash_refs_.end()) continue;
+    if (--ref->second == 0) {
+      pinned_hash_refs_.erase(ref);
+      layer_cache_.Unpin(hash);
+    }
+  }
+  pinned_sets_.erase(it);
+  return Status::OK();
+}
+
+Result<DeleteReport> ModelSetService::DeleteSet(const std::string& set_id,
+                                                const DeleteOptions& options) {
+  std::unique_lock<std::shared_mutex> lock(gate_);
+  std::vector<std::string> pinned;
+  {
+    std::lock_guard<std::mutex> pin_lock(pin_mu_);
+    for (const auto& [id, hashes] : pinned_sets_) pinned.push_back(id);
+  }
+  // Pin-fail: refuse to delete anything a pinned set needs for recovery —
+  // the pinned set itself, or any ancestor of its delta chain.
+  for (const std::string& pinned_id : pinned) {
+    MMM_ASSIGN_OR_RETURN(std::vector<SetSummary> lineage,
+                         mmm::Lineage(manager_->context(), pinned_id));
+    for (const SetSummary& ancestor : lineage) {
+      if (ancestor.id == set_id) {
+        return Status::InvalidArgument(
+            "cannot delete set ", set_id, ": pinned set ", pinned_id,
+            pinned_id == set_id ? " is pinned" : " needs it for recovery");
+      }
+    }
+  }
+  MMM_ASSIGN_OR_RETURN(DeleteReport report,
+                       mmm::DeleteSet(manager_->context(), set_id, options));
+  InvalidateDeleted(report.deleted_set_ids);
+  return report;
+}
+
+Result<DeleteReport> ModelSetService::RetainOnly(
+    const std::vector<std::string>& keep_set_ids) {
+  std::unique_lock<std::shared_mutex> lock(gate_);
+  // Pinned sets are implicitly kept (RetainOnly itself keeps their whole
+  // recovery lineage).
+  std::vector<std::string> keep = keep_set_ids;
+  {
+    std::lock_guard<std::mutex> pin_lock(pin_mu_);
+    for (const auto& [id, hashes] : pinned_sets_) {
+      if (std::find(keep.begin(), keep.end(), id) == keep.end()) {
+        keep.push_back(id);
+      }
+    }
+  }
+  MMM_ASSIGN_OR_RETURN(DeleteReport report,
+                       mmm::RetainOnly(manager_->context(), keep));
+  InvalidateDeleted(report.deleted_set_ids);
+  return report;
+}
+
+void ModelSetService::InvalidateDeleted(
+    const std::vector<std::string>& deleted_set_ids) {
+  for (const std::string& id : deleted_set_ids) {
+    std::vector<Sha256Digest> hashes;
+    {
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      auto hit = hash_index_.find(id);
+      if (hit != hash_index_.end()) {
+        hashes = std::move(hit->second);
+        hash_index_.erase(hit);
+      }
+      auto mit = meta_index_.find(id);
+      if (mit != meta_index_.end()) {
+        meta_lru_.erase(mit->second);
+        meta_index_.erase(mit);
+      }
+    }
+    std::lock_guard<std::mutex> pin_lock(pin_mu_);
+    for (const Sha256Digest& hash : hashes) {
+      // A layer shared with a pinned (surviving) set stays resident; the
+      // rest of the collected set's layers are dropped. Deleted sets can
+      // never be served again either way — every recovery re-fetches the
+      // set document, and that fetch now fails.
+      if (pinned_hash_refs_.count(RawKey(hash)) != 0) continue;
+      layer_cache_.Invalidate(hash);
+    }
+  }
+}
+
+std::vector<Sha256Digest> ModelSetService::KnownHashesOf(
+    const std::string& set_id) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = hash_index_.find(set_id);
+  if (it == hash_index_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::string> ModelSetService::PinnedSets() const {
+  std::lock_guard<std::mutex> lock(pin_mu_);
+  std::vector<std::string> ids;
+  ids.reserve(pinned_sets_.size());
+  for (const auto& [id, hashes] : pinned_sets_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace mmm

@@ -1,0 +1,179 @@
+#ifndef MMM_SERVE_SERVICE_H_
+#define MMM_SERVE_SERVICE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/gc.h"
+#include "core/manager.h"
+#include "core/recovery_cache.h"
+#include "serve/layer_cache.h"
+#include "storage/executor.h"
+
+namespace mmm {
+
+/// \brief Configuration of a ModelSetService.
+struct ModelSetServiceOptions {
+  /// Worker lanes for Replay. 1 = serve on the calling thread, in request
+  /// order — bit-identical to sequential Recover calls *and* with exact
+  /// per-request counters (shared store/cache counters are attributed to
+  /// the only in-flight request).
+  size_t workers = 1;
+  /// Disable to serve every request straight from the stores (the control
+  /// arm of the serving bench; results are bit-identical either way).
+  bool cache_enabled = true;
+  /// Layer-cache budget; capacity is enforced strictly (see LayerCache).
+  uint64_t cache_capacity_bytes = 256ull << 20;
+  size_t cache_shards = 8;
+  /// Entry bound of the per-set metadata memo (hash table + architecture).
+  size_t meta_cache_entries = 1024;
+};
+
+/// \brief Outcome of one served recovery request.
+struct ServeResult {
+  std::string set_id;
+  Status status = Status::OK();
+  /// Wall time of this request in the service, nanoseconds.
+  uint64_t wall_nanos = 0;
+  /// Modeled store latency charged while this request ran. Exact per
+  /// request at workers = 1; under concurrency, overlapping requests'
+  /// charges mix (the aggregate across a Replay is still exact).
+  uint64_t modeled_store_nanos = 0;
+  /// Sets materialized, including recursively recovered bases.
+  uint64_t sets_walked = 0;
+  /// Cache effectiveness of this request (all-zero on the uncached path).
+  CacheRequestStats cache;
+};
+
+/// \brief Concurrent model-set recovery service (the serving layer).
+///
+/// Wraps a ModelSetManager behind a thread-safe facade: recovery requests
+/// run concurrently on a fixed worker pool and answer through a sharded,
+/// layer-granular LRU cache keyed by the per-layer SHA-256 content hashes
+/// the Update approach persists (see core/recovery_cache.h for the key
+/// scheme and why the document store remains the root of trust). Layers
+/// shared between a base set and its derived sets are fetched and decoded
+/// once; hot sets can be pinned.
+///
+/// Sets saved by the other approaches are served through the manager's
+/// ordinary (uncached) Recover — every approach is servable, Update gets
+/// the cache speedup.
+///
+/// Deletion coherence: DeleteSet/RetainOnly must go through the service,
+/// which serializes them against in-flight recoveries, refuses to delete
+/// any set a pinned set needs (pin-fail), and invalidates the cached
+/// layers and metadata of collected sets.
+class ModelSetService {
+ public:
+  /// \param manager store facade; must outlive the service (not owned).
+  ModelSetService(ModelSetManager* manager, ModelSetServiceOptions options = {});
+  ~ModelSetService();
+
+  ModelSetService(const ModelSetService&) = delete;
+  ModelSetService& operator=(const ModelSetService&) = delete;
+
+  /// Recovers one set (any approach). Thread-safe; concurrent callers
+  /// proceed in parallel. `result` (optional) receives per-request stats.
+  Result<ModelSet> Recover(const std::string& set_id,
+                           ServeResult* result = nullptr);
+
+  /// Serves a whole request trace across the worker pool. Request i runs on
+  /// lane i % workers (deterministic assignment). Returns one ServeResult
+  /// per request, parallel to `set_ids`; `recovered` (optional) receives
+  /// the recovered sets, also parallel. Only one Replay may run at a time.
+  std::vector<ServeResult> Replay(const std::vector<std::string>& set_ids,
+                                  std::vector<ModelSet>* recovered = nullptr);
+
+  /// Pins a hot set: recovers it, admits every layer pre-pinned, and
+  /// shields the layers from eviction until UnpinSet. Fails with
+  /// InvalidArgument if the cache cannot hold the whole set (partial pins
+  /// are rolled back). Requires the Update approach and an enabled cache.
+  Status PinSet(const std::string& set_id);
+
+  /// Releases a pin (layers stay cached, evictable again). NotFound if the
+  /// set is not pinned.
+  Status UnpinSet(const std::string& set_id);
+
+  /// Deletes a set through the garbage collector, serialized against
+  /// recoveries. Fails with InvalidArgument if any pinned set needs the
+  /// target for recovery. Invalidates cached layers/metadata of every
+  /// collected set.
+  Result<DeleteReport> DeleteSet(const std::string& set_id,
+                                 const DeleteOptions& options = {});
+
+  /// Retention sweep through the garbage collector; pinned sets (and their
+  /// recovery lineage) are implicitly kept. Invalidates like DeleteSet.
+  Result<DeleteReport> RetainOnly(const std::vector<std::string>& keep_set_ids);
+
+  /// Aggregate layer-cache counters.
+  LayerCacheStats cache_stats() const { return layer_cache_.stats(); }
+
+  /// Ids currently pinned, sorted.
+  std::vector<std::string> PinnedSets() const;
+
+  const ModelSetServiceOptions& options() const { return options_; }
+
+ private:
+  /// RecoveryCache view of the service handed to RecoverCached: layers go
+  /// to the sharded LayerCache, set metadata to the entry-bounded memo.
+  class CacheAdapter : public RecoveryCache {
+   public:
+    explicit CacheAdapter(ModelSetService* service) : service_(service) {}
+    bool GetLayer(const Sha256Digest& hash, Tensor* out) override;
+    void PutLayer(const Sha256Digest& hash, const Tensor& value) override;
+    bool GetSetMeta(const std::string& set_id, HashTable* hashes,
+                    ArchitectureSpec* spec) override;
+    void PutSetMeta(const std::string& set_id, const HashTable& hashes,
+                    const ArchitectureSpec& spec) override;
+
+   private:
+    ModelSetService* service_;
+  };
+
+  struct MetaEntry {
+    std::string set_id;
+    HashTable hashes;
+    ArchitectureSpec spec;
+  };
+
+  Result<ModelSet> RecoverLocked(const std::string& set_id, ServeResult* result);
+  /// Removes cached layers + metadata of the given deleted sets, sparing
+  /// layers a pinned set still needs.
+  void InvalidateDeleted(const std::vector<std::string>& deleted_set_ids);
+  /// Flattened hashes of a set from the meta memo / hash index.
+  std::vector<Sha256Digest> KnownHashesOf(const std::string& set_id);
+
+  ModelSetManager* manager_;
+  ModelSetServiceOptions options_;
+  LayerCache layer_cache_;
+  CacheAdapter adapter_;
+  std::unique_ptr<Executor> executor_;
+  std::mutex replay_mu_;  ///< Executor dispatch is not reentrant.
+
+  /// Readers (Recover) take it shared; DeleteSet/RetainOnly/PinSet take it
+  /// exclusive, so the GC never races a recovery mid-walk.
+  std::shared_mutex gate_;
+
+  mutable std::mutex meta_mu_;
+  std::list<MetaEntry> meta_lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<MetaEntry>::iterator> meta_index_;
+  /// set id -> flattened layer hashes, kept past meta eviction so GC can
+  /// always invalidate a collected set's layers. One entry per set ever
+  /// served; pruned on deletion.
+  std::unordered_map<std::string, std::vector<Sha256Digest>> hash_index_;
+
+  mutable std::mutex pin_mu_;
+  /// set id -> flattened layer hashes pinned for it.
+  std::unordered_map<std::string, std::vector<Sha256Digest>> pinned_sets_;
+  /// raw 32-byte digest -> number of pinned sets referencing the layer.
+  std::unordered_map<std::string, uint64_t> pinned_hash_refs_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_SERVE_SERVICE_H_

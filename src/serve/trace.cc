@@ -1,0 +1,60 @@
+#include "serve/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmm {
+
+ZipfianSampler::ZipfianSampler(size_t n, double theta) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfianSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+std::vector<std::string> BuildZipfianTrace(const std::vector<std::string>& ids,
+                                           size_t requests, double theta,
+                                           uint64_t seed) {
+  std::vector<std::string> trace;
+  if (ids.empty()) return trace;
+  ZipfianSampler sampler(ids.size(), theta);
+  Rng rng(seed);
+  trace.reserve(requests);
+  for (size_t i = 0; i < requests; ++i) {
+    trace.push_back(ids[sampler.Sample(&rng)]);
+  }
+  return trace;
+}
+
+LatencySummary Summarize(std::vector<uint64_t> nanos) {
+  LatencySummary out;
+  if (nanos.empty()) return out;
+  std::sort(nanos.begin(), nanos.end());
+  double sum = 0;
+  for (uint64_t v : nanos) sum += static_cast<double>(v);
+  out.mean = sum / static_cast<double>(nanos.size());
+  auto rank = [&](double q) {
+    size_t r = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(nanos.size())));
+    if (r == 0) r = 1;
+    return nanos[std::min(r, nanos.size()) - 1];
+  };
+  out.p50 = rank(0.50);
+  out.p99 = rank(0.99);
+  out.max = nanos.back();
+  return out;
+}
+
+}  // namespace mmm

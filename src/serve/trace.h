@@ -1,0 +1,51 @@
+#ifndef MMM_SERVE_TRACE_H_
+#define MMM_SERVE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mmm {
+
+/// \brief Deterministic Zipfian item sampler: P(i) proportional to
+/// 1 / (i + 1)^theta over items 0..n-1 (item 0 is the hottest).
+///
+/// The classic model of skewed serving workloads — a few hot model-set
+/// versions take most recovery requests, the long tail is cold. theta = 0
+/// degenerates to uniform.
+class ZipfianSampler {
+ public:
+  ZipfianSampler(size_t n, double theta);
+
+  /// Draws one item index using `rng`.
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  ///< cumulative probabilities, cdf_.back() == 1
+};
+
+/// Builds a request trace of `requests` set ids drawn Zipfian over `ids`
+/// (ids[0] hottest), deterministically from `seed`.
+std::vector<std::string> BuildZipfianTrace(const std::vector<std::string>& ids,
+                                           size_t requests, double theta,
+                                           uint64_t seed);
+
+/// \brief Latency distribution summary of a batch of requests.
+struct LatencySummary {
+  double mean = 0;
+  uint64_t p50 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+};
+
+/// Summarizes a vector of per-request costs (nanoseconds). Percentiles use
+/// the nearest-rank method; an empty input yields all zeros.
+LatencySummary Summarize(std::vector<uint64_t> nanos);
+
+}  // namespace mmm
+
+#endif  // MMM_SERVE_TRACE_H_

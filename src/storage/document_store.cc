@@ -88,8 +88,7 @@ Status DocumentStore::Insert(const std::string& collection, const JsonValue& doc
   index[id] = docs.size();
   docs.push_back(doc);
 
-  ++stats_.write_ops;
-  stats_.bytes_written += line.size();
+  stats_.AddWrite(line.size());
   Charge(line.size());
   return Status::OK();
 }
@@ -122,8 +121,7 @@ Status DocumentStore::Remove(const std::string& collection,
       wal_path_, std::span<const uint8_t>(
                      reinterpret_cast<const uint8_t*>(line.data()), line.size())));
   RemoveAt(collection, coll_it->second.at(id));
-  ++stats_.write_ops;
-  stats_.bytes_written += line.size();
+  stats_.AddWrite(line.size());
   Charge(line.size());
   return Status::OK();
 }
@@ -163,9 +161,8 @@ Result<JsonValue> DocumentStore::Get(const std::string& collection,
                             "'");
   }
   const JsonValue& doc = collections_.at(collection)[doc_it->second];
-  ++stats_.read_ops;
   uint64_t bytes = doc.Dump().size();
-  stats_.bytes_read += bytes;
+  stats_.AddRead(bytes);
   Charge(bytes);
   return doc;
 }
@@ -186,8 +183,7 @@ Result<std::vector<JsonValue>> DocumentStore::Find(const std::string& collection
       bytes += doc.Dump().size();
     }
   }
-  ++stats_.read_ops;
-  stats_.bytes_read += bytes;
+  stats_.AddRead(bytes);
   Charge(bytes);
   return matches;
 }
@@ -198,10 +194,9 @@ Result<std::vector<JsonValue>> DocumentStore::All(
   if (coll_it == collections_.end()) {
     return Status::NotFound("no collection '", collection, "'");
   }
-  ++stats_.read_ops;
   uint64_t bytes = 0;
   for (const JsonValue& doc : coll_it->second) bytes += doc.Dump().size();
-  stats_.bytes_read += bytes;
+  stats_.AddRead(bytes);
   Charge(bytes);
   return coll_it->second;
 }

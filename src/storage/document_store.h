@@ -65,7 +65,9 @@ class DocumentStore {
   /// Number of documents in a collection (0 if the collection is unknown).
   size_t Count(const std::string& collection) const;
 
-  const StoreStats& stats() const { return stats_; }
+  /// Snapshot of the operation counters. Accounting is atomic, so the
+  /// snapshot is race-free even while other threads query the store.
+  StoreStats stats() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
 
   /// Names of all collections, sorted.
@@ -79,7 +81,7 @@ class DocumentStore {
   std::string wal_path_;
   StoreLatencyModel latency_;
   SimulatedClock* sim_clock_;
-  mutable StoreStats stats_;
+  mutable AtomicStoreStats stats_;
   // collection -> ordered documents; ids index into the vector.
   std::map<std::string, std::vector<JsonValue>> collections_;
   std::map<std::string, std::map<std::string, size_t>> id_index_;

@@ -23,8 +23,7 @@ void FileStore::Charge(uint64_t bytes) {
 Status FileStore::Put(const std::string& name, std::span<const uint8_t> data) {
   MMM_RETURN_NOT_OK(ValidateName(name));
   MMM_RETURN_NOT_OK(env_->WriteFile(root_ + "/" + name, data));
-  ++stats_.write_ops;
-  stats_.bytes_written += data.size();
+  stats_.AddWrite(data.size());
   Charge(data.size());
   return Status::OK();
 }
@@ -37,8 +36,7 @@ Status FileStore::PutString(const std::string& name, std::string_view data) {
 Status FileStore::Append(const std::string& name, std::span<const uint8_t> data) {
   MMM_RETURN_NOT_OK(ValidateName(name));
   MMM_RETURN_NOT_OK(env_->AppendToFile(root_ + "/" + name, data));
-  ++stats_.write_ops;
-  stats_.bytes_written += data.size();
+  stats_.AddWrite(data.size());
   Charge(data.size());
   return Status::OK();
 }
@@ -55,15 +53,14 @@ Status FileStore::PutDetached(const std::string& name,
 }
 
 void FileStore::MergeBatch(const StoreStats& delta, uint64_t charge_nanos) {
-  stats_ = stats_ + delta;
+  stats_.Add(delta);
   if (sim_clock_ != nullptr) sim_clock_->Advance(charge_nanos);
 }
 
 Result<std::vector<uint8_t>> FileStore::Get(const std::string& name) {
   MMM_RETURN_NOT_OK(ValidateName(name));
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> data, env_->ReadFile(root_ + "/" + name));
-  ++stats_.read_ops;
-  stats_.bytes_read += data.size();
+  stats_.AddRead(data.size());
   Charge(data.size());
   return data;
 }
@@ -79,8 +76,7 @@ Result<std::vector<uint8_t>> FileStore::GetRange(const std::string& name,
   MMM_RETURN_NOT_OK(ValidateName(name));
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
                        env_->ReadFileRange(root_ + "/" + name, offset, length));
-  ++stats_.read_ops;
-  stats_.bytes_read += data.size();
+  stats_.AddRead(data.size());
   Charge(data.size());
   return data;
 }

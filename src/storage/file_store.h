@@ -82,7 +82,9 @@ class FileStore {
   /// Names of all blobs, sorted.
   Result<std::vector<std::string>> List();
 
-  const StoreStats& stats() const { return stats_; }
+  /// Snapshot of the operation counters. Accounting is atomic, so the
+  /// snapshot is race-free even while other threads read from the store.
+  StoreStats stats() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
 
   const std::string& root() const { return root_; }
@@ -95,7 +97,7 @@ class FileStore {
   std::string root_;
   StoreLatencyModel latency_;
   SimulatedClock* sim_clock_;
-  StoreStats stats_;
+  AtomicStoreStats stats_;
 };
 
 }  // namespace mmm

@@ -1,6 +1,7 @@
 #ifndef MMM_STORAGE_STORE_STATS_H_
 #define MMM_STORAGE_STORE_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace mmm {
@@ -35,6 +36,56 @@ struct StoreStats {
     s.bytes_read = bytes_read + other.bytes_read;
     return s;
   }
+};
+
+/// \brief Race-free accumulator behind each store's StoreStats.
+///
+/// The serving layer issues concurrent reads against one FileStore /
+/// DocumentStore instance, so the per-op bookkeeping must not race. Relaxed
+/// atomics suffice: the counters are statistics, not synchronization — every
+/// increment lands exactly once and Snapshot() is read for reporting between
+/// (or after) bursts of operations.
+class AtomicStoreStats {
+ public:
+  void AddWrite(uint64_t bytes) {
+    write_ops_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  void AddRead(uint64_t bytes) {
+    read_ops_.fetch_add(1, std::memory_order_relaxed);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// Folds a detached batch's merged counters in (see FileStore::MergeBatch).
+  void Add(const StoreStats& delta) {
+    write_ops_.fetch_add(delta.write_ops, std::memory_order_relaxed);
+    read_ops_.fetch_add(delta.read_ops, std::memory_order_relaxed);
+    bytes_written_.fetch_add(delta.bytes_written, std::memory_order_relaxed);
+    bytes_read_.fetch_add(delta.bytes_read, std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    write_ops_.store(0, std::memory_order_relaxed);
+    read_ops_.store(0, std::memory_order_relaxed);
+    bytes_written_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+  }
+
+  StoreStats Snapshot() const {
+    StoreStats s;
+    s.write_ops = write_ops_.load(std::memory_order_relaxed);
+    s.read_ops = read_ops_.load(std::memory_order_relaxed);
+    s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> write_ops_{0};
+  std::atomic<uint64_t> read_ops_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> bytes_read_{0};
 };
 
 }  // namespace mmm

@@ -10,12 +10,19 @@
 //   mmmctl <store-dir> export <set-id> <out-dir>
 //                                           recover a set and write one
 //                                           state-dict blob per model
+//   mmmctl <store-dir> serve-replay [requests] [workers] [cache-mb] [theta]
+//                                           replay a Zipfian recovery trace
+//                                           over every saved set through the
+//                                           serving layer and report cache
+//                                           hit rate + recovery cost
 //
 // Export works for full-snapshot and Update chains; Provenance chains
 // additionally need the external data owner, which a generic CLI does not
 // have — exporting such sets reports an error explaining that.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -24,6 +31,8 @@
 #include "core/blob_formats.h"
 #include "core/gc.h"
 #include "core/manager.h"
+#include "serve/service.h"
+#include "serve/trace.h"
 
 using namespace mmm;  // NOLINT — tool code
 
@@ -183,6 +192,97 @@ int CmdRetain(ModelSetManager* manager, const std::vector<std::string>& keep) {
   return 0;
 }
 
+int CmdServeReplay(ModelSetManager* manager, size_t requests, size_t workers,
+                   uint64_t cache_mb, double theta) {
+  auto sets = manager->ListSets();
+  if (!sets.ok()) return Fail(sets.status());
+  // Newest sets first: in a versioned store the latest versions are the hot
+  // ones, so they get the head of the Zipfian distribution. Provenance delta
+  // sets are excluded: recovering them replays training against the external
+  // data owner, which a generic CLI does not have (same limitation as
+  // 'export').
+  std::vector<std::string> ids;
+  size_t skipped_prov = 0;
+  for (const SetSummary& s : sets.ValueOrDie()) {
+    if (s.kind == "prov") {
+      skipped_prov += 1;
+      continue;
+    }
+    ids.push_back(s.id);
+  }
+  std::reverse(ids.begin(), ids.end());
+  if (skipped_prov != 0) {
+    std::printf(
+        "skipping %zu provenance delta set(s): replay needs the external "
+        "data owner\n",
+        skipped_prov);
+  }
+  if (ids.empty()) {
+    std::fprintf(stderr, "store has no saved sets\n");
+    return 1;
+  }
+
+  ModelSetServiceOptions options;
+  options.workers = workers;
+  options.cache_enabled = cache_mb > 0;
+  options.cache_capacity_bytes = cache_mb << 20;
+  ModelSetService service(manager, options);
+
+  std::vector<std::string> trace =
+      BuildZipfianTrace(ids, requests, theta, /*seed=*/7);
+  std::vector<ServeResult> results = service.Replay(trace);
+
+  size_t failed = 0;
+  CacheRequestStats cache;
+  uint64_t modeled = 0;
+  std::vector<uint64_t> wall;
+  wall.reserve(results.size());
+  std::vector<std::string> failure_reasons;  // distinct, e.g. provenance
+                                             // replay without a data owner
+  for (const ServeResult& r : results) {
+    if (!r.status.ok()) {
+      failed += 1;
+      std::string reason = r.set_id + ": " + r.status.ToString();
+      if (std::find(failure_reasons.begin(), failure_reasons.end(), reason) ==
+          failure_reasons.end()) {
+        failure_reasons.push_back(reason);
+      }
+      continue;
+    }
+    cache += r.cache;
+    modeled += r.modeled_store_nanos;
+    wall.push_back(r.wall_nanos);
+  }
+  LatencySummary lat = Summarize(wall);
+  LayerCacheStats cs = service.cache_stats();
+
+  std::printf("replayed %zu requests over %zu sets (%zu workers, theta %.2f)\n",
+              results.size(), ids.size(), workers, theta);
+  if (failed != 0) {
+    std::printf("FAILED requests: %zu\n", failed);
+    for (const std::string& reason : failure_reasons) {
+      std::printf("  %s\n", reason.c_str());
+    }
+  }
+  uint64_t probes = cache.layer_hits + cache.layer_misses;
+  std::printf("cache: %s capacity, %llu/%llu layer hits (%.1f%%), "
+              "%llu sets served without any store read\n",
+              HumanBytes(options.cache_enabled ? options.cache_capacity_bytes : 0).c_str(),
+              static_cast<unsigned long long>(cache.layer_hits),
+              static_cast<unsigned long long>(probes),
+              probes == 0 ? 0.0 : 100.0 * cache.layer_hits / probes,
+              static_cast<unsigned long long>(cache.sets_from_cache));
+  std::printf("cache residency: %s in %llu entries, %llu evictions\n",
+              HumanBytes(cs.bytes_used).c_str(),
+              static_cast<unsigned long long>(cs.entries),
+              static_cast<unsigned long long>(cs.evictions));
+  std::printf("modeled store time: %.3f ms total\n", modeled / 1e6);
+  std::printf("wall per request: mean %.3f ms, p50 %.3f ms, p99 %.3f ms, "
+              "max %.3f ms\n",
+              lat.mean / 1e6, lat.p50 / 1e6, lat.p99 / 1e6, lat.max / 1e6);
+  return failed == 0 ? 0 : 2;
+}
+
 int CmdCompact(ModelSetManager* manager) {
   uint64_t before = manager->doc_store()->WalBytes().ValueOr(0);
   Status st = manager->CompactStore();
@@ -201,7 +301,8 @@ int main(int argc, char** argv) {
                  "usage: mmmctl <store-dir> "
                  "{list | lineage <set-id> | validate | fsck | show <set-id> | "
                  "export <set-id> <out-dir> | delete <set-id> [--cascade] | "
-                 "retain <set-id>... | compact}\n");
+                 "retain <set-id>... | compact | "
+                 "serve-replay [requests] [workers] [cache-mb] [theta]}\n");
     return 64;
   }
   ModelSetManager::Options options;
@@ -231,6 +332,14 @@ int main(int argc, char** argv) {
     return CmdRetain(manager.ValueOrDie().get(), keep);
   }
   if (command == "compact") return CmdCompact(manager.ValueOrDie().get());
+  if (command == "serve-replay") {
+    size_t requests = argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 200;
+    size_t workers = argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 4;
+    uint64_t cache_mb = argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 256;
+    double theta = argc >= 7 ? std::strtod(argv[6], nullptr) : 0.99;
+    return CmdServeReplay(manager.ValueOrDie().get(), requests, workers,
+                          cache_mb, theta);
+  }
   std::fprintf(stderr, "unknown or incomplete command '%s'\n", command.c_str());
   return 64;
 }
