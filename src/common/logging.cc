@@ -2,10 +2,20 @@
 
 #include <atomic>
 
+#include "common/thread_annotations.h"
+
 namespace mmm {
 namespace {
 
 std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
+
+/// Serializes the final stderr write so lines from concurrent workers (the
+/// executor lanes, the serving pool) never interleave mid-line. Each Logger
+/// formats into its own private stream; only the emission contends.
+Mutex& SinkMutex() {
+  static Mutex mu;
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -38,6 +48,7 @@ Logger::Logger(LogLevel level, const char* file, int line) : level_(level) {
 Logger::~Logger() {
   if (static_cast<int>(level_) >= g_threshold.load(std::memory_order_relaxed)) {
     stream_ << "\n";
+    MutexLock lock(SinkMutex());
     std::cerr << stream_.str();
   }
 }

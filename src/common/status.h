@@ -40,7 +40,7 @@ std::string_view StatusCodeToString(StatusCode code);
 ///     return Status::OK();
 ///   }
 /// \endcode
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

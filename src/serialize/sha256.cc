@@ -20,7 +20,11 @@ constexpr uint32_t kRoundConstants[64] = {
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
-uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+uint32_t Rotr(uint32_t x, int n) {
+  // Masking keeps the complementary shift out of UB territory (x << 32 is
+  // undefined for n == 0) even if a future caller passes 0 or 32.
+  return (x >> (n & 31)) | (x << ((32 - n) & 31));
+}
 
 }  // namespace
 

@@ -31,7 +31,7 @@ const LayerCache::Shard& LayerCache::ShardOf(const Sha256Digest& hash) const {
 
 bool LayerCache::Get(const Sha256Digest& hash, Tensor* out) {
   Shard& shard = ShardOf(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(Key{hash.bytes});
   if (it == shard.index.end()) {
     shard.misses += 1;
@@ -45,7 +45,7 @@ bool LayerCache::Get(const Sha256Digest& hash, Tensor* out) {
 
 bool LayerCache::Contains(const Sha256Digest& hash) const {
   const Shard& shard = ShardOf(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.index.find(Key{hash.bytes}) != shard.index.end();
 }
 
@@ -53,7 +53,7 @@ bool LayerCache::Put(const Sha256Digest& hash, const Tensor& value,
                      bool pinned) {
   Shard& shard = ShardOf(hash);
   uint64_t charge = ChargeOf(value);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(Key{hash.bytes});
   if (it != shard.index.end()) {
     // Content-hash keys are immutable: the resident value is already
@@ -103,7 +103,7 @@ bool LayerCache::Put(const Sha256Digest& hash, const Tensor& value,
 
 bool LayerCache::Pin(const Sha256Digest& hash) {
   Shard& shard = ShardOf(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(Key{hash.bytes});
   if (it == shard.index.end()) return false;
   if (!it->second->pinned) {
@@ -115,7 +115,7 @@ bool LayerCache::Pin(const Sha256Digest& hash) {
 
 void LayerCache::Unpin(const Sha256Digest& hash) {
   Shard& shard = ShardOf(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(Key{hash.bytes});
   if (it == shard.index.end() || !it->second->pinned) return;
   it->second->pinned = false;
@@ -124,7 +124,7 @@ void LayerCache::Unpin(const Sha256Digest& hash) {
 
 bool LayerCache::Invalidate(const Sha256Digest& hash) {
   Shard& shard = ShardOf(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(Key{hash.bytes});
   if (it == shard.index.end()) return false;
   shard.bytes_used -= it->second->charge;
@@ -137,7 +137,7 @@ bool LayerCache::Invalidate(const Sha256Digest& hash) {
 
 void LayerCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->invalidated += shard->lru.size();
     shard->lru.clear();
     shard->index.clear();
@@ -150,7 +150,7 @@ LayerCacheStats LayerCache::stats() const {
   LayerCacheStats out;
   out.capacity_bytes = capacity_bytes();
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     out.hits += shard->hits;
     out.misses += shard->misses;
     out.inserts += shard->inserts;

@@ -5,10 +5,10 @@
 #include <cstring>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "serialize/sha256.h"
 #include "tensor/tensor.h"
 
@@ -109,13 +109,18 @@ class LayerCache {
     bool pinned = false;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  ///< front = most recently used
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
-    uint64_t bytes_used = 0;
-    uint64_t bytes_pinned = 0;
-    uint64_t hits = 0, misses = 0, inserts = 0, evictions = 0, rejected = 0,
-             invalidated = 0;
+    mutable Mutex mu;
+    std::list<Entry> lru MMM_GUARDED_BY(mu);  ///< front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index
+        MMM_GUARDED_BY(mu);
+    uint64_t bytes_used MMM_GUARDED_BY(mu) = 0;
+    uint64_t bytes_pinned MMM_GUARDED_BY(mu) = 0;
+    uint64_t hits MMM_GUARDED_BY(mu) = 0;
+    uint64_t misses MMM_GUARDED_BY(mu) = 0;
+    uint64_t inserts MMM_GUARDED_BY(mu) = 0;
+    uint64_t evictions MMM_GUARDED_BY(mu) = 0;
+    uint64_t rejected MMM_GUARDED_BY(mu) = 0;
+    uint64_t invalidated MMM_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardOf(const Sha256Digest& hash);

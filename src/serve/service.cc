@@ -1,8 +1,8 @@
 #include "serve/service.h"
 
 #include <algorithm>
-#include <chrono>
 
+#include "common/clock.h"
 #include "core/inspect.h"
 #include "core/set_codec.h"
 
@@ -22,12 +22,7 @@ std::vector<Sha256Digest> Flatten(const HashTable& hashes) {
   return flat;
 }
 
-uint64_t WallNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+uint64_t WallNanos() { return WallClock::NowNanos(); }
 
 }  // namespace
 
@@ -44,7 +39,7 @@ void ModelSetService::CacheAdapter::PutLayer(const Sha256Digest& hash,
 bool ModelSetService::CacheAdapter::GetSetMeta(const std::string& set_id,
                                                HashTable* hashes,
                                                ArchitectureSpec* spec) {
-  std::lock_guard<std::mutex> lock(service_->meta_mu_);
+  MutexLock lock(service_->meta_mu_);
   auto it = service_->meta_index_.find(set_id);
   if (it == service_->meta_index_.end()) return false;
   service_->meta_lru_.splice(service_->meta_lru_.begin(), service_->meta_lru_,
@@ -57,7 +52,7 @@ bool ModelSetService::CacheAdapter::GetSetMeta(const std::string& set_id,
 void ModelSetService::CacheAdapter::PutSetMeta(const std::string& set_id,
                                                const HashTable& hashes,
                                                const ArchitectureSpec& spec) {
-  std::lock_guard<std::mutex> lock(service_->meta_mu_);
+  MutexLock lock(service_->meta_mu_);
   // The hash index always learns the mapping — it is what lets the GC
   // invalidate a set's layers even after the memo entry was evicted.
   service_->hash_index_[set_id] = Flatten(hashes);
@@ -95,7 +90,7 @@ Result<ModelSet> ModelSetService::Recover(const std::string& set_id,
                                           ServeResult* result) {
   uint64_t start = WallNanos();
   Result<ModelSet> recovered = [&]() -> Result<ModelSet> {
-    std::shared_lock<std::shared_mutex> lock(gate_);
+    ReaderMutexLock lock(gate_);
     return RecoverLocked(set_id, result);
   }();
   if (result != nullptr) {
@@ -134,7 +129,7 @@ Result<ModelSet> ModelSetService::RecoverLocked(const std::string& set_id,
 
 std::vector<ServeResult> ModelSetService::Replay(
     const std::vector<std::string>& set_ids, std::vector<ModelSet>* recovered) {
-  std::lock_guard<std::mutex> replay_lock(replay_mu_);
+  MutexLock replay_lock(replay_mu_);
   std::vector<ServeResult> results(set_ids.size());
   if (recovered != nullptr) {
     recovered->assign(set_ids.size(), ModelSet{});
@@ -149,12 +144,12 @@ std::vector<ServeResult> ModelSetService::Replay(
 }
 
 Status ModelSetService::PinSet(const std::string& set_id) {
-  std::unique_lock<std::shared_mutex> lock(gate_);
+  WriterMutexLock lock(gate_);
   if (!options_.cache_enabled) {
     return Status::InvalidArgument("cannot pin: the cache is disabled");
   }
   {
-    std::lock_guard<std::mutex> pin_lock(pin_mu_);
+    MutexLock pin_lock(pin_mu_);
     if (pinned_sets_.count(set_id) != 0) {
       return Status::AlreadyExists("set ", set_id, " is already pinned");
     }
@@ -176,7 +171,7 @@ Status ModelSetService::PinSet(const std::string& set_id) {
     return Status::Internal("hash index out of sync for set ", set_id);
   }
 
-  std::lock_guard<std::mutex> pin_lock(pin_mu_);
+  MutexLock pin_lock(pin_mu_);
   for (size_t i = 0; i < hashes.size(); ++i) {
     uint64_t& refs = pinned_hash_refs_[RawKey(hashes[i])];
     if (refs == 0) {
@@ -209,7 +204,7 @@ Status ModelSetService::PinSet(const std::string& set_id) {
 }
 
 Status ModelSetService::UnpinSet(const std::string& set_id) {
-  std::lock_guard<std::mutex> pin_lock(pin_mu_);
+  MutexLock pin_lock(pin_mu_);
   auto it = pinned_sets_.find(set_id);
   if (it == pinned_sets_.end()) {
     return Status::NotFound("set ", set_id, " is not pinned");
@@ -228,10 +223,10 @@ Status ModelSetService::UnpinSet(const std::string& set_id) {
 
 Result<DeleteReport> ModelSetService::DeleteSet(const std::string& set_id,
                                                 const DeleteOptions& options) {
-  std::unique_lock<std::shared_mutex> lock(gate_);
+  WriterMutexLock lock(gate_);
   std::vector<std::string> pinned;
   {
-    std::lock_guard<std::mutex> pin_lock(pin_mu_);
+    MutexLock pin_lock(pin_mu_);
     for (const auto& [id, hashes] : pinned_sets_) pinned.push_back(id);
   }
   // Pin-fail: refuse to delete anything a pinned set needs for recovery —
@@ -255,12 +250,12 @@ Result<DeleteReport> ModelSetService::DeleteSet(const std::string& set_id,
 
 Result<DeleteReport> ModelSetService::RetainOnly(
     const std::vector<std::string>& keep_set_ids) {
-  std::unique_lock<std::shared_mutex> lock(gate_);
+  WriterMutexLock lock(gate_);
   // Pinned sets are implicitly kept (RetainOnly itself keeps their whole
   // recovery lineage).
   std::vector<std::string> keep = keep_set_ids;
   {
-    std::lock_guard<std::mutex> pin_lock(pin_mu_);
+    MutexLock pin_lock(pin_mu_);
     for (const auto& [id, hashes] : pinned_sets_) {
       if (std::find(keep.begin(), keep.end(), id) == keep.end()) {
         keep.push_back(id);
@@ -278,7 +273,7 @@ void ModelSetService::InvalidateDeleted(
   for (const std::string& id : deleted_set_ids) {
     std::vector<Sha256Digest> hashes;
     {
-      std::lock_guard<std::mutex> lock(meta_mu_);
+      MutexLock lock(meta_mu_);
       auto hit = hash_index_.find(id);
       if (hit != hash_index_.end()) {
         hashes = std::move(hit->second);
@@ -290,7 +285,7 @@ void ModelSetService::InvalidateDeleted(
         meta_index_.erase(mit);
       }
     }
-    std::lock_guard<std::mutex> pin_lock(pin_mu_);
+    MutexLock pin_lock(pin_mu_);
     for (const Sha256Digest& hash : hashes) {
       // A layer shared with a pinned (surviving) set stays resident; the
       // rest of the collected set's layers are dropped. Deleted sets can
@@ -304,14 +299,14 @@ void ModelSetService::InvalidateDeleted(
 
 std::vector<Sha256Digest> ModelSetService::KnownHashesOf(
     const std::string& set_id) {
-  std::lock_guard<std::mutex> lock(meta_mu_);
+  MutexLock lock(meta_mu_);
   auto it = hash_index_.find(set_id);
   if (it == hash_index_.end()) return {};
   return it->second;
 }
 
 std::vector<std::string> ModelSetService::PinnedSets() const {
-  std::lock_guard<std::mutex> lock(pin_mu_);
+  MutexLock lock(pin_mu_);
   std::vector<std::string> ids;
   ids.reserve(pinned_sets_.size());
   for (const auto& [id, hashes] : pinned_sets_) ids.push_back(id);

@@ -3,12 +3,11 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/gc.h"
 #include "core/manager.h"
 #include "core/recovery_cache.h"
@@ -141,37 +140,46 @@ class ModelSetService {
     ArchitectureSpec spec;
   };
 
-  Result<ModelSet> RecoverLocked(const std::string& set_id, ServeResult* result);
+  Result<ModelSet> RecoverLocked(const std::string& set_id, ServeResult* result)
+      MMM_REQUIRES_SHARED(gate_);
   /// Removes cached layers + metadata of the given deleted sets, sparing
   /// layers a pinned set still needs.
-  void InvalidateDeleted(const std::vector<std::string>& deleted_set_ids);
+  void InvalidateDeleted(const std::vector<std::string>& deleted_set_ids)
+      MMM_EXCLUDES(meta_mu_, pin_mu_);
   /// Flattened hashes of a set from the meta memo / hash index.
-  std::vector<Sha256Digest> KnownHashesOf(const std::string& set_id);
+  std::vector<Sha256Digest> KnownHashesOf(const std::string& set_id)
+      MMM_EXCLUDES(meta_mu_);
 
   ModelSetManager* manager_;
   ModelSetServiceOptions options_;
   LayerCache layer_cache_;
   CacheAdapter adapter_;
   std::unique_ptr<Executor> executor_;
-  std::mutex replay_mu_;  ///< Executor dispatch is not reentrant.
+  Mutex replay_mu_;  ///< Executor dispatch is not reentrant.
 
   /// Readers (Recover) take it shared; DeleteSet/RetainOnly/PinSet take it
-  /// exclusive, so the GC never races a recovery mid-walk.
-  std::shared_mutex gate_;
+  /// exclusive, so the GC never races a recovery mid-walk. Lock order:
+  /// replay_mu_ > gate_ > meta_mu_ > pin_mu_ (see DESIGN.md §6.2).
+  SharedMutex gate_;
 
-  mutable std::mutex meta_mu_;
-  std::list<MetaEntry> meta_lru_;  ///< front = most recently used
-  std::unordered_map<std::string, std::list<MetaEntry>::iterator> meta_index_;
+  mutable Mutex meta_mu_;
+  /// Front = most recently used.
+  std::list<MetaEntry> meta_lru_ MMM_GUARDED_BY(meta_mu_);
+  std::unordered_map<std::string, std::list<MetaEntry>::iterator> meta_index_
+      MMM_GUARDED_BY(meta_mu_);
   /// set id -> flattened layer hashes, kept past meta eviction so GC can
   /// always invalidate a collected set's layers. One entry per set ever
   /// served; pruned on deletion.
-  std::unordered_map<std::string, std::vector<Sha256Digest>> hash_index_;
+  std::unordered_map<std::string, std::vector<Sha256Digest>> hash_index_
+      MMM_GUARDED_BY(meta_mu_);
 
-  mutable std::mutex pin_mu_;
+  mutable Mutex pin_mu_;
   /// set id -> flattened layer hashes pinned for it.
-  std::unordered_map<std::string, std::vector<Sha256Digest>> pinned_sets_;
+  std::unordered_map<std::string, std::vector<Sha256Digest>> pinned_sets_
+      MMM_GUARDED_BY(pin_mu_);
   /// raw 32-byte digest -> number of pinned sets referencing the layer.
-  std::unordered_map<std::string, uint64_t> pinned_hash_refs_;
+  std::unordered_map<std::string, uint64_t> pinned_hash_refs_
+      MMM_GUARDED_BY(pin_mu_);
 };
 
 }  // namespace mmm

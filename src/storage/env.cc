@@ -140,7 +140,7 @@ Env* Env::Default() {
 
 Status InMemoryEnv::WriteFile(const std::string& path,
                               std::span<const uint8_t> data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, contents] : files_) {
     if (name == path) {
       contents.assign(data.begin(), data.end());
@@ -153,7 +153,7 @@ Status InMemoryEnv::WriteFile(const std::string& path,
 
 Status InMemoryEnv::AppendToFile(const std::string& path,
                                  std::span<const uint8_t> data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, contents] : files_) {
     if (name == path) {
       contents.insert(contents.end(), data.begin(), data.end());
@@ -165,7 +165,7 @@ Status InMemoryEnv::AppendToFile(const std::string& path,
 }
 
 Result<std::vector<uint8_t>> InMemoryEnv::ReadFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, contents] : files_) {
     if (name == path) return contents;
   }
@@ -175,7 +175,7 @@ Result<std::vector<uint8_t>> InMemoryEnv::ReadFile(const std::string& path) {
 Result<std::vector<uint8_t>> InMemoryEnv::ReadFileRange(const std::string& path,
                                                         uint64_t offset,
                                                         uint64_t length) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, contents] : files_) {
     if (name != path) continue;
     if (offset + length > contents.size()) {
@@ -189,7 +189,7 @@ Result<std::vector<uint8_t>> InMemoryEnv::ReadFileRange(const std::string& path,
 }
 
 Result<bool> InMemoryEnv::FileExists(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, _] : files_) {
     if (name == path) return true;
   }
@@ -197,7 +197,7 @@ Result<bool> InMemoryEnv::FileExists(const std::string& path) {
 }
 
 Result<uint64_t> InMemoryEnv::FileSize(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, contents] : files_) {
     if (name == path) return static_cast<uint64_t>(contents.size());
   }
@@ -205,7 +205,7 @@ Result<uint64_t> InMemoryEnv::FileSize(const std::string& path) {
 }
 
 Status InMemoryEnv::DeleteFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = files_.begin(); it != files_.end(); ++it) {
     if (it->first == path) {
       files_.erase(it);
@@ -218,7 +218,7 @@ Status InMemoryEnv::DeleteFile(const std::string& path) {
 Status InMemoryEnv::CreateDirs(const std::string&) { return Status::OK(); }
 
 Status InMemoryEnv::RemoveDirs(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string prefix = path;
   if (!prefix.empty() && prefix.back() != '/') prefix += '/';
   std::erase_if(files_, [&](const auto& entry) {
@@ -228,7 +228,7 @@ Status InMemoryEnv::RemoveDirs(const std::string& path) {
 }
 
 Result<std::vector<std::string>> InMemoryEnv::ListDir(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string prefix = path;
   if (!prefix.empty() && prefix.back() != '/') prefix += '/';
   std::vector<std::string> names;
@@ -270,7 +270,7 @@ Status FaultInjectionEnv::MaybeFail() {
   int64_t index;
   int64_t fail_after;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const WriteOrderGroup* group = tls_write_order_group;
     if (group != nullptr) {
       int64_t base = group->base_.load(std::memory_order_relaxed);

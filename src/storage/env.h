@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace mmm {
 
@@ -75,8 +75,9 @@ class InMemoryEnv : public Env {
   Result<std::vector<std::string>> ListDir(const std::string& path) override;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::string, std::vector<uint8_t>>> files_;
+  mutable Mutex mu_;
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> files_
+      MMM_GUARDED_BY(mu_);
 };
 
 /// \brief Declares how many writes a concurrent batch is about to issue so
@@ -134,18 +135,18 @@ class FaultInjectionEnv : public Env {
   /// After this call, every write whose index is >= `fail_after` fails with
   /// IOError. Indices already assigned are unaffected.
   void FailWritesAfter(int64_t fail_after) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fail_after_ = fail_after;
   }
   /// Clears the failure plan.
   void Heal() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fail_after_ = -1;
   }
 
   /// Number of write indices assigned so far (failed writes included).
   int64_t write_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return next_index_;
   }
 
@@ -167,11 +168,11 @@ class FaultInjectionEnv : public Env {
   Status MaybeFail();
 
   Env* base_;
-  mutable std::mutex mu_;
-  int64_t fail_after_ = -1;
+  mutable Mutex mu_;
+  int64_t fail_after_ MMM_GUARDED_BY(mu_) = -1;
   /// Next unassigned write index (== total writes seen, since tagged groups
   /// reserve their whole block up front).
-  int64_t next_index_ = 0;
+  int64_t next_index_ MMM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mmm

@@ -11,10 +11,10 @@ Executor::Executor(size_t lanes) : lanes_(lanes == 0 ? 1 : lanes) {
 
 Executor::~Executor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -32,16 +32,16 @@ void Executor::ParallelFor(size_t count,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fn_ = &fn;
     count_ = count;
     lanes_done_ = 0;
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   RunLane(0, count, fn);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return lanes_done_ == lanes_ - 1; });
+  MutexLock lock(mu_);
+  while (lanes_done_ != lanes_ - 1) done_cv_.Wait(mu_);
   fn_ = nullptr;
 }
 
@@ -51,9 +51,8 @@ void Executor::WorkerLoop(size_t lane) {
     const std::function<void(size_t)>* fn = nullptr;
     size_t count = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [this, seen] { return shutdown_ || generation_ != seen; });
+      MutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen) work_cv_.Wait(mu_);
       if (shutdown_) return;
       seen = generation_;
       fn = fn_;
@@ -61,10 +60,10 @@ void Executor::WorkerLoop(size_t lane) {
     }
     RunLane(lane, count, *fn);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++lanes_done_;
     }
-    done_cv_.notify_one();
+    done_cv_.NotifyOne();
   }
 }
 

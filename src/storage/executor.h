@@ -1,13 +1,13 @@
 #ifndef MMM_STORAGE_EXECUTOR_H_
 #define MMM_STORAGE_EXECUTOR_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace mmm {
 
@@ -55,14 +55,16 @@ class Executor {
   size_t lanes_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(size_t)>* fn_ = nullptr;  ///< current dispatch
-  size_t count_ = 0;
-  uint64_t generation_ = 0;  ///< bumped per dispatch to wake the workers
-  size_t lanes_done_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  /// Current dispatch (null between dispatches).
+  const std::function<void(size_t)>* fn_ MMM_GUARDED_BY(mu_) = nullptr;
+  size_t count_ MMM_GUARDED_BY(mu_) = 0;
+  /// Bumped per dispatch to wake the workers.
+  uint64_t generation_ MMM_GUARDED_BY(mu_) = 0;
+  size_t lanes_done_ MMM_GUARDED_BY(mu_) = 0;
+  bool shutdown_ MMM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mmm

@@ -7,7 +7,7 @@
 namespace mmm {
 
 Status CommitJournal::Open() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   next_txn_ = 1;
   MMM_ASSIGN_OR_RETURN(bool exists, env_->FileExists(path_));
@@ -80,7 +80,7 @@ Status CommitJournal::Open() {
 
 Result<RepairReport> CommitJournal::Replay(FileStore* file_store,
                                            DocumentStore* doc_store) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RepairReport report;
   for (const Entry& entry : entries_) {
     ++report.entries_scanned;
@@ -147,7 +147,7 @@ Result<uint64_t> CommitJournal::Begin(const std::string& set_id,
                                       const std::string& approach,
                                       std::vector<BlobIntent> blobs,
                                       std::vector<DocIntent> docs) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t txn = next_txn_++;
   JsonValue record = JsonValue::Object();
   record.Set("txn", txn);
@@ -183,7 +183,7 @@ Result<uint64_t> CommitJournal::Begin(const std::string& set_id,
 }
 
 Status CommitJournal::MarkCommitted(uint64_t txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry* entry = FindEntry(txn);
   if (entry == nullptr) {
     return Status::InvalidArgument("commit journal has no pending txn ", txn);
@@ -197,7 +197,7 @@ Status CommitJournal::MarkCommitted(uint64_t txn) {
 }
 
 Status CommitJournal::MarkFinished(uint64_t txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (FindEntry(txn) == nullptr) {
     return Status::InvalidArgument("commit journal has no pending txn ", txn);
   }
@@ -210,7 +210,7 @@ Status CommitJournal::MarkFinished(uint64_t txn) {
 }
 
 std::vector<std::string> CommitJournal::PendingBlobs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   for (const Entry& entry : entries_) {
     for (const BlobIntent& blob : entry.blobs) names.push_back(blob.name);
@@ -219,7 +219,7 @@ std::vector<std::string> CommitJournal::PendingBlobs() const {
 }
 
 size_t CommitJournal::pending_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

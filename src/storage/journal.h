@@ -2,12 +2,12 @@
 #define MMM_STORAGE_JOURNAL_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "serialize/json.h"
 #include "storage/document_store.h"
 #include "storage/env.h"
@@ -118,15 +118,17 @@ class CommitJournal {
     bool committed = false;
   };
 
+  /// Serializes one record to the log through the Env. Touches no journal
+  /// state, but runs under mu_ so records land in txn order.
   Status AppendRecord(const JsonValue& record);
-  Entry* FindEntry(uint64_t txn);
+  Entry* FindEntry(uint64_t txn) MMM_REQUIRES(mu_);
 
   Env* env_;
   std::string path_;
-  mutable std::mutex mu_;
-  uint64_t next_txn_ = 1;
+  mutable Mutex mu_;
+  uint64_t next_txn_ MMM_GUARDED_BY(mu_) = 1;
   /// Unfinished entries in begin order; finished entries are dropped.
-  std::vector<Entry> entries_;
+  std::vector<Entry> entries_ MMM_GUARDED_BY(mu_);
 };
 
 }  // namespace mmm

@@ -15,8 +15,14 @@ struct StoreLatencyModel {
   double per_byte_nanos = 0.0;
 
   uint64_t CostNanos(uint64_t bytes) const {
-    return per_op_nanos + static_cast<uint64_t>(per_byte_nanos *
-                                                static_cast<double>(bytes));
+    double transfer = per_byte_nanos * static_cast<double>(bytes);
+    // Clamp before the cast: double -> uint64_t is undefined once the value
+    // exceeds the destination range (UBSan float-cast-overflow), which a
+    // pathological model (huge per_byte_nanos, ~exabyte payload) can reach.
+    constexpr double kMax = 9.2e18;  // < 2^63, exactly representable
+    if (!(transfer > 0.0)) return per_op_nanos;  // also rejects NaN
+    if (transfer >= kMax) return per_op_nanos + static_cast<uint64_t>(kMax);
+    return per_op_nanos + static_cast<uint64_t>(transfer);
   }
 };
 

@@ -99,7 +99,9 @@ class StoreBatch {
   size_t staged_ops() const { return ops_.size(); }
 
   /// Executes every staged op as described above and clears the batch.
-  Status Commit();
+  /// Dropping the returned Status would silently lose a failed save, so the
+  /// call site must consume it ([[nodiscard]] on Status enforces this).
+  [[nodiscard]] Status Commit();
 
  private:
   enum class OpKind { kBlobWrite, kDocInsert };

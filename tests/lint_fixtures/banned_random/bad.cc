@@ -1,0 +1,9 @@
+// Fixture: nondeterminism outside the rng/clock shims must be flagged.
+#include <random>
+
+int Roll() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+
+long Now() { return time(nullptr); }

@@ -1,0 +1,13 @@
+// Fixture: approach code (anything under src/core/) calling Env write
+// entry points directly bypasses StoreBatch and must be flagged.
+//
+// Fixtures are linted, never compiled, so Env stays a forward declaration:
+// declaring the methods here would itself match the (token-level) rule.
+struct Env;
+
+int Save(Env* env) {
+  int s = env->WriteFile("blob", "payload");
+  if (s != 0) return s;
+  s = env->AppendToFile("manifest", "entry");
+  return s;
+}

@@ -1,0 +1,14 @@
+// Fixture: silently dropping a Status-returning call must be flagged, in
+// both the bare-statement and the (void)-cast spelling.
+struct Batch {
+  int Commit();
+};
+
+struct Env {
+  int DeleteFile(const char* path);
+};
+
+void Drop(Batch* batch, Env* env) {
+  batch->Commit();
+  (void)env->DeleteFile("x");
+}

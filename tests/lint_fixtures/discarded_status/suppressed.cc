@@ -1,0 +1,14 @@
+// Fixture: suppressed discards lint clean.
+struct Batch {
+  int Commit();
+};
+
+struct Env {
+  int DeleteFile(const char* path);
+};
+
+void Drop(Batch* batch, Env* env) {
+  batch->Commit();  // MMMLINT(discarded-status): best-effort flush in fixture
+  // MMMLINT(discarded-status): removal failure is benign here
+  (void)env->DeleteFile("x");
+}

@@ -1,0 +1,7 @@
+// Fixture: a.h -> b.h -> a.h is an include cycle and must be flagged.
+#pragma once
+#include "b.h"
+
+struct A {
+  int value = 0;
+};

@@ -1,0 +1,7 @@
+// Fixture: second leg of the a.h <-> b.h cycle.
+#pragma once
+#include "a.h"
+
+struct B {
+  int value = 0;
+};

@@ -1,0 +1,8 @@
+// Fixture: second leg; the suppression lives on whichever edge the scanner
+// reports as the back edge, so both carry one.
+#pragma once
+#include "a.h"  // MMMLINT(include-cycle): fixture demonstrating suppression
+
+struct B {
+  int value = 0;
+};

@@ -1,0 +1,14 @@
+// Fixture: a Mutex member whose class annotates nothing with
+// MMM_GUARDED_BY hides the locking contract and must be flagged.
+#pragma once
+
+class Mutex;
+
+class Registry {
+ public:
+  void Insert(int key);
+
+ private:
+  Mutex mu_;
+  int count_ = 0;
+};

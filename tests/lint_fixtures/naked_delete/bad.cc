@@ -1,0 +1,8 @@
+// Fixture: explicit delete outside an allocator shim must be flagged.
+struct Widget {
+  int value = 0;
+};
+
+void Destroy(Widget* w) {
+  delete w;
+}

@@ -1,0 +1,8 @@
+// Fixture: suppressed delete lints clean.
+struct Widget {
+  int value = 0;
+};
+
+void Destroy(Widget* w) {
+  delete w;  // MMMLINT(naked-delete): fixture owns the raw pointer
+}

@@ -1,0 +1,8 @@
+// Fixture: a naked new outside an allocator shim must be flagged.
+struct Widget {
+  int value = 0;
+};
+
+Widget* Make() {
+  return new Widget();
+}

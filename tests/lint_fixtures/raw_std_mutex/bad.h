@@ -1,0 +1,14 @@
+// Fixture: raw std::mutex (and friends) must be flagged outside
+// common/thread_annotations.h.
+#pragma once
+#include <mutex>
+
+class Counter {
+ public:
+  void Bump();
+
+ private:
+  std::mutex mu_;  // also trips mutex-missing-guard; that rule has its own
+                   // fixture, so this test filters to raw-std-mutex only
+  int n_ = 0;
+};

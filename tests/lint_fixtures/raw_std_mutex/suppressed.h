@@ -1,0 +1,13 @@
+// Fixture: a justified raw std::mutex lints clean.
+#pragma once
+#include <mutex>
+
+class Counter {
+ public:
+  void Bump();
+
+ private:
+  // MMMLINT(raw-std-mutex): fixture interoperates with a non-wrapped cv
+  std::mutex mu_;  // MMMLINT(mutex-missing-guard): guards an external resource
+  int n_ = 0;
+};

@@ -1,0 +1,45 @@
+#ifndef MMM_TOOLS_MMMLINT_LEXER_H_
+#define MMM_TOOLS_MMMLINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmmlint {
+
+enum class TokenKind {
+  kIdent,    ///< identifiers and keywords (the rules treat keywords by name)
+  kNumber,   ///< numeric literal
+  kString,   ///< string literal (text excludes quotes; raw strings supported)
+  kChar,     ///< character literal
+  kPunct,    ///< one punctuator, longest-match ("->", "::", "<<", ...)
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// A comment kept out-of-band for suppression matching.
+struct Comment {
+  int line = 0;       ///< line the comment starts on
+  std::string text;   ///< body without the // or /* */ markers
+};
+
+/// Token stream of one file, comments separated out.
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Lexes C++ source: skips whitespace, separates comments, folds line
+/// continuations, and keeps preprocessor tokens inline (so `#include "x"`
+/// appears as the tokens `#`, `include`, and a string). Never fails: bytes
+/// that fit nothing become single-char punctuators.
+LexedFile Lex(std::string path, std::string_view source);
+
+}  // namespace mmmlint
+
+#endif  // MMM_TOOLS_MMMLINT_LEXER_H_

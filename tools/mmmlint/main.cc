@@ -1,0 +1,62 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mmmlint [--json] [--rule=<name>]... [--list-rules] <path>...\n"
+      "\n"
+      "Lints C++ sources (files or directories, recursed) against the mmm\n"
+      "repo's invariants. Exits 0 when clean, 1 on findings, 2 on usage or\n"
+      "I/O errors. Suppress one finding with a justified comment on the\n"
+      "same or preceding line:  // MMMLINT(<rule>): <reason>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  mmmlint::LintOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      options.only_rules.push_back(arg.substr(7));
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : mmmlint::RuleNames()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "mmmlint: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  std::vector<mmmlint::Finding> findings = mmmlint::LintPaths(paths, options);
+  for (const mmmlint::Finding& f : findings) {
+    if (f.rule == "io") {
+      std::fprintf(stderr, "mmmlint: %s: %s\n", f.file.c_str(),
+                   f.message.c_str());
+      return 2;
+    }
+  }
+  std::string rendered =
+      json ? mmmlint::FormatJson(findings) : mmmlint::FormatText(findings);
+  std::fputs(rendered.c_str(), stdout);
+  return findings.empty() ? 0 : 1;
+}
