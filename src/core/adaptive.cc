@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/set_codec.h"
+
 namespace mmm {
 namespace {
 
@@ -66,10 +68,16 @@ void AdaptiveModelSetManager::ObserveUpdate(const ModelSet& set,
   // Fleet shape.
   options_.profile.num_models = set.models.size();
   options_.profile.params_per_model = set.spec.ParameterCount();
-  // Expected chain length grows while one chain-based approach stays chosen.
+  // Chain length is directly observable — no estimator needed: chain_depth_
+  // tracks the head's recorded depth (SaveResult::chain_depth) and resets
+  // through the same channel whenever a chain restarts with a full snapshot
+  // (approach switch, the update approach's snapshot_interval) and via
+  // ObserveCompaction when the compactor rebases the head. At decision time
+  // the selector prices the chain a recovery will walk once the impending
+  // save lands — one hop below the head — and SaveDerived refreshes the
+  // profile to the realized depth right after the save.
   options_.profile.expected_chain_length =
-      (1 - alpha) * options_.profile.expected_chain_length +
-      alpha * static_cast<double>(saves_ % 16);
+      static_cast<double>(chain_depth_ + 1);
 }
 
 void AdaptiveModelSetManager::Reselect() {
@@ -83,6 +91,8 @@ Result<SaveResult> AdaptiveModelSetManager::SaveInitial(const ModelSet& set) {
   MMM_ASSIGN_OR_RETURN(SaveResult result, manager_->SaveInitial(choice_, set));
   head_ = result.set_id;
   head_approach_ = choice_;
+  chain_depth_ = result.chain_depth;
+  options_.profile.expected_chain_length = static_cast<double>(chain_depth_);
   ++saves_;
   return result;
 }
@@ -116,6 +126,8 @@ Result<SaveResult> AdaptiveModelSetManager::SaveDerived(
 
   head_ = result.ValueOrDie().set_id;
   head_approach_ = choice_;
+  chain_depth_ = result.ValueOrDie().chain_depth;
+  options_.profile.expected_chain_length = static_cast<double>(chain_depth_);
   ++saves_;
   return result;
 }
@@ -124,6 +136,23 @@ Result<ModelSet> AdaptiveModelSetManager::Recover(const std::string& set_id,
                                                   RecoverStats* stats) {
   ++recoveries_since_save_;
   return manager_->Recover(set_id, stats);
+}
+
+void AdaptiveModelSetManager::ObserveCompaction(const CompactionReport& report) {
+  if (head_.empty()) return;
+  bool head_rewritten =
+      std::find(report.rewritten_set_ids.begin(),
+                report.rewritten_set_ids.end(),
+                head_) != report.rewritten_set_ids.end();
+  if (!head_rewritten) return;
+  // The rewritten document's recorded depth is the true post-compaction
+  // depth (0 if the head itself was the rebase point). Best effort: an
+  // unreadable document leaves the previous — by construction only ever
+  // over-stated — value in place.
+  auto doc = FetchSetDocument(manager_->context(), head_);
+  if (!doc.ok()) return;
+  chain_depth_ = doc.ValueOrDie().chain_depth;
+  options_.profile.expected_chain_length = static_cast<double>(chain_depth_);
 }
 
 }  // namespace mmm

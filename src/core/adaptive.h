@@ -47,6 +47,12 @@ class AdaptiveModelSetManager {
   Result<ModelSet> Recover(const std::string& set_id,
                            RecoverStats* stats = nullptr);
 
+  /// Tells the policy the chain compactor ran. If the head's chain was
+  /// rewritten, the tracked depth is refreshed from its document (a head
+  /// rebase resets it to zero), so the next selection reasons from the
+  /// compacted chain, not the pre-compaction one.
+  void ObserveCompaction(const CompactionReport& report);
+
   /// The approach the policy would use for the next save.
   ApproachType current_choice() const { return choice_; }
 
@@ -68,6 +74,12 @@ class AdaptiveModelSetManager {
   std::string head_;
   uint64_t saves_ = 0;
   uint64_t recoveries_since_save_ = 0;
+  /// Recorded chain depth of `head_` — hops to its nearest full snapshot,
+  /// taken from SaveResult::chain_depth at every save (0 after a full
+  /// snapshot, which is also what a fresh chain on approach switch starts
+  /// with) and refreshed by ObserveCompaction after a head rebase. This is
+  /// the real depth the profile's expected_chain_length reports.
+  uint64_t chain_depth_ = 0;
 };
 
 }  // namespace mmm

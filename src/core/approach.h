@@ -66,6 +66,10 @@ struct SaveResult {
   uint64_t doc_store_writes = 0;
   /// Modeled store latency charged during the save, in nanoseconds.
   uint64_t simulated_store_nanos = 0;
+  /// Hops from the saved set to its nearest full snapshot, as recorded in
+  /// the set document: 0 for full snapshots, base depth + 1 for deltas and
+  /// provenance records. The adaptive policy reads this instead of guessing.
+  uint64_t chain_depth = 0;
 };
 
 /// \brief Statistics of recovering one model set.

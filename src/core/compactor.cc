@@ -1,0 +1,180 @@
+#include "core/compactor.h"
+
+#include <map>
+#include <utility>
+
+#include "core/set_codec.h"
+
+namespace mmm {
+
+namespace {
+
+/// One planned rebase: the set to re-save as a full snapshot plus the
+/// descendants whose recorded chain_depth shrinks to their distance from it.
+struct PlannedRebase {
+  std::string set_id;
+  std::vector<std::pair<std::string, uint64_t>> segment;
+};
+
+/// The blob a rebase supersedes: the delta's diff or the provenance record.
+const std::string& SupersededBlob(const SetDocument& doc) {
+  return doc.kind == "delta" ? doc.diff_blob : doc.prov_blob;
+}
+
+}  // namespace
+
+ChainCompactor::ChainCompactor(StoreContext context, CompactorRecoverFn recover)
+    : context_(context), recover_(std::move(recover)) {}
+
+Result<CompactionReport> ChainCompactor::Compact(const CompactionPolicy& policy) {
+  MMM_RETURN_NOT_OK(context_.Validate());
+  CompactionReport report;
+  if (context_.doc_store->Count(kSetCollection) == 0) return report;
+
+  MMM_ASSIGN_OR_RETURN(std::vector<JsonValue> raw,
+                       context_.doc_store->All(kSetCollection));
+  std::map<std::string, SetDocument> by_id;
+  std::vector<std::string> order;  // insertion order, for deterministic plans
+  for (const JsonValue& json : raw) {
+    MMM_ASSIGN_OR_RETURN(SetDocument doc, SetDocument::FromJson(json));
+    order.push_back(doc.id);
+    by_id[doc.id] = std::move(doc);
+  }
+  // Chain edges: a derived (non-full) set hangs off its base. Full snapshots
+  // with a base_set_id keep it as lineage only — they root their own chain.
+  std::map<std::string, std::vector<std::string>> children;
+  std::vector<std::string> roots;
+  for (const std::string& id : order) {
+    const SetDocument& doc = by_id.at(id);
+    if (doc.kind == "full") {
+      roots.push_back(id);
+    } else if (by_id.contains(doc.base_set_id)) {
+      children[doc.base_set_id].push_back(id);
+    }
+  }
+
+  // Plan pass: walk each chain from its root computing the depth every set
+  // would have after the rebases planned so far; any set past the bound
+  // becomes the next rebase point (depth resets to zero there). `owner` is
+  // the index of the nearest planned rebase above the walk, -1 under the
+  // root: only sets owned by a planned rebase change depth and need their
+  // document rewritten.
+  std::vector<PlannedRebase> plan;
+  struct Frame {
+    std::string id;
+    uint64_t depth;
+    int owner;
+    uint64_t dist;
+  };
+  for (const std::string& root : roots) {
+    ++report.chains_scanned;
+    std::vector<Frame> stack{{root, 0, -1, 0}};
+    while (!stack.empty()) {
+      Frame frame = stack.back();
+      stack.pop_back();
+      auto it = children.find(frame.id);
+      if (it == children.end()) continue;
+      for (const std::string& child : it->second) {
+        uint64_t depth = frame.depth + 1;
+        if (depth > policy.max_chain_depth) {
+          plan.push_back({child, {}});
+          stack.push_back(
+              {child, 0, static_cast<int>(plan.size()) - 1, 0});
+          continue;
+        }
+        if (frame.owner >= 0) {
+          uint64_t dist = frame.dist + 1;
+          plan[frame.owner].segment.emplace_back(child, dist);
+          stack.push_back({child, depth, frame.owner, dist});
+        } else {
+          stack.push_back({child, depth, -1, 0});
+        }
+      }
+    }
+  }
+
+  // Execute pass, one journaled commit per rebase. Skips (byte gate,
+  // unrecoverable sets) are local: the store stays consistent — the skipped
+  // segment simply keeps its old, longer chain.
+  for (const PlannedRebase& planned : plan) {
+    const SetDocument& old_doc = by_id.at(planned.set_id);
+    const std::string& superseded = SupersededBlob(old_doc);
+    uint64_t reclaim = 0;
+    if (!superseded.empty()) {
+      auto size = context_.file_store->Size(superseded);
+      if (size.ok()) reclaim = size.ValueOrDie();
+    }
+    if (reclaim < policy.min_bytes_reclaimed) {
+      report.skipped.push_back(planned.set_id + ": reclaims " +
+                               std::to_string(reclaim) +
+                               " bytes, policy floor is " +
+                               std::to_string(policy.min_bytes_reclaimed));
+      continue;
+    }
+    if (policy.dry_run) {
+      ++report.sets_rebased;
+      report.docs_rewritten += 1 + planned.segment.size();
+      report.bytes_reclaimed += reclaim;
+      report.rebased_set_ids.push_back(planned.set_id);
+      report.rewritten_set_ids.push_back(planned.set_id);
+      for (const auto& [id, depth] : planned.segment) {
+        report.rewritten_set_ids.push_back(id);
+      }
+      continue;
+    }
+
+    // Materialize the rebase point bit-exactly through the normal recovery
+    // path (dispatched on the set's approach).
+    Result<ModelSet> recovered = recover_(planned.set_id);
+    if (!recovered.ok()) {
+      report.skipped.push_back(planned.set_id + ": cannot recover: " +
+                               recovered.status().ToString());
+      continue;
+    }
+    ModelSet set = std::move(recovered).ValueOrDie();
+
+    StatsCapture capture(context_);
+    StoreBatch batch = MakeBatch(context_);
+    batch.AnnotateCommit(planned.set_id, "compact");
+    // Same-id rebase: the snapshot blobs take names only full-kind sets own
+    // (`<id>.arch.json` / `<id>.params.bin`), so nothing live is touched
+    // until the commit mark; base_set_id stays as lineage and the update
+    // approach's hash blob is kept — its content (the set's own per-layer
+    // hashes) does not change under a rebase.
+    SetDocument new_doc = old_doc;
+    new_doc.diff_blob.clear();
+    new_doc.prov_blob.clear();
+    MMM_RETURN_NOT_OK(
+        StageFullSnapshot(context_, &batch, planned.set_id, set, &new_doc));
+    batch.ReplaceDocument(kSetCollection, new_doc.ToJson());
+    std::vector<SetDocument> rewritten_docs;
+    rewritten_docs.reserve(planned.segment.size());
+    for (const auto& [id, depth] : planned.segment) {
+      SetDocument desc = by_id.at(id);
+      desc.chain_depth = depth;
+      batch.ReplaceDocument(kSetCollection, desc.ToJson());
+      rewritten_docs.push_back(std::move(desc));
+    }
+    if (!superseded.empty()) batch.DeleteBlob(superseded);
+    MMM_RETURN_NOT_OK(batch.Commit());
+
+    SaveResult written;
+    capture.FillSave(&written);
+    report.bytes_written += written.bytes_written;
+    report.bytes_reclaimed += reclaim;
+    ++report.sets_rebased;
+    report.docs_rewritten += 1 + planned.segment.size();
+    report.rebased_set_ids.push_back(planned.set_id);
+    report.rewritten_set_ids.push_back(planned.set_id);
+    for (const auto& [id, depth] : planned.segment) {
+      report.rewritten_set_ids.push_back(id);
+    }
+    by_id[planned.set_id] = std::move(new_doc);
+    for (SetDocument& desc : rewritten_docs) {
+      by_id[desc.id] = std::move(desc);
+    }
+  }
+  return report;
+}
+
+}  // namespace mmm

@@ -1,0 +1,102 @@
+#ifndef MMM_CORE_COMPACTOR_H_
+#define MMM_CORE_COMPACTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/approach.h"
+#include "core/model_set.h"
+
+namespace mmm {
+
+/// \brief Knobs of the online chain compactor.
+struct CompactionPolicy {
+  /// Rewrite chains so every set is at most this many hops from a full
+  /// snapshot. The paper's remedy for recursively increasing recovery times
+  /// (§2.2) applied retroactively: `snapshot_interval` bounds chains at
+  /// write time only; compaction bounds chains that already exist.
+  uint64_t max_chain_depth = 4;
+  /// Skip a rebase whose superseded delta/provenance blobs are smaller than
+  /// this (a rebase trades delta bytes for a full snapshot, so tiny deltas
+  /// may not be worth retiring). 0 = always rebase.
+  uint64_t min_bytes_reclaimed = 0;
+  /// Plan and report only; write nothing.
+  bool dry_run = false;
+};
+
+/// \brief Outcome of one Compact() run.
+struct CompactionReport {
+  /// Full-snapshot chain roots examined.
+  size_t chains_scanned = 0;
+  /// Sets re-saved as full snapshots (in dry runs: planned rebases).
+  size_t sets_rebased = 0;
+  /// Set documents rewritten in place (rebases plus descendant depth fixes).
+  size_t docs_rewritten = 0;
+  /// File-store bytes written by the rebase snapshots.
+  uint64_t bytes_written = 0;
+  /// Bytes of superseded delta/provenance blobs handed to GC.
+  uint64_t bytes_reclaimed = 0;
+  /// Sets whose kind flipped to "full".
+  std::vector<std::string> rebased_set_ids;
+  /// Every set whose document changed (rebased sets plus rewritten
+  /// descendants) — the serving layer invalidates exactly these.
+  std::vector<std::string> rewritten_set_ids;
+  /// Rebases skipped with the reason (policy gate, unrecoverable set, ...).
+  std::vector<std::string> skipped;
+};
+
+/// Recovers a set bit-exactly, dispatching on its recorded approach (the
+/// manager's Recover). Injected so the compactor does not depend on the
+/// approach objects directly.
+using CompactorRecoverFn =
+    std::function<Result<ModelSet>(const std::string& set_id)>;
+
+/// \brief Online, crash-safe chain compactor.
+///
+/// Walks every chain from its full-snapshot root and plans a rebase at each
+/// set whose depth since the nearest (planned or existing) full snapshot
+/// exceeds `max_chain_depth`. Each rebase recovers the chosen set bit-exactly
+/// and re-saves it as a full snapshot *under the same set id* in one
+/// journaled StoreBatch commit:
+///
+///  - the snapshot blobs are staged under the set's own id
+///    (`<id>.arch.json` / `<id>.params.bin` — names a delta or provenance
+///    set never owned, so nothing live is overwritten before the commit);
+///  - the set document is rewritten in place (kind "full", chain_depth 0,
+///    base_set_id kept as lineage, the hash blob kept unchanged);
+///  - descendants between this rebase point and the next keep their base
+///    pointers (the id did not change) and get their chain_depth rewritten
+///    to the distance from the new snapshot;
+///  - the superseded diff/provenance blob is retired through the journal's
+///    delete intents, which run only after the commit mark.
+///
+/// A crash at any point therefore leaves the store fsck-clean: rollback
+/// deletes only the staged snapshot blobs and keeps every old document and
+/// blob live; roll-forward completes the document rewrites and re-issues the
+/// retirement deletes. Stored chain_depth values only ever over-state the
+/// true depth mid-compaction (rebases shorten chains), so depth-derived
+/// recovery budgets stay sufficient at every commit boundary.
+///
+/// Recovery stays bit-exact for every set: the rebase point's bytes are the
+/// bytes Recover returned, and descendants' diffs (absolute or XOR) apply
+/// against the identical materialized base.
+class ChainCompactor {
+ public:
+  ChainCompactor(StoreContext context, CompactorRecoverFn recover);
+
+  /// Runs one compaction pass over the whole store. Unrecoverable sets
+  /// (e.g. provenance chains without a dataset resolver) and rebases below
+  /// the byte gate are skipped with a note; the store is left consistent
+  /// either way.
+  Result<CompactionReport> Compact(const CompactionPolicy& policy);
+
+ private:
+  StoreContext context_;
+  CompactorRecoverFn recover_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_CORE_COMPACTOR_H_

@@ -81,6 +81,29 @@ Result<std::vector<SetSummary>> Lineage(const StoreContext& context,
   return chain;
 }
 
+Result<ChainInspection> InspectChain(const StoreContext& context,
+                                     const std::string& set_id) {
+  MMM_RETURN_NOT_OK(context.Validate());
+  ChainInspection inspection;
+  inspection.set_id = set_id;
+  MMM_ASSIGN_OR_RETURN(SetDocument doc, FetchSetDocument(context, set_id));
+  inspection.recorded_depth = doc.chain_depth;
+  uint64_t budget = context.doc_store->Count(kSetCollection) + 1;
+  while (doc.kind != "full") {
+    if (budget-- == 0) {
+      return Status::Corruption("chain of ", set_id,
+                                " does not reach a full snapshot");
+    }
+    if (doc.base_set_id.empty()) {
+      return Status::Corruption("derived set ", doc.id, " has no base");
+    }
+    MMM_ASSIGN_OR_RETURN(doc, FetchSetDocument(context, doc.base_set_id));
+    ++inspection.depth;
+  }
+  inspection.root_id = doc.id;
+  return inspection;
+}
+
 Result<StoreValidationReport> ValidateStore(const StoreContext& context) {
   MMM_RETURN_NOT_OK(context.Validate());
   StoreValidationReport report;

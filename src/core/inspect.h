@@ -30,6 +30,28 @@ Result<std::vector<SetSummary>> ListSets(const StoreContext& context);
 Result<std::vector<SetSummary>> Lineage(const StoreContext& context,
                                         const std::string& set_id);
 
+/// \brief True chain shape of one saved set, measured by walking the store.
+struct ChainInspection {
+  std::string set_id;
+  /// The full snapshot the chain terminates in.
+  std::string root_id;
+  /// Hops actually walked from `set_id` to the nearest full snapshot.
+  uint64_t depth = 0;
+  /// The chain_depth field recorded in the set's document.
+  uint64_t recorded_depth = 0;
+
+  bool depth_matches() const { return depth == recorded_depth; }
+};
+
+/// Measures the true base-chain depth of `set_id` by walking documents down
+/// to the nearest full snapshot (the ground truth the adaptive policy's
+/// `expected_chain_length` estimate and the compactor's plan are checked
+/// against). Budgeted by the whole collection, not the recorded depth — this
+/// is an inspection API that must terminate on stores whose recorded depths
+/// are themselves wrong.
+Result<ChainInspection> InspectChain(const StoreContext& context,
+                                     const std::string& set_id);
+
 /// \brief Outcome of a full store integrity check.
 struct StoreValidationReport {
   size_t sets_checked = 0;

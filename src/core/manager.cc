@@ -115,6 +115,7 @@ Result<std::unique_ptr<ModelSetManager>> ModelSetManager::Open(Options options) 
   manager->provenance_ = std::make_unique<ProvenanceApproach>(
       manager->context_, options.resolver, environment,
       options.provenance_recover_options);
+  manager->auto_compaction_ = options.auto_compaction;
   return manager;
 }
 
@@ -140,7 +141,23 @@ Result<SaveResult> ModelSetManager::SaveInitial(ApproachType type,
 Result<SaveResult> ModelSetManager::SaveDerived(ApproachType type,
                                                 const ModelSet& set,
                                                 const ModelSetUpdateInfo& update) {
-  return approach(type)->SaveDerived(set, update);
+  MMM_ASSIGN_OR_RETURN(SaveResult result,
+                       approach(type)->SaveDerived(set, update));
+  // Opportunistic compaction: only once a save can actually have pushed a
+  // chain past the bound — the pass itself re-scans and is a no-op when
+  // every chain is already within it.
+  if (auto_compaction_.has_value() &&
+      result.chain_depth > auto_compaction_->max_chain_depth) {
+    MMM_RETURN_NOT_OK(CompactChains(*auto_compaction_).status());
+  }
+  return result;
+}
+
+Result<CompactionReport> ModelSetManager::CompactChains(
+    const CompactionPolicy& policy) {
+  ChainCompactor compactor(
+      context_, [this](const std::string& set_id) { return Recover(set_id); });
+  return compactor.Compact(policy);
 }
 
 Result<ModelSet> ModelSetManager::Recover(const std::string& set_id,

@@ -6,6 +6,7 @@
 
 #include "core/approach.h"
 #include "core/baseline.h"
+#include "core/compactor.h"
 #include "core/inspect.h"
 #include "core/mmlib_base.h"
 #include "core/provenance.h"
@@ -72,6 +73,12 @@ class ModelSetManager {
     /// Environment snapshot persisted by MMlib-base (per model) and
     /// Provenance (per set); defaults to EnvironmentInfo::Capture().
     std::optional<EnvironmentInfo> environment;
+    /// When set, every successful SaveDerived is followed by an
+    /// opportunistic CompactChains(*auto_compaction) pass, keeping every
+    /// chain within the policy's depth bound as it grows (see
+    /// core/compactor.h). Unset (the default) leaves compaction to explicit
+    /// CompactChains calls / `mmmctl compact`.
+    std::optional<CompactionPolicy> auto_compaction;
   };
 
   /// Opens (or creates) the stores under options.root_dir.
@@ -116,6 +123,14 @@ class ModelSetManager {
   Status CompactStore() { return doc_store_->Compact(); }
   /// @}
 
+  /// Rewrites saved chains so every set is at most policy.max_chain_depth
+  /// hops from a full snapshot, through journaled same-id rebase commits
+  /// (see core/compactor.h). Bit-exact: Recover(id) returns identical bytes
+  /// before and after for every set. Serving deployments should call
+  /// ModelSetService::CompactChains instead, which also invalidates stale
+  /// cache entries for the rewritten sets.
+  Result<CompactionReport> CompactChains(const CompactionPolicy& policy);
+
   /// Shared store context (for inspection in tests/benches).
   const StoreContext& context() const { return context_; }
   SimulatedClock* sim_clock() { return &sim_clock_; }
@@ -138,6 +153,7 @@ class ModelSetManager {
   std::unique_ptr<CommitJournal> journal_;
   RepairReport repair_report_;
   StoreContext context_;
+  std::optional<CompactionPolicy> auto_compaction_;
   std::unique_ptr<MMlibBaseApproach> mmlib_base_;
   std::unique_ptr<BaselineApproach> baseline_;
   std::unique_ptr<UpdateApproach> update_;

@@ -133,6 +133,7 @@ Result<SaveResult> ProvenanceApproach::SaveDerived(
   MMM_RETURN_NOT_OK(batch.Commit());
 
   capture.FillSave(&result);
+  result.chain_depth = doc.chain_depth;
   return result;
 }
 

@@ -146,6 +146,7 @@ Result<SaveResult> UpdateApproach::SaveDerived(const ModelSet& set,
   MMM_RETURN_NOT_OK(batch.Commit());
 
   capture.FillSave(&result);
+  result.chain_depth = doc.chain_depth;
   return result;
 }
 
@@ -153,10 +154,17 @@ Result<ModelSet> UpdateApproach::Recover(const std::string& set_id,
                                          RecoverStats* stats) {
   MMM_RETURN_NOT_OK(context_.Validate());
   StatsCapture capture(context_);
-  // A delta chain cannot be longer than the number of saved sets.
-  uint64_t depth_budget = context_.doc_store->Count(kSetCollection) + 1;
-  MMM_ASSIGN_OR_RETURN(ModelSet set,
-                       RecoverInternal(set_id, stats, depth_budget));
+  MMM_ASSIGN_OR_RETURN(SetDocument doc, FetchSetDocument(context_, set_id));
+  if (doc.approach != Name()) {
+    return Status::InvalidArgument("set ", set_id, " was saved by '",
+                                   doc.approach, "', not update");
+  }
+  // The target's recorded chain depth bounds the walk: a valid chain holds
+  // chain_depth + 1 documents down to its full snapshot. Sizing the budget
+  // from the whole collection would let a corrupted base-pointer cycle walk
+  // every set of every approach in a mixed store before failing.
+  uint64_t depth_budget = doc.chain_depth + 1;
+  MMM_ASSIGN_OR_RETURN(ModelSet set, RecoverFromDoc(doc, stats, depth_budget));
   capture.FillRecover(stats);
   return set;
 }
@@ -174,7 +182,9 @@ Result<std::vector<StateDict>> UpdateApproach::RecoverModels(
     return Status::InvalidArgument("set ", set_id, " was saved by '",
                                    doc.approach, "', not update");
   }
-  uint64_t budget = context_.doc_store->Count(kSetCollection) + 1;
+  // Bounded by the target's recorded depth, not the collection size (see
+  // Recover): a corrupted cycle fails after chain_depth + 1 hops.
+  uint64_t budget = doc.chain_depth + 1;
   while (doc.kind == "delta") {
     if (budget-- == 0) {
       return Status::Corruption("update chain too deep (cycle?) at ", doc.id);
@@ -302,14 +312,20 @@ Result<ModelSet> UpdateApproach::RecoverInternal(const std::string& set_id,
     return Status::InvalidArgument("set ", set_id, " was saved by '",
                                    doc.approach, "', not update");
   }
+  return RecoverFromDoc(doc, stats, depth_budget);
+}
+
+Result<ModelSet> UpdateApproach::RecoverFromDoc(const SetDocument& doc,
+                                                RecoverStats* stats,
+                                                uint64_t depth_budget) {
   if (stats != nullptr) stats->sets_recovered += 1;
 
   if (doc.kind == "full") {
     return ReadFullSnapshot(context_, doc);
   }
   if (doc.kind != "delta") {
-    return Status::Corruption("set ", set_id, " has unexpected kind '", doc.kind,
-                              "'");
+    return Status::Corruption("set ", doc.id, " has unexpected kind '",
+                              doc.kind, "'");
   }
   // Recursive recovery: materialize the base set, then apply the diffs.
   MMM_ASSIGN_OR_RETURN(
@@ -387,11 +403,17 @@ Result<ModelSet> UpdateApproach::RecoverCached(const std::string& set_id,
   if (cache == nullptr) return Recover(set_id, stats);
   MMM_RETURN_NOT_OK(context_.Validate());
   StatsCapture capture(context_);
-  uint64_t depth_budget = context_.doc_store->Count(kSetCollection) + 1;
+  MMM_ASSIGN_OR_RETURN(SetDocument doc, FetchSetDocument(context_, set_id));
+  if (doc.approach != Name()) {
+    return Status::InvalidArgument("set ", set_id, " was saved by '",
+                                   doc.approach, "', not update");
+  }
+  // Budget from the target's recorded depth, exactly as in Recover.
+  uint64_t depth_budget = doc.chain_depth + 1;
   CacheRequestStats local;
   MMM_ASSIGN_OR_RETURN(
       ModelSet set,
-      RecoverCachedInternal(set_id, cache, stats, &local, depth_budget));
+      RecoverCachedFromDoc(doc, cache, stats, &local, depth_budget));
   if (cache_stats != nullptr) *cache_stats += local;
   capture.FillRecover(stats);
   return set;
@@ -413,6 +435,13 @@ Result<ModelSet> UpdateApproach::RecoverCachedInternal(
     return Status::InvalidArgument("set ", set_id, " was saved by '",
                                    doc.approach, "', not update");
   }
+  return RecoverCachedFromDoc(doc, cache, stats, cache_stats, depth_budget);
+}
+
+Result<ModelSet> UpdateApproach::RecoverCachedFromDoc(
+    const SetDocument& doc, RecoveryCache* cache, RecoverStats* stats,
+    CacheRequestStats* cache_stats, uint64_t depth_budget) {
+  const std::string& set_id = doc.id;
   if (stats != nullptr) stats->sets_recovered += 1;
 
   // Step 1: resolve the set's per-layer content hashes and architecture,

@@ -80,11 +80,22 @@ class UpdateApproach : public ModelSetApproach {
                                             const std::string& base_set_id);
   Result<ModelSet> RecoverInternal(const std::string& set_id,
                                    RecoverStats* stats, uint64_t depth_budget);
+  /// Continues recovery from an already-fetched document. Split from
+  /// RecoverInternal so the top-level entry point can fetch the target
+  /// document once, size the recursion budget from its recorded chain_depth,
+  /// and proceed without a second fetch.
+  Result<ModelSet> RecoverFromDoc(const SetDocument& doc, RecoverStats* stats,
+                                  uint64_t depth_budget);
   Result<ModelSet> RecoverCachedInternal(const std::string& set_id,
                                          RecoveryCache* cache,
                                          RecoverStats* stats,
                                          CacheRequestStats* cache_stats,
                                          uint64_t depth_budget);
+  Result<ModelSet> RecoverCachedFromDoc(const SetDocument& doc,
+                                        RecoveryCache* cache,
+                                        RecoverStats* stats,
+                                        CacheRequestStats* cache_stats,
+                                        uint64_t depth_budget);
   /// Reads, decodes, and applies `doc`'s diff blob onto `set` in place.
   Status ApplyDelta(const SetDocument& doc, ModelSet* set);
 

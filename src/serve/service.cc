@@ -268,6 +268,21 @@ Result<DeleteReport> ModelSetService::RetainOnly(
   return report;
 }
 
+Result<CompactionReport> ModelSetService::CompactChains(
+    const CompactionPolicy& policy) {
+  WriterMutexLock lock(gate_);
+  MMM_ASSIGN_OR_RETURN(CompactionReport report,
+                       manager_->CompactChains(policy));
+  // Rewritten sets changed on disk (kind/depth metadata, retired blobs), so
+  // their cached per-set state is stale. Layer entries are keyed by content
+  // hash and the bytes did not change, but InvalidateDeleted's conservative
+  // sweep (drop meta + unpinned layers, spare pinned ones) is exactly the
+  // coherence rule wanted here: the next recovery of a rewritten set
+  // re-reads its document and repopulates.
+  InvalidateDeleted(report.rewritten_set_ids);
+  return report;
+}
+
 void ModelSetService::InvalidateDeleted(
     const std::vector<std::string>& deleted_set_ids) {
   for (const std::string& id : deleted_set_ids) {

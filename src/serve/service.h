@@ -109,6 +109,16 @@ class ModelSetService {
   /// recovery lineage) are implicitly kept. Invalidates like DeleteSet.
   Result<DeleteReport> RetainOnly(const std::vector<std::string>& keep_set_ids);
 
+  /// Runs the chain compactor (see core/compactor.h), serialized against
+  /// in-flight recoveries like the GC entry points, and invalidates the
+  /// cached layers and metadata of every rewritten set. Pinned sets are
+  /// safe by construction — compaction preserves every set id and keeps
+  /// recovery bit-exact, so a pinned set's lineage survives any rebase and
+  /// its pinned layers (keyed by content hash) remain valid; the
+  /// invalidation only drops the stale per-set metadata memos (recorded
+  /// depths changed) and unpinned layer entries defensively.
+  Result<CompactionReport> CompactChains(const CompactionPolicy& policy);
+
   /// Aggregate layer-cache counters.
   LayerCacheStats cache_stats() const { return layer_cache_.stats(); }
 

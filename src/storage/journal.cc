@@ -58,7 +58,17 @@ Status CommitJournal::Open() {
         MMM_ASSIGN_OR_RETURN(intent.collection, doc.GetString("collection"));
         MMM_ASSIGN_OR_RETURN(const JsonValue* body, doc.Get("doc"));
         intent.doc = *body;
+        if (doc.Has("replace")) {
+          MMM_ASSIGN_OR_RETURN(intent.replace, doc.GetBool("replace"));
+        }
         entry.docs.push_back(std::move(intent));
+      }
+      if (record.Has("deletes")) {
+        MMM_ASSIGN_OR_RETURN(const JsonValue* deletes, record.Get("deletes"));
+        for (const JsonValue& name : deletes->array_items()) {
+          MMM_ASSIGN_OR_RETURN(std::string blob_name, name.AsString());
+          entry.deletes.push_back(std::move(blob_name));
+        }
       }
       entries_.push_back(std::move(entry));
     } else if (state == "commit") {
@@ -88,7 +98,9 @@ Result<RepairReport> CommitJournal::Replay(FileStore* file_store,
       // The commit mark never made it: the save failed. Undo whatever subset
       // of its declared side effects landed. Blob deletes are idempotent;
       // documents cannot normally exist yet (inserts start only after the
-      // commit mark) but are removed defensively.
+      // commit mark) but are removed defensively — except replace intents,
+      // whose pre-existing document is the live version and must survive.
+      // Retirement deletes (entry.deletes) never ran and never will.
       for (const BlobIntent& blob : entry.blobs) {
         auto exists = file_store->Exists(blob.name);
         if (exists.ok() && exists.ValueOrDie()) {
@@ -97,6 +109,7 @@ Result<RepairReport> CommitJournal::Replay(FileStore* file_store,
         }
       }
       for (const DocIntent& doc : entry.docs) {
+        if (doc.replace) continue;
         auto id = doc.doc.GetString("_id");
         if (!id.ok()) continue;
         if (doc_store->Get(doc.collection, id.ValueOrDie()).ok()) {
@@ -125,9 +138,24 @@ Result<RepairReport> CommitJournal::Replay(FileStore* file_store,
     }
     for (const DocIntent& doc : entry.docs) {
       MMM_ASSIGN_OR_RETURN(std::string id, doc.doc.GetString("_id"));
-      if (doc_store->Get(doc.collection, id).ok()) continue;
+      auto existing = doc_store->Get(doc.collection, id);
+      if (existing.ok()) {
+        // Replace intents upsert: an identical body means the replace
+        // already landed; a different body is the old version, still
+        // awaiting the rewrite. Plain inserts are simply already done.
+        if (!doc.replace || existing.ValueOrDie() == doc.doc) continue;
+        MMM_RETURN_NOT_OK(doc_store->Remove(doc.collection, id));
+        ++report.docs_removed;
+      }
       MMM_RETURN_NOT_OK(doc_store->Insert(doc.collection, doc.doc));
       ++report.docs_inserted;
+    }
+    for (const std::string& name : entry.deletes) {
+      auto exists = file_store->Exists(name);
+      if (exists.ok() && exists.ValueOrDie()) {
+        MMM_RETURN_NOT_OK(file_store->Delete(name));
+        ++report.blobs_deleted;
+      }
     }
     ++report.completed;
   }
@@ -146,7 +174,8 @@ Result<RepairReport> CommitJournal::Replay(FileStore* file_store,
 Result<uint64_t> CommitJournal::Begin(const std::string& set_id,
                                       const std::string& approach,
                                       std::vector<BlobIntent> blobs,
-                                      std::vector<DocIntent> docs) {
+                                      std::vector<DocIntent> docs,
+                                      std::vector<std::string> deletes) {
   MutexLock lock(mu_);
   uint64_t txn = next_txn_++;
   JsonValue record = JsonValue::Object();
@@ -167,9 +196,15 @@ Result<uint64_t> CommitJournal::Begin(const std::string& set_id,
     JsonValue intent = JsonValue::Object();
     intent.Set("collection", doc.collection);
     intent.Set("doc", doc.doc);
+    if (doc.replace) intent.Set("replace", true);
     doc_array.Append(std::move(intent));
   }
   record.Set("docs", std::move(doc_array));
+  if (!deletes.empty()) {
+    JsonValue delete_array = JsonValue::Array();
+    for (const std::string& name : deletes) delete_array.Append(name);
+    record.Set("deletes", std::move(delete_array));
+  }
   MMM_RETURN_NOT_OK(AppendRecord(record));
 
   Entry entry;
@@ -178,6 +213,7 @@ Result<uint64_t> CommitJournal::Begin(const std::string& set_id,
   entry.approach = approach;
   entry.blobs = std::move(blobs);
   entry.docs = std::move(docs);
+  entry.deletes = std::move(deletes);
   entries_.push_back(std::move(entry));
   return txn;
 }

@@ -39,22 +39,30 @@ struct RepairReport {
 /// log (one object per line, like the document store's WAL):
 ///
 ///   {"txn":N,"state":"begin","set_id":...,"approach":...,
-///    "blobs":[{"name":...,"crc":...}],"docs":[{"collection":...,"doc":...}]}
+///    "blobs":[{"name":...,"crc":...}],"docs":[{"collection":...,"doc":...}],
+///    "deletes":[...]}
 ///   {"txn":N,"state":"commit"}
 ///   {"txn":N,"state":"finish"}
 ///
 /// The `begin` record declares every side effect of the commit before any of
 /// them happens: the blob names with the CRC32 of the exact bytes about to be
-/// written, and the metadata documents about to be inserted. `commit` is the
-/// atomicity point — it is appended after all blob writes succeed and before
-/// the first document insert. `finish` marks the entry fully applied.
+/// written, the metadata documents about to be inserted (or, with
+/// `"replace":true`, overwritten in place), and the blobs the commit retires
+/// once it is durable (`deletes`, written only when non-empty — used by the
+/// chain compactor to hand superseded delta blobs to GC atomically with the
+/// metadata rewrite). `commit` is the atomicity point — it is appended after
+/// all blob writes succeed and before the first document insert. `finish`
+/// marks the entry fully applied, including the retirement deletes.
 ///
 /// Replay() turns a crash at any point into rollback-or-commit:
 ///  - entries without a `commit` mark are rolled back (listed blobs deleted,
-///    any listed documents defensively removed) — the save never happened;
+///    any listed insert documents defensively removed; replace intents keep
+///    their old live document and retirement deletes never run) — the save
+///    never happened;
 ///  - entries with `commit` but no `finish` are completed by idempotently
-///    inserting the listed documents that are missing, after verifying the
-///    listed blobs exist with the recorded CRCs — the save fully happened.
+///    inserting (or upserting, for replace intents) the listed documents,
+///    after verifying the listed blobs exist with the recorded CRCs, and by
+///    re-issuing the retirement deletes — the save fully happened.
 ///
 /// A torn final line (crash mid-append) is dropped, exactly like the document
 /// store's WAL: the record was never acknowledged, so the entry it would have
@@ -72,10 +80,15 @@ class CommitJournal {
     std::string name;
     uint32_t crc = 0;
   };
-  /// One document the commit is about to insert.
+  /// One document the commit is about to insert. When `replace` is set the
+  /// commit overwrites an existing document under the same `_id` (remove +
+  /// insert after the commit mark): rollback must then leave the old
+  /// document alone — it is still the live version — and roll-forward
+  /// upserts the new body idempotently.
   struct DocIntent {
     std::string collection;
     JsonValue doc;
+    bool replace = false;
   };
 
   CommitJournal(Env* env, std::string path)
@@ -89,10 +102,14 @@ class CommitJournal {
   /// Call once after Open(), after the stores themselves are open.
   Result<RepairReport> Replay(FileStore* file_store, DocumentStore* doc_store);
 
-  /// Appends the `begin` record and returns the transaction id.
+  /// Appends the `begin` record and returns the transaction id. `deletes`
+  /// names blobs the commit retires after its documents are durable; they
+  /// are executed only on the committed path (in the commit itself or by
+  /// roll-forward), never on rollback.
   Result<uint64_t> Begin(const std::string& set_id, const std::string& approach,
                          std::vector<BlobIntent> blobs,
-                         std::vector<DocIntent> docs);
+                         std::vector<DocIntent> docs,
+                         std::vector<std::string> deletes = {});
   /// Appends the `commit` record: all blob writes are durable.
   Status MarkCommitted(uint64_t txn);
   /// Appends the `finish` record: all document inserts are durable.
@@ -115,6 +132,7 @@ class CommitJournal {
     std::string approach;
     std::vector<BlobIntent> blobs;
     std::vector<DocIntent> docs;
+    std::vector<std::string> deletes;
     bool committed = false;
   };
 

@@ -37,6 +37,26 @@ void StoreBatch::InsertDocument(std::string collection, JsonValue doc) {
                           nullptr, std::move(doc)});
 }
 
+void StoreBatch::ReplaceDocument(std::string collection, JsonValue doc) {
+  ops_.push_back(StagedOp{OpKind::kDocReplace, std::move(collection), {},
+                          nullptr, std::move(doc)});
+}
+
+void StoreBatch::DeleteBlob(std::string name) {
+  ops_.push_back(
+      StagedOp{OpKind::kBlobDelete, std::move(name), {}, nullptr, JsonValue()});
+}
+
+Status StoreBatch::ApplyDocOp(const StagedOp& op) {
+  if (op.kind == OpKind::kDocReplace) {
+    MMM_ASSIGN_OR_RETURN(std::string id, op.doc.GetString("_id"));
+    if (doc_store_->Get(op.name, id).ok()) {
+      MMM_RETURN_NOT_OK(doc_store_->Remove(op.name, id));
+    }
+  }
+  return doc_store_->Insert(op.name, op.doc);
+}
+
 void StoreBatch::AnnotateCommit(std::string set_id, std::string approach) {
   set_id_ = std::move(set_id);
   approach_ = std::move(approach);
@@ -68,7 +88,11 @@ Status StoreBatch::CommitSerial() {
         break;
       }
       case OpKind::kDocInsert:
-        MMM_RETURN_NOT_OK(doc_store_->Insert(op.name, op.doc));
+      case OpKind::kDocReplace:
+        MMM_RETURN_NOT_OK(ApplyDocOp(op));
+        break;
+      case OpKind::kBlobDelete:
+        MMM_RETURN_NOT_OK(file_store_->Delete(op.name));
         break;
     }
   }
@@ -126,8 +150,15 @@ Status StoreBatch::CommitParallel() {
 
   // Document inserts model a single serialized metadata-store connection.
   for (StagedOp& op : ops_) {
-    if (op.kind != OpKind::kDocInsert) continue;
-    MMM_RETURN_NOT_OK(doc_store_->Insert(op.name, op.doc));
+    if (op.kind != OpKind::kDocInsert && op.kind != OpKind::kDocReplace) {
+      continue;
+    }
+    MMM_RETURN_NOT_OK(ApplyDocOp(op));
+  }
+  // Blob retirements run last so a failure above leaves them untouched.
+  for (StagedOp& op : ops_) {
+    if (op.kind != OpKind::kBlobDelete) continue;
+    MMM_RETURN_NOT_OK(file_store_->Delete(op.name));
   }
   return Status::OK();
 }
@@ -209,13 +240,21 @@ Status StoreBatch::CommitJournaled(size_t lanes) {
         {ops_[index].name, Crc32::Compute(ops_[index].data)});
   }
   std::vector<CommitJournal::DocIntent> doc_intents;
+  std::vector<std::string> delete_intents;
   for (const StagedOp& op : ops_) {
-    if (op.kind == OpKind::kDocInsert) doc_intents.push_back({op.name, op.doc});
+    if (op.kind == OpKind::kDocInsert) {
+      doc_intents.push_back({op.name, op.doc, /*replace=*/false});
+    } else if (op.kind == OpKind::kDocReplace) {
+      doc_intents.push_back({op.name, op.doc, /*replace=*/true});
+    } else if (op.kind == OpKind::kBlobDelete) {
+      delete_intents.push_back(op.name);
+    }
   }
   MMM_ASSIGN_OR_RETURN(uint64_t txn,
                        journal_->Begin(set_id_, approach_,
                                        std::move(blob_intents),
-                                       std::move(doc_intents)));
+                                       std::move(doc_intents),
+                                       std::move(delete_intents)));
 
   // Phase 3 — blob writes. On failure the entry stays uncommitted and the
   // next open rolls back whatever landed; no in-process cleanup, so a crash
@@ -225,11 +264,22 @@ Status StoreBatch::CommitJournaled(size_t lanes) {
   // Phase 4 — the atomicity point: from here on, recovery rolls forward.
   MMM_RETURN_NOT_OK(journal_->MarkCommitted(txn));
 
-  // Phase 5 — document inserts, serial in staging order (one metadata-store
-  // connection). Idempotently completed by replay if interrupted.
+  // Phase 5 — document inserts and replaces, serial in staging order (one
+  // metadata-store connection). Idempotently completed by replay if
+  // interrupted (replaces upsert; see journal.h).
   for (StagedOp& op : ops_) {
-    if (op.kind != OpKind::kDocInsert) continue;
-    MMM_RETURN_NOT_OK(doc_store_->Insert(op.name, op.doc));
+    if (op.kind != OpKind::kDocInsert && op.kind != OpKind::kDocReplace) {
+      continue;
+    }
+    MMM_RETURN_NOT_OK(ApplyDocOp(op));
+  }
+
+  // Phase 5b — retire superseded blobs, now that no live document references
+  // them. Replay re-issues these after the commit mark, so a crash anywhere
+  // in here still converges to all deletes applied.
+  for (StagedOp& op : ops_) {
+    if (op.kind != OpKind::kBlobDelete) continue;
+    MMM_RETURN_NOT_OK(file_store_->Delete(op.name));
   }
 
   // Phase 6 — retire the entry. If this last append fails the save reports

@@ -90,6 +90,17 @@ class StoreBatch {
   /// Stages a document insert. The document is captured by value at staging
   /// time; inserts execute in staging order.
   void InsertDocument(std::string collection, JsonValue doc);
+  /// Stages a document replace: the existing document with the same `_id`
+  /// (if any) is removed and the new body inserted, atomically with the rest
+  /// of the commit when a journal is attached (rollback keeps the old
+  /// document; roll-forward upserts the new one). Used by the chain
+  /// compactor to rewrite set metadata in place.
+  void ReplaceDocument(std::string collection, JsonValue doc);
+  /// Stages a blob retirement: the named blob is deleted only after the
+  /// commit is durable (post-commit-mark, and re-issued by journal replay if
+  /// interrupted), never on rollback. Used to hand superseded delta blobs to
+  /// GC atomically with the metadata rewrite that orphans them.
+  void DeleteBlob(std::string name);
 
   /// Labels the journal entry of this commit with the set being saved and
   /// the approach saving it (for repair reports and fsck). Optional; only
@@ -104,15 +115,18 @@ class StoreBatch {
   [[nodiscard]] Status Commit();
 
  private:
-  enum class OpKind { kBlobWrite, kDocInsert };
+  enum class OpKind { kBlobWrite, kDocInsert, kDocReplace, kBlobDelete };
 
   struct StagedOp {
     OpKind kind;
-    std::string name;  ///< blob name (kBlobWrite) or collection (kDocInsert)
+    std::string name;  ///< blob name (kBlobWrite/kBlobDelete) or collection
     std::vector<uint8_t> data;
     BlobProducer producer;  ///< non-null: produces `data` at commit time
     JsonValue doc;
   };
+
+  /// Executes one staged kDocInsert/kDocReplace against the document store.
+  Status ApplyDocOp(const StagedOp& op);
 
   Status CommitSerial();
   Status CommitParallel();

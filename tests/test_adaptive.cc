@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/inspect.h"
 #include "tests/test_util.h"
 #include "workload/scenario.h"
 
@@ -117,6 +118,95 @@ TEST_F(AdaptiveTest, ObservedUpdateRateTracksWorkload) {
   // blended fraction sits between that and 1.0.
   EXPECT_LT(adaptive.profile().updated_param_fraction, 1.0);
   EXPECT_GT(adaptive.profile().updated_param_fraction, 0.4);
+}
+
+// Regression for the chain-length estimator: it used to be an EWMA of a
+// fabricated `saves_ % 16` signal, unrelated to any real chain. The profile
+// must now report exactly the head's true chain depth — the number of hops
+// InspectChain counts by walking the store — after every save, across
+// approach switches (fresh chains restart at zero), and after the compactor
+// rebases the head.
+TEST_F(AdaptiveTest, ExpectedChainLengthMatchesInspectedDepthExactly) {
+  AdaptivePolicyOptions options;
+  AdaptiveModelSetManager adaptive(manager_.get(), options);
+  adaptive.SaveInitial(scenario_->current_set()).status().Check();
+
+  auto expect_truthful = [&](const std::string& when) {
+    ASSERT_OK_AND_ASSIGN(ChainInspection chain,
+                         InspectChain(manager_->context(), adaptive.head()));
+    EXPECT_EQ(adaptive.profile().expected_chain_length,
+              static_cast<double>(chain.depth))
+        << when << ": head " << adaptive.head();
+    EXPECT_TRUE(chain.depth_matches()) << when;
+  };
+  expect_truthful("after initial save");
+
+  // Grow a chain under the default archival profile (provenance sticks, so
+  // the depth climbs 1, 2, 3, ...).
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ModelSetUpdateInfo update = scenario_->AdvanceCycle().ValueOrDie();
+    ASSERT_OK(adaptive.SaveDerived(scenario_->current_set(), update).status());
+    expect_truthful("after derived save " + std::to_string(cycle));
+  }
+  EXPECT_EQ(adaptive.profile().expected_chain_length, 3.0);
+
+  // Force an approach switch: the fresh chain starts with a full snapshot
+  // and the estimate must drop back to zero, not keep the stale depth.
+  options.profile.recover_time_weight = 3.0;
+  options.profile.retrain_seconds_per_model = 3600.0;
+  options.smoothing = 1.0;
+  AdaptiveModelSetManager switched(manager_.get(), options);
+  switched.SaveInitial(scenario_->current_set()).status().Check();
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int r = 0; r < 6; ++r) {
+      switched.Recover(switched.head()).status().Check();
+    }
+    ModelSetUpdateInfo update = scenario_->AdvanceCycle().ValueOrDie();
+    ASSERT_OK(switched.SaveDerived(scenario_->current_set(), update).status());
+    ASSERT_OK_AND_ASSIGN(ChainInspection chain,
+                         InspectChain(manager_->context(), switched.head()));
+    EXPECT_EQ(switched.profile().expected_chain_length,
+              static_cast<double>(chain.depth))
+        << "switched cycle " << cycle;
+  }
+}
+
+TEST_F(AdaptiveTest, ObserveCompactionRefreshesDepthAfterHeadRebase) {
+  AdaptivePolicyOptions options;
+  AdaptiveModelSetManager adaptive(manager_.get(), options);
+  adaptive.SaveInitial(scenario_->current_set()).status().Check();
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ModelSetUpdateInfo update = scenario_->AdvanceCycle().ValueOrDie();
+    ASSERT_OK(adaptive.SaveDerived(scenario_->current_set(), update).status());
+  }
+  ASSERT_EQ(adaptive.profile().expected_chain_length, 5.0);
+
+  // Compact so the head itself is rebased (depths 0..5, bound 2 puts the
+  // rebase point at depth 3; the head lands at distance 2 from it — and a
+  // second pass with bound 4 rebases the head directly).
+  CompactionPolicy policy;
+  policy.max_chain_depth = 2;
+  ASSERT_OK_AND_ASSIGN(CompactionReport report,
+                       manager_->CompactChains(policy));
+  adaptive.ObserveCompaction(report);
+  ASSERT_OK_AND_ASSIGN(ChainInspection chain,
+                       InspectChain(manager_->context(), adaptive.head()));
+  EXPECT_EQ(chain.depth, 2u);
+  EXPECT_EQ(adaptive.profile().expected_chain_length, 2.0);
+
+  // A report that did not touch the head leaves the estimate alone.
+  CompactionReport unrelated;
+  unrelated.rewritten_set_ids = {"someone-else"};
+  adaptive.ObserveCompaction(unrelated);
+  EXPECT_EQ(adaptive.profile().expected_chain_length, 2.0);
+
+  // The estimate keeps tracking ground truth on the compacted store.
+  ModelSetUpdateInfo update = scenario_->AdvanceCycle().ValueOrDie();
+  ASSERT_OK(adaptive.SaveDerived(scenario_->current_set(), update).status());
+  ASSERT_OK_AND_ASSIGN(ChainInspection after,
+                       InspectChain(manager_->context(), adaptive.head()));
+  EXPECT_EQ(adaptive.profile().expected_chain_length,
+            static_cast<double>(after.depth));
 }
 
 }  // namespace

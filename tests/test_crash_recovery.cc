@@ -19,10 +19,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "core/gc.h"
+#include "core/inspect.h"
 #include "core/manager.h"
 #include "tests/test_util.h"
 #include "workload/scenario.h"
@@ -240,6 +242,119 @@ INSTANTIATE_TEST_SUITE_P(AllApproaches, CrashSweep,
                            std::replace(name.begin(), name.end(), '-', '_');
                            return name;
                          });
+
+// ---------------------------------------------------------------------------
+// Compaction crash sweep: the chain compactor's journaled rebase commits get
+// the same exhaustive treatment as the save paths. A probe world learns how
+// many env writes a full CompactChains pass issues (two rebase commits for
+// this chain shape), then the sweep crashes a fresh world at every write
+// index. After healing and reopening, the store must be fsck-clean and every
+// set of the chain must recover bit-exactly — compaction is metadata motion,
+// so no crash may ever change recovered bytes.
+
+CompactionPolicy SweepCompactionPolicy() {
+  CompactionPolicy policy;
+  policy.max_chain_depth = 1;
+  return policy;
+}
+
+struct CompactionProbe {
+  int64_t before_compact = 0;
+  int64_t compact_writes = 0;
+  std::vector<std::string> ids;
+};
+
+/// Grows an update chain (depths 0..4) whose compaction at max_chain_depth=1
+/// plans two rebases; `states` (optional) receives each save's bit-exact
+/// fleet state keyed by set id.
+void BuildCompactionWorkload(World* world,
+                             std::vector<std::string>* ids,
+                             std::map<std::string, ModelSet>* states) {
+  auto initial = world->SaveInitial();
+  initial.status().Check();
+  ids->push_back(initial.ValueOrDie().set_id);
+  if (states != nullptr) {
+    (*states)[ids->back()] = world->scenario->current_set();
+  }
+  for (int i = 0; i < 4; ++i) {
+    auto update = world->scenario->AdvanceCycle();
+    update.status().Check();
+    auto derived = world->SaveDerived(ids->back(), update.ValueOrDie());
+    derived.status().Check();
+    ids->push_back(derived.ValueOrDie().set_id);
+    if (states != nullptr) {
+      (*states)[ids->back()] = world->scenario->current_set();
+    }
+  }
+}
+
+CompactionProbe ProbeCompaction(size_t lanes) {
+  CompactionProbe probe;
+  World world;
+  world.Open(ApproachType::kUpdate, lanes).Check();
+  BuildCompactionWorkload(&world, &probe.ids, nullptr);
+  probe.before_compact = world.fault.write_count();
+  auto report = world.manager->CompactChains(SweepCompactionPolicy());
+  report.status().Check();
+  if (report.ValueOrDie().sets_rebased != 2u) {
+    Status::Internal("probe expected 2 rebases").Check();
+  }
+  probe.compact_writes = world.fault.write_count() - probe.before_compact;
+  return probe;
+}
+
+TEST(CompactionCrashSweep, WriteCountsAreLaneInvariant) {
+  CompactionProbe serial = ProbeCompaction(1);
+  CompactionProbe parallel = ProbeCompaction(4);
+  EXPECT_EQ(serial.compact_writes, parallel.compact_writes);
+  EXPECT_EQ(serial.ids, parallel.ids);
+  // Two journaled commits: begin + snapshot blobs + commit + docs + finish
+  // each.
+  EXPECT_GE(serial.compact_writes, 8);
+}
+
+TEST(CompactionCrashSweep, EveryCrashPointLeavesStoreCleanAndBitExact) {
+  for (size_t lanes : {size_t{1}, size_t{4}}) {
+    CompactionProbe probe = ProbeCompaction(lanes);
+    for (int64_t k = 0; k < probe.compact_writes; ++k) {
+      std::string label =
+          "lanes=" + std::to_string(lanes) + " compact crash@" +
+          std::to_string(k);
+      World world;
+      ASSERT_OK(world.Open(ApproachType::kUpdate, lanes));
+      std::vector<std::string> ids;
+      std::map<std::string, ModelSet> states;
+      BuildCompactionWorkload(&world, &ids, &states);
+      ASSERT_EQ(ids, probe.ids) << label;
+      ASSERT_EQ(world.fault.write_count(), probe.before_compact) << label;
+      world.fault.FailWritesAfter(probe.before_compact + k);
+      EXPECT_FALSE(world.manager->CompactChains(SweepCompactionPolicy()).ok())
+          << label;
+      world.fault.Heal();
+      ASSERT_OK(world.Reopen(lanes));
+      ExpectStoreConsistent(&world, label);
+      // Unlike an interrupted save, an interrupted compaction has no
+      // vanishing outcome: every set existed before the pass and must
+      // recover the exact same bytes after the crash, whether its rebase
+      // rolled back or committed.
+      for (const std::string& id : ids) {
+        ASSERT_OK_AND_ASSIGN(ModelSet recovered, world.manager->Recover(id));
+        ExpectSetEquals(recovered, states.at(id), label + " set " + id);
+      }
+      // And the healed store compacts to completion.
+      ASSERT_OK_AND_ASSIGN(CompactionReport report,
+                           world.manager->CompactChains(
+                               SweepCompactionPolicy()));
+      EXPECT_TRUE(report.skipped.empty()) << label;
+      for (const std::string& id : ids) {
+        ASSERT_OK_AND_ASSIGN(ChainInspection chain,
+                             InspectChain(world.manager->context(), id));
+        EXPECT_LE(chain.depth, 1u) << label << " set " << id;
+        EXPECT_TRUE(chain.depth_matches()) << label << " set " << id;
+      }
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Recovery-path unit coverage the sweep cannot reach directly.

@@ -397,6 +397,87 @@ TEST_F(ServeTest, DeleteInvalidatesAndRespectsPins) {
   ExpectSetEquals(b, expected_[b_id]);
 }
 
+// Compaction coherence: the compactor rewrites a cached set while a
+// *different* set is pinned. The pinned set's lineage and cached layers must
+// survive untouched, the rewritten set's stale cache entries must be
+// invalidated, and every hit counter stays exact.
+TEST_F(ServeTest, CompactionInvalidatesRewrittenSetsAndSparesPins) {
+  OpenManager();
+  std::string b_id = Save(ApproachType::kUpdate, nullptr);
+  std::vector<std::string> chain{b_id};
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_OK_AND_ASSIGN(ModelSetUpdateInfo update, scenario_->AdvanceCycle());
+    chain.push_back(Save(ApproachType::kUpdate, &update));
+  }
+  const std::string d3_id = chain.back();  // depth 3
+  size_t layers = TotalLayers(expected_[d3_id]);
+
+  ModelSetService service(manager_.get(), ModelSetServiceOptions{});
+  // Warm the cache through the deep set (walks and caches the whole chain),
+  // then pin the root — a different set than the one compaction rewrites.
+  ASSERT_OK(service.Recover(d3_id).status());
+  ASSERT_OK(service.PinSet(b_id));
+
+  CompactionPolicy policy;
+  policy.max_chain_depth = 2;
+  uint64_t invalidated_before = service.cache_stats().invalidated;
+  ASSERT_OK_AND_ASSIGN(CompactionReport report, service.CompactChains(policy));
+  EXPECT_EQ(report.sets_rebased, 1u);
+  EXPECT_EQ(report.rebased_set_ids, std::vector<std::string>{d3_id});
+  EXPECT_EQ(report.rewritten_set_ids, std::vector<std::string>{d3_id});
+  EXPECT_GT(service.cache_stats().invalidated, invalidated_before);
+
+  // The pinned set still serves entirely from the cache: its layers were
+  // spared by the pin-aware invalidation, and its metadata memo was not
+  // touched (only rewritten sets are invalidated).
+  ServeResult pinned;
+  ASSERT_OK_AND_ASSIGN(ModelSet b, service.Recover(b_id, &pinned));
+  ExpectSetEquals(b, expected_[b_id]);
+  EXPECT_EQ(pinned.cache.layer_hits, layers);
+  EXPECT_EQ(pinned.cache.layer_misses, 0u);
+  EXPECT_EQ(pinned.cache.meta_hits, 1u);
+  EXPECT_EQ(pinned.cache.sets_from_cache, 1u);
+
+  // The rewritten set lost its metadata memo (its recorded chain shape
+  // changed) and every cached layer except the ones the pinned set still
+  // holds — layers are keyed by content hash, so exactly the tensors it
+  // shares with the pinned root are still resident.
+  size_t shared = 0;
+  const ModelSet& d3 = expected_[d3_id];
+  const ModelSet& root = expected_[b_id];
+  for (size_t m = 0; m < d3.models.size(); ++m) {
+    for (const auto& [key, tensor] : d3.models[m]) {
+      bool resident = false;
+      for (size_t rm = 0; rm < root.models.size() && !resident; ++rm) {
+        for (const auto& [rkey, rtensor] : root.models[rm]) {
+          if (tensor.Equals(rtensor)) {
+            resident = true;
+            break;
+          }
+        }
+      }
+      if (resident) ++shared;
+    }
+  }
+  ASSERT_GT(shared, 0u);
+  ASSERT_LT(shared, layers);
+  ServeResult rewritten;
+  ASSERT_OK_AND_ASSIGN(ModelSet d3_recovered, service.Recover(d3_id, &rewritten));
+  ExpectSetEquals(d3_recovered, expected_[d3_id]);
+  EXPECT_EQ(rewritten.cache.meta_misses, 1u);
+  EXPECT_EQ(rewritten.cache.layer_hits, shared);
+  EXPECT_EQ(rewritten.cache.layer_misses, layers - shared);
+  // The rebase turned the set into a full snapshot: one set materialized,
+  // no chain walk — the serving-side TTR bound compaction exists for.
+  EXPECT_EQ(rewritten.sets_walked, 1u);
+
+  // Unpin and recover once more: the service keeps functioning normally on
+  // the compacted store.
+  ASSERT_OK(service.UnpinSet(b_id));
+  ASSERT_OK_AND_ASSIGN(ModelSet again, service.Recover(d3_id));
+  ExpectSetEquals(again, expected_[d3_id]);
+}
+
 // RetainOnly through the service implicitly keeps pinned sets (and their
 // lineage) and invalidates everything it collected.
 TEST_F(ServeTest, RetainOnlyKeepsPinnedSets) {

@@ -10,6 +10,11 @@
 //   mmmctl <store-dir> export <set-id> <out-dir>
 //                                           recover a set and write one
 //                                           state-dict blob per model
+//   mmmctl <store-dir> compact [--max-depth N] [--dry-run]
+//                                           rebase over-deep delta/prov chains
+//                                           onto fresh full snapshots (bounding
+//                                           recovery TTR), fold the metadata
+//                                           log, and fsck the result
 //   mmmctl <store-dir> serve-replay [requests] [workers] [cache-mb] [theta]
 //                                           replay a Zipfian recovery trace
 //                                           over every saved set through the
@@ -283,14 +288,40 @@ int CmdServeReplay(ModelSetManager* manager, size_t requests, size_t workers,
   return failed == 0 ? 0 : 2;
 }
 
-int CmdCompact(ModelSetManager* manager) {
+int CmdCompact(ModelSetManager* manager, const CompactionPolicy& policy) {
+  // Phase 1: chain compaction — rebase every over-deep chain onto a fresh
+  // full snapshot so recovery stays O(max_chain_depth).
+  auto compaction = manager->CompactChains(policy);
+  if (!compaction.ok()) return Fail(compaction.status());
+  const CompactionReport& c = compaction.ValueOrDie();
+  std::printf(
+      "%schains: %zu scanned, %zu set(s) rebased, %zu doc(s) rewritten, "
+      "%s written, %s reclaimed\n",
+      policy.dry_run ? "[dry-run] " : "",
+      static_cast<size_t>(c.chains_scanned),
+      static_cast<size_t>(c.sets_rebased),
+      static_cast<size_t>(c.docs_rewritten), HumanBytes(c.bytes_written).c_str(),
+      HumanBytes(c.bytes_reclaimed).c_str());
+  for (const std::string& id : c.rebased_set_ids) {
+    std::printf("  rebased %s to a full snapshot\n", id.c_str());
+  }
+  for (const std::string& note : c.skipped) {
+    std::printf("  skipped: %s\n", note.c_str());
+  }
+  if (policy.dry_run) return 0;
+
+  // Phase 2: fold the metadata write-ahead log (rewritten set documents
+  // made it grow).
   uint64_t before = manager->doc_store()->WalBytes().ValueOr(0);
   Status st = manager->CompactStore();
   if (!st.ok()) return Fail(st);
   uint64_t after = manager->doc_store()->WalBytes().ValueOr(0);
   std::printf("metadata log: %s -> %s\n", HumanBytes(before).c_str(),
               HumanBytes(after).c_str());
-  return 0;
+
+  // Phase 3: verify — compaction must leave the store fsck-clean (every
+  // set recoverable, no orphan blobs left behind by the rebases).
+  return CmdFsck(manager);
 }
 
 }  // namespace
@@ -301,7 +332,7 @@ int main(int argc, char** argv) {
                  "usage: mmmctl <store-dir> "
                  "{list | lineage <set-id> | validate | fsck | show <set-id> | "
                  "export <set-id> <out-dir> | delete <set-id> [--cascade] | "
-                 "retain <set-id>... | compact | "
+                 "retain <set-id>... | compact [--max-depth N] [--dry-run] | "
                  "serve-replay [requests] [workers] [cache-mb] [theta]}\n");
     return 64;
   }
@@ -331,7 +362,20 @@ int main(int argc, char** argv) {
     std::vector<std::string> keep(argv + 3, argv + argc);
     return CmdRetain(manager.ValueOrDie().get(), keep);
   }
-  if (command == "compact") return CmdCompact(manager.ValueOrDie().get());
+  if (command == "compact") {
+    CompactionPolicy policy;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--dry-run") == 0) {
+        policy.dry_run = true;
+      } else if (std::strcmp(argv[i], "--max-depth") == 0 && i + 1 < argc) {
+        policy.max_chain_depth = std::strtoull(argv[++i], nullptr, 10);
+      } else {
+        std::fprintf(stderr, "unknown compact option '%s'\n", argv[i]);
+        return 64;
+      }
+    }
+    return CmdCompact(manager.ValueOrDie().get(), policy);
+  }
   if (command == "serve-replay") {
     size_t requests = argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 200;
     size_t workers = argc >= 5 ? std::strtoull(argv[4], nullptr, 10) : 4;
