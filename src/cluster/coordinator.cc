@@ -1,0 +1,734 @@
+#include "cluster/coordinator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/strings.h"
+#include "serialize/json.h"
+#include "storage/env.h"
+
+namespace mmm {
+namespace {
+
+constexpr char kManifestName[] = "cluster.json";
+
+/// Counter of an id like "set-000004-a1b2c3d4" (+1), or 0 if unparseable.
+/// Mirrors the manager's open-time scan so the coordinator's master
+/// generator advances past every persisted id, cluster-wide.
+uint64_t IdCounterBound(const std::string& id) {
+  size_t suffix = id.rfind('-');
+  if (suffix == std::string::npos || suffix == 0) return 0;
+  size_t counter = id.rfind('-', suffix - 1);
+  if (counter == std::string::npos) return 0;
+  const std::string field = id.substr(counter + 1, suffix - counter - 1);
+  if (field.empty() ||
+      field.find_first_not_of("0123456789") != std::string::npos) {
+    return 0;
+  }
+  return std::strtoull(field.c_str(), nullptr, 10) + 1;
+}
+
+Status WriteStringFile(Env* env, const std::string& path,
+                       const std::string& text) {
+  return env->WriteFile(
+      path, std::span<const uint8_t>(
+                reinterpret_cast<const uint8_t*>(text.data()), text.size()));
+}
+
+void MergeDeleteReport(const DeleteReport& from, DeleteReport* into) {
+  into->sets_deleted += from.sets_deleted;
+  into->blobs_deleted += from.blobs_deleted;
+  into->bytes_reclaimed += from.bytes_reclaimed;
+  into->deleted_set_ids.insert(into->deleted_set_ids.end(),
+                               from.deleted_set_ids.begin(),
+                               from.deleted_set_ids.end());
+}
+
+void MergeCompactionReport(const CompactionReport& from,
+                           CompactionReport* into) {
+  into->chains_scanned += from.chains_scanned;
+  into->sets_rebased += from.sets_rebased;
+  into->docs_rewritten += from.docs_rewritten;
+  into->bytes_written += from.bytes_written;
+  into->bytes_reclaimed += from.bytes_reclaimed;
+  into->rebased_set_ids.insert(into->rebased_set_ids.end(),
+                               from.rebased_set_ids.begin(),
+                               from.rebased_set_ids.end());
+  into->rewritten_set_ids.insert(into->rewritten_set_ids.end(),
+                                 from.rewritten_set_ids.begin(),
+                                 from.rewritten_set_ids.end());
+  into->skipped.insert(into->skipped.end(), from.skipped.begin(),
+                       from.skipped.end());
+}
+
+}  // namespace
+
+Coordinator::~Coordinator() = default;
+
+Result<std::unique_ptr<Coordinator>> Coordinator::Open(ClusterOptions options) {
+  if (options.root_dir.empty()) {
+    return Status::InvalidArgument("cluster root_dir is empty");
+  }
+  if (options.shard_count == 0) {
+    return Status::InvalidArgument("a cluster needs at least one shard");
+  }
+  auto coordinator = std::unique_ptr<Coordinator>(new Coordinator());
+  Coordinator& c = *coordinator;
+  c.env_ = options.env != nullptr ? options.env : Env::Default();
+  MMM_RETURN_NOT_OK(c.env_->CreateDirs(options.root_dir));
+  c.manifest_path_ = options.root_dir + "/" + kManifestName;
+
+  WriterMutexLock topo_lock(c.topo_mu_);
+  MutexLock place_lock(c.place_mu_);
+
+  // Read or create the manifest. On reopen the manifest's topology wins
+  // over whatever the caller passed, so the ring and id stream are stable
+  // across processes (and across failover generations: ring keys recorded
+  // here rebuild the exact ring the dead shards once hashed to).
+  MMM_ASSIGN_OR_RETURN(bool have_manifest,
+                       c.env_->FileExists(c.manifest_path_));
+  if (have_manifest) {
+    MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
+                         c.env_->ReadFile(c.manifest_path_));
+    MMM_ASSIGN_OR_RETURN(
+        JsonValue manifest,
+        JsonValue::Parse(std::string_view(
+            reinterpret_cast<const char*>(raw.data()), raw.size())));
+    MMM_ASSIGN_OR_RETURN(int64_t virtual_nodes,
+                         manifest.GetInt64("virtual_nodes"));
+    MMM_ASSIGN_OR_RETURN(int64_t id_seed, manifest.GetInt64("id_seed"));
+    options.virtual_nodes = static_cast<size_t>(virtual_nodes);
+    options.id_seed = static_cast<uint64_t>(id_seed);
+    c.failovers_ =
+        static_cast<uint64_t>(manifest.GetInt64Or("failovers", 0));
+    MMM_ASSIGN_OR_RETURN(const JsonValue* shards, manifest.Get("shards"));
+    if (!shards->is_array() || shards->ArraySize() == 0) {
+      return Status::Corruption("cluster manifest lists no shards");
+    }
+    for (size_t i = 0; i < shards->ArraySize(); ++i) {
+      MMM_ASSIGN_OR_RETURN(const JsonValue* row, shards->At(i));
+      MMM_ASSIGN_OR_RETURN(std::string name, row->GetString("name"));
+      ShardSpec spec;
+      MMM_ASSIGN_OR_RETURN(spec.subdir, row->GetString("subdir"));
+      spec.ring_key = row->GetStringOr("ring_key", name);
+      if (!c.specs_.emplace(std::move(name), std::move(spec)).second) {
+        return Status::Corruption("cluster manifest repeats a shard name");
+      }
+    }
+  } else {
+    for (size_t i = 0; i < options.shard_count; ++i) {
+      std::string name = StringFormat("shard-%zu", i);
+      c.specs_[name] = ShardSpec{"shards/" + name, name};
+    }
+  }
+  c.options_ = options;
+
+  c.ring_ = ShardRouter(options.virtual_nodes);
+  for (const auto& [name, spec] : c.specs_) {
+    MMM_RETURN_NOT_OK(c.ring_.AddShardWithKey(name, spec.ring_key));
+  }
+
+  size_t index = 0;
+  for (const auto& [name, spec] : c.specs_) {
+    MMM_ASSIGN_OR_RETURN(std::unique_ptr<Shard> shard,
+                         c.OpenShard(name, spec, index++));
+    c.shards_.emplace(name, std::move(shard));
+  }
+  if (!have_manifest) MMM_RETURN_NOT_OK(c.PersistManifest());
+
+  // Rebuild the placement map from the shards' stores (the stores are the
+  // root of trust; the coordinator persists no placement of its own). A
+  // set found on two shards is a rebalance interrupted between copy and
+  // delete: serve from the ring owner's copy and let the next Rebalance
+  // remove the other.
+  c.master_ids_ = std::make_unique<IdGenerator>(options.id_seed);
+  uint64_t max_counter = 0;
+  for (const auto& [name, shard] : c.shards_) {
+    MMM_ASSIGN_OR_RETURN(std::vector<SetSummary> sets,
+                         shard->manager()->ListSets());
+    for (const SetSummary& set : sets) {
+      max_counter = std::max(max_counter, IdCounterBound(set.id));
+      auto [it, inserted] = c.placement_.emplace(set.id, name);
+      if (inserted) continue;
+      MMM_ASSIGN_OR_RETURN(std::string ring_owner, c.ring_.OwnerOf(set.id));
+      std::string loser = name;
+      if (ring_owner == name) {
+        loser = it->second;
+        it->second = name;
+      }
+      c.open_problems_.push_back(StringFormat(
+          "set '%s' exists on shards '%s' and '%s'; serving from '%s' "
+          "(interrupted rebalance; run Rebalance to remove the copy on "
+          "'%s')",
+          set.id.c_str(), it->second.c_str(), loser.c_str(),
+          it->second.c_str(), loser.c_str()));
+    }
+  }
+  c.master_ids_->AdvanceTo(max_counter);
+
+  {
+    MutexLock fanout_lock(c.fanout_mu_);
+    c.fanout_ = std::make_unique<Executor>(std::max<size_t>(1, c.shards_.size()));
+  }
+  return coordinator;
+}
+
+Result<std::unique_ptr<Shard>> Coordinator::OpenShard(const std::string& name,
+                                                      const ShardSpec& spec,
+                                                      size_t index) {
+  Shard::Options shard_options;
+  shard_options.root_dir = options_.root_dir + "/" + spec.subdir;
+  // Distinct per-shard fallback seed: only consulted if a shard manager is
+  // driven without the coordinator preassigning ids.
+  shard_options.fallback_id_seed = options_.id_seed + 7919 * (index + 1);
+  shard_options.manager.env = env_;
+  shard_options.manager.profile = options_.profile;
+  shard_options.manager.resolver = options_.resolver;
+  shard_options.manager.id_seed = options_.id_seed;
+  shard_options.manager.update_options = options_.update_options;
+  shard_options.manager.provenance_recover_options =
+      options_.provenance_recover_options;
+  shard_options.manager.blob_compression = options_.blob_compression;
+  shard_options.manager.pipeline = options_.pipeline;
+  shard_options.manager.environment = options_.environment;
+  shard_options.manager.auto_compaction = options_.auto_compaction;
+  shard_options.service = options_.service;
+  return Shard::Open(name, std::move(shard_options));
+}
+
+Status Coordinator::PersistManifest() {
+  JsonValue manifest = JsonValue::Object();
+  manifest.Set("virtual_nodes", static_cast<uint64_t>(ring_.virtual_nodes()));
+  manifest.Set("id_seed", options_.id_seed);
+  manifest.Set("failovers", failovers_);
+  JsonValue shards = JsonValue::Array();
+  for (const auto& [name, spec] : specs_) {
+    JsonValue row = JsonValue::Object();
+    row.Set("name", name);
+    row.Set("subdir", spec.subdir);
+    row.Set("ring_key", spec.ring_key);
+    shards.Append(std::move(row));
+  }
+  manifest.Set("shards", std::move(shards));
+  return WriteStringFile(env_, manifest_path_, manifest.DumpPretty() + "\n");
+}
+
+Result<Shard*> Coordinator::RouteToOwner(const std::string& set_id) {
+  std::string owner;
+  {
+    MutexLock lock(place_mu_);
+    auto it = placement_.find(set_id);
+    if (it == placement_.end()) {
+      return Status::NotFound("no set '", set_id, "' in the cluster");
+    }
+    owner = it->second;
+  }
+  auto it = shards_.find(owner);
+  if (it == shards_.end()) {
+    return Status::Internal("placement names unknown shard '", owner, "'");
+  }
+  return it->second.get();
+}
+
+std::vector<Shard*> Coordinator::AllShards() {
+  std::vector<Shard*> shards;
+  shards.reserve(shards_.size());
+  for (const auto& [name, shard] : shards_) shards.push_back(shard.get());
+  return shards;
+}
+
+void Coordinator::FanOut(const std::vector<Shard*>& shards,
+                         const std::function<void(size_t, Shard*)>& fn) {
+  MutexLock lock(fanout_mu_);
+  fanout_->ParallelFor(shards.size(),
+                       [&](size_t i) { fn(i, shards[i]); });
+}
+
+Result<SaveResult> Coordinator::SaveInitial(ApproachType type,
+                                            const ModelSet& set) {
+  ReaderMutexLock topo_lock(topo_mu_);
+  std::string id;
+  Shard* shard = nullptr;
+  {
+    MutexLock lock(place_mu_);
+    id = master_ids_->Next("set");
+    MMM_ASSIGN_OR_RETURN(std::string owner, ring_.OwnerOf(id));
+    auto it = shards_.find(owner);
+    if (it == shards_.end()) {
+      return Status::Internal("ring names unknown shard '", owner, "'");
+    }
+    shard = it->second.get();
+    shard->ids()->Push(id);
+  }
+  Result<SaveResult> saved = shard->SaveInitial(type, set);
+  if (!saved.ok()) {
+    shard->ids()->Cancel(id);
+    return saved;
+  }
+  MutexLock lock(place_mu_);
+  placement_[saved.ValueOrDie().set_id] = shard->name();
+  return saved;
+}
+
+Result<SaveResult> Coordinator::SaveDerived(ApproachType type,
+                                            const ModelSet& set,
+                                            const ModelSetUpdateInfo& update) {
+  ReaderMutexLock topo_lock(topo_mu_);
+  MMM_ASSIGN_OR_RETURN(Shard * shard, RouteToOwner(update.base_set_id));
+  std::string id;
+  {
+    MutexLock lock(place_mu_);
+    // Colocate with the base's shard, ring be damned: Update deltas and
+    // Provenance records are unrecoverable without their base, so a chain
+    // never spans shards. Rebalance restores ring placement by flattening.
+    id = master_ids_->Next("set");
+    shard->ids()->Push(id);
+  }
+  Result<SaveResult> saved = shard->SaveDerived(type, set, update);
+  if (!saved.ok()) {
+    shard->ids()->Cancel(id);
+    return saved;
+  }
+  MutexLock lock(place_mu_);
+  placement_[saved.ValueOrDie().set_id] = shard->name();
+  return saved;
+}
+
+Result<ModelSet> Coordinator::Recover(const std::string& set_id,
+                                      ServeResult* result) {
+  ReaderMutexLock topo_lock(topo_mu_);
+  MMM_ASSIGN_OR_RETURN(Shard * shard, RouteToOwner(set_id));
+  return shard->service()->Recover(set_id, result);
+}
+
+std::vector<ServeResult> Coordinator::Replay(
+    const std::vector<std::string>& set_ids,
+    std::vector<ModelSet>* recovered) {
+  ReaderMutexLock topo_lock(topo_mu_);
+  std::vector<ServeResult> results(set_ids.size());
+  if (recovered != nullptr) {
+    recovered->assign(set_ids.size(), ModelSet{});
+  }
+
+  // Partition the trace by owning shard, preserving per-shard request
+  // order; each sub-trace replays on its shard's own worker pool.
+  std::vector<Shard*> shards;
+  std::vector<std::vector<size_t>> indices;  // parallel to `shards`
+  std::unordered_map<Shard*, size_t> group_of;
+  for (size_t i = 0; i < set_ids.size(); ++i) {
+    Result<Shard*> owner = RouteToOwner(set_ids[i]);
+    if (!owner.ok()) {
+      results[i].set_id = set_ids[i];
+      results[i].status = owner.status();
+      continue;
+    }
+    auto [it, inserted] = group_of.emplace(owner.ValueOrDie(), shards.size());
+    if (inserted) {
+      shards.push_back(owner.ValueOrDie());
+      indices.emplace_back();
+    }
+    indices[it->second].push_back(i);
+  }
+
+  FanOut(shards, [&](size_t g, Shard* shard) {
+    std::vector<std::string> sub_ids;
+    sub_ids.reserve(indices[g].size());
+    for (size_t i : indices[g]) sub_ids.push_back(set_ids[i]);
+    std::vector<ModelSet> sub_recovered;
+    std::vector<ServeResult> sub_results = shard->service()->Replay(
+        sub_ids, recovered != nullptr ? &sub_recovered : nullptr);
+    for (size_t k = 0; k < indices[g].size(); ++k) {
+      results[indices[g][k]] = std::move(sub_results[k]);
+      if (recovered != nullptr) {
+        (*recovered)[indices[g][k]] = std::move(sub_recovered[k]);
+      }
+    }
+  });
+  return results;
+}
+
+Status Coordinator::PinSet(const std::string& set_id) {
+  ReaderMutexLock topo_lock(topo_mu_);
+  MMM_ASSIGN_OR_RETURN(Shard * shard, RouteToOwner(set_id));
+  return shard->service()->PinSet(set_id);
+}
+
+Status Coordinator::UnpinSet(const std::string& set_id) {
+  ReaderMutexLock topo_lock(topo_mu_);
+  MMM_ASSIGN_OR_RETURN(Shard * shard, RouteToOwner(set_id));
+  return shard->service()->UnpinSet(set_id);
+}
+
+Result<DeleteReport> Coordinator::DeleteSet(const std::string& set_id,
+                                            const DeleteOptions& options) {
+  ReaderMutexLock topo_lock(topo_mu_);
+  MMM_ASSIGN_OR_RETURN(Shard * shard, RouteToOwner(set_id));
+  MMM_ASSIGN_OR_RETURN(DeleteReport report,
+                       shard->service()->DeleteSet(set_id, options));
+  MutexLock lock(place_mu_);
+  for (const std::string& deleted : report.deleted_set_ids) {
+    placement_.erase(deleted);
+  }
+  return report;
+}
+
+Result<DeleteReport> Coordinator::RetainOnly(
+    const std::vector<std::string>& keep_set_ids) {
+  ReaderMutexLock topo_lock(topo_mu_);
+  // Validate up front: a typo'd keep id must fail the whole sweep before
+  // any shard deletes anything.
+  std::map<std::string, std::vector<std::string>> keep_by_shard;
+  {
+    MutexLock lock(place_mu_);
+    for (const std::string& id : keep_set_ids) {
+      auto it = placement_.find(id);
+      if (it == placement_.end()) {
+        return Status::NotFound("no set '", id, "' in the cluster");
+      }
+      keep_by_shard[it->second].push_back(id);
+    }
+  }
+  std::vector<Shard*> shards = AllShards();
+  std::vector<Result<DeleteReport>> reports;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    reports.emplace_back(DeleteReport{});
+  }
+  FanOut(shards, [&](size_t i, Shard* shard) {
+    auto it = keep_by_shard.find(shard->name());
+    reports[i] = shard->service()->RetainOnly(
+        it != keep_by_shard.end() ? it->second : std::vector<std::string>{});
+  });
+  DeleteReport merged;
+  for (Result<DeleteReport>& report : reports) {
+    MMM_RETURN_NOT_OK(report.status());
+    MergeDeleteReport(report.ValueOrDie(), &merged);
+  }
+  MutexLock lock(place_mu_);
+  for (const std::string& deleted : merged.deleted_set_ids) {
+    placement_.erase(deleted);
+  }
+  return merged;
+}
+
+Result<CompactionReport> Coordinator::CompactChains(
+    const CompactionPolicy& policy) {
+  ReaderMutexLock topo_lock(topo_mu_);
+  std::vector<Shard*> shards = AllShards();
+  std::vector<Result<CompactionReport>> reports;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    reports.emplace_back(CompactionReport{});
+  }
+  FanOut(shards, [&](size_t i, Shard* shard) {
+    reports[i] = shard->service()->CompactChains(policy);
+  });
+  CompactionReport merged;
+  for (Result<CompactionReport>& report : reports) {
+    MMM_RETURN_NOT_OK(report.status());
+    MergeCompactionReport(report.ValueOrDie(), &merged);
+  }
+  return merged;
+}
+
+Result<ClusterFsckReport> Coordinator::Fsck() {
+  ReaderMutexLock topo_lock(topo_mu_);
+  ClusterFsckReport report;
+  report.problems = open_problems_;
+
+  std::vector<Shard*> shards = AllShards();
+  report.shards.resize(shards.size());
+  std::vector<Status> statuses(shards.size(), Status::OK());
+  FanOut(shards, [&](size_t i, Shard* shard) {
+    ShardFsck& fsck = report.shards[i];
+    fsck.shard = shard->name();
+    fsck.repair = shard->repair_report();
+    Result<StoreValidationReport> validation =
+        shard->manager()->ValidateStore();
+    if (!validation.ok()) {
+      statuses[i] = validation.status();
+      return;
+    }
+    fsck.validation = std::move(validation).ValueOrDie();
+    Result<OrphanReport> orphans =
+        FindOrphanBlobs(shard->manager()->context());
+    if (!orphans.ok()) {
+      statuses[i] = orphans.status();
+      return;
+    }
+    fsck.orphans = std::move(orphans).ValueOrDie();
+  });
+  for (const Status& status : statuses) MMM_RETURN_NOT_OK(status);
+
+  // Coordinator invariants: every id on exactly one shard, every chain
+  // member colocated with its base.
+  std::unordered_map<std::string, std::string> shard_of;
+  std::vector<std::pair<SetSummary, std::string>> chain_members;
+  for (Shard* shard : shards) {
+    MMM_ASSIGN_OR_RETURN(std::vector<SetSummary> sets,
+                         shard->manager()->ListSets());
+    for (SetSummary& set : sets) {
+      auto [it, inserted] = shard_of.emplace(set.id, shard->name());
+      if (!inserted) {
+        report.problems.push_back(
+            StringFormat("set '%s' exists on shards '%s' and '%s'",
+                         set.id.c_str(), it->second.c_str(),
+                         shard->name().c_str()));
+      }
+      if (set.kind != "full" && !set.base_set_id.empty()) {
+        chain_members.emplace_back(std::move(set), shard->name());
+      }
+    }
+  }
+  for (const auto& [set, shard_name] : chain_members) {
+    auto it = shard_of.find(set.base_set_id);
+    if (it == shard_of.end()) {
+      report.problems.push_back(StringFormat(
+          "set '%s' on shard '%s' needs base '%s', which no shard holds",
+          set.id.c_str(), shard_name.c_str(), set.base_set_id.c_str()));
+    } else if (it->second != shard_name) {
+      report.problems.push_back(StringFormat(
+          "chain split across shards: set '%s' on '%s' but its base '%s' "
+          "on '%s'",
+          set.id.c_str(), shard_name.c_str(), set.base_set_id.c_str(),
+          it->second.c_str()));
+    }
+  }
+  return report;
+}
+
+Result<ClusterStatus> Coordinator::StatusReport() {
+  ReaderMutexLock topo_lock(topo_mu_);
+  ClusterStatus status;
+  status.virtual_nodes = ring_.virtual_nodes();
+  status.failovers = failovers_;
+  for (const auto& [name, shard] : shards_) {
+    ShardStatus row;
+    row.name = name;
+    MMM_ASSIGN_OR_RETURN(row.ring_key, ring_.RingKeyOf(name));
+    row.root_dir = shard->root_dir();
+    row.saves = shard->saves();
+    row.stats = shard->service()->Snapshot();
+    MMM_ASSIGN_OR_RETURN(std::vector<SetSummary> sets,
+                         shard->manager()->ListSets());
+    row.sets = sets.size();
+    for (const SetSummary& set : sets) {
+      row.artifact_bytes += set.artifact_bytes;
+      if (set.kind == "full") {
+        MMM_ASSIGN_OR_RETURN(std::string owner, ring_.OwnerOf(set.id));
+        if (owner != name) ++row.misplaced_sets;
+      } else if (!set.base_set_id.empty()) {
+        MutexLock lock(place_mu_);
+        auto it = placement_.find(set.base_set_id);
+        if (it == placement_.end() || it->second != name) {
+          ++row.misplaced_sets;
+        }
+      }
+    }
+    status.total_sets += row.sets;
+    status.shards.push_back(std::move(row));
+  }
+  return status;
+}
+
+Result<RepairReport> Coordinator::FailOver(const std::string& shard_name) {
+  WriterMutexLock topo_lock(topo_mu_);
+  auto shard_it = shards_.find(shard_name);
+  auto spec_it = specs_.find(shard_name);
+  if (shard_it == shards_.end() || spec_it == specs_.end()) {
+    return Status::NotFound("no shard '", shard_name, "' in the cluster");
+  }
+  // The exclusive topology lock has already drained the data plane (every
+  // data-plane op holds it shared end-to-end); Drain is belt and braces
+  // against direct shard users.
+  shard_it->second->service()->Drain();
+  ShardSpec spec = spec_it->second;
+
+  // Discard the failed instance, then reopen its subtree — the durable
+  // bytes are the recovery source, and the open-time CommitJournal replay
+  // rolls interrupted commits back or forward. The caller must have healed
+  // the shard's Env faults first (the replacement "mounts" the subtree).
+  shards_.erase(shard_it);
+  specs_.erase(spec_it);
+  ++failovers_;
+  std::string new_name =
+      StringFormat("%s-r%llu", shard_name.c_str(),
+                   static_cast<unsigned long long>(failovers_));
+
+  Result<std::unique_ptr<Shard>> reopened =
+      OpenShard(new_name, spec, specs_.size());
+  if (!reopened.ok()) {
+    // Leave the shard out of the map but keep its spec so a later FailOver
+    // retry can find it again.
+    specs_[shard_name] = spec;
+    return reopened.status();
+  }
+  RepairReport replay = reopened.ValueOrDie()->repair_report();
+  specs_[new_name] = spec;  // same subtree, same ring key
+  shards_.emplace(new_name, std::move(reopened).ValueOrDie());
+  MMM_RETURN_NOT_OK(ring_.ReplaceShard(shard_name, new_name));
+  {
+    MutexLock lock(place_mu_);
+    for (auto& [id, owner] : placement_) {
+      if (owner == shard_name) owner = new_name;
+    }
+  }
+  MMM_RETURN_NOT_OK(PersistManifest());
+  return replay;
+}
+
+Status Coordinator::AddShard(const std::string& name) {
+  WriterMutexLock topo_lock(topo_mu_);
+  if (specs_.contains(name)) {
+    return Status::AlreadyExists("shard '", name, "' already exists");
+  }
+  ShardSpec spec{"shards/" + name, name};
+  MMM_ASSIGN_OR_RETURN(std::unique_ptr<Shard> shard,
+                       OpenShard(name, spec, specs_.size()));
+  MMM_RETURN_NOT_OK(ring_.AddShard(name));
+  specs_[name] = spec;
+  shards_.emplace(name, std::move(shard));
+  {
+    MutexLock lock(fanout_mu_);
+    fanout_ = std::make_unique<Executor>(shards_.size());
+  }
+  return PersistManifest();
+}
+
+Result<RebalanceReport> Coordinator::Rebalance() {
+  WriterMutexLock topo_lock(topo_mu_);
+  RebalanceReport report;
+  // Flattening can strand a freshly flattened member on a shard that is not
+  // its ring owner, so iterate to a fixpoint; two passes suffice in
+  // practice (flatten + move, then verify), the bound is a backstop.
+  for (size_t pass = 0; pass < 4; ++pass) {
+    bool changed = false;
+
+    // Pass 1 over shards: flatten every chain on shards holding misplaced
+    // sets, so each set becomes an independent full snapshot and can move
+    // on its own. (Cascade hazard otherwise: deleting a moved chain root
+    // would take its unmoved descendants with it.)
+    for (const auto& [name, shard] : shards_) {
+      MMM_ASSIGN_OR_RETURN(std::vector<SetSummary> sets,
+                           shard->manager()->ListSets());
+      bool needs_flatten = false;
+      for (const SetSummary& set : sets) {
+        if (set.kind == "full") continue;
+        MMM_ASSIGN_OR_RETURN(std::string owner, ring_.OwnerOf(set.id));
+        if (owner != name) {
+          needs_flatten = true;
+          break;
+        }
+      }
+      if (!needs_flatten) continue;
+      CompactionPolicy flatten;
+      flatten.max_chain_depth = 0;
+      MMM_ASSIGN_OR_RETURN(CompactionReport compacted,
+                           shard->service()->CompactChains(flatten));
+      report.chains_flattened += compacted.sets_rebased;
+      changed = changed || compacted.sets_rebased > 0;
+    }
+
+    // Pass 2 over shards: move each misplaced full snapshot to its ring
+    // owner. Copy first (journaled, all-or-nothing), delete second; a
+    // rerun after a crash skips the copy if the target already has the
+    // document and re-issues the idempotent delete.
+    for (const auto& [name, source] : shards_) {
+      MMM_ASSIGN_OR_RETURN(std::vector<SetSummary> sets,
+                           source->manager()->ListSets());
+      for (const SetSummary& set : sets) {
+        if (set.kind != "full") continue;
+        MMM_ASSIGN_OR_RETURN(std::string owner, ring_.OwnerOf(set.id));
+        if (owner == name) continue;
+        auto target_it = shards_.find(owner);
+        if (target_it == shards_.end()) {
+          return Status::Internal("ring names unknown shard '", owner, "'");
+        }
+        Shard* target = target_it->second.get();
+
+        MMM_ASSIGN_OR_RETURN(std::vector<SetSummary> target_sets,
+                             target->manager()->ListSets());
+        bool already_copied = false;
+        for (const SetSummary& existing : target_sets) {
+          if (existing.id == set.id) {
+            already_copied = true;
+            break;
+          }
+        }
+        uint64_t bytes = 0;
+        if (!already_copied) {
+          MMM_ASSIGN_OR_RETURN(ApproachType type,
+                               ApproachTypeFromName(set.approach));
+          MMM_ASSIGN_OR_RETURN(ModelSet recovered,
+                               source->manager()->Recover(set.id));
+          target->ids()->Push(set.id);
+          Result<SaveResult> saved = target->SaveInitial(type, recovered);
+          if (!saved.ok()) {
+            target->ids()->Cancel(set.id);
+            return saved.status();
+          }
+          bytes = saved.ValueOrDie().bytes_written;
+        }
+        Result<DeleteReport> deleted = source->service()->DeleteSet(set.id);
+        if (!deleted.ok()) {
+          if (deleted.status().IsInvalidArgument()) {
+            // Pinned on the source (or needed by a pinned set): leave the
+            // copy in place and keep serving from the source.
+            report.skipped.push_back(StringFormat(
+                "%s: not moved off '%s': %s", set.id.c_str(), name.c_str(),
+                deleted.status().ToString().c_str()));
+            continue;
+          }
+          return deleted.status();
+        }
+        {
+          MutexLock lock(place_mu_);
+          placement_[set.id] = owner;
+        }
+        ++report.sets_moved;
+        report.bytes_moved += bytes;
+        report.moved_set_ids.push_back(set.id);
+        changed = true;
+      }
+    }
+
+    ++report.passes;
+    if (!changed) break;
+  }
+  // Any duplicate recorded at open is resolved by the moves above (the
+  // delete side is idempotent), so the stale problem notes can go.
+  open_problems_.clear();
+  return report;
+}
+
+size_t Coordinator::shard_count() const {
+  ReaderMutexLock lock(topo_mu_);
+  return shards_.size();
+}
+
+std::vector<std::string> Coordinator::ShardNames() const {
+  ReaderMutexLock lock(topo_mu_);
+  std::vector<std::string> names;
+  names.reserve(shards_.size());
+  for (const auto& [name, shard] : shards_) names.push_back(name);
+  return names;
+}
+
+Result<std::string> Coordinator::OwnerOf(const std::string& set_id) const {
+  MutexLock lock(place_mu_);
+  auto it = placement_.find(set_id);
+  if (it == placement_.end()) {
+    return Status::NotFound("no set '", set_id, "' in the cluster");
+  }
+  return it->second;
+}
+
+Shard* Coordinator::shard(const std::string& name) {
+  ReaderMutexLock lock(topo_mu_);
+  auto it = shards_.find(name);
+  return it == shards_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace mmm

@@ -1,0 +1,304 @@
+#ifndef MMM_CLUSTER_COORDINATOR_H_
+#define MMM_CLUSTER_COORDINATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/shard.h"
+#include "cluster/shard_router.h"
+#include "common/thread_annotations.h"
+#include "storage/executor.h"
+
+namespace mmm {
+
+/// \brief Configuration of a sharded cluster.
+///
+/// The store-shaping knobs mirror ModelSetManager::Options and apply to
+/// every shard uniformly; `shard_count`, `virtual_nodes`, and `id_seed` are
+/// creation-time parameters persisted in the cluster manifest — on reopen
+/// the manifest wins, so a cluster keeps its topology and id stream across
+/// processes no matter what a later caller passes.
+struct ClusterOptions {
+  /// Cluster root; shards live in disjoint subtrees `<root>/shards/<name>`.
+  std::string root_dir;
+  Env* env = nullptr;
+  /// Shards to create for a brand-new cluster (ignored on reopen).
+  size_t shard_count = 1;
+  size_t virtual_nodes = 64;
+  uint64_t id_seed = 42;
+  /// \name Per-shard store configuration (see ModelSetManager::Options).
+  /// @{
+  SetupProfile profile = SetupProfile::None();
+  DatasetResolver* resolver = nullptr;
+  UpdateApproachOptions update_options;
+  ProvenanceRecoverOptions provenance_recover_options;
+  Compression blob_compression = Compression::kNone;
+  StorePipelineOptions pipeline;
+  std::optional<EnvironmentInfo> environment;
+  std::optional<CompactionPolicy> auto_compaction;
+  /// @}
+  /// Per-shard serving configuration (see ModelSetServiceOptions).
+  ModelSetServiceOptions service;
+};
+
+/// \brief One shard's row in ClusterStatus.
+struct ShardStatus {
+  std::string name;
+  /// Ring key the shard's points derive from (differs from the name after a
+  /// failover — the replacement inherits the dead shard's points).
+  std::string ring_key;
+  std::string root_dir;
+  size_t sets = 0;
+  /// Sets this shard holds but does not own: full snapshots whose ring
+  /// owner is another shard, plus chain members whose base lives elsewhere.
+  /// Nonzero after AddShard until the next Rebalance.
+  size_t misplaced_sets = 0;
+  uint64_t artifact_bytes = 0;
+  uint64_t saves = 0;
+  ModelSetService::StatsSnapshot stats;
+};
+
+/// \brief Cluster-wide view for `mmmctl cluster status`.
+struct ClusterStatus {
+  size_t virtual_nodes = 0;
+  uint64_t failovers = 0;
+  size_t total_sets = 0;
+  std::vector<ShardStatus> shards;
+};
+
+/// \brief One shard's integrity slice of a cluster fsck.
+struct ShardFsck {
+  std::string shard;
+  /// What the open-time (or failover) journal replay repaired.
+  RepairReport repair;
+  StoreValidationReport validation;
+  OrphanReport orphans;
+
+  bool clean() const {
+    return repair.clean() && validation.ok() && orphans.clean();
+  }
+};
+
+/// \brief Cluster-wide integrity report: per-shard store checks plus the
+/// coordinator's own placement invariants (no id on two shards, no chain
+/// split across shards).
+struct ClusterFsckReport {
+  std::vector<ShardFsck> shards;
+  std::vector<std::string> problems;
+
+  bool clean() const {
+    if (!problems.empty()) return false;
+    for (const ShardFsck& shard : shards) {
+      if (!shard.clean()) return false;
+    }
+    return true;
+  }
+};
+
+/// \brief Outcome of one Rebalance run.
+struct RebalanceReport {
+  size_t passes = 0;
+  /// Chain members re-saved as independent full snapshots so they could
+  /// move individually (compactor rebases, summed over involved shards).
+  size_t chains_flattened = 0;
+  size_t sets_moved = 0;
+  uint64_t bytes_moved = 0;
+  std::vector<std::string> moved_set_ids;
+  /// Moves not performed, with the reason (pinned on source, save failed…).
+  std::vector<std::string> skipped;
+};
+
+/// \brief Control plane of the sharded serving tier.
+///
+/// Owns the consistent-hash ring, the placement map (set id → shard), and N
+/// Shard instances over disjoint Env subtrees. Data-plane calls (save,
+/// recover, replay, pin, delete) route to the owning shard; maintenance
+/// calls (RetainOnly, CompactChains, Fsck) fan out to every shard in
+/// parallel on an internal Executor. A cluster of one shard is bit-exact
+/// with an un-sharded ModelSetManager + ModelSetService over the same
+/// store: same id stream, same bytes, same modeled costs.
+///
+/// Placement rules:
+///  - An initial save's id comes from the coordinator's master generator;
+///    the ring places the id, and the id is queued to the owning shard
+///    before the save is dispatched (see PreassignedIds).
+///  - A derived save is colocated with its base's shard regardless of the
+///    ring, so delta/provenance chains never span shards. AddShard +
+///    Rebalance restores ring placement by flattening chains first.
+///
+/// Failover: killing a shard loses its process state, not its subtree (the
+/// durable bytes survive, as with a machine whose disk outlives the crash).
+/// FailOver() reopens the subtree under a replacement shard — the open-time
+/// CommitJournal replay rolls half-written commits back or forward — and
+/// rewrites the ring with ShardRouter::ReplaceShard, which moves zero keys.
+///
+/// Lock order (extends DESIGN.md §6.2): topo_mu_ > fanout_mu_ > place_mu_ >
+/// Shard::save_mu_ > per-shard service locks. Data-plane ops hold topo_mu_
+/// shared for their whole duration, so control-plane ops (FailOver,
+/// AddShard, Rebalance), which take it exclusive, naturally drain in-flight
+/// requests before touching topology.
+class Coordinator {
+ public:
+  static Result<std::unique_ptr<Coordinator>> Open(ClusterOptions options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// \name Data plane.
+  /// @{
+
+  /// Saves an initial set on the shard owning the newly drawn id.
+  Result<SaveResult> SaveInitial(ApproachType type, const ModelSet& set)
+      MMM_EXCLUDES(topo_mu_);
+
+  /// Saves a derived set on its base's shard (chain colocation).
+  Result<SaveResult> SaveDerived(ApproachType type, const ModelSet& set,
+                                 const ModelSetUpdateInfo& update)
+      MMM_EXCLUDES(topo_mu_);
+
+  /// Recovers one set through the owning shard's service.
+  Result<ModelSet> Recover(const std::string& set_id,
+                           ServeResult* result = nullptr)
+      MMM_EXCLUDES(topo_mu_);
+
+  /// Serves a trace: requests are partitioned by owning shard and the
+  /// per-shard sub-traces replay in parallel, preserving each shard's
+  /// request order. Results (and `recovered`, if given) come back parallel
+  /// to `set_ids`; unknown ids yield NotFound results without touching any
+  /// shard. With one shard this is exactly ModelSetService::Replay.
+  std::vector<ServeResult> Replay(const std::vector<std::string>& set_ids,
+                                  std::vector<ModelSet>* recovered = nullptr)
+      MMM_EXCLUDES(topo_mu_);
+
+  Status PinSet(const std::string& set_id) MMM_EXCLUDES(topo_mu_);
+  Status UnpinSet(const std::string& set_id) MMM_EXCLUDES(topo_mu_);
+
+  /// Deletes through the owning shard's service (pin-fail applies).
+  Result<DeleteReport> DeleteSet(const std::string& set_id,
+                                 const DeleteOptions& options = {})
+      MMM_EXCLUDES(topo_mu_);
+  /// @}
+
+  /// \name Cluster-wide maintenance (parallel fan-out).
+  /// @{
+
+  /// Retention sweep across every shard: keeps `keep_set_ids` (all of which
+  /// must exist somewhere) plus per-shard recovery lineage; every other set
+  /// on every shard is deleted. Reports are merged.
+  Result<DeleteReport> RetainOnly(const std::vector<std::string>& keep_set_ids)
+      MMM_EXCLUDES(topo_mu_);
+
+  /// Runs the chain compactor on every shard; reports are merged.
+  Result<CompactionReport> CompactChains(const CompactionPolicy& policy)
+      MMM_EXCLUDES(topo_mu_);
+
+  /// Full integrity check: per-shard validation + orphan scan + replay
+  /// report, plus the coordinator's placement invariants.
+  Result<ClusterFsckReport> Fsck() MMM_EXCLUDES(topo_mu_);
+
+  /// Cluster-wide status (shard stores + serving stats + misplacement).
+  Result<ClusterStatus> StatusReport() MMM_EXCLUDES(topo_mu_);
+  /// @}
+
+  /// \name Control plane (exclusive topology lock).
+  /// @{
+
+  /// Replaces a failed shard: drains and discards the old instance, reopens
+  /// its subtree as `<name>-r<generation>` (the CommitJournal replay makes
+  /// the store consistent again), and rewrites the ring in place — the
+  /// replacement inherits the dead shard's points, so no id moves. The
+  /// shard's Env subtree must be reachable again (heal injected faults
+  /// first); the durable bytes are the recovery source. Returns the replay
+  /// report of the replacement open.
+  Result<RepairReport> FailOver(const std::string& shard_name)
+      MMM_EXCLUDES(topo_mu_);
+
+  /// Adds an empty shard to the ring. Existing sets do not move until
+  /// Rebalance() is called; until then they are simply "misplaced" and
+  /// continue to serve from where they are.
+  Status AddShard(const std::string& name) MMM_EXCLUDES(topo_mu_);
+
+  /// Moves misplaced sets to their ring owners with bounded key movement
+  /// (only ids whose owning arc changed relocate — ~K/N of K ids for one
+  /// shard added to N). Chains containing a misplaced set are flattened
+  /// first (compactor, max_chain_depth = 0) so every set can move
+  /// independently; each move is a journaled copy (same preassigned id) to
+  /// the target followed by a delete on the source, so a crash anywhere
+  /// leaves both stores consistent and a rerun converges: already-copied
+  /// sets skip the copy, already-deleted sources skip the delete.
+  Result<RebalanceReport> Rebalance() MMM_EXCLUDES(topo_mu_);
+  /// @}
+
+  size_t shard_count() const MMM_EXCLUDES(topo_mu_);
+  std::vector<std::string> ShardNames() const MMM_EXCLUDES(topo_mu_);
+
+  /// The shard currently owning `set_id` (placement map, not the ring —
+  /// the two differ for colocated chain members and freshly added shards).
+  Result<std::string> OwnerOf(const std::string& set_id) const
+      MMM_EXCLUDES(place_mu_);
+
+  /// Direct shard access for tests and benches; nullptr if unknown. The
+  /// pointer is invalidated by FailOver of that shard.
+  Shard* shard(const std::string& name) MMM_EXCLUDES(topo_mu_);
+
+  const ClusterOptions& options() const { return options_; }
+
+ private:
+  /// Manifest row: a shard's name, its subtree (stable across failovers),
+  /// and the ring key its points derive from.
+  struct ShardSpec {
+    std::string subdir;
+    std::string ring_key;
+  };
+
+  Coordinator() = default;
+
+  Status PersistManifest() MMM_REQUIRES(topo_mu_);
+  Result<std::unique_ptr<Shard>> OpenShard(const std::string& name,
+                                           const ShardSpec& spec,
+                                           size_t index);
+  /// The shard owning `set_id` per the placement map.
+  Result<Shard*> RouteToOwner(const std::string& set_id)
+      MMM_REQUIRES_SHARED(topo_mu_) MMM_EXCLUDES(place_mu_);
+  /// Runs `fn(shard)` for every shard in parallel on the fan-out executor.
+  void FanOut(const std::vector<Shard*>& shards,
+              const std::function<void(size_t, Shard*)>& fn)
+      MMM_EXCLUDES(fanout_mu_);
+  std::vector<Shard*> AllShards() MMM_REQUIRES_SHARED(topo_mu_);
+
+  ClusterOptions options_;
+  Env* env_ = nullptr;
+  std::string manifest_path_;
+
+  /// Guards the topology: ring, shard instances, manifest. Data-plane ops
+  /// hold it shared end-to-end; topology changes take it exclusive.
+  mutable SharedMutex topo_mu_;
+  ShardRouter ring_ MMM_GUARDED_BY(topo_mu_);
+  std::map<std::string, ShardSpec> specs_ MMM_GUARDED_BY(topo_mu_);
+  std::map<std::string, std::unique_ptr<Shard>> shards_
+      MMM_GUARDED_BY(topo_mu_);
+  uint64_t failovers_ MMM_GUARDED_BY(topo_mu_) = 0;
+
+  /// Fan-out executor dispatch is not reentrant; one fan-out at a time.
+  Mutex fanout_mu_;
+  std::unique_ptr<Executor> fanout_ MMM_GUARDED_BY(fanout_mu_);
+
+  /// Guards the master id generator and the placement map.
+  mutable Mutex place_mu_;
+  std::unique_ptr<IdGenerator> master_ids_ MMM_GUARDED_BY(place_mu_);
+  /// set id -> owning shard name. Derived saves inherit the base's entry.
+  std::map<std::string, std::string> placement_ MMM_GUARDED_BY(place_mu_);
+
+  /// Placement anomalies found at open (duplicate ids across shards);
+  /// surfaced by Fsck until a Rebalance resolves them.
+  std::vector<std::string> open_problems_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_CLUSTER_COORDINATOR_H_

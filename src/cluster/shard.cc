@@ -1,0 +1,48 @@
+#include "cluster/shard.h"
+
+#include <utility>
+
+namespace mmm {
+
+Result<std::unique_ptr<Shard>> Shard::Open(std::string name, Options options) {
+  if (name.empty()) return Status::InvalidArgument("shard name is empty");
+  if (options.root_dir.empty()) {
+    return Status::InvalidArgument("shard root_dir is empty");
+  }
+  auto shard = std::unique_ptr<Shard>(new Shard());
+  shard->name_ = std::move(name);
+  shard->root_dir_ = options.root_dir;
+  shard->ids_ = std::make_unique<PreassignedIds>(options.fallback_id_seed);
+
+  ModelSetManager::Options manager_options = options.manager;
+  manager_options.root_dir = options.root_dir;
+  manager_options.ids = shard->ids_.get();
+  MMM_ASSIGN_OR_RETURN(shard->manager_,
+                       ModelSetManager::Open(std::move(manager_options)));
+  shard->service_ = std::make_unique<ModelSetService>(shard->manager_.get(),
+                                                      options.service);
+  return shard;
+}
+
+Result<SaveResult> Shard::SaveInitial(ApproachType type, const ModelSet& set) {
+  MutexLock lock(save_mu_);
+  MMM_ASSIGN_OR_RETURN(SaveResult result, manager_->SaveInitial(type, set));
+  ++saves_;
+  return result;
+}
+
+Result<SaveResult> Shard::SaveDerived(ApproachType type, const ModelSet& set,
+                                      const ModelSetUpdateInfo& update) {
+  MutexLock lock(save_mu_);
+  MMM_ASSIGN_OR_RETURN(SaveResult result,
+                       manager_->SaveDerived(type, set, update));
+  ++saves_;
+  return result;
+}
+
+uint64_t Shard::saves() const {
+  MutexLock lock(save_mu_);
+  return saves_;
+}
+
+}  // namespace mmm

@@ -1,0 +1,132 @@
+#ifndef MMM_CLUSTER_SHARD_H_
+#define MMM_CLUSTER_SHARD_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "common/id.h"
+#include "common/thread_annotations.h"
+#include "core/manager.h"
+#include "serve/service.h"
+
+namespace mmm {
+
+/// \brief Id source a shard's manager draws from under a coordinator.
+///
+/// The coordinator must know a set's id *before* the save reaches a shard —
+/// the id is what the ring places. So it draws the id from its own master
+/// generator, pushes it here, and the shard's approach code (which calls
+/// `context.ids->Next("set")` as always) pops it back out in FIFO order.
+/// With an empty queue the fallback generator answers, so a shard manager
+/// also works stand-alone (each shard gets a distinct fallback seed).
+class PreassignedIds : public IdGenerator {
+ public:
+  explicit PreassignedIds(uint64_t fallback_seed)
+      : IdGenerator(fallback_seed) {}
+
+  /// Queues the next id Next() will return.
+  void Push(std::string id) {
+    MutexLock lock(mu_);
+    queue_.push_back(std::move(id));
+  }
+
+  /// Removes `id` from the queue if still pending (a save that failed
+  /// before consuming its id must not leak it to the next save).
+  void Cancel(const std::string& id) {
+    MutexLock lock(mu_);
+    std::erase(queue_, id);
+  }
+
+  std::string Next(const std::string& prefix) override {
+    MutexLock lock(mu_);
+    if (!queue_.empty()) {
+      std::string id = std::move(queue_.front());
+      queue_.pop_front();
+      return id;
+    }
+    return IdGenerator::Next(prefix);
+  }
+
+  void AdvanceTo(uint64_t counter) override {
+    MutexLock lock(mu_);
+    IdGenerator::AdvanceTo(counter);
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::deque<std::string> queue_ MMM_GUARDED_BY(mu_);
+};
+
+/// \brief One serving shard: a ModelSetManager + ModelSetService over a
+/// disjoint Env subtree, plus the preassigned-id queue the coordinator
+/// feeds.
+///
+/// A shard is deliberately dumb — it knows nothing about the ring or its
+/// peers. Everything cluster-shaped (placement, fan-out, failover) lives in
+/// the Coordinator; a 1-shard cluster therefore behaves bit-exactly like an
+/// un-sharded manager + service over the same store.
+class Shard {
+ public:
+  struct Options {
+    /// Shard-local store root (a subtree of the cluster root).
+    std::string root_dir;
+    /// Seed of the stand-alone fallback id generator; unused while a
+    /// coordinator preassigns every id, but kept distinct per shard so a
+    /// directly-driven shard cannot collide with its peers.
+    uint64_t fallback_id_seed = 42;
+    /// Manager configuration; root_dir and ids are overwritten by Open.
+    ModelSetManager::Options manager;
+    ModelSetServiceOptions service;
+  };
+
+  /// Opens the shard's stores (running the commit-journal replay — this is
+  /// the whole of "replaying a lost shard's journal into a replacement":
+  /// reopen the surviving subtree under a new Shard).
+  static Result<std::unique_ptr<Shard>> Open(std::string name, Options options);
+
+  const std::string& name() const { return name_; }
+  const std::string& root_dir() const { return root_dir_; }
+
+  ModelSetManager* manager() { return manager_.get(); }
+  ModelSetService* service() { return service_.get(); }
+  PreassignedIds* ids() { return ids_.get(); }
+
+  /// What the open-time journal replay found and repaired.
+  const RepairReport& repair_report() const {
+    return manager_->repair_report();
+  }
+
+  /// \name Serialized save entry points.
+  ///
+  /// Saves within one shard run one at a time (matching the un-sharded
+  /// world, where the test/bench driver saves sequentially); saves on
+  /// *different* shards run in parallel.
+  /// @{
+  Result<SaveResult> SaveInitial(ApproachType type, const ModelSet& set)
+      MMM_EXCLUDES(save_mu_);
+  Result<SaveResult> SaveDerived(ApproachType type, const ModelSet& set,
+                                 const ModelSetUpdateInfo& update)
+      MMM_EXCLUDES(save_mu_);
+  /// Saves committed on this shard so far (failed saves excluded).
+  uint64_t saves() const MMM_EXCLUDES(save_mu_);
+  /// @}
+
+ private:
+  Shard() = default;
+
+  std::string name_;
+  std::string root_dir_;
+  std::unique_ptr<PreassignedIds> ids_;
+  /// Destruction order: the service holds a raw manager pointer, so it is
+  /// declared after (destroyed before) the manager.
+  std::unique_ptr<ModelSetManager> manager_;
+  std::unique_ptr<ModelSetService> service_;
+
+  mutable Mutex save_mu_;
+  uint64_t saves_ MMM_GUARDED_BY(save_mu_) = 0;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_CLUSTER_SHARD_H_

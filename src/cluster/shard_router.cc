@@ -1,0 +1,97 @@
+#include "cluster/shard_router.h"
+
+#include "common/strings.h"
+#include "serialize/sha256.h"
+
+namespace mmm {
+
+ShardRouter::ShardRouter(size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes == 0 ? 1 : virtual_nodes) {}
+
+uint64_t ShardRouter::HashPoint(const std::string& text) {
+  Sha256Digest digest = Sha256::Hash(text);
+  uint64_t point = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    point = (point << 8) | digest.bytes[i];
+  }
+  return point;
+}
+
+Status ShardRouter::AddShard(const std::string& name) {
+  return AddShardWithKey(name, name);
+}
+
+Status ShardRouter::AddShardWithKey(const std::string& name,
+                                    const std::string& ring_key) {
+  if (name.empty()) return Status::InvalidArgument("shard name is empty");
+  if (ring_keys_.contains(name)) {
+    return Status::AlreadyExists("shard '", name, "' is already on the ring");
+  }
+  for (size_t replica = 0; replica < virtual_nodes_; ++replica) {
+    uint64_t point = HashPoint(
+        StringFormat("vnode/%s/%zu", ring_key.c_str(), replica));
+    // A 64-bit point collision between distinct shards is astronomically
+    // unlikely; keeping the incumbent just drops one of this shard's
+    // virtual nodes.
+    ring_.emplace(point, name);
+  }
+  ring_keys_[name] = ring_key;
+  return Status::OK();
+}
+
+Status ShardRouter::RemoveShard(const std::string& name) {
+  auto it = ring_keys_.find(name);
+  if (it == ring_keys_.end()) {
+    return Status::NotFound("no shard '", name, "' on the ring");
+  }
+  std::erase_if(ring_, [&](const auto& entry) { return entry.second == name; });
+  ring_keys_.erase(it);
+  return Status::OK();
+}
+
+Status ShardRouter::ReplaceShard(const std::string& old_name,
+                                 const std::string& new_name) {
+  auto it = ring_keys_.find(old_name);
+  if (it == ring_keys_.end()) {
+    return Status::NotFound("no shard '", old_name, "' on the ring");
+  }
+  if (new_name.empty()) return Status::InvalidArgument("shard name is empty");
+  if (new_name != old_name && ring_keys_.contains(new_name)) {
+    return Status::AlreadyExists("shard '", new_name,
+                                 "' is already on the ring");
+  }
+  for (auto& [point, owner] : ring_) {
+    if (owner == old_name) owner = new_name;
+  }
+  std::string ring_key = it->second;
+  ring_keys_.erase(it);
+  ring_keys_[new_name] = std::move(ring_key);
+  return Status::OK();
+}
+
+Result<std::string> ShardRouter::OwnerOf(const std::string& id) const {
+  if (ring_.empty()) {
+    return Status::InvalidArgument("the shard ring is empty");
+  }
+  uint64_t point = HashPoint("key/" + id);
+  auto it = ring_.lower_bound(point);
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+Result<std::string> ShardRouter::RingKeyOf(const std::string& name) const {
+  auto it = ring_keys_.find(name);
+  if (it == ring_keys_.end()) {
+    return Status::NotFound("no shard '", name, "' on the ring");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ShardRouter::Shards() const {
+  std::vector<std::string> names;
+  names.reserve(ring_keys_.size());
+  for (const auto& [name, key] : ring_keys_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mmm

@@ -1,0 +1,78 @@
+#ifndef MMM_CLUSTER_SHARD_ROUTER_H_
+#define MMM_CLUSTER_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mmm {
+
+/// \brief Consistent-hash ring placing set ids on shards.
+///
+/// Each shard contributes `virtual_nodes` points to a 64-bit ring; a set id
+/// is owned by the shard whose point is the first at or after the id's hash
+/// (wrapping). Placement is fully deterministic — points and key hashes are
+/// SHA-256 prefixes of stable strings — so two routers built from the same
+/// shard list agree on every id, across processes and reopens.
+///
+/// Movement bounds (the reason for a ring instead of `hash % N`):
+///  - AddShard / RemoveShard relocate only the ids whose owning arc changed:
+///    ~K/N of K ids on average for N shards (virtual nodes keep the variance
+///    small).
+///  - ReplaceShard relocates *nothing*: the replacement inherits the dead
+///    shard's ring points via its ring key, so failover rewrites the ring
+///    without moving a single id. The ring key is persisted in the cluster
+///    manifest so a reopened coordinator rebuilds the identical ring even
+///    after generations of failovers.
+///
+/// Not thread-safe; the Coordinator guards it with its topology lock.
+class ShardRouter {
+ public:
+  explicit ShardRouter(size_t virtual_nodes = 64);
+
+  /// Adds a shard whose points derive from its own name.
+  Status AddShard(const std::string& name);
+
+  /// Adds a shard whose points derive from `ring_key` — used when
+  /// rebuilding a ring from a manifest that recorded failover renames.
+  Status AddShardWithKey(const std::string& name, const std::string& ring_key);
+
+  /// Removes a shard and its points. Ids it owned spread over the
+  /// remaining shards' arcs.
+  Status RemoveShard(const std::string& name);
+
+  /// Renames a shard in place: `new_name` inherits every point of
+  /// `old_name` (same ring key), so ownership of every id is unchanged.
+  Status ReplaceShard(const std::string& old_name, const std::string& new_name);
+
+  /// The shard owning `id`. InvalidArgument on an empty ring.
+  Result<std::string> OwnerOf(const std::string& id) const;
+
+  /// The ring key a shard's points derive from (== its name unless the
+  /// shard replaced another). NotFound for unknown shards.
+  Result<std::string> RingKeyOf(const std::string& name) const;
+
+  /// Shard names, sorted.
+  std::vector<std::string> Shards() const;
+
+  size_t size() const { return ring_keys_.size(); }
+  size_t virtual_nodes() const { return virtual_nodes_; }
+
+ private:
+  /// 64-bit ring position of a stable string (SHA-256 prefix, big-endian).
+  static uint64_t HashPoint(const std::string& text);
+
+  size_t virtual_nodes_;
+  /// Ring point -> owning shard name.
+  std::map<uint64_t, std::string> ring_;
+  /// Shard name -> ring key its points derive from.
+  std::map<std::string, std::string> ring_keys_;
+};
+
+}  // namespace mmm
+
+#endif  // MMM_CLUSTER_SHARD_ROUTER_H_

@@ -48,9 +48,13 @@ class SimulatedClock {
  public:
   /// Adds `nanos` of modeled time. Atomic, so concurrent store reads (the
   /// serving layer's recovery workers) can charge one shared clock without
-  /// racing; the total is order-independent.
+  /// racing; the total is order-independent. Every charge is additionally
+  /// mirrored into a per-thread counter (see ThreadNanos), which is what
+  /// lets a concurrent serving worker attribute store latency to exactly
+  /// the request it is running.
   void Advance(uint64_t nanos) {
     nanos_.fetch_add(nanos, std::memory_order_relaxed);
+    thread_nanos_ += nanos;
   }
 
   void Reset() { nanos_.store(0, std::memory_order_relaxed); }
@@ -58,8 +62,16 @@ class SimulatedClock {
   uint64_t nanos() const { return nanos_.load(std::memory_order_relaxed); }
   double seconds() const { return static_cast<double>(nanos()) * 1e-9; }
 
+  /// Modeled nanoseconds charged *by the calling thread*, across every
+  /// SimulatedClock, since thread start. Monotonic and never reset: callers
+  /// measure an operation by differencing before/after, so one counter can
+  /// serve arbitrarily nested scopes (a recovery that recovers its base
+  /// still sees each scope's exact charge).
+  static uint64_t ThreadNanos() { return thread_nanos_; }
+
  private:
   std::atomic<uint64_t> nanos_{0};
+  static inline thread_local uint64_t thread_nanos_ = 0;
 };
 
 }  // namespace mmm

@@ -13,17 +13,23 @@ namespace mmm {
 /// Identifiers look like "set-000001-a1b2c3d4": a caller-chosen prefix, a
 /// monotonically increasing counter, and a random suffix. Generation is
 /// deterministic given the seed so that experiment runs are reproducible.
+///
+/// Next/AdvanceTo are virtual so an id *source* can be substituted: the
+/// cluster coordinator draws ids centrally (placement must know the id
+/// before the save runs) and feeds them to each shard's manager through a
+/// queue-backed subclass (see cluster/shard.h).
 class IdGenerator {
  public:
   explicit IdGenerator(uint64_t seed = 42) : rng_(Rng(seed).Fork("id-gen")) {}
+  virtual ~IdGenerator() = default;
 
   /// Returns the next identifier with the given prefix.
-  std::string Next(const std::string& prefix);
+  virtual std::string Next(const std::string& prefix);
 
   /// Ensures the next identifier uses a counter of at least `counter`.
   /// Used when reopening a store so new ids cannot collide with persisted
   /// ones.
-  void AdvanceTo(uint64_t counter) {
+  virtual void AdvanceTo(uint64_t counter) {
     if (counter > counter_) counter_ = counter;
   }
 

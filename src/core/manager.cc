@@ -64,7 +64,11 @@ Result<std::unique_ptr<ModelSetManager>> ModelSetManager::Open(Options options) 
   Env* env = options.env != nullptr ? options.env : Env::Default();
 
   auto manager = std::unique_ptr<ModelSetManager>(new ModelSetManager());
-  manager->ids_ = std::make_unique<IdGenerator>(options.id_seed);
+  if (options.ids == nullptr) {
+    manager->ids_ = std::make_unique<IdGenerator>(options.id_seed);
+  }
+  IdGenerator* ids =
+      options.ids != nullptr ? options.ids : manager->ids_.get();
   manager->file_store_ = std::make_unique<FileStore>(
       env, options.root_dir + "/blobs", options.profile.file_store,
       &manager->sim_clock_);
@@ -93,13 +97,13 @@ Result<std::unique_ptr<ModelSetManager>> ModelSetManager::Open(Options options) 
   // the surviving ids and advance past the largest counter.
   MMM_ASSIGN_OR_RETURN(uint64_t max_counter,
                        MaxPersistedIdCounter(manager->doc_store_.get()));
-  manager->ids_->AdvanceTo(max_counter);
+  ids->AdvanceTo(max_counter);
 
   manager->executor_ =
       std::make_unique<Executor>(std::max<size_t>(1, options.pipeline.lanes));
   manager->context_ = StoreContext{manager->file_store_.get(),
                                    manager->doc_store_.get(),
-                                   manager->ids_.get(), &manager->sim_clock_,
+                                   ids, &manager->sim_clock_,
                                    options.blob_compression,
                                    manager->executor_.get(), options.pipeline,
                                    manager->journal_.get()};

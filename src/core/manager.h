@@ -61,6 +61,13 @@ class ModelSetManager {
     DatasetResolver* resolver = nullptr;
     /// Seed of the set-id generator (determinism across runs).
     uint64_t id_seed = 42;
+    /// External id source (not owned; must outlive the manager). When set,
+    /// the manager draws set ids from it instead of constructing its own
+    /// generator — the cluster coordinator uses this to decide a set's id
+    /// (and thereby its shard placement) before the save reaches a shard.
+    /// Open() still calls AdvanceTo past the largest persisted counter.
+    /// Null (the default) keeps today's internal generator bit-exactly.
+    IdGenerator* ids = nullptr;
     UpdateApproachOptions update_options;
     ProvenanceRecoverOptions provenance_recover_options;
     /// Compression for parameter/diff/hash blobs (§4.5 future work);
@@ -146,6 +153,8 @@ class ModelSetManager {
   ModelSetManager() = default;
 
   SimulatedClock sim_clock_;
+  /// Internally owned id generator; null when Options::ids supplied an
+  /// external source (the context then points at that source instead).
   std::unique_ptr<IdGenerator> ids_;
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<FileStore> file_store_;

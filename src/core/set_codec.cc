@@ -44,7 +44,8 @@ StatsCapture::StatsCapture(const StoreContext& context)
       file_writes_(context.file_store->stats().write_ops),
       doc_bytes_written_(context.doc_store->stats().bytes_written),
       doc_writes_(context.doc_store->stats().write_ops),
-      sim_nanos_(context.sim_clock != nullptr ? context.sim_clock->nanos() : 0) {}
+      sim_nanos_(context.sim_clock != nullptr ? context.sim_clock->nanos() : 0),
+      thread_sim_nanos_(SimulatedClock::ThreadNanos()) {}
 
 void StatsCapture::FillSave(SaveResult* result) const {
   result->bytes_written =
@@ -59,8 +60,13 @@ void StatsCapture::FillSave(SaveResult* result) const {
 
 void StatsCapture::FillRecover(RecoverStats* stats) const {
   if (stats == nullptr) return;
+  // Thread-local delta: a recovery charges the clock only from the thread it
+  // runs on, so this is exact per request even when other requests advance
+  // the shared clock concurrently.
   stats->simulated_store_nanos =
-      context_.sim_clock != nullptr ? context_.sim_clock->nanos() - sim_nanos_ : 0;
+      context_.sim_clock != nullptr
+          ? SimulatedClock::ThreadNanos() - thread_sim_nanos_
+          : 0;
 }
 
 std::string EncodeArchBlob(const ArchitectureSpec& spec) {

@@ -38,6 +38,12 @@ struct SetDocument {
 /// \brief Snapshots store statistics to compute per-operation deltas.
 ///
 /// Usage: construct before the operation, call FillSave / FillRecover after.
+///
+/// Saves diff the *shared* simulated clock: the write pipeline fans blob
+/// charges out across executor lanes, so the calling thread's counter would
+/// undercount. Recoveries run entirely on the calling thread, so FillRecover
+/// diffs the thread-local counter instead — exact per request even when the
+/// serving layer overlaps many recoveries on one shared clock.
 class StatsCapture {
  public:
   explicit StatsCapture(const StoreContext& context);
@@ -52,6 +58,7 @@ class StatsCapture {
   uint64_t doc_bytes_written_;
   uint64_t doc_writes_;
   uint64_t sim_nanos_;
+  uint64_t thread_sim_nanos_;
 };
 
 /// \name Full-snapshot helpers (Baseline's save/load logic, reused by

@@ -320,6 +320,27 @@ std::vector<Sha256Digest> ModelSetService::KnownHashesOf(
   return it->second;
 }
 
+void ModelSetService::Drain() {
+  // Taking the gate exclusively waits out every shared holder (in-flight
+  // recoveries); releasing it immediately is the whole point — the caller
+  // only wants the quiescent instant.
+  WriterMutexLock lock(gate_);
+}
+
+ModelSetService::StatsSnapshot ModelSetService::Snapshot() const {
+  StatsSnapshot snapshot;
+  snapshot.cache = layer_cache_.stats();
+  snapshot.pinned_sets = PinnedSets();
+  snapshot.workers = options_.workers;
+  snapshot.cache_enabled = options_.cache_enabled;
+  return snapshot;
+}
+
+void ModelSetService::InvalidateSets(const std::vector<std::string>& set_ids) {
+  WriterMutexLock lock(gate_);
+  InvalidateDeleted(set_ids);
+}
+
 std::vector<std::string> ModelSetService::PinnedSets() const {
   MutexLock lock(pin_mu_);
   std::vector<std::string> ids;

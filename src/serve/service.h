@@ -19,9 +19,10 @@ namespace mmm {
 /// \brief Configuration of a ModelSetService.
 struct ModelSetServiceOptions {
   /// Worker lanes for Replay. 1 = serve on the calling thread, in request
-  /// order — bit-identical to sequential Recover calls *and* with exact
-  /// per-request counters (shared store/cache counters are attributed to
-  /// the only in-flight request).
+  /// order — bit-identical to sequential Recover calls. Per-request store
+  /// counters (ServeResult::modeled_store_nanos) are exact at any worker
+  /// count; only the *cache* hit pattern can shift under concurrency,
+  /// because overlapping requests race to populate shared entries.
   size_t workers = 1;
   /// Disable to serve every request straight from the stores (the control
   /// arm of the serving bench; results are bit-identical either way).
@@ -39,9 +40,10 @@ struct ServeResult {
   Status status = Status::OK();
   /// Wall time of this request in the service, nanoseconds.
   uint64_t wall_nanos = 0;
-  /// Modeled store latency charged while this request ran. Exact per
-  /// request at workers = 1; under concurrency, overlapping requests'
-  /// charges mix (the aggregate across a Replay is still exact).
+  /// Modeled store latency charged by this request, in nanoseconds. Exact
+  /// per request at any worker count: charges are attributed through a
+  /// per-thread accumulator (SimulatedClock::ThreadNanos), and a request
+  /// runs entirely on one worker.
   uint64_t modeled_store_nanos = 0;
   /// Sets materialized, including recursively recovered bases.
   uint64_t sets_walked = 0;
@@ -126,6 +128,32 @@ class ModelSetService {
   std::vector<std::string> PinnedSets() const;
 
   const ModelSetServiceOptions& options() const { return options_; }
+
+  /// \name Coordinator hooks (see cluster/coordinator.h).
+  /// @{
+
+  /// Blocks until every in-flight recovery has finished, then returns.
+  /// Requests arriving after the call proceed normally; the coordinator
+  /// calls this with new traffic already fenced off (its topology lock),
+  /// so the shard is quiescent when it is closed or migrated from.
+  void Drain() MMM_EXCLUDES(gate_);
+
+  /// One coherent stats snapshot (cache counters + pinned sets), so
+  /// `mmmctl cluster status` reads each shard in one call.
+  struct StatsSnapshot {
+    LayerCacheStats cache;
+    std::vector<std::string> pinned_sets;
+    size_t workers = 0;
+    bool cache_enabled = false;
+  };
+  StatsSnapshot Snapshot() const;
+
+  /// Drops the cached layers and metadata of `set_ids` (sparing layers a
+  /// pinned set still needs), serialized against in-flight recoveries.
+  /// The coordinator calls this after migrating a set away so a stale
+  /// entry can never answer for a set this shard no longer owns.
+  void InvalidateSets(const std::vector<std::string>& set_ids);
+  /// @}
 
  private:
   /// RecoveryCache view of the service handed to RecoverCached: layers go

@@ -293,24 +293,39 @@ Status FaultInjectionEnv::MaybeFail() {
   return Status::OK();
 }
 
+Status FaultInjectionEnv::CheckPath(const std::string& path) const {
+  MutexLock lock(mu_);
+  for (const std::string& prefix : dead_prefixes_) {
+    if (path.rfind(prefix, 0) == 0) {
+      return Status::IOError("injected shard failure: ", path,
+                             " is under dead prefix ", prefix);
+    }
+  }
+  return Status::OK();
+}
+
 Status FaultInjectionEnv::WriteFile(const std::string& path,
                                     std::span<const uint8_t> data) {
+  MMM_RETURN_NOT_OK(CheckPath(path));
   MMM_RETURN_NOT_OK(MaybeFail());
   return base_->WriteFile(path, data);
 }
 
 Status FaultInjectionEnv::AppendToFile(const std::string& path,
                                        std::span<const uint8_t> data) {
+  MMM_RETURN_NOT_OK(CheckPath(path));
   MMM_RETURN_NOT_OK(MaybeFail());
   return base_->AppendToFile(path, data);
 }
 
 Result<std::vector<uint8_t>> FaultInjectionEnv::ReadFile(const std::string& path) {
+  MMM_RETURN_NOT_OK(CheckPath(path));
   return base_->ReadFile(path);
 }
 
 Result<std::vector<uint8_t>> FaultInjectionEnv::ReadFileRange(
     const std::string& path, uint64_t offset, uint64_t length) {
+  MMM_RETURN_NOT_OK(CheckPath(path));
   return base_->ReadFileRange(path, offset, length);
 }
 
@@ -323,6 +338,7 @@ Result<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
 }
 
 Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  MMM_RETURN_NOT_OK(CheckPath(path));
   return base_->DeleteFile(path);
 }
 

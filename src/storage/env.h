@@ -118,7 +118,8 @@ class ScopedWriteOrderTag {
 /// Fault semantics: every WriteFile/AppendToFile gets a write index; after
 /// FailWritesAfter(n), writes with index >= n fail with IOError (and do not
 /// reach the base env), writes with a smaller index still succeed. Reads,
-/// deletes, and directory ops always pass through.
+/// deletes, and directory ops always pass through — unless a path-prefix
+/// fault (FailPathsUnder, the shard-kill model) covers them.
 ///
 /// Indices are assigned in *staging* order: an untagged write takes the next
 /// free index on arrival, while writes tagged via WriteOrderGroup /
@@ -144,6 +145,26 @@ class FaultInjectionEnv : public Env {
     fail_after_ = -1;
   }
 
+  /// \name Shard-kill faults.
+  ///
+  /// FailPathsUnder makes every read *and* write whose path starts with
+  /// `prefix` fail with IOError — the cluster tests' model of a shard whose
+  /// store subtree became unreachable (node down). Unlike write faults, the
+  /// durable bytes are untouched: HealPaths models mounting the surviving
+  /// store on a replacement node, after which the coordinator's failover
+  /// (reopen + journal replay) takes over. Path faults consume no write
+  /// indices, so an armed write-sweep plan is unaffected.
+  /// @{
+  void FailPathsUnder(const std::string& prefix) {
+    MutexLock lock(mu_);
+    dead_prefixes_.push_back(prefix);
+  }
+  void HealPaths() {
+    MutexLock lock(mu_);
+    dead_prefixes_.clear();
+  }
+  /// @}
+
   /// Number of write indices assigned so far (failed writes included).
   int64_t write_count() const {
     MutexLock lock(mu_);
@@ -166,9 +187,12 @@ class FaultInjectionEnv : public Env {
 
  private:
   Status MaybeFail();
+  Status CheckPath(const std::string& path) const;
 
   Env* base_;
   mutable Mutex mu_;
+  /// Path prefixes whose reads and writes fail (see FailPathsUnder).
+  std::vector<std::string> dead_prefixes_ MMM_GUARDED_BY(mu_);
   int64_t fail_after_ MMM_GUARDED_BY(mu_) = -1;
   /// Next unassigned write index (== total writes seen, since tagged groups
   /// reserve their whole block up front).

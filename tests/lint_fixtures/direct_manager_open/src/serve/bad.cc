@@ -1,0 +1,14 @@
+// Fixture: serving-layer code (anything outside src/core/, src/cluster/,
+// tests, and bench) opening its own ModelSetManager must be flagged — the
+// manager is injected, or the caller goes through the cluster Coordinator.
+//
+// Fixtures are linted, never compiled, so the manager stays a forward
+// declaration.
+struct ModelSetManager {
+  struct Options;
+  static int Open(const Options& options);
+};
+
+int ServeFrom(const ModelSetManager::Options& options) {
+  return ModelSetManager::Open(options);
+}

@@ -1,0 +1,828 @@
+// Sharded serving tier: consistent-hash placement, coordinator control
+// plane, and journal-replay failover.
+//
+// Coverage, in order:
+//  - ShardRouter: determinism, the movement bounds that justify a ring
+//    (remove/add relocate ~K/N ids, ReplaceShard relocates zero), errors.
+//  - A 1-shard cluster is bit-exact with an un-sharded manager + service
+//    driven identically: same id stream, same save bytes, same recovered
+//    tensors, same per-request modeled costs and cache counters.
+//  - Multi-shard routing: derived sets colocate with their base, data
+//    spreads over shards, maintenance ops (CompactChains, RetainOnly,
+//    Fsck, StatusReport) fan out and merge.
+//  - Failover: killing a shard mid-traffic (path faults on its subtree)
+//    degrades only that shard's requests; after HealPaths + FailOver the
+//    replacement replays the journal and the cluster is fsck-clean and
+//    bit-exact, with zero ids moved.
+//  - AddShard + Rebalance: misplacement drops to zero with recovered bytes
+//    unchanged, and a crash-point sweep over the rebalance write sequence
+//    (test_crash_recovery.cc style) shows any interruption is repaired by
+//    reopen + rerun.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "cluster/shard_router.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/manager.h"
+#include "serve/service.h"
+#include "serve/trace.h"
+#include "tests/test_util.h"
+#include "workload/scenario.h"
+
+namespace mmm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ShardRouter: deterministic placement and movement bounds.
+
+std::vector<std::string> RandomIds(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> ids;
+  ids.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ids.push_back(StringFormat("set-%06zu-%08llx", i,
+                               static_cast<unsigned long long>(
+                                   rng.NextUint64() & 0xffffffffu)));
+  }
+  return ids;
+}
+
+std::map<std::string, std::string> OwnersOf(
+    const ShardRouter& router, const std::vector<std::string>& ids) {
+  std::map<std::string, std::string> owners;
+  for (const std::string& id : ids) {
+    auto owner = router.OwnerOf(id);
+    owner.status().Check();
+    owners[id] = owner.ValueOrDie();
+  }
+  return owners;
+}
+
+TEST(ShardRouterTest, PlacementIsDeterministicAndCoversEveryShard) {
+  ShardRouter a(64);
+  ShardRouter b(64);
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_OK(a.AddShard(StringFormat("shard-%zu", i)));
+    ASSERT_OK(b.AddShard(StringFormat("shard-%zu", i)));
+  }
+  std::vector<std::string> ids = RandomIds(2000, /*seed=*/1234);
+  std::map<std::string, size_t> per_shard;
+  for (const std::string& id : ids) {
+    ASSERT_OK_AND_ASSIGN(std::string owner_a, a.OwnerOf(id));
+    ASSERT_OK_AND_ASSIGN(std::string owner_b, b.OwnerOf(id));
+    EXPECT_EQ(owner_a, owner_b);
+    per_shard[owner_a] += 1;
+  }
+  // Virtual nodes keep the split roughly even: every shard owns a
+  // nontrivial share of 2000 ids (expected 500 each).
+  ASSERT_EQ(per_shard.size(), 4u);
+  for (const auto& [shard, count] : per_shard) {
+    EXPECT_GT(count, 200u) << shard;
+    EXPECT_LT(count, 900u) << shard;
+  }
+}
+
+TEST(ShardRouterTest, RemovingOneShardMovesOnlyItsIds) {
+  const size_t kShards = 5;
+  const std::vector<std::string> ids = RandomIds(2000, /*seed=*/99);
+  ShardRouter router(64);
+  for (size_t i = 0; i < kShards; ++i) {
+    ASSERT_OK(router.AddShard(StringFormat("shard-%zu", i)));
+  }
+  std::map<std::string, std::string> before = OwnersOf(router, ids);
+  ASSERT_OK(router.RemoveShard("shard-2"));
+  std::map<std::string, std::string> after = OwnersOf(router, ids);
+
+  size_t moved = 0;
+  for (const std::string& id : ids) {
+    if (before[id] == "shard-2") {
+      // Orphaned ids must land somewhere else...
+      EXPECT_NE(after[id], "shard-2");
+      ++moved;
+    } else {
+      // ...and nothing else moves at all.
+      EXPECT_EQ(after[id], before[id]) << id;
+    }
+  }
+  // ~K/N expected; 2.5x slack keeps the bound meaningful without flaking
+  // on hash variance (the ids and ring are fixed, so this is deterministic
+  // anyway — the slack documents the property, not test noise).
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(moved, ids.size() * 5 / (2 * kShards));
+}
+
+TEST(ShardRouterTest, AddingOneShardMovesBoundedIdsAllToTheNewShard) {
+  const size_t kShards = 4;
+  const std::vector<std::string> ids = RandomIds(2000, /*seed=*/2718);
+  ShardRouter router(64);
+  for (size_t i = 0; i < kShards; ++i) {
+    ASSERT_OK(router.AddShard(StringFormat("shard-%zu", i)));
+  }
+  std::map<std::string, std::string> before = OwnersOf(router, ids);
+  ASSERT_OK(router.AddShard("shard-new"));
+  std::map<std::string, std::string> after = OwnersOf(router, ids);
+
+  size_t moved = 0;
+  for (const std::string& id : ids) {
+    if (after[id] != before[id]) {
+      // Every relocated id relocates *to the new shard*; no id shuffles
+      // between surviving shards.
+      EXPECT_EQ(after[id], "shard-new") << id;
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(moved, ids.size() * 5 / (2 * (kShards + 1)));
+}
+
+TEST(ShardRouterTest, ReplaceShardMovesNothing) {
+  const std::vector<std::string> ids = RandomIds(1000, /*seed=*/31337);
+  ShardRouter router(64);
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_OK(router.AddShard(StringFormat("shard-%zu", i)));
+  }
+  std::map<std::string, std::string> before = OwnersOf(router, ids);
+  ASSERT_OK(router.ReplaceShard("shard-1", "shard-1-r1"));
+  ASSERT_OK_AND_ASSIGN(std::string ring_key, router.RingKeyOf("shard-1-r1"));
+  EXPECT_EQ(ring_key, "shard-1");
+  for (const std::string& id : ids) {
+    ASSERT_OK_AND_ASSIGN(std::string owner, router.OwnerOf(id));
+    EXPECT_EQ(owner,
+              before[id] == "shard-1" ? "shard-1-r1" : before[id])
+        << id;
+  }
+  // And the rename survives a rebuild from (name, ring key) pairs, which is
+  // how a reopened coordinator reconstructs the ring from its manifest.
+  ShardRouter rebuilt(64);
+  for (const std::string& name : router.Shards()) {
+    ASSERT_OK_AND_ASSIGN(std::string key, router.RingKeyOf(name));
+    ASSERT_OK(rebuilt.AddShardWithKey(name, key));
+  }
+  for (const std::string& id : ids) {
+    ASSERT_OK_AND_ASSIGN(std::string owner, router.OwnerOf(id));
+    ASSERT_OK_AND_ASSIGN(std::string rebuilt_owner, rebuilt.OwnerOf(id));
+    EXPECT_EQ(owner, rebuilt_owner) << id;
+  }
+}
+
+TEST(ShardRouterTest, ErrorsAreTyped) {
+  ShardRouter router(8);
+  EXPECT_TRUE(router.OwnerOf("set-1").status().IsInvalidArgument());
+  ASSERT_OK(router.AddShard("a"));
+  EXPECT_TRUE(router.AddShard("a").IsAlreadyExists());
+  EXPECT_TRUE(router.RemoveShard("b").IsNotFound());
+  EXPECT_TRUE(router.ReplaceShard("b", "c").IsNotFound());
+  EXPECT_TRUE(router.RingKeyOf("b").status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Cluster fixture: a coordinator over a fault-injectable in-memory env.
+
+void ExpectSetEquals(const ModelSet& recovered, const ModelSet& expected,
+                     const std::string& label) {
+  ASSERT_EQ(recovered.models.size(), expected.models.size()) << label;
+  ASSERT_EQ(recovered.spec, expected.spec) << label;
+  for (size_t m = 0; m < recovered.models.size(); ++m) {
+    ASSERT_EQ(recovered.models[m].size(), expected.models[m].size()) << label;
+    for (size_t p = 0; p < recovered.models[m].size(); ++p) {
+      ASSERT_EQ(recovered.models[m][p].first, expected.models[m][p].first)
+          << label;
+      ASSERT_TRUE(
+          recovered.models[m][p].second.Equals(expected.models[m][p].second))
+          << label << ": model " << m << " param "
+          << recovered.models[m][p].first;
+    }
+  }
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest() : fault_(&base_) {}
+
+  void OpenCluster(size_t shards) {
+    ScenarioConfig config = ScenarioConfig::Battery(8);
+    config.samples_per_dataset = 48;
+    scenario_ = std::make_unique<MultiModelScenario>(config);
+    ASSERT_OK(scenario_->Init());
+    ASSERT_OK(Reopen(shards));
+  }
+
+  // Opens a fresh coordinator over the same env (per-shard journal replay
+  // runs here). On reopen the manifest wins, so `shards` only matters the
+  // first time.
+  Status Reopen(size_t shards) {
+    cluster_.reset();
+    ClusterOptions options;
+    options.root_dir = "/cluster";
+    options.env = &fault_;
+    options.shard_count = shards;
+    options.resolver = scenario_.get();
+    options.profile = SetupProfile::Server();
+    options.service.cache_enabled = cache_enabled_;
+    MMM_ASSIGN_OR_RETURN(cluster_, Coordinator::Open(std::move(options)));
+    return Status::OK();
+  }
+
+  std::string Save(ApproachType type, const ModelSetUpdateInfo* update) {
+    Result<SaveResult> saved =
+        update == nullptr
+            ? cluster_->SaveInitial(type, scenario_->current_set())
+            : [&] {
+                ModelSetUpdateInfo derived = *update;
+                derived.base_set_id = heads_[type];
+                return cluster_->SaveDerived(type, scenario_->current_set(),
+                                             derived);
+              }();
+    saved.status().Check();
+    if (update != nullptr) {
+      // Chain colocation: the derived set landed on its base's shard.
+      auto base_owner = cluster_->OwnerOf(heads_[type]);
+      auto owner = cluster_->OwnerOf(saved.ValueOrDie().set_id);
+      base_owner.status().Check();
+      owner.status().Check();
+      EXPECT_EQ(owner.ValueOrDie(), base_owner.ValueOrDie());
+    }
+    heads_[type] = saved.ValueOrDie().set_id;
+    first_.emplace(type, saved.ValueOrDie().set_id);
+    expected_[saved.ValueOrDie().set_id] = scenario_->current_set();
+    order_.push_back(saved.ValueOrDie().set_id);
+    return saved.ValueOrDie().set_id;
+  }
+
+  void SaveAll(const ModelSetUpdateInfo* update) {
+    for (ApproachType type : kAllApproaches) Save(type, update);
+  }
+
+  // Initial saves for every approach plus `cycles` derived generations.
+  void BuildWorkload(size_t cycles) {
+    SaveAll(nullptr);
+    for (size_t cycle = 0; cycle < cycles; ++cycle) {
+      auto update = scenario_->AdvanceCycle();
+      update.status().Check();
+      SaveAll(&update.ValueOrDie());
+    }
+  }
+
+  void ExpectAllSetsBitExact(const std::string& label) {
+    for (const auto& [id, expected] : expected_) {
+      ASSERT_OK_AND_ASSIGN(ModelSet recovered, cluster_->Recover(id));
+      ExpectSetEquals(recovered, expected, label + " set " + id);
+    }
+  }
+
+  void ExpectFsckClean(const std::string& label) {
+    ASSERT_OK_AND_ASSIGN(ClusterFsckReport fsck, cluster_->Fsck());
+    EXPECT_TRUE(fsck.clean())
+        << label << ": "
+        << (fsck.problems.empty() ? "shard-level problem"
+                                  : fsck.problems.front());
+  }
+
+  InMemoryEnv base_;
+  FaultInjectionEnv fault_;
+  /// Set to false before OpenCluster for deterministic degraded-mode
+  /// assertions (a dead shard must not answer from a warm cache).
+  bool cache_enabled_ = true;
+  std::unique_ptr<MultiModelScenario> scenario_;
+  std::unique_ptr<Coordinator> cluster_;
+  std::map<ApproachType, std::string> heads_;
+  /// First id saved with each approach (each approach's chain root).
+  std::map<ApproachType, std::string> first_;
+  std::map<std::string, ModelSet> expected_;
+  std::vector<std::string> order_;
+};
+
+// ---------------------------------------------------------------------------
+// Single-shard parity: the acceptance bar for the whole tier. A 1-shard
+// cluster and an un-sharded manager + service, driven identically, must be
+// indistinguishable request by request.
+
+TEST(ClusterParityTest, SingleShardClusterIsBitExactWithUnshardedService) {
+  ScenarioConfig config = ScenarioConfig::Battery(8);
+  config.samples_per_dataset = 48;
+
+  // Plain world: manager + service, as before the cluster tier existed.
+  InMemoryEnv plain_env;
+  auto plain_scenario = std::make_unique<MultiModelScenario>(config);
+  ASSERT_OK(plain_scenario->Init());
+  ModelSetManager::Options manager_options;
+  manager_options.root_dir = "/plain";
+  manager_options.env = &plain_env;
+  manager_options.resolver = plain_scenario.get();
+  manager_options.profile = SetupProfile::Server();
+  ASSERT_OK_AND_ASSIGN(auto manager, ModelSetManager::Open(manager_options));
+  ModelSetService service(manager.get(), ModelSetServiceOptions{});
+
+  // Cluster world: one shard over its own env, same seeds.
+  InMemoryEnv cluster_env;
+  auto cluster_scenario = std::make_unique<MultiModelScenario>(config);
+  ASSERT_OK(cluster_scenario->Init());
+  ClusterOptions cluster_options;
+  cluster_options.root_dir = "/cluster";
+  cluster_options.env = &cluster_env;
+  cluster_options.shard_count = 1;
+  cluster_options.resolver = cluster_scenario.get();
+  cluster_options.profile = SetupProfile::Server();
+  ASSERT_OK_AND_ASSIGN(auto cluster,
+                       Coordinator::Open(std::move(cluster_options)));
+
+  // Drive both worlds through the same save sequence and compare every
+  // SaveResult field that reflects store behavior.
+  std::map<ApproachType, std::string> plain_heads, cluster_heads;
+  std::vector<std::string> ids;
+  auto save_all = [&](const ModelSetUpdateInfo* plain_update,
+                      const ModelSetUpdateInfo* cluster_update) {
+    for (ApproachType type : kAllApproaches) {
+      Result<SaveResult> plain_saved =
+          plain_update == nullptr
+              ? manager->SaveInitial(type, plain_scenario->current_set())
+              : [&] {
+                  ModelSetUpdateInfo derived = *plain_update;
+                  derived.base_set_id = plain_heads[type];
+                  return manager->SaveDerived(
+                      type, plain_scenario->current_set(), derived);
+                }();
+      Result<SaveResult> cluster_saved =
+          cluster_update == nullptr
+              ? cluster->SaveInitial(type, cluster_scenario->current_set())
+              : [&] {
+                  ModelSetUpdateInfo derived = *cluster_update;
+                  derived.base_set_id = cluster_heads[type];
+                  return cluster->SaveDerived(
+                      type, cluster_scenario->current_set(), derived);
+                }();
+      ASSERT_OK(plain_saved.status());
+      ASSERT_OK(cluster_saved.status());
+      const SaveResult& p = plain_saved.ValueOrDie();
+      const SaveResult& c = cluster_saved.ValueOrDie();
+      EXPECT_EQ(p.set_id, c.set_id);  // identical id streams
+      EXPECT_EQ(p.bytes_written, c.bytes_written);
+      EXPECT_EQ(p.file_store_writes, c.file_store_writes);
+      EXPECT_EQ(p.doc_store_writes, c.doc_store_writes);
+      EXPECT_EQ(p.simulated_store_nanos, c.simulated_store_nanos);
+      plain_heads[type] = p.set_id;
+      cluster_heads[type] = c.set_id;
+      ids.push_back(p.set_id);
+    }
+  };
+  save_all(nullptr, nullptr);
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    ASSERT_OK_AND_ASSIGN(ModelSetUpdateInfo plain_update,
+                         plain_scenario->AdvanceCycle());
+    ASSERT_OK_AND_ASSIGN(ModelSetUpdateInfo cluster_update,
+                         cluster_scenario->AdvanceCycle());
+    save_all(&plain_update, &cluster_update);
+  }
+
+  // Replay the same Zipfian trace through both serving paths; every
+  // per-request result must match field for field, including the cache
+  // counters (workers=1, so the hit pattern is deterministic).
+  std::vector<std::string> trace = BuildZipfianTrace(ids, 96, 0.99, 13);
+  std::vector<ModelSet> plain_recovered, cluster_recovered;
+  std::vector<ServeResult> plain_results =
+      service.Replay(trace, &plain_recovered);
+  std::vector<ServeResult> cluster_results =
+      cluster->Replay(trace, &cluster_recovered);
+  ASSERT_EQ(plain_results.size(), cluster_results.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_OK(plain_results[i].status);
+    ASSERT_OK(cluster_results[i].status);
+    EXPECT_EQ(plain_results[i].set_id, cluster_results[i].set_id);
+    EXPECT_EQ(plain_results[i].modeled_store_nanos,
+              cluster_results[i].modeled_store_nanos)
+        << "request " << i;
+    EXPECT_EQ(plain_results[i].sets_walked, cluster_results[i].sets_walked);
+    EXPECT_EQ(plain_results[i].cache.layer_hits,
+              cluster_results[i].cache.layer_hits);
+    EXPECT_EQ(plain_results[i].cache.layer_misses,
+              cluster_results[i].cache.layer_misses);
+    EXPECT_EQ(plain_results[i].cache.meta_hits,
+              cluster_results[i].cache.meta_hits);
+    EXPECT_EQ(plain_results[i].cache.meta_misses,
+              cluster_results[i].cache.meta_misses);
+    ExpectSetEquals(cluster_recovered[i], plain_recovered[i],
+                    "request " + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-shard routing and fan-out maintenance.
+
+TEST_F(ClusterTest, DataSpreadsAndEverySetServesBitExact) {
+  OpenCluster(4);
+  SaveAll(nullptr);
+  // Initial saves are ring-placed by construction: nothing is misplaced.
+  {
+    ASSERT_OK_AND_ASSIGN(ClusterStatus initial, cluster_->StatusReport());
+    for (const ShardStatus& shard : initial.shards) {
+      EXPECT_EQ(shard.misplaced_sets, 0u) << shard.name;
+    }
+  }
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    auto update = scenario_->AdvanceCycle();
+    update.status().Check();
+    SaveAll(&update.ValueOrDie());  // Save() asserts colocation
+  }
+
+  ASSERT_OK_AND_ASSIGN(ClusterStatus status, cluster_->StatusReport());
+  EXPECT_EQ(status.shards.size(), 4u);
+  EXPECT_EQ(status.total_sets, expected_.size());
+  size_t populated = 0;
+  size_t misplaced = 0;
+  for (const ShardStatus& shard : status.shards) {
+    misplaced += shard.misplaced_sets;
+    if (shard.sets > 0) ++populated;
+  }
+  // Chain colocation keeps every non-full set with its base (never
+  // misplaced); only the *full* derived copies (baseline / mmlib-base, 2
+  // per cycle) can sit off their ring arc until a rebalance.
+  EXPECT_LE(misplaced, 4u);
+  // 4 initial ids over 4 shards: the fixed hash constellation populates
+  // more than one shard (deterministic, not a distributional gamble).
+  EXPECT_GE(populated, 2u);
+
+  ExpectAllSetsBitExact("multi-shard");
+  ExpectFsckClean("multi-shard");
+
+  // A cross-shard trace replays with per-request results in input order.
+  std::vector<std::string> trace = BuildZipfianTrace(order_, 64, 0.99, 17);
+  std::vector<ModelSet> recovered;
+  std::vector<ServeResult> results = cluster_->Replay(trace, &recovered);
+  ASSERT_EQ(results.size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok())
+        << "request " << i << ": " << results[i].status.ToString();
+    EXPECT_EQ(results[i].set_id, trace[i]);
+    ExpectSetEquals(recovered[i], expected_[trace[i]], "request " + trace[i]);
+  }
+  // Unknown ids fail per-request without disturbing the rest.
+  std::vector<ServeResult> mixed =
+      cluster_->Replay({order_.front(), "set-999999-cafecafe"});
+  ASSERT_OK(mixed[0].status);
+  EXPECT_TRUE(mixed[1].status.IsNotFound());
+}
+
+TEST_F(ClusterTest, MaintenanceFansOutAcrossShards) {
+  OpenCluster(3);
+  BuildWorkload(/*cycles=*/2);
+
+  // Chain compaction reaches chains on every shard through one call.
+  CompactionPolicy policy;
+  policy.max_chain_depth = 1;
+  ASSERT_OK_AND_ASSIGN(CompactionReport compacted,
+                       cluster_->CompactChains(policy));
+  EXPECT_GT(compacted.chains_scanned, 0u);
+  EXPECT_GT(compacted.sets_rebased, 0u);  // update chains had depth 2
+  ExpectAllSetsBitExact("after compaction");
+
+  // RetainOnly validates before deleting anything...
+  auto bad = cluster_->RetainOnly({heads_[ApproachType::kUpdate], "set-nope"});
+  EXPECT_TRUE(bad.status().IsNotFound());
+  ExpectAllSetsBitExact("after refused retain");
+
+  // ...then keeps the heads plus their lineage closure everywhere else.
+  // The compaction above shortened the update chains, so the orphaned
+  // mid-chain sets fall out of every head's lineage and are deleted.
+  std::vector<std::string> keep;
+  for (const auto& [type, id] : heads_) keep.push_back(id);
+  ASSERT_OK_AND_ASSIGN(DeleteReport deleted, cluster_->RetainOnly(keep));
+  EXPECT_GT(deleted.sets_deleted, 0u);
+  for (const auto& [type, id] : heads_) {
+    ASSERT_OK_AND_ASSIGN(ModelSet recovered, cluster_->Recover(id));
+    ExpectSetEquals(recovered, expected_[id], "kept head " + id);
+  }
+  // Deleted sets are gone from the serving path and the placement map on
+  // every shard the fan-out reached.
+  ASSERT_EQ(deleted.deleted_set_ids.size(), deleted.sets_deleted);
+  for (const std::string& id : deleted.deleted_set_ids) {
+    EXPECT_TRUE(cluster_->Recover(id).status().IsNotFound()) << id;
+    EXPECT_TRUE(cluster_->OwnerOf(id).status().IsNotFound()) << id;
+  }
+  ASSERT_OK_AND_ASSIGN(ClusterStatus retained, cluster_->StatusReport());
+  EXPECT_EQ(retained.total_sets + deleted.sets_deleted, expected_.size());
+  ExpectFsckClean("after retain");
+}
+
+TEST_F(ClusterTest, PinningRoutesToTheOwningShardAndBlocksDeletion) {
+  OpenCluster(2);
+  std::string id = Save(ApproachType::kUpdate, nullptr);
+  ASSERT_OK(cluster_->PinSet(id));
+  ASSERT_OK_AND_ASSIGN(std::string owner, cluster_->OwnerOf(id));
+  ModelSetService::StatsSnapshot snapshot =
+      cluster_->shard(owner)->service()->Snapshot();
+  EXPECT_EQ(snapshot.pinned_sets, std::vector<std::string>{id});
+
+  auto deleted = cluster_->DeleteSet(id);
+  EXPECT_TRUE(deleted.status().IsInvalidArgument())
+      << deleted.status().ToString();
+  ASSERT_OK_AND_ASSIGN(ModelSet still_there, cluster_->Recover(id));
+  ExpectSetEquals(still_there, expected_[id], "pinned survivor");
+
+  ASSERT_OK(cluster_->UnpinSet(id));
+  ASSERT_OK(cluster_->DeleteSet(id).status());
+  EXPECT_TRUE(cluster_->OwnerOf(id).status().IsNotFound());
+  EXPECT_TRUE(cluster_->PinSet("set-nope").IsNotFound());
+}
+
+TEST_F(ClusterTest, ReopenPreservesTopologyPlacementAndIdStream) {
+  OpenCluster(3);
+  BuildWorkload(/*cycles=*/1);
+  std::vector<std::string> names = cluster_->ShardNames();
+  std::map<std::string, std::string> owners;
+  for (const std::string& id : order_) {
+    ASSERT_OK_AND_ASSIGN(owners[id], cluster_->OwnerOf(id));
+  }
+
+  // Reopen asking for 1 shard: the manifest wins, nothing changes.
+  ASSERT_OK(Reopen(/*shards=*/1));
+  EXPECT_EQ(cluster_->shard_count(), 3u);
+  EXPECT_EQ(cluster_->ShardNames(), names);
+  for (const std::string& id : order_) {
+    ASSERT_OK_AND_ASSIGN(std::string owner, cluster_->OwnerOf(id));
+    EXPECT_EQ(owner, owners[id]) << id;
+  }
+  ExpectAllSetsBitExact("after reopen");
+
+  // The master id generator resumed past every persisted id: a new save
+  // must mint a fresh id, not recycle one.
+  std::string fresh = Save(ApproachType::kMMlibBase, nullptr);
+  EXPECT_EQ(owners.count(fresh), 0u) << fresh;
+  ExpectFsckClean("after reopen");
+}
+
+// ---------------------------------------------------------------------------
+// Failover: kill a shard mid-traffic, replay its journal into a
+// replacement, and verify the cluster is whole again with zero id movement.
+
+TEST_F(ClusterTest, KillingAShardMidTrafficFailsOverCleanly) {
+  cache_enabled_ = false;
+  OpenCluster(3);
+  BuildWorkload(/*cycles=*/2);
+  std::vector<std::string> trace = BuildZipfianTrace(order_, 64, 0.99, 23);
+  for (const ServeResult& r : cluster_->Replay(trace)) ASSERT_OK(r.status);
+
+  // The victim: whichever shard serves the first saved set. Interrupt a
+  // derived save against it mid-write first, so its journal has an entry
+  // to roll back — the failover replay must repair it.
+  ASSERT_OK_AND_ASSIGN(std::string victim, cluster_->OwnerOf(order_.front()));
+  std::string victim_root = cluster_->shard(victim)->root_dir();
+  ASSERT_OK_AND_ASSIGN(ModelSetUpdateInfo update, scenario_->AdvanceCycle());
+  ModelSetUpdateInfo interrupted = update;
+  interrupted.base_set_id = order_.front();
+  fault_.FailWritesAfter(fault_.write_count() + 2);
+  EXPECT_FALSE(cluster_
+                   ->SaveDerived(ApproachType::kMMlibBase,
+                                 scenario_->current_set(), interrupted)
+                   .ok());
+  fault_.Heal();
+
+  // Now the node dies: its subtree becomes unreachable while traffic is
+  // in flight on other threads.
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < 2; ++t) {
+    traffic.emplace_back([&] {
+      for (int round = 0; round < 3; ++round) cluster_->Replay(trace);
+    });
+  }
+  fault_.FailPathsUnder(victim_root);
+  for (std::thread& t : traffic) t.join();
+
+  // Degraded mode: exactly the victim's requests fail, everyone else
+  // keeps serving.
+  for (const ServeResult& r : cluster_->Replay(trace)) {
+    ASSERT_OK_AND_ASSIGN(std::string owner, cluster_->OwnerOf(r.set_id));
+    if (owner == victim) {
+      EXPECT_FALSE(r.status.ok()) << r.set_id;
+    } else {
+      ASSERT_TRUE(r.status.ok())
+          << r.set_id << ": " << r.status.ToString();
+    }
+  }
+
+  // The replacement mounts the surviving subtree: heal, fail over, and the
+  // journal replay rolls the interrupted save back.
+  fault_.HealPaths();
+  ASSERT_OK_AND_ASSIGN(RepairReport replay, cluster_->FailOver(victim));
+  EXPECT_TRUE(replay.clean())
+      << (replay.problems.empty() ? "" : replay.problems.front());
+  EXPECT_EQ(replay.rolled_back, 1u);
+
+  EXPECT_EQ(cluster_->shard(victim), nullptr);
+  std::string replacement = victim + "-r1";
+  ASSERT_NE(cluster_->shard(replacement), nullptr);
+  ASSERT_OK_AND_ASSIGN(ClusterStatus status, cluster_->StatusReport());
+  EXPECT_EQ(status.failovers, 1u);
+  for (const ShardStatus& shard : status.shards) {
+    if (shard.name == replacement) {
+      // ReplaceShard inherited the dead shard's points...
+      EXPECT_EQ(shard.ring_key, victim);
+      // ...so nothing is misplaced: zero ids moved.
+      EXPECT_EQ(shard.misplaced_sets, 0u);
+    }
+  }
+  for (const std::string& id : order_) {
+    ASSERT_OK_AND_ASSIGN(std::string owner, cluster_->OwnerOf(id));
+    EXPECT_NE(owner, victim) << id;
+  }
+
+  // Whole again: every request serves bit-exactly and the fsck is clean.
+  std::vector<ModelSet> recovered;
+  std::vector<ServeResult> results = cluster_->Replay(trace, &recovered);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok())
+        << trace[i] << ": " << results[i].status.ToString();
+    ExpectSetEquals(recovered[i], expected_[trace[i]], "post-failover");
+  }
+  ExpectFsckClean("post-failover");
+
+  // And the cluster survives another generation of the same shard dying.
+  fault_.FailPathsUnder(victim_root);
+  fault_.HealPaths();
+  ASSERT_OK(cluster_->FailOver(replacement).status());
+  ASSERT_NE(cluster_->shard(victim + "-r1-r2"), nullptr);
+  ExpectAllSetsBitExact("second failover");
+  ExpectFsckClean("second failover");
+}
+
+TEST_F(ClusterTest, FailOverUnknownShardIsTyped) {
+  OpenCluster(2);
+  EXPECT_TRUE(cluster_->FailOver("shard-9").status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Elastic growth: AddShard + Rebalance restore ring placement with
+// recovered bytes unchanged, and converge (a second run moves nothing).
+
+TEST_F(ClusterTest, AddShardThenRebalanceRestoresRingPlacement) {
+  OpenCluster(2);
+  BuildWorkload(/*cycles=*/2);
+
+  ASSERT_OK(cluster_->AddShard("shard-2"));
+  EXPECT_TRUE(cluster_->AddShard("shard-2").IsAlreadyExists());
+  EXPECT_EQ(cluster_->shard_count(), 3u);
+  // Until the rebalance, everything keeps serving from where it was.
+  ExpectAllSetsBitExact("pre-rebalance");
+
+  ASSERT_OK_AND_ASSIGN(RebalanceReport moved, cluster_->Rebalance());
+  EXPECT_TRUE(moved.skipped.empty())
+      << (moved.skipped.empty() ? "" : moved.skipped.front());
+  ASSERT_OK_AND_ASSIGN(ClusterStatus status, cluster_->StatusReport());
+  for (const ShardStatus& shard : status.shards) {
+    EXPECT_EQ(shard.misplaced_sets, 0u) << shard.name;
+  }
+  EXPECT_EQ(status.total_sets, expected_.size());
+  // Moves are placement surgery, never data surgery: bytes unchanged.
+  ExpectAllSetsBitExact("post-rebalance");
+  ExpectFsckClean("post-rebalance");
+
+  // Converged: a second run finds nothing to do.
+  ASSERT_OK_AND_ASSIGN(RebalanceReport again, cluster_->Rebalance());
+  EXPECT_EQ(again.sets_moved, 0u);
+  EXPECT_EQ(again.chains_flattened, 0u);
+
+  // A pinned set refuses to leave its shard but does not fail the run.
+  // (Pinning is an update-approach feature, so pin that chain's head.)
+  ASSERT_OK(cluster_->AddShard("shard-3"));
+  std::string pinned_id = heads_[ApproachType::kUpdate];
+  ASSERT_OK_AND_ASSIGN(std::string pinned_owner, cluster_->OwnerOf(pinned_id));
+  ASSERT_OK(cluster_->PinSet(pinned_id));
+  ASSERT_OK_AND_ASSIGN(RebalanceReport pinned, cluster_->Rebalance());
+  ASSERT_OK_AND_ASSIGN(std::string owner_now, cluster_->OwnerOf(pinned_id));
+  EXPECT_EQ(owner_now, pinned_owner);
+  ASSERT_OK(cluster_->UnpinSet(pinned_id));
+  ASSERT_OK(cluster_->Rebalance().status());
+  ExpectFsckClean("post-growth");
+  ExpectAllSetsBitExact("post-growth");
+}
+
+// ---------------------------------------------------------------------------
+// Crash-during-rebalance sweep (test_crash_recovery.cc style): a probe run
+// learns the rebalance's write count, then every k-th write crashes a fresh
+// world. Reopening replays each shard's journal; rerunning the rebalance
+// must converge with every set bit-exact and the cluster fsck-clean.
+
+struct RebalanceWorld {
+  RebalanceWorld() : fault(&base) {}
+
+  Status Open() {
+    ScenarioConfig config = ScenarioConfig::Battery(4);
+    config.full_update_fraction = 0.5;
+    config.partial_update_fraction = 0.25;
+    config.samples_per_dataset = 32;
+    scenario = std::make_unique<MultiModelScenario>(config);
+    MMM_RETURN_NOT_OK(scenario->Init());
+    return Reopen();
+  }
+
+  Status Reopen() {
+    cluster.reset();
+    ClusterOptions options;
+    options.root_dir = "/cluster";
+    options.env = &fault;
+    options.shard_count = 1;
+    options.resolver = scenario.get();
+    MMM_ASSIGN_OR_RETURN(cluster, Coordinator::Open(std::move(options)));
+    return Status::OK();
+  }
+
+  // A chain plus two standalone sets on the original single shard, then a
+  // new empty shard — everything the ring hands to shard-1 is misplaced
+  // until the rebalance moves it.
+  Status Build() {
+    auto record = [&](Result<SaveResult> saved) -> Status {
+      MMM_RETURN_NOT_OK(saved.status());
+      ids.push_back(saved.ValueOrDie().set_id);
+      expected[saved.ValueOrDie().set_id] = scenario->current_set();
+      return Status::OK();
+    };
+    MMM_RETURN_NOT_OK(record(cluster->SaveInitial(ApproachType::kUpdate,
+                                                  scenario->current_set())));
+    MMM_RETURN_NOT_OK(record(cluster->SaveInitial(ApproachType::kBaseline,
+                                                  scenario->current_set())));
+    MMM_RETURN_NOT_OK(record(cluster->SaveInitial(ApproachType::kMMlibBase,
+                                                  scenario->current_set())));
+    std::string head = ids.front();
+    for (int i = 0; i < 2; ++i) {
+      MMM_ASSIGN_OR_RETURN(ModelSetUpdateInfo update,
+                           scenario->AdvanceCycle());
+      update.base_set_id = head;
+      MMM_RETURN_NOT_OK(record(cluster->SaveDerived(
+          ApproachType::kUpdate, scenario->current_set(), update)));
+      head = ids.back();
+    }
+    return cluster->AddShard("shard-1");
+  }
+
+  InMemoryEnv base;
+  FaultInjectionEnv fault;
+  std::unique_ptr<MultiModelScenario> scenario;
+  std::unique_ptr<Coordinator> cluster;
+  std::vector<std::string> ids;
+  std::map<std::string, ModelSet> expected;
+};
+
+TEST(RebalanceCrashSweep, EveryCrashPointConvergesCleanAndBitExact) {
+  // Probe: learn the write count of an unimpeded rebalance, and make sure
+  // the fixed hash constellation actually exercises both a flatten and a
+  // move (the ids and ring are deterministic, so this cannot flake).
+  int64_t before = 0;
+  int64_t writes = 0;
+  {
+    RebalanceWorld probe;
+    ASSERT_OK(probe.Open());
+    ASSERT_OK(probe.Build());
+    before = probe.fault.write_count();
+    ASSERT_OK_AND_ASSIGN(RebalanceReport report, probe.cluster->Rebalance());
+    writes = probe.fault.write_count() - before;
+    ASSERT_GT(report.sets_moved, 0u);
+    ASSERT_TRUE(report.skipped.empty());
+    ASSERT_GT(writes, 0);
+  }
+
+  // Sweep, strided to bound the runtime; the first and last write index
+  // are always included.
+  int64_t stride = std::max<int64_t>(1, writes / 24);
+  for (int64_t k = 0; k < writes; k += (k + stride >= writes ? 1 : stride)) {
+    std::string label = "rebalance crash@" + std::to_string(k);
+    RebalanceWorld world;
+    ASSERT_OK(world.Open());
+    ASSERT_OK(world.Build());
+    ASSERT_EQ(world.fault.write_count(), before) << label;
+    world.fault.FailWritesAfter(before + k);
+    EXPECT_FALSE(world.cluster->Rebalance().ok()) << label;
+    world.fault.Heal();
+
+    // The coordinator crashed with it; a fresh one reopens the shards
+    // (journal replay), rediscovers placement from the stores, and the
+    // rerun converges.
+    ASSERT_OK(world.Reopen());
+    ASSERT_OK_AND_ASSIGN(RebalanceReport rerun, world.cluster->Rebalance());
+    EXPECT_TRUE(rerun.skipped.empty()) << label;
+    ASSERT_OK_AND_ASSIGN(ClusterStatus status, world.cluster->StatusReport());
+    EXPECT_EQ(status.total_sets, world.ids.size()) << label;
+    for (const ShardStatus& shard : status.shards) {
+      EXPECT_EQ(shard.misplaced_sets, 0u) << label << " " << shard.name;
+    }
+    for (const std::string& id : world.ids) {
+      ASSERT_OK_AND_ASSIGN(ModelSet recovered, world.cluster->Recover(id));
+      ExpectSetEquals(recovered, world.expected.at(id), label + " " + id);
+    }
+    ASSERT_OK_AND_ASSIGN(ClusterFsckReport fsck, world.cluster->Fsck());
+    EXPECT_TRUE(fsck.clean())
+        << label << ": "
+        << (fsck.problems.empty() ? "shard-level problem"
+                                  : fsck.problems.front());
+  }
+}
+
+}  // namespace
+}  // namespace mmm

@@ -536,5 +536,41 @@ TEST_F(ServeTest, ConcurrentZipfianReplayIsRaceFreeAndExact) {
   EXPECT_LE(cache_stats.bytes_used, cache_stats.capacity_bytes);
 }
 
+// Per-request modeled store cost is exact at any worker count: charges are
+// attributed through the per-thread clock accumulator and a request runs
+// entirely on one worker, so the 4-worker replay reports the same
+// modeled_store_nanos per request as the sequential one — not just the same
+// total. Cache off, so every request takes the full store path.
+TEST_F(ServeTest, PerRequestModeledCostExactUnderConcurrency) {
+  OpenManager();
+  SaveAll(nullptr);
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    ASSERT_OK_AND_ASSIGN(ModelSetUpdateInfo update, scenario_->AdvanceCycle());
+    SaveAll(&update);
+  }
+  std::vector<std::string> ids;
+  for (const auto& [id, set] : expected_) ids.push_back(id);
+  std::vector<std::string> trace = BuildZipfianTrace(ids, 48, 0.99, 13);
+
+  std::vector<std::vector<ServeResult>> runs;
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    ModelSetServiceOptions options;
+    options.workers = workers;
+    options.cache_enabled = false;
+    ModelSetService service(manager_.get(), options);
+    runs.push_back(service.Replay(trace));
+  }
+  ASSERT_EQ(runs[0].size(), trace.size());
+  ASSERT_EQ(runs[1].size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_OK(runs[0][i].status);
+    ASSERT_OK(runs[1][i].status);
+    EXPECT_GT(runs[0][i].modeled_store_nanos, 0u) << "request " << i;
+    EXPECT_EQ(runs[0][i].modeled_store_nanos, runs[1][i].modeled_store_nanos)
+        << "request " << i << " set " << trace[i];
+    EXPECT_EQ(runs[0][i].sets_walked, runs[1][i].sets_walked);
+  }
+}
+
 }  // namespace
 }  // namespace mmm

@@ -20,10 +20,22 @@
 //                                           over every saved set through the
 //                                           serving layer and report cache
 //                                           hit rate + recovery cost
+//   mmmctl <root-dir> cluster init [shards] create a sharded cluster
+//   mmmctl <root-dir> cluster status        per-shard sets/bytes/misplacement
+//   mmmctl <root-dir> cluster rebalance     move misplaced sets to ring owners
+//   mmmctl <root-dir> cluster kill-shard <name>
+//                                           fail a shard over to a replacement
+//                                           (journal replay over its subtree)
+//   mmmctl <root-dir> cluster add-shard <name>
+//                                           grow the ring (rebalance separately)
 //
 // Export works for full-snapshot and Update chains; Provenance chains
 // additionally need the external data owner, which a generic CLI does not
 // have — exporting such sets reports an error explaining that.
+//
+// Every command-line shape error prints the one-line usage string to stderr
+// and exits 64 (EX_USAGE); runtime failures print "error: ..." and exit
+// nonzero.
 
 #include <algorithm>
 #include <cstdio>
@@ -32,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/coordinator.h"
 #include "common/strings.h"
 #include "core/blob_formats.h"
 #include "core/gc.h"
@@ -46,6 +59,20 @@ namespace {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Single usage line for every command-shape error (wrong argument count,
+/// unknown command, unknown flag), exit code 64 (EX_USAGE).
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mmmctl <store-dir> "
+               "{list | lineage <set-id> | validate | fsck | show <set-id> | "
+               "export <set-id> <out-dir> | delete <set-id> [--cascade] | "
+               "retain <set-id>... | compact [--max-depth N] [--dry-run] | "
+               "serve-replay [requests] [workers] [cache-mb] [theta] | "
+               "cluster {init [shards] | status | rebalance | "
+               "kill-shard <name> | add-shard <name>}}\n");
+  return 64;
 }
 
 void PrintSummaryHeader() {
@@ -324,24 +351,166 @@ int CmdCompact(ModelSetManager* manager, const CompactionPolicy& policy) {
   return CmdFsck(manager);
 }
 
+Result<std::unique_ptr<Coordinator>> OpenCluster(const std::string& root,
+                                                 size_t shard_count) {
+  ClusterOptions options;
+  options.root_dir = root;
+  options.shard_count = shard_count;
+  return Coordinator::Open(std::move(options));
+}
+
+int CmdClusterInit(const std::string& root, size_t shards) {
+  auto cluster = OpenCluster(root, shards);
+  if (!cluster.ok()) return Fail(cluster.status());
+  std::printf("created cluster at %s with %zu shard(s):\n", root.c_str(),
+              cluster.ValueOrDie()->shard_count());
+  for (const std::string& name : cluster.ValueOrDie()->ShardNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+int CmdClusterStatus(Coordinator* cluster) {
+  auto status = cluster->StatusReport();
+  if (!status.ok()) return Fail(status.status());
+  const ClusterStatus& s = status.ValueOrDie();
+  std::printf("%zu shard(s), %zu set(s), %zu virtual nodes/shard, "
+              "%llu failover(s)\n",
+              s.shards.size(), s.total_sets, s.virtual_nodes,
+              static_cast<unsigned long long>(s.failovers));
+  std::printf("%-20s %-12s %6s %10s %10s  %s\n", "shard", "ring key", "sets",
+              "misplaced", "bytes", "subtree");
+  size_t misplaced = 0;
+  for (const ShardStatus& row : s.shards) {
+    std::printf("%-20s %-12s %6zu %10zu %10s  %s\n", row.name.c_str(),
+                row.ring_key.c_str(), row.sets, row.misplaced_sets,
+                HumanBytes(row.artifact_bytes).c_str(), row.root_dir.c_str());
+    misplaced += row.misplaced_sets;
+  }
+  if (misplaced != 0) {
+    std::printf("%zu misplaced set(s); run 'cluster rebalance'\n", misplaced);
+  }
+  return 0;
+}
+
+int CmdClusterRebalance(Coordinator* cluster) {
+  auto report = cluster->Rebalance();
+  if (!report.ok()) return Fail(report.status());
+  const RebalanceReport& r = report.ValueOrDie();
+  std::printf("rebalanced in %zu pass(es): %zu chain member(s) flattened, "
+              "%zu set(s) moved (%s)\n",
+              r.passes, r.chains_flattened, r.sets_moved,
+              HumanBytes(r.bytes_moved).c_str());
+  for (const std::string& note : r.skipped) {
+    std::printf("  skipped: %s\n", note.c_str());
+  }
+  return 0;
+}
+
+int CmdClusterKillShard(Coordinator* cluster, const std::string& name) {
+  auto replay = cluster->FailOver(name);
+  if (!replay.ok()) return Fail(replay.status());
+  const RepairReport& r = replay.ValueOrDie();
+  std::printf("failed '%s' over to a replacement shard\n", name.c_str());
+  if (r.entries_scanned == 0) {
+    std::printf("journal replay: clean (no interrupted commits)\n");
+  } else {
+    std::printf("journal replay: %zu interrupted commit(s) — %zu rolled "
+                "back, %zu completed\n",
+                r.entries_scanned, r.rolled_back, r.completed);
+  }
+  for (const std::string& problem : r.problems) {
+    std::printf("PROBLEM: %s\n", problem.c_str());
+  }
+  return r.clean() ? 0 : 2;
+}
+
+int CmdClusterAddShard(Coordinator* cluster, const std::string& name) {
+  Status st = cluster->AddShard(name);
+  if (!st.ok()) return Fail(st);
+  std::printf("added shard '%s'; existing sets move on the next "
+              "'cluster rebalance'\n",
+              name.c_str());
+  return 0;
+}
+
+int ClusterMain(const std::string& root, int argc, char** argv) {
+  // argv[0] is the cluster subcommand.
+  std::string sub = argv[0];
+  if (sub == "init") {
+    size_t shards = 1;
+    if (argc >= 2) {
+      char* end = nullptr;
+      shards = std::strtoull(argv[1], &end, 10);
+      if (end == argv[1] || *end != '\0' || shards == 0) return Usage();
+    }
+    return CmdClusterInit(root, shards);
+  }
+  // Every other subcommand operates on an existing cluster; refuse to
+  // conjure one out of a typo'd path.
+  auto manifest = Env::Default()->FileExists(root + "/cluster.json");
+  if (!manifest.ok()) return Fail(manifest.status());
+  if (!manifest.ValueOrDie()) {
+    return Fail(Status::NotFound("no cluster manifest under '", root,
+                                 "' (run 'mmmctl ", root, " cluster init')"));
+  }
+  auto cluster = OpenCluster(root, 1);
+  if (!cluster.ok()) return Fail(cluster.status());
+  if (sub == "status") return CmdClusterStatus(cluster.ValueOrDie().get());
+  if (sub == "rebalance") {
+    return CmdClusterRebalance(cluster.ValueOrDie().get());
+  }
+  if (sub == "kill-shard" && argc >= 2) {
+    return CmdClusterKillShard(cluster.ValueOrDie().get(), argv[1]);
+  }
+  if (sub == "add-shard" && argc >= 2) {
+    return CmdClusterAddShard(cluster.ValueOrDie().get(), argv[1]);
+  }
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: mmmctl <store-dir> "
-                 "{list | lineage <set-id> | validate | fsck | show <set-id> | "
-                 "export <set-id> <out-dir> | delete <set-id> [--cascade] | "
-                 "retain <set-id>... | compact [--max-depth N] [--dry-run] | "
-                 "serve-replay [requests] [workers] [cache-mb] [theta]}\n");
-    return 64;
+  if (argc < 3) return Usage();
+  std::string store_dir = argv[1];
+  std::string command = argv[2];
+
+  // 'cluster init' is the one command allowed to create its directory;
+  // everything else requires an existing store, so a typo'd path is an
+  // error instead of a freshly created empty store.
+  bool creates_store =
+      command == "cluster" && argc >= 4 && std::strcmp(argv[3], "init") == 0;
+  if (!creates_store) {
+    auto exists = Env::Default()->FileExists(store_dir);
+    if (!exists.ok()) return Fail(exists.status());
+    if (!exists.ValueOrDie()) {
+      return Fail(Status::NotFound("store directory '", store_dir,
+                                   "' does not exist"));
+    }
   }
+
+  if (command == "cluster") {
+    if (argc < 4) return Usage();
+    return ClusterMain(store_dir, argc - 3, argv + 3);
+  }
+
+  // Reject unknown commands before touching the store: ModelSetManager::Open
+  // would otherwise initialize an empty store at a typo'd invocation.
+  static const char* kStoreCommands[] = {
+      "list",   "validate", "fsck",    "lineage",      "show",
+      "export", "delete",   "retain",  "compact",      "serve-replay"};
+  bool known = false;
+  for (const char* c : kStoreCommands) known = known || command == c;
+  if (!known) return Usage();
+
   ModelSetManager::Options options;
-  options.root_dir = argv[1];
+  options.root_dir = store_dir;
+  // Single-store CLI commands inspect exactly one un-sharded store; the
+  // cluster commands above go through the Coordinator.
+  // MMMLINT(direct-manager-open): generic single-store inspection CLI.
   auto manager = ModelSetManager::Open(options);
   if (!manager.ok()) return Fail(manager.status());
-
-  std::string command = argv[2];
   if (command == "list") return CmdList(manager.ValueOrDie().get());
   if (command == "validate") return CmdValidate(manager.ValueOrDie().get());
   if (command == "fsck") return CmdFsck(manager.ValueOrDie().get());
@@ -370,8 +539,7 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--max-depth") == 0 && i + 1 < argc) {
         policy.max_chain_depth = std::strtoull(argv[++i], nullptr, 10);
       } else {
-        std::fprintf(stderr, "unknown compact option '%s'\n", argv[i]);
-        return 64;
+        return Usage();
       }
     }
     return CmdCompact(manager.ValueOrDie().get(), policy);
@@ -384,6 +552,5 @@ int main(int argc, char** argv) {
     return CmdServeReplay(manager.ValueOrDie().get(), requests, workers,
                           cache_mb, theta);
   }
-  std::fprintf(stderr, "unknown or incomplete command '%s'\n", command.c_str());
-  return 64;
+  return Usage();
 }

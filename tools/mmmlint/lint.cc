@@ -381,6 +381,41 @@ void CheckDirectEnvWrite(const RuleContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// direct-manager-open: ModelSetManager is opened by its ownership layers
+// (core itself, cluster shards) plus tests and benches; everything else gets
+// a manager (or a Coordinator) handed to it. A stray Open elsewhere is how
+// two facades end up racing on one store without the cluster's placement
+// and locking discipline.
+
+/// Path with everything up to and including the last "lint_fixtures/"
+/// stripped, so fixture trees mirror real source paths (a fixture under
+/// tests/lint_fixtures/x/src/serve/ is judged as src/serve/, not exempted
+/// as part of tests/).
+std::string EffectivePath(const std::string& path) {
+  size_t pos = path.rfind("lint_fixtures/");
+  if (pos == std::string::npos) return path;
+  return path.substr(pos + std::string_view("lint_fixtures/").size());
+}
+
+void CheckDirectManagerOpen(const RuleContext& ctx) {
+  std::string path = EffectivePath(ctx.file.path);
+  if (PathContains(path, "src/core/") || PathContains(path, "src/cluster/") ||
+      PathContains(path, "tests/") || PathContains(path, "bench/")) {
+    return;
+  }
+  const auto& toks = ctx.file.tokens;
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (IsIdent(&toks[i], "ModelSetManager") && IsPunct(&toks[i + 1], "::") &&
+        IsIdent(&toks[i + 2], "Open") && IsPunct(&toks[i + 3], "(")) {
+      ctx.Report("direct-manager-open", toks[i].line,
+                 "direct ModelSetManager::Open outside core/, cluster/, "
+                 "tests, and bench: take an injected manager, or go through "
+                 "cluster/Coordinator so placement and lock order hold");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // include-cycle: DFS over the quoted-include graph of the scanned files.
 
 struct IncludeEdge {
@@ -556,7 +591,7 @@ std::string JsonEscape(const std::string& s) {
 std::vector<std::string> RuleNames() {
   return {"banned-random",  "discarded-status",   "naked-new",
           "naked-delete",   "mutex-missing-guard", "raw-std-mutex",
-          "direct-env-write", "include-cycle"};
+          "direct-env-write", "direct-manager-open", "include-cycle"};
 }
 
 std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
@@ -592,6 +627,7 @@ std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
       CheckMutexRules(ctx);
     }
     if (WantRule(options, "direct-env-write")) CheckDirectEnvWrite(ctx);
+    if (WantRule(options, "direct-manager-open")) CheckDirectManagerOpen(ctx);
   }
   if (WantRule(options, "include-cycle")) {
     IncludeGraph(lexed).ReportCycles(&findings);

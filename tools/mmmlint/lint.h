@@ -33,6 +33,10 @@
 ///                        code (src/core/): save-path writes must stage
 ///                        through StoreBatch so batching, journaling, and
 ///                        crash sweeps see them.
+///   direct-manager-open  ModelSetManager::Open outside src/core/,
+///                        src/cluster/, tests, and bench — other layers take
+///                        an injected manager or route through the cluster
+///                        Coordinator, so one store never has two facades.
 ///   include-cycle        a cycle in the quoted-include graph under the
 ///                        scanned roots.
 ///
