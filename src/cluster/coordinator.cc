@@ -381,18 +381,52 @@ Result<DeleteReport> Coordinator::RetainOnly(
   ReaderMutexLock topo_lock(topo_mu_);
   // Validate up front: a typo'd keep id must fail the whole sweep before
   // any shard deletes anything.
-  std::map<std::string, std::vector<std::string>> keep_by_shard;
   {
     MutexLock lock(place_mu_);
     for (const std::string& id : keep_set_ids) {
-      auto it = placement_.find(id);
-      if (it == placement_.end()) {
+      if (placement_.find(id) == placement_.end()) {
         return Status::NotFound("no set '", id, "' in the cluster");
       }
-      keep_by_shard[it->second].push_back(id);
     }
   }
   std::vector<Shard*> shards = AllShards();
+
+  // Expand the keep list to its cluster-wide base-link closure before
+  // partitioning. Chains never span shards, but recorded lineage can:
+  // Rebalance moves flattened (full) sets to their ring owners individually,
+  // and a full set keeps its base_set_id as history — so an ancestor may
+  // live on another shard, where the local sweep (which only follows links
+  // it can resolve) would never see it in a keep list and delete it. Pinned
+  // sets get the same treatment: each shard keeps its own pins implicitly,
+  // but only their local ancestors. The walk stops at missing bases exactly
+  // like the un-sharded sweep, keeping a one-shard cluster bit-exact.
+  std::vector<std::string> frontier = keep_set_ids;
+  for (Shard* shard : shards) {
+    for (std::string& pinned : shard->service()->PinnedSets()) {
+      frontier.push_back(std::move(pinned));
+    }
+  }
+  std::set<std::string> closure;
+  while (!frontier.empty()) {
+    std::string id = std::move(frontier.back());
+    frontier.pop_back();
+    if (!closure.insert(id).second) continue;
+    Result<Shard*> owner = RouteToOwner(id);
+    if (!owner.ok()) continue;  // stale link: nothing upstream to keep
+    auto doc = FetchSetDocument(owner.ValueOrDie()->manager()->context(), id);
+    if (!doc.ok()) continue;
+    if (!doc.ValueOrDie().base_set_id.empty()) {
+      frontier.push_back(doc.ValueOrDie().base_set_id);
+    }
+  }
+  std::map<std::string, std::vector<std::string>> keep_by_shard;
+  {
+    MutexLock lock(place_mu_);
+    for (const std::string& id : closure) {
+      auto it = placement_.find(id);
+      if (it != placement_.end()) keep_by_shard[it->second].push_back(id);
+    }
+  }
   std::vector<Result<DeleteReport>> reports;
   for (size_t i = 0; i < shards.size(); ++i) {
     reports.emplace_back(DeleteReport{});
@@ -642,6 +676,19 @@ Result<RebalanceReport> Coordinator::Rebalance() {
         if (set.kind != "full") continue;
         MMM_ASSIGN_OR_RETURN(std::string owner, ring_.OwnerOf(set.id));
         if (owner == name) continue;
+        // A move that cannot complete must not start: if the source's pin
+        // guard would refuse the delete leg, copying first would strand a
+        // permanent duplicate placement (fsck would flag the set on two
+        // shards on every audit). Skip the whole move and keep serving from
+        // the source until the pin is released.
+        MMM_ASSIGN_OR_RETURN(bool pin_protected,
+                             source->service()->PinProtects(set.id));
+        if (pin_protected) {
+          report.skipped.push_back(StringFormat(
+              "%s: not moved off '%s': pin-protected", set.id.c_str(),
+              name.c_str()));
+          continue;
+        }
         auto target_it = shards_.find(owner);
         if (target_it == shards_.end()) {
           return Status::Internal("ring names unknown shard '", owner, "'");
@@ -670,6 +717,19 @@ Result<RebalanceReport> Coordinator::Rebalance() {
             return saved.status();
           }
           bytes = saved.ValueOrDie().bytes_written;
+          // The copy is a fresh initial save, which records no lineage;
+          // restore the source document's base link so a move never erases
+          // history (RetainOnly's closure and `mmmctl lineage` follow it).
+          if (!set.base_set_id.empty()) {
+            const StoreContext& context = target->manager()->context();
+            MMM_ASSIGN_OR_RETURN(SetDocument moved_doc,
+                                 FetchSetDocument(context, set.id));
+            moved_doc.base_set_id = set.base_set_id;
+            StoreBatch batch = MakeBatch(context);
+            batch.AnnotateCommit(set.id, "rebalance-lineage");
+            batch.ReplaceDocument(kSetCollection, moved_doc.ToJson());
+            MMM_RETURN_NOT_OK(batch.Commit());
+          }
         }
         Result<DeleteReport> deleted = source->service()->DeleteSet(set.id);
         if (!deleted.ok()) {

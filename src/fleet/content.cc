@@ -1,0 +1,165 @@
+#include "fleet/content.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "nn/trainer.h"
+#include "prov/pipeline.h"
+
+namespace mmm {
+namespace {
+
+BatteryDataConfig MakeDataConfig(const FleetContentEngine::Config& config) {
+  BatteryDataConfig data_config;
+  data_config.seed = config.seed;
+  data_config.samples_per_cycle = config.samples_per_dataset;
+  return data_config;
+}
+
+/// Battery aging along the plan: SoH decays with the save ordinal (clamped
+/// like the scenario's long-horizon floor).
+double SohForCycle(uint64_t cycle) {
+  return std::max(0.5, 1.0 - 0.01 * static_cast<double>(cycle));
+}
+
+}  // namespace
+
+FleetContentEngine::FleetContentEngine(const Config& config)
+    : config_(config),
+      spec_(Ffnn48Spec()),
+      partial_layers_({"fc3", "fc4"}),
+      battery_gen_(MakeDataConfig(config)) {}
+
+Result<const ModelSet*> FleetContentEngine::InitialSet(uint64_t ordinal) {
+  auto it = sets_.find(ordinal);
+  if (it != sets_.end()) return &it->second;
+  MMM_ASSIGN_OR_RETURN(
+      ModelSet set,
+      MakeInitializedSet(spec_, config_.models_per_set,
+                         Rng::Mix64(config_.seed ^ (0xf1ee7000ULL + ordinal))));
+  return &(sets_[ordinal] = std::move(set));
+}
+
+TrainPipelineSpec FleetContentEngine::PipelineFor(uint64_t ordinal) const {
+  TrainConfig train;
+  train.epochs = 1;
+  train.batch_size = 16;
+  train.learning_rate = 0.05f;
+  train.optimizer = "sgd";
+  train.loss = "mse";
+  train.shuffle_seed = Rng::Mix64(config_.seed ^ (0xabcdef12345ULL + ordinal));
+  return TrainPipelineSpec::Create(train, CanonicalPipelineCode(train));
+}
+
+TrainingData FleetContentEngine::GenerateData(uint64_t model_index,
+                                              uint64_t cycle) const {
+  return battery_gen_.GenerateCellDataset(model_index, cycle,
+                                          SohForCycle(cycle));
+}
+
+Result<const ModelSet*> FleetContentEngine::DerivedSet(uint64_t ordinal,
+                                                       uint64_t parent) {
+  auto it = sets_.find(ordinal);
+  if (it != sets_.end()) return &it->second;
+  auto parent_it = sets_.find(parent);
+  if (parent_it == sets_.end()) {
+    return Status::InvalidArgument("fleet content: parent ordinal not computed");
+  }
+  ModelSet set = parent_it->second;  // start from the parent's exact bytes
+
+  const size_t n = config_.models_per_set;
+  auto count_full = static_cast<size_t>(std::llround(
+      config_.full_update_fraction * static_cast<double>(n)));
+  auto count_partial = static_cast<size_t>(std::llround(
+      config_.partial_update_fraction * static_cast<double>(n)));
+  count_full = std::min(count_full, n);
+  count_partial = std::min(count_partial, n - count_full);
+
+  // The retrained subset is drawn per ordinal, not per parent: two children
+  // of one base retrain different cells.
+  Rng schedule_rng = Rng(config_.seed).Fork("fleet-update", ordinal);
+  std::vector<size_t> order = schedule_rng.Permutation(n);
+
+  StoredUpdate update;
+  update.parent = parent;
+  update.kinds.assign(n, UpdateKind::kNone);
+  update.data_refs.resize(n);
+
+  TrainPipelineSpec pipeline = PipelineFor(ordinal);
+  for (size_t i = 0; i < count_full + count_partial; ++i) {
+    size_t model_index = order[i];
+    UpdateKind kind = i < count_full ? UpdateKind::kFull : UpdateKind::kPartial;
+    update.kinds[model_index] = kind;
+
+    TrainingData data = GenerateData(model_index, ordinal);
+    DatasetRef ref;
+    ref.uri = StringFormat("battery://cell/%llu/cycle/%llu",
+                           static_cast<unsigned long long>(model_index),
+                           static_cast<unsigned long long>(ordinal));
+    ref.content_hash = HashTrainingData(data);
+    update.data_refs[model_index] = std::move(ref);
+
+    // Exactly the steps ReplayEngine performs from the persisted record, so
+    // provenance recovery reproduces these bytes bit-for-bit.
+    MMM_ASSIGN_OR_RETURN(Model model, Model::Create(spec_));
+    MMM_RETURN_NOT_OK(model.LoadStateDict(set.models[model_index]));
+    TrainConfig train = pipeline.train_config;
+    if (kind == UpdateKind::kPartial) train.trainable_layers = partial_layers_;
+    MMM_ASSIGN_OR_RETURN(TrainReport report,
+                         TrainModel(&model, data.inputs, data.targets, train));
+    (void)report;
+    set.models[model_index] = model.GetStateDict();
+  }
+
+  updates_[ordinal] = std::move(update);
+  return &(sets_[ordinal] = std::move(set));
+}
+
+ModelSetUpdateInfo FleetContentEngine::UpdateFor(uint64_t ordinal,
+                                                 uint64_t parent) {
+  ModelSetUpdateInfo info;
+  auto it = updates_.find(ordinal);
+  if (it == updates_.end()) return info;
+  info.kinds = it->second.kinds;
+  info.data_refs = it->second.data_refs;
+  info.pipeline = PipelineFor(ordinal);
+  info.partial_layers = partial_layers_;
+  auto parent_it = sets_.find(parent);
+  if (parent_it != sets_.end()) info.base_set = &parent_it->second;
+  return info;
+}
+
+const ModelSet& FleetContentEngine::ExpectedSet(uint64_t ordinal) const {
+  return sets_.at(ordinal);
+}
+
+Result<TrainingData> FleetContentEngine::Resolve(const DatasetRef& ref) {
+  // Parse "battery://cell/<model>/cycle/<ordinal>".
+  std::vector<std::string> parts = Split(ref.uri, '/');
+  if (parts.size() != 6 || parts[0] != "battery:" || parts[2] != "cell" ||
+      parts[4] != "cycle") {
+    return Status::InvalidArgument("malformed fleet dataset uri '", ref.uri,
+                                   "'");
+  }
+  char* end = nullptr;
+  uint64_t model_index = std::strtoull(parts[3].c_str(), &end, 10);
+  if (end == parts[3].c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad model index in uri '", ref.uri, "'");
+  }
+  uint64_t cycle = std::strtoull(parts[5].c_str(), &end, 10);
+  if (end == parts[5].c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad cycle in uri '", ref.uri, "'");
+  }
+  TrainingData data = GenerateData(model_index, cycle);
+  if (!ref.content_hash.empty() &&
+      HashTrainingData(data) != ref.content_hash) {
+    return Status::Corruption("fleet dataset '", ref.uri,
+                              "' no longer matches its content hash");
+  }
+  return data;
+}
+
+}  // namespace mmm

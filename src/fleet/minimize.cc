@@ -1,0 +1,171 @@
+#include "fleet/minimize.h"
+
+#include <algorithm>
+
+#include "serialize/json.h"
+
+namespace mmm {
+namespace {
+
+/// Replays the subsequence of `ops` selected by `keep` (ascending indices).
+/// True iff the replay completed and an oracle tripped.
+bool Fails(FleetSimulator* simulator, const std::vector<FleetOp>& ops,
+           const std::vector<size_t>& keep, size_t* runs,
+           FleetRunReport* report) {
+  std::vector<FleetOp> candidate;
+  candidate.reserve(keep.size());
+  for (size_t index : keep) candidate.push_back(ops[index]);
+  ++*runs;
+  Result<FleetRunReport> replayed = simulator->RunOps(candidate);
+  if (!replayed.ok()) return false;
+  *report = std::move(replayed).ValueOrDie();
+  return !report->ok();
+}
+
+}  // namespace
+
+Result<FleetMinimizeResult> MinimizeFailingTrace(
+    FleetSimulator* simulator, const std::vector<FleetOp>& ops,
+    const FleetMinimizeOptions& options) {
+  FleetMinimizeResult result;
+  std::vector<size_t> current(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) current[i] = i;
+
+  if (!Fails(simulator, ops, current, &result.runs, &result.report)) {
+    return Status::InvalidArgument(
+        "minimizer input does not fail: nothing to shrink");
+  }
+
+  // ddmin: split into n chunks; try each chunk alone, then each complement;
+  // on a hit, restart from the reduced trace. n doubles when nothing
+  // reproduces, and 1-minimality is reached at n == |trace| with no hit.
+  size_t chunks = std::min<size_t>(2, std::max<size_t>(1, current.size()));
+  while (current.size() >= 2 && result.runs < options.max_runs) {
+    const size_t chunk_len =
+        (current.size() + chunks - 1) / chunks;  // ceil division
+    bool reduced = false;
+    FleetRunReport report;
+
+    for (size_t start = 0;
+         start < current.size() && result.runs < options.max_runs;
+         start += chunk_len) {
+      const size_t end = std::min(start + chunk_len, current.size());
+      std::vector<size_t> subset(current.begin() + start,
+                                 current.begin() + end);
+      if (subset.size() < current.size() &&
+          Fails(simulator, ops, subset, &result.runs, &report)) {
+        current = std::move(subset);
+        chunks = std::min<size_t>(2, current.size());
+        result.report = std::move(report);
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) continue;
+
+    for (size_t start = 0;
+         start < current.size() && result.runs < options.max_runs;
+         start += chunk_len) {
+      const size_t end = std::min(start + chunk_len, current.size());
+      std::vector<size_t> complement;
+      complement.reserve(current.size() - (end - start));
+      complement.insert(complement.end(), current.begin(),
+                        current.begin() + start);
+      complement.insert(complement.end(), current.begin() + end,
+                        current.end());
+      if (!complement.empty() && complement.size() < current.size() &&
+          Fails(simulator, ops, complement, &result.runs, &report)) {
+        current = std::move(complement);
+        chunks = std::max<size_t>(2, chunks - 1);
+        result.report = std::move(report);
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) continue;
+
+    if (chunks >= current.size()) {
+      result.minimal = true;
+      break;
+    }
+    chunks = std::min(current.size(), chunks * 2);
+  }
+  if (current.size() < 2) result.minimal = true;
+
+  result.steps = std::move(current);
+  result.ops.reserve(result.steps.size());
+  for (size_t index : result.steps) result.ops.push_back(ops[index]);
+  // The last Fails call may have been a non-failing candidate; re-establish
+  // the minimized trace as the simulator's final world so callers can
+  // inspect the failure state directly.
+  FleetRunReport final_report;
+  if (Fails(simulator, ops, result.steps, &result.runs, &final_report)) {
+    result.report = std::move(final_report);
+  }
+  return result;
+}
+
+std::string RenderRepro(const FleetPlan& plan, const FleetSimOptions& options,
+                        const FleetMinimizeResult& minimized) {
+  JsonValue root = JsonValue::Object();
+
+  JsonValue plan_json = JsonValue::Object();
+  plan_json.Set("seed", plan.config.seed);
+  plan_json.Set("steps", static_cast<uint64_t>(plan.config.steps));
+  plan_json.Set("families", static_cast<uint64_t>(plan.config.families));
+  plan_json.Set("models_per_set",
+                static_cast<uint64_t>(plan.config.models_per_set));
+  plan_json.Set("samples_per_dataset",
+                static_cast<uint64_t>(plan.config.samples_per_dataset));
+  plan_json.Set("theta", plan.config.theta);
+  plan_json.Set("burst_len", static_cast<uint64_t>(plan.config.burst_len));
+  plan_json.Set("compact_max_depth", plan.config.compact_max_depth);
+  plan_json.Set("checkpoint_interval",
+                static_cast<uint64_t>(plan.config.checkpoint_interval));
+  plan_json.Set("wave_interval",
+                static_cast<uint64_t>(plan.config.wave_interval));
+  plan_json.Set("cluster_events", plan.config.cluster_events);
+  JsonValue approaches = JsonValue::Array();
+  for (ApproachType type : plan.config.approaches) {
+    approaches.Append(ApproachTypeName(type));
+  }
+  plan_json.Set("approaches", std::move(approaches));
+  root.Set("plan", std::move(plan_json));
+
+  JsonValue world = JsonValue::Object();
+  world.Set("shards", static_cast<uint64_t>(options.shards));
+  world.Set("workers", static_cast<uint64_t>(options.workers));
+  world.Set("lanes", static_cast<uint64_t>(options.lanes));
+  world.Set("cache_enabled", options.cache_enabled);
+  world.Set("inject_crashes", options.inject_crashes);
+  world.Set("crash_seed", options.crash_seed);
+  world.Set("crash_percent", options.crash_percent);
+  world.Set("crash_window", options.crash_window);
+  world.Set("deep_checkpoints", options.deep_checkpoints);
+  root.Set("world", std::move(world));
+
+  JsonValue problem = JsonValue::Object();
+  if (!minimized.report.problems.empty()) {
+    const FleetProblem& first = minimized.report.problems.front();
+    problem.Set("step", static_cast<uint64_t>(first.step));
+    problem.Set("op", first.op);
+    problem.Set("detail", first.detail);
+  }
+  root.Set("problem", std::move(problem));
+
+  root.Set("minimal", minimized.minimal);
+  root.Set("runs", static_cast<uint64_t>(minimized.runs));
+
+  JsonValue trace = JsonValue::Array();
+  for (size_t i = 0; i < minimized.ops.size(); ++i) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("plan_step", static_cast<uint64_t>(minimized.steps[i]));
+    entry.Set("op", minimized.ops[i].Render());
+    trace.Append(std::move(entry));
+  }
+  root.Set("trace", std::move(trace));
+
+  return root.DumpPretty();
+}
+
+}  // namespace mmm

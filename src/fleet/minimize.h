@@ -1,0 +1,65 @@
+#ifndef MMM_FLEET_MINIMIZE_H_
+#define MMM_FLEET_MINIMIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/simulator.h"
+
+namespace mmm {
+
+/// \brief Knobs of the failing-trace minimizer.
+struct FleetMinimizeOptions {
+  /// Replay budget: the minimizer stops (keeping its best-so-far trace)
+  /// after this many RunOps calls.
+  size_t max_runs = 2000;
+};
+
+/// \brief Outcome of minimizing one failing trace.
+struct FleetMinimizeResult {
+  /// Shortest failing subsequence found, in original plan order.
+  std::vector<FleetOp> ops;
+  /// Index of each minimized op in the input sequence (parallel to `ops`).
+  std::vector<size_t> steps;
+  /// The report of the minimized trace's (failing) replay.
+  FleetRunReport report;
+  /// RunOps calls spent.
+  size_t runs = 0;
+  /// True when ddmin converged to 1-minimality (removing any single op makes
+  /// the failure disappear); false when max_runs cut the search short.
+  bool minimal = false;
+};
+
+/// \brief Shrinks a failing op sequence to a short failing subsequence.
+///
+/// Classic delta debugging (ddmin) over *subsequences* of the input: the
+/// trace is split into chunks, and each chunk / chunk-complement is replayed
+/// from a fresh world; any candidate that still fails becomes the new trace.
+/// Ordinal addressing makes every subsequence executable — ops referencing a
+/// save that was dropped are skipped deterministically — so no repair step
+/// is needed between reductions.
+///
+/// "Failing" means the replay completes with report.ok() == false. A replay
+/// whose RunOps returns a hard error (world failed to open) counts as not
+/// failing, keeping the search conservative. Determinism of the simulator
+/// makes the result reproducible: minimizing the same trace twice yields the
+/// same subsequence after the same number of runs.
+///
+/// `ops` must already fail when replayed on `simulator` (callers typically
+/// pass the plan's full op list after a failing Run). Returns InvalidArgument
+/// when it does not.
+Result<FleetMinimizeResult> MinimizeFailingTrace(
+    FleetSimulator* simulator, const std::vector<FleetOp>& ops,
+    const FleetMinimizeOptions& options = {});
+
+/// Renders a minimized failure as a self-contained JSON repro artifact:
+/// plan seed + generation knobs, world options, the oracle's verdict, and
+/// the canonical rendering of every op in the minimized sequence (with its
+/// index in the original plan, so the subsequence can be reconstructed).
+std::string RenderRepro(const FleetPlan& plan, const FleetSimOptions& options,
+                        const FleetMinimizeResult& minimized);
+
+}  // namespace mmm
+
+#endif  // MMM_FLEET_MINIMIZE_H_

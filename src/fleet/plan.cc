@@ -1,0 +1,492 @@
+#include "fleet/plan.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "serve/trace.h"
+
+namespace mmm {
+namespace {
+
+std::string JoinOrdinals(const std::vector<uint64_t>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out.push_back(',');
+    out += StringFormat("%llu", static_cast<unsigned long long>(values[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* FleetOpKindName(FleetOpKind kind) {
+  switch (kind) {
+    case FleetOpKind::kSaveInitial: return "save-initial";
+    case FleetOpKind::kSaveDerived: return "save-derived";
+    case FleetOpKind::kRecoverBurst: return "recover";
+    case FleetOpKind::kPinSet: return "pin";
+    case FleetOpKind::kUnpinSet: return "unpin";
+    case FleetOpKind::kDeleteSet: return "delete";
+    case FleetOpKind::kRetainOnly: return "retain";
+    case FleetOpKind::kCompactChains: return "compact";
+    case FleetOpKind::kCheckpoint: return "checkpoint";
+    case FleetOpKind::kKillShard: return "kill-shard";
+    case FleetOpKind::kAddShard: return "add-shard";
+    case FleetOpKind::kRebalance: return "rebalance";
+  }
+  return "unknown";
+}
+
+std::string FleetOp::Render() const {
+  switch (kind) {
+    case FleetOpKind::kSaveInitial:
+      return StringFormat("save-initial o=%llu fam=%llu a=%s",
+                          static_cast<unsigned long long>(ordinal),
+                          static_cast<unsigned long long>(target),
+                          ApproachTypeName(approach).c_str());
+    case FleetOpKind::kSaveDerived:
+      return StringFormat("save-derived o=%llu base=%llu a=%s",
+                          static_cast<unsigned long long>(ordinal),
+                          static_cast<unsigned long long>(base),
+                          ApproachTypeName(approach).c_str());
+    case FleetOpKind::kRecoverBurst:
+      return StringFormat("recover t=%s", JoinOrdinals(targets).c_str());
+    case FleetOpKind::kPinSet:
+      return StringFormat("pin o=%llu",
+                          static_cast<unsigned long long>(target));
+    case FleetOpKind::kUnpinSet:
+      return StringFormat("unpin o=%llu",
+                          static_cast<unsigned long long>(target));
+    case FleetOpKind::kDeleteSet:
+      return StringFormat("delete o=%llu cascade=%d",
+                          static_cast<unsigned long long>(target),
+                          cascade ? 1 : 0);
+    case FleetOpKind::kRetainOnly:
+      return StringFormat("retain keep=%s", JoinOrdinals(targets).c_str());
+    case FleetOpKind::kCompactChains:
+      return StringFormat("compact max-depth=%llu",
+                          static_cast<unsigned long long>(target));
+    case FleetOpKind::kCheckpoint:
+      return "checkpoint";
+    case FleetOpKind::kKillShard:
+      return StringFormat("kill-shard r=%llu",
+                          static_cast<unsigned long long>(target));
+    case FleetOpKind::kAddShard:
+      return "add-shard";
+    case FleetOpKind::kRebalance:
+      return "rebalance";
+  }
+  return "unknown";
+}
+
+// --- FleetSymbolicState -----------------------------------------------------
+
+void FleetSymbolicState::ApplySave(const FleetOp& op) {
+  if (op.ordinal >= sets_.size()) sets_.resize(op.ordinal + 1);
+  SymSet& s = sets_[op.ordinal];
+  s.approach = op.approach;
+  s.alive = true;
+  s.pinned = false;
+  if (op.kind == FleetOpKind::kSaveInitial) {
+    s.parent = -1;
+    s.family = op.target;
+    s.is_full = true;
+    s.depth = 0;
+    return;
+  }
+  const SymSet& base = sets_[op.base];
+  s.family = base.family;
+  // Update/Provenance record deltas at base depth + 1; Baseline writes full
+  // snapshots whose documents still carry the lineage link; MMlib-base has
+  // no notion of set derivation at all — every save is an independent full
+  // snapshot with no recorded base, so no lineage link exists to protect.
+  s.parent = op.approach == ApproachType::kMMlibBase
+                 ? -1
+                 : static_cast<int64_t>(op.base);
+  if (op.approach == ApproachType::kUpdate ||
+      op.approach == ApproachType::kProvenance) {
+    s.is_full = false;
+    s.depth = base.depth + 1;
+  } else {
+    s.is_full = true;
+    s.depth = 0;
+  }
+}
+
+void FleetSymbolicState::KillSave(uint64_t ordinal) {
+  if (ordinal < sets_.size()) {
+    sets_[ordinal].alive = false;
+    sets_[ordinal].pinned = false;
+  }
+}
+
+bool FleetSymbolicState::Known(uint64_t ordinal) const {
+  return ordinal < sets_.size();
+}
+
+bool FleetSymbolicState::Alive(uint64_t ordinal) const {
+  return ordinal < sets_.size() && sets_[ordinal].alive;
+}
+
+std::vector<uint64_t> FleetSymbolicState::Live() const {
+  std::vector<uint64_t> out;
+  for (uint64_t o = 0; o < sets_.size(); ++o) {
+    if (sets_[o].alive) out.push_back(o);
+  }
+  return out;
+}
+
+std::vector<uint64_t> FleetSymbolicState::LiveOfFamily(uint64_t family) const {
+  std::vector<uint64_t> out;
+  for (uint64_t o = 0; o < sets_.size(); ++o) {
+    if (sets_[o].alive && sets_[o].family == family) out.push_back(o);
+  }
+  return out;
+}
+
+std::vector<uint64_t> FleetSymbolicState::Pinned() const {
+  std::vector<uint64_t> out;
+  for (uint64_t o = 0; o < sets_.size(); ++o) {
+    if (sets_[o].alive && sets_[o].pinned) out.push_back(o);
+  }
+  return out;
+}
+
+std::vector<uint64_t> FleetSymbolicState::DeleteClosure(uint64_t ordinal) const {
+  std::set<uint64_t> doomed{ordinal};
+  // Children always have larger ordinals, so one ascending pass closes the
+  // non-full-descendant set.
+  for (uint64_t o = ordinal + 1; o < sets_.size(); ++o) {
+    const SymSet& s = sets_[o];
+    if (!s.alive || s.is_full || s.parent < 0) continue;
+    if (doomed.count(static_cast<uint64_t>(s.parent))) doomed.insert(o);
+  }
+  return std::vector<uint64_t>(doomed.begin(), doomed.end());
+}
+
+bool FleetSymbolicState::HasDependents(uint64_t ordinal) const {
+  for (uint64_t o = ordinal + 1; o < sets_.size(); ++o) {
+    const SymSet& s = sets_[o];
+    if (s.alive && !s.is_full && s.parent == static_cast<int64_t>(ordinal)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<uint64_t> FleetSymbolicState::PinProtected() const {
+  std::set<uint64_t> guarded;
+  for (uint64_t o = 0; o < sets_.size(); ++o) {
+    if (!sets_[o].alive || !sets_[o].pinned) continue;
+    // The serving layer guards the pinned set's full lineage walk — every
+    // base link, full snapshots included.
+    int64_t cur = static_cast<int64_t>(o);
+    while (cur >= 0 && sets_[cur].alive) {
+      guarded.insert(static_cast<uint64_t>(cur));
+      cur = sets_[cur].parent;
+    }
+  }
+  return std::vector<uint64_t>(guarded.begin(), guarded.end());
+}
+
+std::vector<uint64_t> FleetSymbolicState::RetainSurvivors(
+    const std::vector<uint64_t>& keep) const {
+  std::set<uint64_t> survivors;
+  auto close_over = [&](uint64_t start) {
+    int64_t cur = static_cast<int64_t>(start);
+    while (cur >= 0 && sets_[cur].alive) {
+      if (!survivors.insert(static_cast<uint64_t>(cur)).second) break;
+      cur = sets_[cur].parent;
+    }
+  };
+  for (uint64_t k : keep) {
+    if (Alive(k)) close_over(k);
+  }
+  for (uint64_t p : Pinned()) close_over(p);
+  return std::vector<uint64_t>(survivors.begin(), survivors.end());
+}
+
+void FleetSymbolicState::ApplyDelete(const std::vector<uint64_t>& closure) {
+  for (uint64_t o : closure) KillSave(o);
+}
+
+std::vector<uint64_t> FleetSymbolicState::ApplyRetain(
+    const std::vector<uint64_t>& keep) {
+  std::vector<uint64_t> survivors = RetainSurvivors(keep);
+  std::set<uint64_t> kept(survivors.begin(), survivors.end());
+  std::vector<uint64_t> deleted;
+  for (uint64_t o : Live()) {
+    if (!kept.count(o)) {
+      deleted.push_back(o);
+      KillSave(o);
+    }
+  }
+  return deleted;
+}
+
+std::vector<uint64_t> FleetSymbolicState::ApplyCompact(
+    uint64_t max_chain_depth) {
+  std::vector<uint64_t> rebased;
+  // Root-first greedy pass, exactly the compactor's order: parents precede
+  // children by ordinal, so each set's effective depth under the already-
+  // applied upstream rebases is its (possibly rewritten) parent depth + 1.
+  for (uint64_t o = 0; o < sets_.size(); ++o) {
+    SymSet& s = sets_[o];
+    if (!s.alive) continue;
+    if (s.is_full) {
+      s.depth = 0;
+      continue;
+    }
+    uint64_t depth = sets_[s.parent].depth + 1;
+    if (depth > max_chain_depth) {
+      s.is_full = true;
+      s.depth = 0;
+      rebased.push_back(o);
+    } else {
+      s.depth = depth;
+    }
+  }
+  return rebased;
+}
+
+void FleetSymbolicState::Resync(uint64_t ordinal, bool is_full,
+                                uint64_t depth) {
+  if (ordinal >= sets_.size()) return;
+  sets_[ordinal].is_full = is_full;
+  sets_[ordinal].depth = depth;
+}
+
+// --- FleetPlan --------------------------------------------------------------
+
+namespace {
+
+/// Draws one live ordinal, Zipfian-skewed with the newest live set hottest.
+uint64_t DrawZipfTarget(const std::vector<uint64_t>& live, double theta,
+                        Rng* rng) {
+  ZipfianSampler zipf(live.size(), theta);
+  size_t rank = zipf.Sample(rng);
+  return live[live.size() - 1 - rank];
+}
+
+}  // namespace
+
+FleetPlan FleetPlan::Generate(const FleetPlanConfig& config) {
+  FleetPlan plan;
+  plan.config = config;
+  Rng rng = Rng(config.seed).Fork("fleet-plan");
+  FleetSymbolicState sym;
+  uint64_t next_ordinal = 0;
+  uint64_t families = 0;
+  size_t since_checkpoint = 0;
+  size_t since_wave = 0;
+
+  auto emit = [&](FleetOp op) {
+    if (op.kind == FleetOpKind::kSaveInitial ||
+        op.kind == FleetOpKind::kSaveDerived) {
+      sym.ApplySave(op);
+    }
+    ++since_checkpoint;
+    ++since_wave;
+    plan.ops.push_back(std::move(op));
+  };
+
+  auto emit_initial = [&]() {
+    FleetOp op;
+    op.kind = FleetOpKind::kSaveInitial;
+    op.ordinal = next_ordinal++;
+    op.target = families;  // the new family's id
+    op.approach = config.approaches[families % config.approaches.size()];
+    ++families;
+    emit(std::move(op));
+  };
+
+  auto emit_derived = [&](uint64_t base_ordinal) {
+    FleetOp op;
+    op.kind = FleetOpKind::kSaveDerived;
+    op.ordinal = next_ordinal++;
+    op.base = base_ordinal;
+    op.approach = sym.at(base_ordinal).approach;
+    emit(std::move(op));
+  };
+
+  auto emit_recover_burst = [&](const std::vector<uint64_t>& live) {
+    FleetOp op;
+    op.kind = FleetOpKind::kRecoverBurst;
+    for (size_t i = 0; i < config.burst_len; ++i) {
+      op.targets.push_back(DrawZipfTarget(live, config.theta, &rng));
+    }
+    emit(std::move(op));
+  };
+
+  while (plan.ops.size() < config.steps) {
+    std::vector<uint64_t> live = sym.Live();
+    // Commission the initial fleet families first; re-commission if GC ever
+    // empties the store mid-horizon.
+    if (live.empty() || families < config.families) {
+      emit_initial();
+      continue;
+    }
+    if (config.checkpoint_interval > 0 &&
+        since_checkpoint >= config.checkpoint_interval) {
+      since_checkpoint = 0;
+      FleetOp op;
+      op.kind = FleetOpKind::kCheckpoint;
+      emit(std::move(op));
+      continue;
+    }
+    // Staggered OTA retraining wave: every family's newest live version
+    // spawns a derived successor.
+    if (config.wave_interval > 0 && since_wave >= config.wave_interval) {
+      since_wave = 0;
+      for (uint64_t fam = 0; fam < families; ++fam) {
+        std::vector<uint64_t> of_family = sym.LiveOfFamily(fam);
+        if (!of_family.empty()) emit_derived(of_family.back());
+      }
+      continue;
+    }
+
+    uint64_t draw = rng.NextBounded(100);
+    if (draw < 5) {
+      // Cell-replacement churn: a brand-new fleet family appears.
+      emit_initial();
+    } else if (draw < 32) {
+      emit_derived(DrawZipfTarget(live, config.theta, &rng));
+    } else if (draw < 62) {
+      emit_recover_burst(live);
+    } else if (draw < 68) {
+      // Pin a hot Update-approach set (the only approach with a cached,
+      // pinnable recovery path).
+      std::vector<uint64_t> candidates;
+      for (uint64_t o : live) {
+        if (sym.at(o).approach == ApproachType::kUpdate && !sym.at(o).pinned) {
+          candidates.push_back(o);
+        }
+      }
+      if (candidates.empty() || sym.Pinned().size() >= 2) {
+        emit_recover_burst(live);
+      } else {
+        FleetOp op;
+        op.kind = FleetOpKind::kPinSet;
+        op.target = candidates[rng.NextBounded(candidates.size())];
+        sym.Pin(op.target);
+        emit(std::move(op));
+      }
+    } else if (draw < 74) {
+      std::vector<uint64_t> pinned = sym.Pinned();
+      if (pinned.empty()) {
+        emit_recover_burst(live);
+      } else {
+        FleetOp op;
+        op.kind = FleetOpKind::kUnpinSet;
+        op.target = pinned[rng.NextBounded(pinned.size())];
+        sym.Unpin(op.target);
+        emit(std::move(op));
+      }
+    } else if (draw < 84) {
+      // Decommission one set. Respect the serving layer's pin guard (the
+      // simulator treats an expected-failure delete as a skip, but the
+      // generator aims for operations that execute).
+      uint64_t target = live[rng.NextBounded(live.size())];
+      bool cascade = sym.HasDependents(target) || rng.NextBounded(2) == 1;
+      std::vector<uint64_t> closure =
+          cascade ? sym.DeleteClosure(target) : std::vector<uint64_t>{target};
+      std::vector<uint64_t> guarded = sym.PinProtected();
+      bool blocked = false;
+      for (uint64_t o : closure) {
+        if (std::binary_search(guarded.begin(), guarded.end(), o)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) {
+        emit_recover_burst(live);
+      } else {
+        FleetOp op;
+        op.kind = FleetOpKind::kDeleteSet;
+        op.target = target;
+        op.cascade = cascade;
+        sym.ApplyDelete(closure);
+        emit(std::move(op));
+      }
+    } else if (draw < 88) {
+      // Retention sweep: keep every family's newest version (plus lineage
+      // and pins — the GC closes over those itself).
+      FleetOp op;
+      op.kind = FleetOpKind::kRetainOnly;
+      for (uint64_t fam = 0; fam < families; ++fam) {
+        std::vector<uint64_t> of_family = sym.LiveOfFamily(fam);
+        if (!of_family.empty()) op.targets.push_back(of_family.back());
+      }
+      if (op.targets.empty()) {
+        emit_recover_burst(live);
+      } else {
+        sym.ApplyRetain(op.targets);
+        emit(std::move(op));
+      }
+    } else if (draw < 94) {
+      FleetOp op;
+      op.kind = FleetOpKind::kCompactChains;
+      op.target = config.compact_max_depth;
+      sym.ApplyCompact(op.target);
+      emit(std::move(op));
+    } else if (config.cluster_events) {
+      uint64_t which = rng.NextBounded(4);
+      FleetOp op;
+      if (which == 0) {
+        op.kind = FleetOpKind::kAddShard;
+      } else if (which == 1) {
+        op.kind = FleetOpKind::kRebalance;
+      } else {
+        op.kind = FleetOpKind::kKillShard;
+        op.target = rng.NextBounded(1u << 30);
+      }
+      emit(std::move(op));
+    } else {
+      emit_recover_burst(live);
+    }
+  }
+
+  FleetOp final_audit;
+  final_audit.kind = FleetOpKind::kCheckpoint;
+  plan.ops.push_back(std::move(final_audit));
+  plan.save_count = next_ordinal;
+  return plan;
+}
+
+std::string FleetPlan::Render() const {
+  std::string approaches;
+  for (size_t i = 0; i < config.approaches.size(); ++i) {
+    if (i) approaches.push_back(',');
+    approaches += ApproachTypeName(config.approaches[i]);
+  }
+  std::string out = StringFormat(
+      "fleet-plan seed=%llu steps=%zu families=%zu models=%zu a=%s "
+      "theta=%.6g burst=%zu compact-depth=%llu checkpoint=%zu wave=%zu "
+      "cluster=%d saves=%llu\n",
+      static_cast<unsigned long long>(config.seed), config.steps,
+      config.families, config.models_per_set, approaches.c_str(), config.theta,
+      config.burst_len, static_cast<unsigned long long>(config.compact_max_depth),
+      config.checkpoint_interval, config.wave_interval,
+      config.cluster_events ? 1 : 0,
+      static_cast<unsigned long long>(save_count));
+  for (const FleetOp& op : ops) {
+    out += op.Render();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+FleetPlan FleetPlan::WithApproach(ApproachType type) const {
+  FleetPlan out = *this;
+  out.config.approaches = {type};
+  for (FleetOp& op : out.ops) {
+    if (op.kind == FleetOpKind::kSaveInitial ||
+        op.kind == FleetOpKind::kSaveDerived) {
+      op.approach = type;
+    }
+  }
+  return out;
+}
+
+}  // namespace mmm

@@ -221,26 +221,45 @@ Status ModelSetService::UnpinSet(const std::string& set_id) {
   return Status::OK();
 }
 
-Result<DeleteReport> ModelSetService::DeleteSet(const std::string& set_id,
-                                                const DeleteOptions& options) {
-  WriterMutexLock lock(gate_);
+std::string ModelSetService::PinGuardOwner(const std::string& set_id) {
   std::vector<std::string> pinned;
   {
     MutexLock pin_lock(pin_mu_);
     for (const auto& [id, hashes] : pinned_sets_) pinned.push_back(id);
   }
-  // Pin-fail: refuse to delete anything a pinned set needs for recovery —
-  // the pinned set itself, or any ancestor of its delta chain.
+  // The walk is local instead of mmm::Lineage because lineage may be
+  // legitimately pruned: a full set keeps its base_set_id as history after
+  // the base is deleted (full sets are not cascade dependents) or rebased
+  // away, and the guard must stop at the first missing document rather than
+  // fail the whole operation with NotFound.
   for (const std::string& pinned_id : pinned) {
-    MMM_ASSIGN_OR_RETURN(std::vector<SetSummary> lineage,
-                         mmm::Lineage(manager_->context(), pinned_id));
-    for (const SetSummary& ancestor : lineage) {
-      if (ancestor.id == set_id) {
-        return Status::InvalidArgument(
-            "cannot delete set ", set_id, ": pinned set ", pinned_id,
-            pinned_id == set_id ? " is pinned" : " needs it for recovery");
-      }
+    std::string current = pinned_id;
+    uint64_t budget = manager_->context().doc_store->Count(kSetCollection) + 1;
+    while (!current.empty() && budget-- > 0) {
+      if (current == set_id) return pinned_id;
+      Result<SetDocument> doc = FetchSetDocument(manager_->context(), current);
+      if (!doc.ok()) break;  // pruned lineage: nothing upstream to protect
+      current = doc.ValueOrDie().base_set_id;
     }
+  }
+  return "";
+}
+
+Result<bool> ModelSetService::PinProtects(const std::string& set_id) {
+  ReaderMutexLock lock(gate_);
+  return !PinGuardOwner(set_id).empty();
+}
+
+Result<DeleteReport> ModelSetService::DeleteSet(const std::string& set_id,
+                                                const DeleteOptions& options) {
+  WriterMutexLock lock(gate_);
+  // Pin-fail: refuse to delete anything a pinned set needs for recovery —
+  // the pinned set itself, or any ancestor its recorded base links reach.
+  const std::string guard = PinGuardOwner(set_id);
+  if (!guard.empty()) {
+    return Status::InvalidArgument(
+        "cannot delete set ", set_id, ": pinned set ", guard,
+        guard == set_id ? " is pinned" : " needs it for recovery");
   }
   MMM_ASSIGN_OR_RETURN(DeleteReport report,
                        mmm::DeleteSet(manager_->context(), set_id, options));

@@ -127,6 +127,12 @@ class ModelSetService {
   /// Ids currently pinned, sorted.
   std::vector<std::string> PinnedSets() const;
 
+  /// True if deleting `set_id` would be refused by the pin guard: the set
+  /// is pinned, or some pinned set's recorded recovery lineage reaches it.
+  /// Lets callers (e.g. the coordinator's rebalancer) test the guard
+  /// before starting a multi-step operation whose delete leg would fail.
+  Result<bool> PinProtects(const std::string& set_id) MMM_EXCLUDES(gate_);
+
   const ModelSetServiceOptions& options() const { return options_; }
 
   /// \name Coordinator hooks (see cluster/coordinator.h).
@@ -180,6 +186,12 @@ class ModelSetService {
 
   Result<ModelSet> RecoverLocked(const std::string& set_id, ServeResult* result)
       MMM_REQUIRES_SHARED(gate_);
+  /// Pin-guard walk shared by DeleteSet and PinProtects: returns the id of
+  /// the pinned set whose recovery lineage reaches `set_id`, or "" if no
+  /// pin protects it. Caller must hold gate_ (shared suffices — the walk
+  /// only reads documents).
+  std::string PinGuardOwner(const std::string& set_id)
+      MMM_REQUIRES_SHARED(gate_) MMM_EXCLUDES(pin_mu_);
   /// Removes cached layers + metadata of the given deleted sets, sparing
   /// layers a pinned set still needs.
   void InvalidateDeleted(const std::vector<std::string>& deleted_set_ids)

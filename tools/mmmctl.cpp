@@ -28,6 +28,13 @@
 //                                           (journal replay over its subtree)
 //   mmmctl <root-dir> cluster add-shard <name>
 //                                           grow the ring (rebalance separately)
+//   mmmctl <out-dir> fleet-sim [steps] [seed] [shards] [workers] [--crashes]
+//                                           run the deterministic fleet-
+//                                           lifecycle simulator (in-memory
+//                                           world, invariant oracles at every
+//                                           step); on a violation, minimize
+//                                           the failing trace with ddmin and
+//                                           write <out-dir>/fleet-repro.json
 //
 // Export works for full-snapshot and Update chains; Provenance chains
 // additionally need the external data owner, which a generic CLI does not
@@ -46,6 +53,8 @@
 
 #include "cluster/coordinator.h"
 #include "common/strings.h"
+#include "fleet/minimize.h"
+#include "fleet/simulator.h"
 #include "core/blob_formats.h"
 #include "core/gc.h"
 #include "core/manager.h"
@@ -71,7 +80,8 @@ int Usage() {
                "retain <set-id>... | compact [--max-depth N] [--dry-run] | "
                "serve-replay [requests] [workers] [cache-mb] [theta] | "
                "cluster {init [shards] | status | rebalance | "
-               "kill-shard <name> | add-shard <name>}}\n");
+               "kill-shard <name> | add-shard <name>} | "
+               "fleet-sim [steps] [seed] [shards] [workers] [--crashes]}\n");
   return 64;
 }
 
@@ -434,6 +444,67 @@ int CmdClusterAddShard(Coordinator* cluster, const std::string& name) {
   return 0;
 }
 
+int CmdFleetSim(const std::string& out_dir, const FleetPlanConfig& config,
+                const FleetSimOptions& options) {
+  FleetPlan plan = FleetPlan::Generate(config);
+  FleetSimulator simulator(plan, options);
+  auto run = simulator.Run();
+  if (!run.ok()) return Fail(run.status());
+  const FleetRunReport& report = run.ValueOrDie();
+
+  std::printf("fleet-sim seed=%llu steps=%zu shards=%zu workers=%zu "
+              "crashes=%s\n",
+              static_cast<unsigned long long>(config.seed), config.steps,
+              options.shards, options.workers,
+              options.inject_crashes ? "on" : "off");
+  std::printf("  %zu ops executed, %zu skipped\n", report.ops_executed,
+              report.ops_skipped);
+  std::printf("  %llu saves, %llu recoveries, %llu deletes, %llu retains, "
+              "%llu compactions\n",
+              static_cast<unsigned long long>(report.saves),
+              static_cast<unsigned long long>(report.recoveries),
+              static_cast<unsigned long long>(report.deletes),
+              static_cast<unsigned long long>(report.retains),
+              static_cast<unsigned long long>(report.compactions));
+  if (options.inject_crashes) {
+    std::printf("  %llu crashes injected and recovered\n",
+                static_cast<unsigned long long>(report.crashes_injected));
+  }
+  if (options.shards > 0) {
+    std::printf("  %llu failovers, %llu shards added, %llu rebalances\n",
+                static_cast<unsigned long long>(report.failovers),
+                static_cast<unsigned long long>(report.shards_added),
+                static_cast<unsigned long long>(report.rebalances));
+  }
+  std::printf("  %llu live sets at end of horizon\n",
+              static_cast<unsigned long long>(report.live_sets_final));
+  if (report.ok()) {
+    std::printf("all oracles clean\n");
+    return 0;
+  }
+
+  const FleetProblem& problem = report.problems.front();
+  std::printf("ORACLE VIOLATION at step %zu (%s):\n  %s\n", problem.step,
+              problem.op.c_str(), problem.detail.c_str());
+  std::printf("minimizing failing trace...\n");
+  auto minimized = MinimizeFailingTrace(&simulator, plan.ops);
+  if (!minimized.ok()) return Fail(minimized.status());
+  std::string artifact = RenderRepro(plan, options, minimized.ValueOrDie());
+  Status wrote = Env::Default()->CreateDirs(out_dir);
+  std::string repro_path = out_dir + "/fleet-repro.json";
+  if (wrote.ok()) {
+    wrote = Env::Default()->WriteFile(
+        repro_path, {reinterpret_cast<const uint8_t*>(artifact.data()),
+                     artifact.size()});
+  }
+  if (!wrote.ok()) return Fail(wrote);
+  std::printf("minimized to %zu ops in %zu replays (%s); repro: %s\n",
+              minimized.ValueOrDie().ops.size(), minimized.ValueOrDie().runs,
+              minimized.ValueOrDie().minimal ? "1-minimal" : "budget hit",
+              repro_path.c_str());
+  return 2;
+}
+
 int ClusterMain(const std::string& root, int argc, char** argv) {
   // argv[0] is the cluster subcommand.
   std::string sub = argv[0];
@@ -476,11 +547,14 @@ int main(int argc, char** argv) {
   std::string store_dir = argv[1];
   std::string command = argv[2];
 
-  // 'cluster init' is the one command allowed to create its directory;
-  // everything else requires an existing store, so a typo'd path is an
-  // error instead of a freshly created empty store.
+  // 'cluster init' and 'fleet-sim' are the commands allowed to create their
+  // directory ('fleet-sim' simulates in memory and only writes a repro
+  // artifact there); everything else requires an existing store, so a
+  // typo'd path is an error instead of a freshly created empty store.
   bool creates_store =
-      command == "cluster" && argc >= 4 && std::strcmp(argv[3], "init") == 0;
+      (command == "cluster" && argc >= 4 &&
+       std::strcmp(argv[3], "init") == 0) ||
+      command == "fleet-sim";
   if (!creates_store) {
     auto exists = Env::Default()->FileExists(store_dir);
     if (!exists.ok()) return Fail(exists.status());
@@ -493,6 +567,30 @@ int main(int argc, char** argv) {
   if (command == "cluster") {
     if (argc < 4) return Usage();
     return ClusterMain(store_dir, argc - 3, argv + 3);
+  }
+
+  if (command == "fleet-sim") {
+    FleetPlanConfig config;
+    FleetSimOptions options;
+    int positional = 0;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--crashes") == 0) {
+        options.inject_crashes = true;
+        continue;
+      }
+      char* end = nullptr;
+      uint64_t value = std::strtoull(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0') return Usage();
+      switch (positional++) {
+        case 0: config.steps = value; break;
+        case 1: config.seed = value; break;
+        case 2: options.shards = value; break;
+        case 3: options.workers = value; break;
+        default: return Usage();
+      }
+    }
+    config.cluster_events = options.shards > 0;
+    return CmdFleetSim(store_dir, config, options);
   }
 
   // Reject unknown commands before touching the store: ModelSetManager::Open
