@@ -1,0 +1,123 @@
+#include "cas/blob_io.h"
+
+#include <map>
+
+#include "serialize/crc32.h"
+
+namespace mmm {
+
+namespace {
+
+/// Fetches a manifest's chunks and reassembles the payload, verifying size
+/// and CRC. Repeated chunks within one manifest are fetched once.
+Result<std::vector<uint8_t>> Reassemble(FileStore* store,
+                                        const std::string& name,
+                                        const CasManifest& manifest) {
+  std::vector<uint8_t> out;
+  out.reserve(manifest.raw_size);
+  std::map<std::string, std::vector<uint8_t>> fetched;
+  for (const CasChunkRef& ref : manifest.chunks) {
+    auto it = fetched.find(ref.hash_hex);
+    if (it == fetched.end()) {
+      auto chunk = store->Get(ChunkBlobName(ref.hash_hex));
+      if (!chunk.ok()) {
+        return chunk.status().WithContext("blob '", name, "' chunk ",
+                                          ref.hash_hex);
+      }
+      it = fetched.emplace(ref.hash_hex, std::move(chunk).ValueOrDie()).first;
+    }
+    if (it->second.size() != ref.length) {
+      return Status::Corruption("blob '", name, "' chunk ", ref.hash_hex,
+                                " has ", it->second.size(),
+                                " bytes, manifest records ", ref.length);
+    }
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  if (out.size() != manifest.raw_size) {
+    return Status::Corruption("blob '", name, "' reassembled to ", out.size(),
+                              " bytes, manifest records ", manifest.raw_size);
+  }
+  if (Crc32::Compute(out) != manifest.raw_crc) {
+    return Status::Corruption("blob '", name,
+                              "' fails its manifest crc after reassembly");
+  }
+  return out;
+}
+
+Result<CasManifest> FetchManifest(FileStore* store, const std::string& name) {
+  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> data, store->Get(name));
+  auto manifest = DecodeManifest(data);
+  if (!manifest.ok()) {
+    return manifest.status().WithContext("blob '", name, "'");
+  }
+  return manifest;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> CasReadBlob(FileStore* store,
+                                         const std::string& name) {
+  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> data, store->Get(name));
+  if (!IsManifestPayload(data)) return data;
+  auto manifest = DecodeManifest(data);
+  if (!manifest.ok()) {
+    return manifest.status().WithContext("blob '", name, "'");
+  }
+  return Reassemble(store, name, manifest.ValueOrDie());
+}
+
+Result<std::string> CasReadBlobString(FileStore* store,
+                                      const std::string& name) {
+  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> data, CasReadBlob(store, name));
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+Result<uint64_t> CasBlobSize(FileStore* store, const CasStore* cas,
+                             const std::string& name) {
+  if (cas == nullptr || !cas->IsManifest(name)) return store->Size(name);
+  MMM_ASSIGN_OR_RETURN(CasManifest manifest, FetchManifest(store, name));
+  return manifest.raw_size;
+}
+
+Result<std::vector<uint8_t>> CasReadBlobRange(FileStore* store,
+                                              const CasStore* cas,
+                                              const std::string& name,
+                                              uint64_t offset,
+                                              uint64_t length) {
+  if (cas == nullptr || !cas->IsManifest(name)) {
+    return store->GetRange(name, offset, length);
+  }
+  MMM_ASSIGN_OR_RETURN(CasManifest manifest, FetchManifest(store, name));
+  if (offset + length > manifest.raw_size) {
+    return Status::OutOfRange("blob '", name, "' range [", offset, ", ",
+                              offset + length, ") exceeds logical size ",
+                              manifest.raw_size);
+  }
+  std::vector<uint8_t> out;
+  out.reserve(length);
+  uint64_t chunk_start = 0;
+  const uint64_t end = offset + length;
+  for (const CasChunkRef& ref : manifest.chunks) {
+    const uint64_t chunk_end = chunk_start + ref.length;
+    if (chunk_end > offset && chunk_start < end) {
+      const uint64_t local_offset =
+          offset > chunk_start ? offset - chunk_start : 0;
+      const uint64_t local_end =
+          end < chunk_end ? end - chunk_start : ref.length;
+      MMM_ASSIGN_OR_RETURN(
+          std::vector<uint8_t> piece,
+          store->GetRange(ChunkBlobName(ref.hash_hex), local_offset,
+                          local_end - local_offset));
+      out.insert(out.end(), piece.begin(), piece.end());
+    }
+    chunk_start = chunk_end;
+    if (chunk_start >= end) break;
+  }
+  if (out.size() != length) {
+    return Status::Corruption("blob '", name, "' ranged read produced ",
+                              out.size(), " bytes, wanted ", length);
+  }
+  return out;
+}
+
+}  // namespace mmm

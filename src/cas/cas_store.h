@@ -1,0 +1,183 @@
+#ifndef MMM_CAS_CAS_STORE_H_
+#define MMM_CAS_CAS_STORE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cas/chunker.h"
+#include "cas/manifest.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "storage/cas_iface.h"
+#include "storage/env.h"
+#include "storage/file_store.h"
+
+namespace mmm {
+
+/// \brief The content-addressed chunk store's refcount index (DESIGN.md §10).
+///
+/// Layered between the approaches and FileStore: save paths hand their blob
+/// payloads to a per-commit CasWriteSession (see storage/cas_iface.h) which
+/// splits eligible ones into content-defined chunks, writes each distinct
+/// chunk once under `cas-<sha256>`, and stores a small manifest under the
+/// original blob name; reads reassemble bit-exactly (cas/blob_io.h). This
+/// index tracks, across *all* sets, how many live manifest references each
+/// chunk has, so GC is a decrement-then-sweep instead of a store-wide
+/// liveness scan.
+///
+/// Durability model: the store itself is the root of trust. Chunk and
+/// manifest writes ride inside journaled StoreBatch commits (chunk intents
+/// are flagged `cas` so a rollback never deletes a chunk another committed
+/// manifest may share — see storage/journal.h); Open() rebuilds the index
+/// from the live manifests after journal replay and sweeps chunk blobs no
+/// manifest references (crash leftovers). The checkpoint file (`cas.index`,
+/// written through Env like the journal, charging nothing to the modeled
+/// store costs) is an audited cache: fsck recomputes the index from the
+/// store and flags any divergence from memory or checkpoint.
+///
+/// Invariants (audited by fsck / `mmmctl cas-stats`):
+///  - every chunk a live manifest references exists, its size matches the
+///    manifest entry, and its SHA-256 matches its name;
+///  - refcount(chunk) == number of references from live manifests
+///    (duplicates within one manifest count individually);
+///  - after any sweep, no zero-refcount chunk blob survives in the store.
+///
+/// Thread safety: all public methods are safe to call concurrently; chunks
+/// referenced by in-flight write sessions are pinned so a concurrent sweep
+/// cannot reclaim a chunk a committing batch just deduplicated against.
+class CasStore : public CasWriter {
+ public:
+  /// Outcome of one zero-refcount sweep.
+  struct SweepReport {
+    uint64_t chunks_swept = 0;
+    uint64_t bytes_swept = 0;
+  };
+
+  /// Aggregate statistics for `mmmctl cas-stats` and bench/tab_dedup.
+  struct Stats {
+    uint64_t unique_chunks = 0;
+    /// Physical bytes held by chunk blobs (each distinct chunk once).
+    uint64_t chunk_bytes = 0;
+    uint64_t manifests = 0;
+    /// Logical bytes the manifests represent (pre-dedup payload sizes).
+    uint64_t manifest_raw_bytes = 0;
+    /// Total manifest->chunk references (>= unique_chunks).
+    uint64_t total_refs = 0;
+    /// refcount -> number of chunks with that refcount.
+    std::map<uint64_t, uint64_t> refcount_histogram;
+    /// Chunk blobs in the store no live manifest references (0 outside the
+    /// window between a crash and the next open-time sweep).
+    uint64_t orphan_chunks = 0;
+
+    /// Logical bytes per physical chunk byte (1.0 = no dedup).
+    double dedup_ratio() const {
+      return chunk_bytes == 0
+                 ? 1.0
+                 : static_cast<double>(manifest_raw_bytes) /
+                       static_cast<double>(chunk_bytes);
+    }
+  };
+
+  /// Opens the index over `store`: validates `options`, rebuilds refcounts
+  /// from the live manifests (reading through `env` directly — open-time
+  /// infrastructure, like journal replay), deletes orphaned chunk blobs
+  /// left by rolled-back or unswept commits, and persists the checkpoint to
+  /// `index_path`. Call after CommitJournal::Replay so the scan sees only
+  /// consistent commits.
+  static Result<std::unique_ptr<CasStore>> Open(Env* env, FileStore* store,
+                                                std::string index_path,
+                                                CasOptions options);
+
+  const CasOptions& options() const { return options_; }
+  const std::string& index_path() const { return index_path_; }
+
+  /// \name Read-side queries (cas/blob_io.h, GC, fleet oracles).
+  /// @{
+  bool IsManifest(const std::string& name) const;
+  /// Chunk references of a tracked manifest; nullopt for untracked names.
+  std::optional<std::vector<CasChunkRef>> ManifestChunks(
+      const std::string& name) const;
+  uint64_t RefCount(const std::string& hash_hex) const;
+  /// chunk hash -> refcount, for the fleet refcount oracle.
+  std::map<std::string, uint64_t> ChunkRefsSnapshot() const;
+  /// Blob names of all tracked manifests, sorted.
+  std::vector<std::string> ManifestNames() const;
+  /// @}
+
+  /// Computes Stats; scans the store (through Env, uncharged) for orphans.
+  Result<Stats> ComputeStats() const;
+
+  /// \name GC integration (core/gc.cc).
+  /// @{
+  /// Records the refcount decrements of deleting manifest `name`. The
+  /// caller still deletes the blob itself; chunks that reach zero are
+  /// reclaimed by the next SweepZeroRefChunks(). No-op for non-manifests.
+  void OnManifestDeleted(const std::string& name);
+  /// Deletes every unpinned zero-refcount chunk blob (through FileStore —
+  /// this is real, modeled GC work) and persists the checkpoint.
+  Result<SweepReport> SweepZeroRefChunks();
+  /// Deletes chunk blobs present in the store that the index does not track
+  /// and no session pins — leftovers of an aborted in-process commit (a
+  /// crashed process' leftovers are reclaimed by the next Open instead).
+  /// Backs `SweepOrphanBlobs`; scans through Env, deletes through FileStore.
+  Result<SweepReport> SweepUntrackedChunks();
+  /// @}
+
+  /// fsck: recomputes the index from the store and appends any divergence
+  /// (memory vs store vs checkpoint, missing/corrupt/orphaned chunks) to
+  /// `problems`. Read-only; never repairs.
+  Status Audit(std::vector<std::string>* problems) const;
+
+  /// CasWriter: one session per StoreBatch commit.
+  std::unique_ptr<CasWriteSession> BeginSession() override;
+
+ private:
+  friend class CasBatchSession;
+
+  struct ChunkState {
+    uint64_t refs = 0;
+    uint64_t bytes = 0;
+  };
+  struct ManifestState {
+    uint64_t raw_size = 0;
+    std::vector<CasChunkRef> chunks;
+  };
+  /// Index recomputed from the store's live manifests.
+  struct Rebuilt {
+    std::map<std::string, ChunkState> chunks;
+    std::map<std::string, ManifestState> manifests;
+    /// Chunk blobs present in the store, name -> size.
+    std::map<std::string, uint64_t> chunk_blobs;
+    std::vector<std::string> problems;
+  };
+
+  CasStore(Env* env, FileStore* store, std::string index_path,
+           CasOptions options)
+      : env_(env),
+        store_(store),
+        index_path_(std::move(index_path)),
+        options_(options) {}
+
+  /// Scans the store through Env and recomputes the whole index.
+  Result<Rebuilt> ScanStore() const;
+  Status PersistIndexLocked() MMM_REQUIRES(mu_);
+
+  Env* env_;
+  FileStore* store_;
+  std::string index_path_;
+  CasOptions options_;
+
+  mutable Mutex mu_;
+  std::map<std::string, ChunkState> chunks_ MMM_GUARDED_BY(mu_);
+  std::map<std::string, ManifestState> manifests_ MMM_GUARDED_BY(mu_);
+  /// Chunks referenced by in-flight write sessions (dedup decisions that
+  /// are not yet durable): a sweep must not reclaim them even at refs == 0.
+  std::map<std::string, uint64_t> pins_ MMM_GUARDED_BY(mu_);
+};
+
+}  // namespace mmm
+
+#endif  // MMM_CAS_CAS_STORE_H_

@@ -1,0 +1,86 @@
+#include "cas/manifest.h"
+
+#include <cstring>
+
+#include "serialize/json.h"
+
+namespace mmm {
+
+std::string ChunkBlobName(const std::string& hash_hex) {
+  return kCasChunkPrefix + hash_hex;
+}
+
+bool IsChunkBlobName(std::string_view name) {
+  return name.starts_with(kCasChunkPrefix);
+}
+
+std::string ChunkHexOfBlobName(std::string_view name) {
+  return std::string(name.substr(sizeof(kCasChunkPrefix) - 1));
+}
+
+bool IsManifestPayload(std::span<const uint8_t> data) {
+  return data.size() >= kCasManifestMagicSize &&
+         std::memcmp(data.data(), kCasManifestMagic, kCasManifestMagicSize) == 0;
+}
+
+std::vector<uint8_t> EncodeManifest(const CasManifest& manifest) {
+  JsonValue record = JsonValue::Object();
+  record.Set("raw_size", manifest.raw_size);
+  record.Set("raw_crc", static_cast<uint64_t>(manifest.raw_crc));
+  JsonValue chunks = JsonValue::Array();
+  for (const CasChunkRef& chunk : manifest.chunks) {
+    JsonValue entry = JsonValue::Array();
+    entry.Append(chunk.hash_hex);
+    entry.Append(chunk.length);
+    chunks.Append(std::move(entry));
+  }
+  record.Set("chunks", std::move(chunks));
+
+  std::string body = record.Dump();
+  std::vector<uint8_t> out(kCasManifestMagicSize + body.size());
+  std::memcpy(out.data(), kCasManifestMagic, kCasManifestMagicSize);
+  std::memcpy(out.data() + kCasManifestMagicSize, body.data(), body.size());
+  return out;
+}
+
+Result<CasManifest> DecodeManifest(std::span<const uint8_t> data) {
+  if (!IsManifestPayload(data)) {
+    return Status::Corruption("cas manifest magic mismatch");
+  }
+  std::string_view body(
+      reinterpret_cast<const char*>(data.data()) + kCasManifestMagicSize,
+      data.size() - kCasManifestMagicSize);
+  auto parsed = JsonValue::Parse(body);
+  if (!parsed.ok()) {
+    return parsed.status().WithContext("cas manifest body");
+  }
+  const JsonValue record = std::move(parsed).ValueOrDie();
+  CasManifest manifest;
+  MMM_ASSIGN_OR_RETURN(int64_t raw_size, record.GetInt64("raw_size"));
+  MMM_ASSIGN_OR_RETURN(int64_t raw_crc, record.GetInt64("raw_crc"));
+  manifest.raw_size = static_cast<uint64_t>(raw_size);
+  manifest.raw_crc = static_cast<uint32_t>(raw_crc);
+  MMM_ASSIGN_OR_RETURN(const JsonValue* chunks, record.Get("chunks"));
+  if (!chunks->is_array()) {
+    return Status::Corruption("cas manifest 'chunks' is not an array");
+  }
+  for (const JsonValue& entry : chunks->array_items()) {
+    if (!entry.is_array() || entry.ArraySize() != 2) {
+      return Status::Corruption("cas manifest chunk entry malformed");
+    }
+    CasChunkRef ref;
+    MMM_ASSIGN_OR_RETURN(const JsonValue* hash, entry.At(0));
+    MMM_ASSIGN_OR_RETURN(ref.hash_hex, hash->AsString());
+    MMM_ASSIGN_OR_RETURN(const JsonValue* length, entry.At(1));
+    MMM_ASSIGN_OR_RETURN(int64_t chunk_length, length->AsInt64());
+    ref.length = static_cast<uint64_t>(chunk_length);
+    if (ref.hash_hex.size() != 64) {
+      return Status::Corruption("cas manifest chunk hash '", ref.hash_hex,
+                                "' is not a sha-256 hex digest");
+    }
+    manifest.chunks.push_back(std::move(ref));
+  }
+  return manifest;
+}
+
+}  // namespace mmm

@@ -193,6 +193,7 @@ Result<std::unique_ptr<Shard>> Coordinator::OpenShard(const std::string& name,
   shard_options.manager.provenance_recover_options =
       options_.provenance_recover_options;
   shard_options.manager.blob_compression = options_.blob_compression;
+  shard_options.manager.cas = options_.cas;
   shard_options.manager.pipeline = options_.pipeline;
   shard_options.manager.environment = options_.environment;
   shard_options.manager.auto_compaction = options_.auto_compaction;

@@ -37,6 +37,10 @@ struct ClusterOptions {
   UpdateApproachOptions update_options;
   ProvenanceRecoverOptions provenance_recover_options;
   Compression blob_compression = Compression::kNone;
+  /// Content-addressed chunking, per shard: each shard runs its own
+  /// CasStore over its private blob subtree, so dedup and refcounts stay
+  /// shard-local and failover/rebalance move chunks with their shard.
+  CasOptions cas;
   StorePipelineOptions pipeline;
   std::optional<EnvironmentInfo> environment;
   std::optional<CompactionPolicy> auto_compaction;

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "cas/cas_store.h"
 #include "common/clock.h"
 #include "common/id.h"
 #include "common/result.h"
@@ -36,6 +37,11 @@ struct StoreContext {
   /// Commit journal making every batch atomic across both stores; nullptr
   /// commits without crash protection (see storage/journal.h).
   CommitJournal* journal = nullptr;
+  /// Content-addressed chunk store; nullptr (the default) stores every
+  /// payload verbatim — the seed behavior and cost model, bit-exactly.
+  /// When set, batches chunk+dedup eligible blob writes and reads
+  /// reassemble through cas/blob_io.h (see cas/cas_store.h).
+  CasStore* cas = nullptr;
 
   Status Validate() const {
     if (file_store == nullptr || doc_store == nullptr || ids == nullptr) {
@@ -51,7 +57,7 @@ struct StoreContext {
 /// directly.
 inline StoreBatch MakeBatch(const StoreContext& context) {
   return StoreBatch(context.file_store, context.doc_store, context.executor,
-                    context.pipeline, context.journal);
+                    context.pipeline, context.journal, context.cas);
 }
 
 /// \brief Outcome of saving one model set.

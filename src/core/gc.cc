@@ -3,12 +3,40 @@
 #include <map>
 #include <set>
 
+#include "cas/manifest.h"
 #include "common/strings.h"
 #include "core/mmlib_base.h"
 #include "core/set_codec.h"
 
 namespace mmm {
 namespace {
+
+/// Deletes one artifact blob, CAS-aware: a chunked blob's manifest is
+/// unregistered first so its chunks' refcounts drop (the zero-refcount
+/// chunks are reclaimed by the sweep the caller runs afterwards — the
+/// decrement-then-sweep protocol of DESIGN.md §10).
+Status DeleteArtifactBlob(const StoreContext& context, const std::string& blob,
+                          DeleteReport* report) {
+  auto size = context.file_store->Size(blob);
+  if (size.ok()) {
+    report->bytes_reclaimed += size.ValueOrDie();
+    ++report->blobs_deleted;
+  }
+  if (context.cas != nullptr) context.cas->OnManifestDeleted(blob);
+  return context.file_store->Delete(blob);
+}
+
+/// Reclaims every chunk no surviving manifest references; folds the freed
+/// blobs into the report. No-op without CAS.
+Status SweepCasChunks(const StoreContext& context, DeleteReport* report) {
+  if (context.cas == nullptr) return Status::OK();
+  MMM_ASSIGN_OR_RETURN(CasStore::SweepReport swept,
+                       context.cas->SweepZeroRefChunks());
+  report->blobs_deleted += swept.chunks_swept;
+  report->bytes_reclaimed += swept.bytes_swept;
+  report->chunks_swept += swept.chunks_swept;
+  return Status::OK();
+}
 
 Result<std::map<std::string, SetDocument>> LoadAllSetDocs(
     const StoreContext& context) {
@@ -30,12 +58,7 @@ Status DeleteOne(const StoreContext& context, const SetDocument& doc,
        {doc.arch_blob, doc.param_blob, doc.hash_blob, doc.diff_blob,
         doc.prov_blob}) {
     if (blob.empty()) continue;
-    auto size = context.file_store->Size(blob);
-    if (size.ok()) {
-      report->bytes_reclaimed += size.ValueOrDie();
-      ++report->blobs_deleted;
-    }
-    MMM_RETURN_NOT_OK(context.file_store->Delete(blob));
+    MMM_RETURN_NOT_OK(DeleteArtifactBlob(context, blob, report));
   }
   if (doc.approach == "mmlib-base") {
     for (uint64_t index = 0; index < doc.num_models; ++index) {
@@ -46,12 +69,8 @@ Status DeleteOne(const StoreContext& context, const SetDocument& doc,
         for (const char* field : {"weights_blob", "code_blob"}) {
           auto blob = model_doc.ValueOrDie().GetString(field);
           if (!blob.ok()) continue;
-          auto size = context.file_store->Size(blob.ValueOrDie());
-          if (size.ok()) {
-            report->bytes_reclaimed += size.ValueOrDie();
-            ++report->blobs_deleted;
-          }
-          MMM_RETURN_NOT_OK(context.file_store->Delete(blob.ValueOrDie()));
+          MMM_RETURN_NOT_OK(
+              DeleteArtifactBlob(context, blob.ValueOrDie(), report));
         }
         MMM_RETURN_NOT_OK(
             context.doc_store->Remove(kMmlibModelCollection, model_id));
@@ -112,6 +131,7 @@ Result<DeleteReport> DeleteSet(const StoreContext& context,
   for (const std::string& id : ordered) {
     MMM_RETURN_NOT_OK(DeleteOne(context, by_id.at(id), &report));
   }
+  MMM_RETURN_NOT_OK(SweepCasChunks(context, &report));
   return report;
 }
 
@@ -142,6 +162,7 @@ Result<DeleteReport> RetainOnly(const StoreContext& context,
     if (keep.contains(id)) continue;
     MMM_RETURN_NOT_OK(DeleteOne(context, doc, &report));
   }
+  MMM_RETURN_NOT_OK(SweepCasChunks(context, &report));
   return report;
 }
 
@@ -177,6 +198,15 @@ Result<OrphanReport> FindOrphanBlobs(const StoreContext& context) {
                        context.file_store->List());
   for (const std::string& blob : blobs) {
     if (live.contains(blob)) continue;
+    // Content-addressed chunks are reference-counted, not document-
+    // referenced: a chunk is live while any manifest in the store points at
+    // it (including a manifest that is itself orphaned — deleting that
+    // manifest drops the refs, and the CAS sweep then reclaims the chunk).
+    // Only genuinely zero-ref chunks are orphans.
+    if (context.cas != nullptr && IsChunkBlobName(blob) &&
+        context.cas->RefCount(ChunkHexOfBlobName(blob)) > 0) {
+      continue;
+    }
     report.orphan_blobs.push_back(blob);
     auto size = context.file_store->Size(blob);
     if (size.ok()) report.orphan_bytes += size.ValueOrDie();
@@ -188,10 +218,29 @@ Result<DeleteReport> SweepOrphanBlobs(const StoreContext& context) {
   MMM_ASSIGN_OR_RETURN(OrphanReport orphans, FindOrphanBlobs(context));
   DeleteReport report;
   for (const std::string& blob : orphans.orphan_blobs) {
+    if (context.cas != nullptr) {
+      // Chunk blobs belong to the CAS sweeper (the refcount index must stay
+      // in step with the store); an orphaned manifest must drop its chunk
+      // refs before it goes. The sweep below reclaims both kinds and does
+      // its own byte accounting, so chunk sizes are not pre-counted here.
+      if (IsChunkBlobName(blob)) continue;
+      context.cas->OnManifestDeleted(blob);
+    }
+    auto size = context.file_store->Size(blob);
+    if (size.ok()) report.bytes_reclaimed += size.ValueOrDie();
     MMM_RETURN_NOT_OK(context.file_store->Delete(blob));
     ++report.blobs_deleted;
   }
-  report.bytes_reclaimed = orphans.orphan_bytes;
+  MMM_RETURN_NOT_OK(SweepCasChunks(context, &report));
+  if (context.cas != nullptr) {
+    // Chunks never tracked by any manifest (an aborted commit's leftovers)
+    // are invisible to the refcount sweep; reclaim them here.
+    MMM_ASSIGN_OR_RETURN(CasStore::SweepReport untracked,
+                         context.cas->SweepUntrackedChunks());
+    report.blobs_deleted += untracked.chunks_swept;
+    report.bytes_reclaimed += untracked.bytes_swept;
+    report.chunks_swept += untracked.chunks_swept;
+  }
   return report;
 }
 

@@ -13,6 +13,9 @@ struct DeleteReport {
   size_t sets_deleted = 0;
   size_t blobs_deleted = 0;
   uint64_t bytes_reclaimed = 0;
+  /// Of blobs_deleted, how many were content-addressed chunks reclaimed by
+  /// the refcount sweep (always 0 when CAS is off).
+  size_t chunks_swept = 0;
   std::vector<std::string> deleted_set_ids;
 };
 

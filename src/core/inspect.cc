@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "cas/blob_io.h"
 #include "common/strings.h"
 #include "core/blob_formats.h"
 
@@ -36,7 +37,10 @@ Result<uint64_t> ArtifactBytes(const StoreContext& context,
   for (const std::string& blob : ArtifactBlobs(doc)) {
     MMM_ASSIGN_OR_RETURN(bool exists, context.file_store->Exists(blob));
     if (!exists) continue;
-    MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> data, context.file_store->Get(blob));
+    // Logical artifact size: a chunked blob counts its reassembled bytes,
+    // so summaries stay comparable across CAS-on and CAS-off stores.
+    MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                         CasReadBlob(context.file_store, blob));
     total += data.size();
   }
   return total;
@@ -144,7 +148,7 @@ Result<StoreValidationReport> ValidateStore(const StoreContext& context) {
           report.problems.push_back(model_id + ": document lacks weights_blob");
           continue;
         }
-        auto blob = context.file_store->Get(weights_name.ValueOrDie());
+        auto blob = CasReadBlob(context.file_store, weights_name.ValueOrDie());
         if (!blob.ok()) {
           report.problems.push_back(model_id + ": cannot read weights blob");
           continue;
@@ -181,7 +185,7 @@ Result<StoreValidationReport> ValidateStore(const StoreContext& context) {
     ArchitectureSpec spec;
     bool have_spec = false;
     if (!doc.arch_blob.empty()) {
-      auto text = context.file_store->GetString(doc.arch_blob);
+      auto text = CasReadBlobString(context.file_store, doc.arch_blob);
       if (!text.ok()) {
         report.problems.push_back(doc.id + ": cannot read arch blob: " +
                                   text.status().ToString());
@@ -203,7 +207,7 @@ Result<StoreValidationReport> ValidateStore(const StoreContext& context) {
     auto check_blob = [&](const std::string& name,
                           auto decode) {
       if (name.empty()) return;
-      auto raw = context.file_store->Get(name);
+      auto raw = CasReadBlob(context.file_store, name);
       if (!raw.ok()) {
         report.problems.push_back(doc.id + ": cannot read " + name + ": " +
                                   raw.status().ToString());
@@ -248,7 +252,8 @@ Result<StoreValidationReport> ValidateStore(const StoreContext& context) {
         return Status::OK();  // broken chain, reported separately
       }
       MMM_ASSIGN_OR_RETURN(std::string text,
-                           context.file_store->GetString(cursor->arch_blob));
+                           CasReadBlobString(context.file_store,
+                                             cursor->arch_blob));
       MMM_ASSIGN_OR_RETURN(ArchitectureSpec root_spec, DecodeArchBlob(text));
       return DecodeDiffBlob(root_spec, blob).status();
     });
@@ -276,6 +281,17 @@ Result<StoreValidationReport> ValidateStore(const StoreContext& context) {
                                   ": chain does not reach a full snapshot");
       }
     }
+  }
+
+  // 5. Content-addressed store invariants (DESIGN.md §10): every manifest's
+  // chunks exist with the right sizes and hashes, no chunk is orphaned or
+  // refcounted wrong, and the persisted index checkpoint agrees with the
+  // store. Chunk blobs count toward the totals like any other artifact.
+  if (context.cas != nullptr) {
+    MMM_ASSIGN_OR_RETURN(CasStore::Stats cas_stats, context.cas->ComputeStats());
+    report.blobs_checked += cas_stats.unique_chunks;
+    report.bytes_checked += cas_stats.chunk_bytes;
+    MMM_RETURN_NOT_OK(context.cas->Audit(&report.problems));
   }
   return report;
 }

@@ -91,6 +91,23 @@ Result<std::unique_ptr<ModelSetManager>> ModelSetManager::Open(Options options) 
       manager->journal_->Replay(manager->file_store_.get(),
                                 manager->doc_store_.get()));
 
+  // Open the content-addressed store after journal replay (its rebuild
+  // must see only consistent commits) and before anything reads or writes
+  // blobs. A store that ever ran with CAS re-enables it via its checkpoint
+  // marker, so chunked blobs never meet CAS-blind GC.
+  const std::string cas_index_path = options.root_dir + "/cas.index";
+  bool cas_enabled = options.cas.enabled;
+  if (!cas_enabled) {
+    MMM_ASSIGN_OR_RETURN(cas_enabled, env->FileExists(cas_index_path));
+  }
+  if (cas_enabled) {
+    options.cas.enabled = true;
+    MMM_ASSIGN_OR_RETURN(
+        manager->cas_,
+        CasStore::Open(env, manager->file_store_.get(), cas_index_path,
+                       options.cas));
+  }
+
   // New ids must not collide with sets persisted by a previous session.
   // Deletions can leave the counters sparse (e.g. only "set-000004-…"
   // survives a retention sweep), so the document count is not enough: scan
@@ -106,7 +123,8 @@ Result<std::unique_ptr<ModelSetManager>> ModelSetManager::Open(Options options) 
                                    ids, &manager->sim_clock_,
                                    options.blob_compression,
                                    manager->executor_.get(), options.pipeline,
-                                   manager->journal_.get()};
+                                   manager->journal_.get(),
+                                   manager->cas_.get()};
 
   EnvironmentInfo environment = options.environment.has_value()
                                     ? *options.environment

@@ -73,6 +73,14 @@ class ModelSetManager {
     /// Compression for parameter/diff/hash blobs (§4.5 future work);
     /// reads auto-detect, so mixed stores are fine.
     Compression blob_compression = Compression::kNone;
+    /// Content-addressed chunk store (src/cas/, DESIGN.md §10). Off by
+    /// default: behavior and cost accounting are exactly the seed's. When
+    /// enabled, parameter-scale blobs are deduplicated chunk-wise across
+    /// all sets and GC refcounts chunks. A store that was ever written
+    /// with CAS re-enables it automatically on reopen (the `cas.index`
+    /// checkpoint is the marker), so chunked blobs always get CAS-aware
+    /// GC; chunk-size knobs affect only new writes.
+    CasOptions cas;
     /// Write-pipeline configuration. `pipeline.lanes = 1` (the default)
     /// reproduces the paper's serialized cost model bit-exactly; more lanes
     /// overlap blob writes, hashing, and compression across a worker pool.
@@ -144,6 +152,8 @@ class ModelSetManager {
   FileStore* file_store() { return file_store_.get(); }
   DocumentStore* doc_store() { return doc_store_.get(); }
   CommitJournal* journal() { return journal_.get(); }
+  /// Content-addressed chunk store; null when CAS is off for this store.
+  CasStore* cas() { return cas_.get(); }
 
   /// What the open-time journal replay found and repaired. A crash-free
   /// shutdown yields an empty report (zero entries scanned).
@@ -160,6 +170,7 @@ class ModelSetManager {
   std::unique_ptr<FileStore> file_store_;
   std::unique_ptr<DocumentStore> doc_store_;
   std::unique_ptr<CommitJournal> journal_;
+  std::unique_ptr<CasStore> cas_;
   RepairReport repair_report_;
   StoreContext context_;
   std::optional<CompactionPolicy> auto_compaction_;

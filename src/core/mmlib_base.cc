@@ -1,5 +1,6 @@
 #include "core/mmlib_base.h"
 
+#include "cas/blob_io.h"
 #include "common/strings.h"
 #include "core/blob_formats.h"
 #include "core/set_codec.h"
@@ -109,7 +110,7 @@ Result<std::vector<StateDict>> MMlibBaseApproach::RecoverModels(
                          context_.doc_store->Get(kMmlibModelCollection, model_id));
     MMM_ASSIGN_OR_RETURN(std::string weights_blob, doc.GetString("weights_blob"));
     MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
-                         context_.file_store->Get(weights_blob));
+                         CasReadBlob(context_.file_store, weights_blob));
     MMM_ASSIGN_OR_RETURN(StateDict state, DecodeStateDict(blob));
     models.push_back(std::move(state));
   }
@@ -144,7 +145,7 @@ Result<ModelSet> MMlibBaseApproach::Recover(const std::string& set_id,
     }
     MMM_ASSIGN_OR_RETURN(std::string weights_blob, doc.GetString("weights_blob"));
     MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
-                         context_.file_store->Get(weights_blob));
+                         CasReadBlob(context_.file_store, weights_blob));
     MMM_ASSIGN_OR_RETURN(set.models[index], DecodeStateDict(blob));
   }
   MMM_RETURN_NOT_OK(CheckSetConsistent(set));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cas/blob_io.h"
 #include "core/set_codec.h"
 
 namespace mmm {
@@ -218,7 +219,7 @@ Result<std::map<size_t, StateDict>> ProvenanceApproach::RecoverModelsInternal(
                                          spec_hint, stats, depth_budget - 1));
 
   MMM_ASSIGN_OR_RETURN(std::string record_text,
-                       context_.file_store->GetString(doc.prov_blob));
+                       CasReadBlobString(context_.file_store, doc.prov_blob));
   MMM_ASSIGN_OR_RETURN(JsonValue record, JsonValue::Parse(record_text));
   MMM_ASSIGN_OR_RETURN(const JsonValue* pipeline_json, record.Get("pipeline"));
   MMM_ASSIGN_OR_RETURN(TrainPipelineSpec pipeline,
@@ -284,7 +285,7 @@ Result<ModelSet> ProvenanceApproach::RecoverInternal(const std::string& set_id,
   MMM_ASSIGN_OR_RETURN(
       ModelSet set, RecoverInternal(doc.base_set_id, stats, depth_budget - 1));
   MMM_ASSIGN_OR_RETURN(std::string record_text,
-                       context_.file_store->GetString(doc.prov_blob));
+                       CasReadBlobString(context_.file_store, doc.prov_blob));
   MMM_ASSIGN_OR_RETURN(JsonValue record, JsonValue::Parse(record_text));
   MMM_ASSIGN_OR_RETURN(const JsonValue* pipeline_json, record.Get("pipeline"));
   MMM_ASSIGN_OR_RETURN(TrainPipelineSpec pipeline,

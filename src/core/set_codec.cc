@@ -1,5 +1,6 @@
 #include "core/set_codec.h"
 
+#include "cas/blob_io.h"
 #include "core/blob_formats.h"
 
 namespace mmm {
@@ -138,10 +139,10 @@ Result<ModelSet> ReadFullSnapshot(const StoreContext& context,
     return Status::Corruption("set ", doc.id, " is not a full snapshot");
   }
   MMM_ASSIGN_OR_RETURN(std::string arch_text,
-                       context.file_store->GetString(doc.arch_blob));
+                       CasReadBlobString(context.file_store, doc.arch_blob));
   MMM_ASSIGN_OR_RETURN(ArchitectureSpec spec, DecodeArchBlob(arch_text));
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored,
-                       context.file_store->Get(doc.param_blob));
+                       CasReadBlob(context.file_store, doc.param_blob));
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, DecompressBlob(stored));
   MMM_ASSIGN_OR_RETURN(std::vector<StateDict> models,
                        DecodeParamBlob(spec, blob));
@@ -171,7 +172,7 @@ Result<ArchitectureSpec> ReadSnapshotSpec(const StoreContext& context,
     return Status::Corruption("set ", doc.id, " has no architecture blob");
   }
   MMM_ASSIGN_OR_RETURN(std::string text,
-                       context.file_store->GetString(doc.arch_blob));
+                       CasReadBlobString(context.file_store, doc.arch_blob));
   return DecodeArchBlob(text);
 }
 
@@ -181,13 +182,16 @@ Result<std::vector<StateDict>> ReadModelsFromSnapshot(
   MMM_RETURN_NOT_OK(CheckIndices(indices, doc.num_models));
   MMM_ASSIGN_OR_RETURN(ArchitectureSpec spec, ReadSnapshotSpec(context, doc));
 
-  // Peek at the blob header: compressed blobs cannot be range-read.
+  // Peek at the blob header: compressed blobs cannot be range-read. Ranged
+  // reads go through the CAS helpers so chunked blobs fetch only the chunks
+  // overlapping the requested models, preserving the selective read path.
   MMM_ASSIGN_OR_RETURN(uint64_t blob_size,
-                       context.file_store->Size(doc.param_blob));
+                       CasBlobSize(context.file_store, context.cas,
+                                   doc.param_blob));
   uint64_t prefix_len = std::min<uint64_t>(blob_size, kParamBlobMaxHeaderBytes);
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> prefix,
-                       context.file_store->GetRange(doc.param_blob, 0,
-                                                    prefix_len));
+                       CasReadBlobRange(context.file_store, context.cas,
+                                        doc.param_blob, 0, prefix_len));
   auto header = ReadParamBlobHeader(prefix);
   if (!header.ok()) {
     // Compressed or legacy layout: load everything, then select.
@@ -208,8 +212,8 @@ Result<std::vector<StateDict>> ReadModelsFromSnapshot(
   for (size_t index : indices) {
     MMM_ASSIGN_OR_RETURN(
         std::vector<uint8_t> slice,
-        context.file_store->GetRange(doc.param_blob, layout.ModelOffset(index),
-                                     layout.ModelBytes()));
+        CasReadBlobRange(context.file_store, context.cas, doc.param_blob,
+                         layout.ModelOffset(index), layout.ModelBytes()));
     MMM_ASSIGN_OR_RETURN(StateDict state, DecodeModelSlice(spec, slice));
     out.push_back(std::move(state));
   }

@@ -1,5 +1,6 @@
 #include "core/update.h"
 
+#include "cas/blob_io.h"
 #include "core/set_codec.h"
 
 namespace mmm {
@@ -91,7 +92,7 @@ Result<SaveResult> UpdateApproach::SaveDerived(const ModelSet& set,
   HashTable current_hashes = ComputeHashTable(set, context_.executor);
   // Step 3: identify changed parameters against the base set's hash blob.
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored_hashes,
-                       context_.file_store->Get(base_doc.hash_blob));
+                       CasReadBlob(context_.file_store, base_doc.hash_blob));
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> base_hash_bytes,
                        DecompressBlob(stored_hashes));
   MMM_ASSIGN_OR_RETURN(HashTable base_hashes, DecodeHashTable(base_hash_bytes));
@@ -224,7 +225,7 @@ Result<std::vector<StateDict>> UpdateApproach::RecoverModels(
     if (stats != nullptr) stats->sets_recovered += 1;
     if (missing == 0) continue;  // still count the metadata walk
     MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored,
-                         context_.file_store->Get(delta.diff_blob));
+                         CasReadBlob(context_.file_store, delta.diff_blob));
     MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> diff_bytes,
                          DecompressBlob(stored));
     MMM_ASSIGN_OR_RETURN(DecodedDiff diff, DecodeDiffBlob(spec, diff_bytes));
@@ -340,7 +341,7 @@ Result<ModelSet> UpdateApproach::RecoverFromDoc(const SetDocument& doc,
 
 Status UpdateApproach::ApplyDelta(const SetDocument& doc, ModelSet* set) {
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored_diff,
-                       context_.file_store->Get(doc.diff_blob));
+                       CasReadBlob(context_.file_store, doc.diff_blob));
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> diff_bytes,
                        DecompressBlob(stored_diff));
   MMM_ASSIGN_OR_RETURN(DecodedDiff diff, DecodeDiffBlob(set->spec, diff_bytes));
@@ -372,7 +373,7 @@ Result<HashTable> ReadStoredHashTable(const StoreContext& context,
     return Status::Corruption("set ", doc.id, " is missing its hash blob");
   }
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored,
-                       context.file_store->Get(doc.hash_blob));
+                       CasReadBlob(context.file_store, doc.hash_blob));
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, DecompressBlob(stored));
   return DecodeHashTable(bytes);
 }
@@ -509,7 +510,7 @@ Result<ModelSet> UpdateApproach::RecoverCachedFromDoc(
   ModelSet set;
   if (doc.kind == "full") {
     MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored,
-                         context_.file_store->Get(doc.param_blob));
+                         CasReadBlob(context_.file_store, doc.param_blob));
     MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, DecompressBlob(stored));
     MMM_ASSIGN_OR_RETURN(set.models, DecodeParamBlob(spec, blob));
     set.spec = spec;

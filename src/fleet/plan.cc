@@ -119,6 +119,26 @@ void FleetSymbolicState::KillSave(uint64_t ordinal) {
     sets_[ordinal].alive = false;
     sets_[ordinal].pinned = false;
   }
+  chunk_refs_.erase(ordinal);
+}
+
+void FleetSymbolicState::SetChunkOwnership(
+    uint64_t ordinal, std::map<std::string, uint64_t> refs) {
+  if (refs.empty()) {
+    chunk_refs_.erase(ordinal);
+  } else {
+    chunk_refs_[ordinal] = std::move(refs);
+  }
+}
+
+std::map<std::string, uint64_t> FleetSymbolicState::PredictedChunkRefs()
+    const {
+  std::map<std::string, uint64_t> total;
+  for (const auto& [ordinal, refs] : chunk_refs_) {
+    if (!Alive(ordinal)) continue;
+    for (const auto& [hex, count] : refs) total[hex] += count;
+  }
+  return total;
 }
 
 bool FleetSymbolicState::Known(uint64_t ordinal) const {

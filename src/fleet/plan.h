@@ -2,6 +2,7 @@
 #define MMM_FLEET_PLAN_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -171,8 +172,30 @@ class FleetSymbolicState {
   /// ring-dependently; the shadow re-bases on the store's own summaries).
   void Resync(uint64_t ordinal, bool is_full, uint64_t depth);
 
+  /// \name Chunk-refcount shadow (CAS runs, see cas/cas_store.h).
+  ///
+  /// After every operation that (re)writes a set's blobs — save, crash
+  /// roll-forward, compactor rebase — the simulator reads the set's
+  /// manifests back from the CAS index and records, per ordinal, how many
+  /// references that set holds on each chunk. The shadow then predicts the
+  /// store-wide refcount map as the sum over *alive* ordinals, which the
+  /// chunk oracle compares against CasStore::ChunkRefsSnapshot() and the
+  /// literal `cas-` listing of the file store after every step: GC must
+  /// decrement exactly the dead sets' references and sweep exactly the
+  /// chunks that reached zero.
+  /// @{
+  /// Replaces `ordinal`'s observed chunk references (hex -> refs).
+  void SetChunkOwnership(uint64_t ordinal,
+                         std::map<std::string, uint64_t> refs);
+  /// Predicted store-wide refcounts: sum of ownership over alive ordinals.
+  std::map<std::string, uint64_t> PredictedChunkRefs() const;
+  /// @}
+
  private:
   std::vector<SymSet> sets_;  ///< indexed by ordinal
+  /// ordinal -> observed chunk references; erased by KillSave (a rolled-back
+  /// save wrote nothing durable), ignored for dead ordinals.
+  std::map<uint64_t, std::map<std::string, uint64_t>> chunk_refs_;
 };
 
 /// \brief A generated fleet-lifecycle trace.

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "cas/manifest.h"
 #include "cluster/coordinator.h"
 #include "common/strings.h"
 #include "core/gc.h"
@@ -116,9 +117,11 @@ struct FleetSimulator::World {
       manager_options.env = &fault;
       manager_options.resolver = engine;
       manager_options.pipeline.lanes = options.lanes;
+      manager_options.cas = options.cas;
       // Modeled store latency on (simulated clock, no real waiting) so the
       // recover_modeled_nanos stream carries real per-request costs.
       manager_options.profile = SetupProfile::Server();
+      // MMMLINT(direct-manager-open): fresh in-memory world per run.
       MMM_ASSIGN_OR_RETURN(manager, ModelSetManager::Open(manager_options));
       ModelSetServiceOptions service_options;
       service_options.workers = options.workers;
@@ -135,6 +138,7 @@ struct FleetSimulator::World {
     cluster_options.shard_count = options.shards;
     cluster_options.resolver = engine;
     cluster_options.pipeline.lanes = options.lanes;
+    cluster_options.cas = options.cas;
     cluster_options.profile = SetupProfile::Server();
     cluster_options.service.workers = options.workers;
     cluster_options.service.cache_enabled = options.cache_enabled;
@@ -202,6 +206,81 @@ struct FleetSimulator::World {
     return "";
   }
 
+  // --- chunk-refcount shadow (CAS runs) ------------------------------------
+
+  /// Re-reads `ordinal`'s chunk references from the CAS index after an
+  /// operation that (re)wrote its blobs. Manifests are attributed by blob
+  /// name prefix: every artifact blob name starts with its set's id, and
+  /// ids are fixed-width, so no id prefixes another. Un-sharded worlds only
+  /// (no-op otherwise).
+  void ObserveChunkOwnership(uint64_t ordinal) {
+    if (manager == nullptr || manager->cas() == nullptr) return;
+    const std::string& id = id_of[ordinal];
+    std::map<std::string, uint64_t> refs;
+    for (const std::string& name : manager->cas()->ManifestNames()) {
+      if (name.rfind(id, 0) != 0) continue;
+      std::optional<std::vector<CasChunkRef>> chunks =
+          manager->cas()->ManifestChunks(name);
+      if (!chunks.has_value()) continue;
+      for (const CasChunkRef& ref : *chunks) ++refs[ref.hash_hex];
+    }
+    shadow.SetChunkOwnership(ordinal, std::move(refs));
+  }
+
+  /// "" when the CAS refcount index, the store's literal `cas-` listing, and
+  /// the shadow's summed per-set ownership all agree; else the first
+  /// divergence. Runs after every executed op of an un-sharded CAS world.
+  std::string ChunkOracleProblem() {
+    if (manager == nullptr || manager->cas() == nullptr) return "";
+    std::map<std::string, uint64_t> predicted = shadow.PredictedChunkRefs();
+    std::map<std::string, uint64_t> actual =
+        manager->cas()->ChunkRefsSnapshot();
+    for (const auto& [hex, refs] : predicted) {
+      auto it = actual.find(hex);
+      if (it == actual.end()) {
+        return StringFormat("index lost chunk %s (shadow predicts refs=%llu)",
+                            hex.substr(0, 12).c_str(),
+                            static_cast<unsigned long long>(refs));
+      }
+      if (it->second != refs) {
+        return StringFormat("chunk %s has refs=%llu, shadow predicts %llu",
+                            hex.substr(0, 12).c_str(),
+                            static_cast<unsigned long long>(it->second),
+                            static_cast<unsigned long long>(refs));
+      }
+    }
+    for (const auto& [hex, refs] : actual) {
+      if (predicted.count(hex) == 0) {
+        return StringFormat(
+            "index tracks chunk %s (refs=%llu) no live set's manifests "
+            "reference",
+            hex.substr(0, 12).c_str(),
+            static_cast<unsigned long long>(refs));
+      }
+    }
+    // The store must hold exactly the predicted chunk blobs: a missing one
+    // is data loss, an extra one is a zero-ref chunk a sweep failed to
+    // reclaim.
+    Result<std::vector<std::string>> listed = manager->file_store()->List();
+    if (!listed.ok()) return listed.status().ToString();
+    std::set<std::string> chunk_blobs;
+    for (const std::string& name : listed.ValueOrDie()) {
+      if (IsChunkBlobName(name)) chunk_blobs.insert(ChunkHexOfBlobName(name));
+    }
+    for (const auto& [hex, refs] : predicted) {
+      if (chunk_blobs.erase(hex) == 0) {
+        return "store lost referenced chunk blob " + hex.substr(0, 12);
+      }
+    }
+    if (!chunk_blobs.empty()) {
+      return StringFormat("%zu unreferenced chunk blob(s) survived a sweep, "
+                          "first %s",
+                          chunk_blobs.size(),
+                          chunk_blobs.begin()->substr(0, 12).c_str());
+    }
+    return "";
+  }
+
   // --- save path (with optional crash injection) ---------------------------
 
   OpOutcome ExecSave(const FleetOp& op, size_t step) {
@@ -254,6 +333,7 @@ struct FleetSimulator::World {
       const SaveResult& result = saved.ValueOrDie();
       Bind(op.ordinal, result.set_id);
       shadow.ApplySave(op);
+      ObserveChunkOwnership(op.ordinal);
       if (result.chain_depth != shadow.at(op.ordinal).depth) {
         Problem(step, op,
                 StringFormat("save reported chain depth %llu, shadow predicts "
@@ -312,6 +392,7 @@ struct FleetSimulator::World {
       ++report.saves;
       Bind(op.ordinal, unknown.front());
       shadow.ApplySave(op);
+      ObserveChunkOwnership(op.ordinal);
     }
     for (const std::string& id : live_bound) {
       if (!present.count(id)) {
@@ -499,6 +580,11 @@ struct FleetSimulator::World {
       Problem(step, op, "compaction rebased {" + JoinIds(got) +
                             "}, shadow predicts {" + JoinIds(expect) + "}");
       return OpOutcome::kStop;
+    }
+    // A rebase rewrites the set's blobs as a fresh full snapshot: its chunk
+    // ownership changed wholesale, so re-observe before the chunk oracle.
+    for (const std::string& id : got) {
+      ObserveChunkOwnership(ordinal_of[id]);
     }
     ++report.compactions;
     return OpOutcome::kExecuted;
@@ -791,6 +877,12 @@ Result<FleetRunReport> FleetSimulator::RunOps(const std::vector<FleetOp>& ops) {
       continue;
     }
     ++world_->report.ops_executed;
+    // Per-step chunk-refcount oracle (no-op unless CAS is on, un-sharded).
+    std::string chunk_problem = world_->ChunkOracleProblem();
+    if (!chunk_problem.empty()) {
+      world_->Problem(step, ops[step], "chunk oracle: " + chunk_problem);
+      break;
+    }
     if (options_.synthetic_fault) {
       std::string injected = options_.synthetic_fault(ops[step], step);
       if (!injected.empty()) {

@@ -33,6 +33,15 @@ struct FleetSimOptions {
   /// Generous by default so pin admission never fails on capacity (pin
   /// outcomes stay deterministic across cache configurations).
   uint64_t cache_capacity_bytes = 256ull << 20;
+  /// Content-addressed chunk store (cas/cas_store.h). Off by default; when
+  /// enabled the run adds a chunk-refcount oracle after every executed op:
+  /// the shadow's per-set chunk ownership (observed from the manifests each
+  /// save/compaction wrote) summed over live sets must equal the CAS index's
+  /// refcount snapshot AND the literal `cas-` listing of the file store —
+  /// GC must decrement exactly the dead sets' references and sweep exactly
+  /// the zero-ref chunks. The oracle runs in un-sharded worlds; sharded
+  /// runs still open every shard with CAS and audit it through fsck.
+  CasOptions cas;
   /// Arm FaultInjectionEnv crash points around saves: a deterministic
   /// per-ordinal draw decides whether a save crashes mid-commit, after which
   /// the world is healed, reopened (journal replay), checked fsck-clean, and

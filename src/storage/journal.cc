@@ -50,6 +50,9 @@ Status CommitJournal::Open() {
         MMM_ASSIGN_OR_RETURN(intent.name, blob.GetString("name"));
         MMM_ASSIGN_OR_RETURN(int64_t crc, blob.GetInt64("crc"));
         intent.crc = static_cast<uint32_t>(crc);
+        if (blob.Has("cas")) {
+          MMM_ASSIGN_OR_RETURN(intent.cas_chunk, blob.GetBool("cas"));
+        }
         entry.blobs.push_back(std::move(intent));
       }
       MMM_ASSIGN_OR_RETURN(const JsonValue* docs, record.Get("docs"));
@@ -101,7 +104,11 @@ Result<RepairReport> CommitJournal::Replay(FileStore* file_store,
       // commit mark) but are removed defensively — except replace intents,
       // whose pre-existing document is the live version and must survive.
       // Retirement deletes (entry.deletes) never ran and never will.
+      // Content-addressed chunk intents are skipped: the chunk may be
+      // shared with a committed manifest, and if not, the CAS orphan sweep
+      // right after this replay reclaims it (see BlobIntent::cas_chunk).
       for (const BlobIntent& blob : entry.blobs) {
+        if (blob.cas_chunk) continue;
         auto exists = file_store->Exists(blob.name);
         if (exists.ok() && exists.ValueOrDie()) {
           MMM_RETURN_NOT_OK(file_store->Delete(blob.name));
@@ -188,6 +195,7 @@ Result<uint64_t> CommitJournal::Begin(const std::string& set_id,
     JsonValue intent = JsonValue::Object();
     intent.Set("name", blob.name);
     intent.Set("crc", static_cast<int64_t>(blob.crc));
+    if (blob.cas_chunk) intent.Set("cas", true);
     blob_array.Append(std::move(intent));
   }
   record.Set("blobs", std::move(blob_array));

@@ -76,9 +76,17 @@ struct RepairReport {
 class CommitJournal {
  public:
   /// One blob the commit is about to write, with the CRC32 of its payload.
+  /// `cas_chunk` marks content-addressed chunk blobs (serialized as
+  /// `"cas":true`): rollback must NOT delete them, because a chunk written
+  /// by this (failed) commit may be shared with a manifest an earlier
+  /// commit already made durable — deleting it would corrupt that blob.
+  /// A rolled-back chunk nobody references is reclaimed instead by the CAS
+  /// open-time orphan sweep, which runs right after Replay()
+  /// (see cas/cas_store.h).
   struct BlobIntent {
     std::string name;
     uint32_t crc = 0;
+    bool cas_chunk = false;
   };
   /// One document the commit is about to insert. When `replace` is set the
   /// commit overwrites an existing document under the same `_id` (remove +

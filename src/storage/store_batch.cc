@@ -8,12 +8,13 @@ namespace mmm {
 
 StoreBatch::StoreBatch(FileStore* file_store, DocumentStore* doc_store,
                        Executor* executor, StorePipelineOptions options,
-                       CommitJournal* journal)
+                       CommitJournal* journal, CasWriter* cas)
     : file_store_(file_store),
       doc_store_(doc_store),
       executor_(executor),
       options_(options),
-      journal_(journal) {}
+      journal_(journal),
+      cas_(cas) {}
 
 void StoreBatch::PutBlob(std::string name, std::vector<uint8_t> data) {
   ops_.push_back(StagedOp{OpKind::kBlobWrite, std::move(name), std::move(data),
@@ -64,14 +65,64 @@ void StoreBatch::AnnotateCommit(std::string set_id, std::string approach) {
 
 Status StoreBatch::Commit() {
   const size_t lanes = executor_ != nullptr ? executor_->lanes() : 1;
+  std::unique_ptr<CasWriteSession> cas_session;
+  if (cas_ != nullptr) {
+    Status transformed = ApplyCasTransform(&cas_session);
+    if (!transformed.ok()) {
+      if (cas_session != nullptr) cas_session->Aborted();
+      ops_.clear();
+      return transformed;
+    }
+  }
   Status status;
   if (journal_ != nullptr) {
     status = CommitJournaled(lanes);
   } else {
     status = lanes > 1 ? CommitParallel() : CommitSerial();
   }
+  if (cas_session != nullptr) {
+    if (status.ok()) {
+      // The commit is durable: fold the refcount deltas in, sweep chunks
+      // the retirements zeroed, persist the index checkpoint.
+      status = cas_session->Applied();
+    } else {
+      cas_session->Aborted();
+    }
+  }
   ops_.clear();
   return status;
+}
+
+Status StoreBatch::ApplyCasTransform(
+    std::unique_ptr<CasWriteSession>* session) {
+  *session = cas_->BeginSession();
+  std::vector<StagedOp> transformed;
+  transformed.reserve(ops_.size());
+  for (StagedOp& op : ops_) {
+    if (op.kind == OpKind::kBlobWrite) {
+      // Producers run inline here: the chunker needs the payload bytes
+      // before the lanes start. Chunk writes (below) still fan out across
+      // lanes, so the store ops themselves stay overlapped.
+      if (op.producer != nullptr) {
+        MMM_ASSIGN_OR_RETURN(op.data, op.producer());
+        op.producer = nullptr;
+      }
+      std::vector<CasWriteSession::ChunkWrite> chunks;
+      MMM_RETURN_NOT_OK(
+          (*session)->TransformWrite(op.name, &op.data, &chunks));
+      for (CasWriteSession::ChunkWrite& chunk : chunks) {
+        StagedOp chunk_op{OpKind::kBlobWrite, std::move(chunk.name),
+                          std::move(chunk.data), nullptr, JsonValue()};
+        chunk_op.cas_chunk = true;
+        transformed.push_back(std::move(chunk_op));
+      }
+    } else if (op.kind == OpKind::kBlobDelete) {
+      MMM_RETURN_NOT_OK((*session)->TrackDelete(op.name));
+    }
+    transformed.push_back(std::move(op));
+  }
+  ops_ = std::move(transformed);
+  return Status::OK();
 }
 
 Status StoreBatch::CommitSerial() {
@@ -236,8 +287,8 @@ Status StoreBatch::CommitJournaled(size_t lanes) {
   std::vector<CommitJournal::BlobIntent> blob_intents;
   blob_intents.reserve(blob_ops.size());
   for (size_t index : blob_ops) {
-    blob_intents.push_back(
-        {ops_[index].name, Crc32::Compute(ops_[index].data)});
+    blob_intents.push_back({ops_[index].name, Crc32::Compute(ops_[index].data),
+                            ops_[index].cas_chunk});
   }
   std::vector<CommitJournal::DocIntent> doc_intents;
   std::vector<std::string> delete_intents;

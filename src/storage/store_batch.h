@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "serialize/json.h"
+#include "storage/cas_iface.h"
 #include "storage/document_store.h"
 #include "storage/executor.h"
 #include "storage/file_store.h"
@@ -76,9 +77,15 @@ class StoreBatch {
  public:
   /// \param executor worker pool; nullptr means serial (one lane).
   /// \param journal commit journal; nullptr commits without crash atomicity.
+  /// \param cas content-addressed store; nullptr stores payloads verbatim.
+  ///   When set, Commit first runs every deferred producer inline and hands
+  ///   each blob write to a CAS session, which may rewrite it into chunk
+  ///   writes plus a manifest (see storage/cas_iface.h). Chunk ops are
+  ///   staged immediately before their manifest, in staging order, so
+  ///   fault-injection crash points stay lane-invariant.
   StoreBatch(FileStore* file_store, DocumentStore* doc_store,
              Executor* executor = nullptr, StorePipelineOptions options = {},
-             CommitJournal* journal = nullptr);
+             CommitJournal* journal = nullptr, CasWriter* cas = nullptr);
 
   /// Stages a blob write of ready bytes.
   void PutBlob(std::string name, std::vector<uint8_t> data);
@@ -123,7 +130,16 @@ class StoreBatch {
     std::vector<uint8_t> data;
     BlobProducer producer;  ///< non-null: produces `data` at commit time
     JsonValue doc;
+    /// Chunk blob staged by the CAS transform. Journaled as a `cas` intent:
+    /// rollback must not delete it, since a chunk may be shared with
+    /// already-committed manifests (see storage/journal.h).
+    bool cas_chunk = false;
   };
+
+  /// Runs producers, hands every blob write to a CAS session (which may
+  /// rewrite it into a manifest), and splices the session's chunk writes
+  /// into ops_. Fills `*session` for post-commit Applied()/Aborted().
+  Status ApplyCasTransform(std::unique_ptr<CasWriteSession>* session);
 
   /// Executes one staged kDocInsert/kDocReplace against the document store.
   Status ApplyDocOp(const StagedOp& op);
@@ -141,6 +157,7 @@ class StoreBatch {
   Executor* executor_;
   StorePipelineOptions options_;
   CommitJournal* journal_;
+  CasWriter* cas_;
   std::string set_id_;
   std::string approach_;
   std::vector<StagedOp> ops_;

@@ -1,0 +1,12 @@
+// Fixture: deleting a blob in the refcounted `cas-` chunk namespace from
+// outside src/cas/ bypasses the CAS sweeper and must be flagged, whether
+// the name comes from ChunkBlobName, the prefix constant, or a literal.
+struct FileStore;
+
+int Gc(FileStore* store, const char* hex) {
+  int s = store->Delete(ChunkBlobName(hex));
+  if (s != 0) return s;
+  s = store->Delete(kCasChunkPrefix + std::string(hex));
+  if (s != 0) return s;
+  return store->Delete("cas-0000000000000000000000000000000000000000000000000000000000000000");
+}

@@ -1,0 +1,10 @@
+// Fixture: suppressed chunk deletes lint clean; deleting a non-chunk blob
+// never matches in the first place.
+struct FileStore;
+
+int Gc(FileStore* store, const char* hex) {
+  // MMMLINT(chunk-delete): fixture repairs a store with a corrupt index
+  int s = store->Delete(ChunkBlobName(hex));
+  if (s != 0) return s;
+  return store->Delete("set-000001.params.bin");
+}

@@ -65,6 +65,7 @@ struct World {
     options.env = &fault;
     options.resolver = scenario.get();
     options.pipeline.lanes = lanes;
+    options.cas = cas;
     MMM_ASSIGN_OR_RETURN(manager, ModelSetManager::Open(options));
     return Status::OK();
   }
@@ -83,6 +84,8 @@ struct World {
   InMemoryEnv base;
   FaultInjectionEnv fault;
   ApproachType approach;
+  /// Off by default (the seed contract); CAS sweeps turn it on before Open.
+  CasOptions cas;
   std::unique_ptr<MultiModelScenario> scenario;
   std::unique_ptr<ModelSetManager> manager;
 };
@@ -235,6 +238,102 @@ TEST_P(CrashSweep, EveryCrashPointOfDerivedSavePreservesBase) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllApproaches, CrashSweep,
+                         ::testing::Values(ApproachType::kMMlibBase,
+                                           ApproachType::kBaseline,
+                                           ApproachType::kUpdate,
+                                           ApproachType::kProvenance),
+                         [](const auto& info) {
+                           std::string name = ApproachTypeName(info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// CAS crash sweep: with the content-addressed chunk store on, a save stages
+// chunk blobs + a manifest instead of one verbatim blob, and the derived
+// save dedups against the base's chunks. Crashing at every write must leave
+// the refcount index consistent with the store (CasStore::Audit runs inside
+// ValidateStore), the base recoverable from chunks the rollback must not
+// touch, and no orphaned chunk blob behind (the open-time sweep reclaims
+// chunks a rolled-back commit had already written).
+
+CasOptions SweepCasOptions() {
+  // Chunks small enough that the 4-model battery blobs split into several
+  // chunks (so crashes land between chunk writes), big enough to keep the
+  // per-point write count — and so the sweep's cost — bounded.
+  CasOptions cas;
+  cas.enabled = true;
+  cas.min_chunk_bytes = 256;
+  cas.avg_chunk_bytes = 1024;
+  cas.max_chunk_bytes = 4096;
+  cas.min_blob_bytes = 512;
+  return cas;
+}
+
+/// Probe twin of Probe() with CAS enabled.
+ProbeCounts ProbeCas(ApproachType type, size_t lanes) {
+  ProbeCounts counts;
+  World world;
+  world.cas = SweepCasOptions();
+  world.Open(type, lanes).Check();
+  counts.before_initial = world.fault.write_count();
+  auto initial = world.SaveInitial();
+  initial.status().Check();
+  counts.initial_id = initial.ValueOrDie().set_id;
+  counts.initial_writes = world.fault.write_count() - counts.before_initial;
+  // The sweep is vacuous unless the save actually chunked something.
+  if (world.manager->cas()->ManifestNames().empty()) {
+    Status::Internal("CAS probe save produced no manifests").Check();
+  }
+
+  auto update = world.scenario->AdvanceCycle();
+  update.status().Check();
+  counts.before_derived = world.fault.write_count();
+  auto derived = world.SaveDerived(counts.initial_id, update.ValueOrDie());
+  derived.status().Check();
+  counts.derived_id = derived.ValueOrDie().set_id;
+  counts.derived_writes = world.fault.write_count() - counts.before_derived;
+  return counts;
+}
+
+class CasCrashSweep : public ::testing::TestWithParam<ApproachType> {};
+
+TEST_P(CasCrashSweep, EveryCrashPointKeepsChunkRefcountsConsistent) {
+  for (size_t lanes : {size_t{1}, size_t{4}}) {
+    ProbeCounts probe = ProbeCas(GetParam(), lanes);
+    ASSERT_GT(probe.derived_writes, 0) << "probe saved nothing";
+    for (int64_t k = 0; k < probe.derived_writes; ++k) {
+      std::string label = ApproachTypeName(GetParam()) + " cas lanes=" +
+                          std::to_string(lanes) + " derived crash@" +
+                          std::to_string(k);
+      World world;
+      world.cas = SweepCasOptions();
+      ASSERT_OK(world.Open(GetParam(), lanes));
+      ASSERT_OK(world.SaveInitial().status());
+      ModelSet initial_state = world.scenario->current_set();  // deep copy
+      ASSERT_OK_AND_ASSIGN(ModelSetUpdateInfo update,
+                           world.scenario->AdvanceCycle());
+      ASSERT_EQ(world.fault.write_count(), probe.before_derived) << label;
+      world.fault.FailWritesAfter(probe.before_derived + k);
+      EXPECT_FALSE(world.SaveDerived(probe.initial_id, update).ok()) << label;
+      world.fault.Heal();
+      ASSERT_OK(world.Reopen(lanes));
+      ASSERT_NE(world.manager->cas(), nullptr) << label;
+      // ValidateStore runs CasStore::Audit: refcounts == live manifest refs,
+      // every referenced chunk present with matching hash; FindOrphanBlobs
+      // proves the open-time sweep left no unreferenced chunk blob.
+      ExpectStoreConsistent(&world, label);
+      // The base's chunks survived the rollback (shared-chunk safety).
+      ASSERT_OK_AND_ASSIGN(ModelSet base_recovered,
+                           world.manager->Recover(probe.initial_id));
+      ExpectSetEquals(base_recovered, initial_state, label + " (base)");
+      ExpectRollbackOrCommit(&world, probe.derived_id,
+                             world.scenario->current_set(), label);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApproaches, CasCrashSweep,
                          ::testing::Values(ApproachType::kMMlibBase,
                                            ApproachType::kBaseline,
                                            ApproachType::kUpdate,

@@ -15,6 +15,11 @@
 //                                           onto fresh full snapshots (bounding
 //                                           recovery TTR), fold the metadata
 //                                           log, and fsck the result
+//   mmmctl <store-dir> cas-stats            content-addressed chunk store
+//                                           report: unique chunks, dedup
+//                                           ratio, refcount histogram,
+//                                           orphans (requires a store saved
+//                                           with Options::cas enabled)
 //   mmmctl <store-dir> serve-replay [requests] [workers] [cache-mb] [theta]
 //                                           replay a Zipfian recovery trace
 //                                           over every saved set through the
@@ -28,7 +33,8 @@
 //                                           (journal replay over its subtree)
 //   mmmctl <root-dir> cluster add-shard <name>
 //                                           grow the ring (rebalance separately)
-//   mmmctl <out-dir> fleet-sim [steps] [seed] [shards] [workers] [--crashes]
+//   mmmctl <out-dir> fleet-sim [steps] [seed] [shards] [workers]
+//                              [--crashes] [--cas]
 //                                           run the deterministic fleet-
 //                                           lifecycle simulator (in-memory
 //                                           world, invariant oracles at every
@@ -51,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "cas/cas_store.h"
 #include "cluster/coordinator.h"
 #include "common/strings.h"
 #include "fleet/minimize.h"
@@ -78,10 +85,12 @@ int Usage() {
                "{list | lineage <set-id> | validate | fsck | show <set-id> | "
                "export <set-id> <out-dir> | delete <set-id> [--cascade] | "
                "retain <set-id>... | compact [--max-depth N] [--dry-run] | "
+               "cas-stats | "
                "serve-replay [requests] [workers] [cache-mb] [theta] | "
                "cluster {init [shards] | status | rebalance | "
                "kill-shard <name> | add-shard <name>} | "
-               "fleet-sim [steps] [seed] [shards] [workers] [--crashes]}\n");
+               "fleet-sim [steps] [seed] [shards] [workers] "
+               "[--crashes] [--cas]}\n");
   return 64;
 }
 
@@ -180,6 +189,51 @@ int CmdFsck(ModelSetManager* manager) {
 
   if (healthy) {
     std::printf("store is consistent\n");
+    return 0;
+  }
+  return 2;
+}
+
+int CmdCasStats(ModelSetManager* manager) {
+  CasStore* cas = manager->cas();
+  if (cas == nullptr) {
+    // Opening a store that ever checkpointed a CAS index re-enables it
+    // automatically, so reaching here means this store never used CAS.
+    std::fprintf(stderr,
+                 "store has no content-addressed chunk index (save with "
+                 "Options::cas enabled first)\n");
+    return 1;
+  }
+  auto stats_or = cas->ComputeStats();
+  if (!stats_or.ok()) return Fail(stats_or.status());
+  const CasStore::Stats& stats = stats_or.ValueOrDie();
+  std::printf("manifests: %llu (%s of logical payload)\n",
+              static_cast<unsigned long long>(stats.manifests),
+              HumanBytes(stats.manifest_raw_bytes).c_str());
+  std::printf("unique chunks: %llu (%s stored), %llu references\n",
+              static_cast<unsigned long long>(stats.unique_chunks),
+              HumanBytes(stats.chunk_bytes).c_str(),
+              static_cast<unsigned long long>(stats.total_refs));
+  std::printf("dedup ratio: %.2fx (logical bytes / stored chunk bytes)\n",
+              stats.dedup_ratio());
+  std::printf("refcount histogram:\n");
+  for (const auto& [refs, chunks] : stats.refcount_histogram) {
+    std::printf("  %6llu ref(s): %llu chunk(s)\n",
+                static_cast<unsigned long long>(refs),
+                static_cast<unsigned long long>(chunks));
+  }
+  if (stats.orphan_chunks != 0) {
+    std::printf("PROBLEM: %llu zero-ref chunk(s) awaiting sweep\n",
+                static_cast<unsigned long long>(stats.orphan_chunks));
+  }
+  std::vector<std::string> problems;
+  Status audit = cas->Audit(&problems);
+  if (!audit.ok()) return Fail(audit);
+  for (const std::string& problem : problems) {
+    std::printf("PROBLEM: %s\n", problem.c_str());
+  }
+  if (stats.orphan_chunks == 0 && problems.empty()) {
+    std::printf("chunk index is consistent\n");
     return 0;
   }
   return 2;
@@ -453,10 +507,11 @@ int CmdFleetSim(const std::string& out_dir, const FleetPlanConfig& config,
   const FleetRunReport& report = run.ValueOrDie();
 
   std::printf("fleet-sim seed=%llu steps=%zu shards=%zu workers=%zu "
-              "crashes=%s\n",
+              "crashes=%s cas=%s\n",
               static_cast<unsigned long long>(config.seed), config.steps,
               options.shards, options.workers,
-              options.inject_crashes ? "on" : "off");
+              options.inject_crashes ? "on" : "off",
+              options.cas.enabled ? "on" : "off");
   std::printf("  %zu ops executed, %zu skipped\n", report.ops_executed,
               report.ops_skipped);
   std::printf("  %llu saves, %llu recoveries, %llu deletes, %llu retains, "
@@ -578,6 +633,18 @@ int main(int argc, char** argv) {
         options.inject_crashes = true;
         continue;
       }
+      if (std::strcmp(argv[i], "--cas") == 0) {
+        // Small chunk parameters relative to the defaults: the simulator's
+        // sets are deliberately tiny (see FleetPlanConfig::models_per_set),
+        // so production-sized chunks would leave every blob verbatim and
+        // the chunk-refcount oracle vacuous.
+        options.cas.enabled = true;
+        options.cas.min_chunk_bytes = 256;
+        options.cas.avg_chunk_bytes = 1024;
+        options.cas.max_chunk_bytes = 4096;
+        options.cas.min_blob_bytes = 512;
+        continue;
+      }
       char* end = nullptr;
       uint64_t value = std::strtoull(argv[i], &end, 10);
       if (end == argv[i] || *end != '\0') return Usage();
@@ -596,8 +663,8 @@ int main(int argc, char** argv) {
   // Reject unknown commands before touching the store: ModelSetManager::Open
   // would otherwise initialize an empty store at a typo'd invocation.
   static const char* kStoreCommands[] = {
-      "list",   "validate", "fsck",    "lineage",      "show",
-      "export", "delete",   "retain",  "compact",      "serve-replay"};
+      "list",   "validate", "fsck",   "lineage", "show",         "export",
+      "delete", "retain",   "compact", "cas-stats", "serve-replay"};
   bool known = false;
   for (const char* c : kStoreCommands) known = known || command == c;
   if (!known) return Usage();
@@ -612,6 +679,7 @@ int main(int argc, char** argv) {
   if (command == "list") return CmdList(manager.ValueOrDie().get());
   if (command == "validate") return CmdValidate(manager.ValueOrDie().get());
   if (command == "fsck") return CmdFsck(manager.ValueOrDie().get());
+  if (command == "cas-stats") return CmdCasStats(manager.ValueOrDie().get());
   if (command == "lineage" && argc >= 4) {
     return CmdLineage(manager.ValueOrDie().get(), argv[3]);
   }

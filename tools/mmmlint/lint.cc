@@ -416,6 +416,41 @@ void CheckDirectManagerOpen(const RuleContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// chunk-delete: the `cas-` chunk namespace is refcounted (cas/cas_store.h);
+// a Delete that bypasses the CAS sweeper leaves the refcount index pointing
+// at a blob that no longer exists, which every manifest sharing the chunk
+// then fails to read. Only src/cas/ may delete chunk blobs; everyone else
+// decrements (OnManifestDeleted) and lets the sweep reclaim.
+
+void CheckChunkDelete(const RuleContext& ctx) {
+  std::string path = EffectivePath(ctx.file.path);
+  if (PathContains(path, "src/cas/")) return;
+  const auto& toks = ctx.file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdent) continue;
+    if (toks[i].text != "Delete" && toks[i].text != "DeleteFile") continue;
+    if (!IsPunct(TokenAt(toks, i + 1), "(")) continue;
+    size_t end = SkipParens(toks, i + 1);
+    for (size_t j = i + 2; j + 1 < end; ++j) {
+      bool chunk_arg =
+          (toks[j].kind == TokenKind::kIdent &&
+           (toks[j].text == "ChunkBlobName" ||
+            toks[j].text == "kCasChunkPrefix")) ||
+          (toks[j].kind == TokenKind::kString &&
+           toks[j].text.rfind("cas-", 0) == 0);
+      if (chunk_arg) {
+        ctx.Report("chunk-delete", toks[i].line,
+                   "'" + toks[i].text +
+                       "' of a cas- chunk blob outside src/cas/: chunks are "
+                       "refcounted — call CasStore::OnManifestDeleted and "
+                       "let SweepZeroRefChunks reclaim them");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // include-cycle: DFS over the quoted-include graph of the scanned files.
 
 struct IncludeEdge {
@@ -591,7 +626,8 @@ std::string JsonEscape(const std::string& s) {
 std::vector<std::string> RuleNames() {
   return {"banned-random",  "discarded-status",   "naked-new",
           "naked-delete",   "mutex-missing-guard", "raw-std-mutex",
-          "direct-env-write", "direct-manager-open", "include-cycle"};
+          "direct-env-write", "direct-manager-open", "chunk-delete",
+          "include-cycle"};
 }
 
 std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
@@ -628,6 +664,7 @@ std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
     }
     if (WantRule(options, "direct-env-write")) CheckDirectEnvWrite(ctx);
     if (WantRule(options, "direct-manager-open")) CheckDirectManagerOpen(ctx);
+    if (WantRule(options, "chunk-delete")) CheckChunkDelete(ctx);
   }
   if (WantRule(options, "include-cycle")) {
     IncludeGraph(lexed).ReportCycles(&findings);

@@ -37,6 +37,10 @@
 ///                        src/cluster/, tests, and bench — other layers take
 ///                        an injected manager or route through the cluster
 ///                        Coordinator, so one store never has two facades.
+///   chunk-delete         Delete/DeleteFile of a `cas-` chunk-namespace blob
+///                        outside src/cas/ — chunks are refcounted and
+///                        shared across sets; deleting one behind the CAS
+///                        sweeper's back corrupts every manifest sharing it.
 ///   include-cycle        a cycle in the quoted-include graph under the
 ///                        scanned roots.
 ///
