@@ -170,7 +170,7 @@ class CasStore : public CasWriter {
   std::string index_path_;
   CasOptions options_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_ MMM_LOCK_RANK(110);
   std::map<std::string, ChunkState> chunks_ MMM_GUARDED_BY(mu_);
   std::map<std::string, ManifestState> manifests_ MMM_GUARDED_BY(mu_);
   /// Chunks referenced by in-flight write sessions (dedup decisions that

@@ -83,7 +83,6 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Open(ClusterOptions options) {
   c.manifest_path_ = options.root_dir + "/" + kManifestName;
 
   WriterMutexLock topo_lock(c.topo_mu_);
-  MutexLock place_lock(c.place_mu_);
 
   // Read or create the manifest. On reopen the manifest's topology wins
   // over whatever the caller passed, so the ring and id stream are stable
@@ -145,30 +144,36 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Open(ClusterOptions options) {
   // set found on two shards is a rebalance interrupted between copy and
   // delete: serve from the ring owner's copy and let the next Rebalance
   // remove the other.
-  c.master_ids_ = std::make_unique<IdGenerator>(options.id_seed);
-  uint64_t max_counter = 0;
-  for (const auto& [name, shard] : c.shards_) {
-    MMM_ASSIGN_OR_RETURN(std::vector<SetSummary> sets,
-                         shard->manager()->ListSets());
-    for (const SetSummary& set : sets) {
-      max_counter = std::max(max_counter, IdCounterBound(set.id));
-      auto [it, inserted] = c.placement_.emplace(set.id, name);
-      if (inserted) continue;
-      MMM_ASSIGN_OR_RETURN(std::string ring_owner, c.ring_.OwnerOf(set.id));
-      std::string loser = name;
-      if (ring_owner == name) {
-        loser = it->second;
-        it->second = name;
+  {
+    // Scoped to the placement rebuild: place_mu_ ranks above fanout_mu_
+    // (DESIGN.md §6.2), so it must be released before the fan-out executor
+    // construction below acquires fanout_mu_.
+    MutexLock place_lock(c.place_mu_);
+    c.master_ids_ = std::make_unique<IdGenerator>(options.id_seed);
+    uint64_t max_counter = 0;
+    for (const auto& [name, shard] : c.shards_) {
+      MMM_ASSIGN_OR_RETURN(std::vector<SetSummary> sets,
+                           shard->manager()->ListSets());
+      for (const SetSummary& set : sets) {
+        max_counter = std::max(max_counter, IdCounterBound(set.id));
+        auto [it, inserted] = c.placement_.emplace(set.id, name);
+        if (inserted) continue;
+        MMM_ASSIGN_OR_RETURN(std::string ring_owner, c.ring_.OwnerOf(set.id));
+        std::string loser = name;
+        if (ring_owner == name) {
+          loser = it->second;
+          it->second = name;
+        }
+        c.open_problems_.push_back(StringFormat(
+            "set '%s' exists on shards '%s' and '%s'; serving from '%s' "
+            "(interrupted rebalance; run Rebalance to remove the copy on "
+            "'%s')",
+            set.id.c_str(), it->second.c_str(), loser.c_str(),
+            it->second.c_str(), loser.c_str()));
       }
-      c.open_problems_.push_back(StringFormat(
-          "set '%s' exists on shards '%s' and '%s'; serving from '%s' "
-          "(interrupted rebalance; run Rebalance to remove the copy on "
-          "'%s')",
-          set.id.c_str(), it->second.c_str(), loser.c_str(),
-          it->second.c_str(), loser.c_str()));
     }
+    c.master_ids_->AdvanceTo(max_counter);
   }
-  c.master_ids_->AdvanceTo(max_counter);
 
   {
     MutexLock fanout_lock(c.fanout_mu_);

@@ -281,7 +281,7 @@ class Coordinator {
 
   /// Guards the topology: ring, shard instances, manifest. Data-plane ops
   /// hold it shared end-to-end; topology changes take it exclusive.
-  mutable SharedMutex topo_mu_;
+  mutable SharedMutex topo_mu_ MMM_LOCK_RANK(10);
   ShardRouter ring_ MMM_GUARDED_BY(topo_mu_);
   std::map<std::string, ShardSpec> specs_ MMM_GUARDED_BY(topo_mu_);
   std::map<std::string, std::unique_ptr<Shard>> shards_
@@ -289,11 +289,11 @@ class Coordinator {
   uint64_t failovers_ MMM_GUARDED_BY(topo_mu_) = 0;
 
   /// Fan-out executor dispatch is not reentrant; one fan-out at a time.
-  Mutex fanout_mu_;
+  Mutex fanout_mu_ MMM_LOCK_RANK(20);
   std::unique_ptr<Executor> fanout_ MMM_GUARDED_BY(fanout_mu_);
 
   /// Guards the master id generator and the placement map.
-  mutable Mutex place_mu_;
+  mutable Mutex place_mu_ MMM_LOCK_RANK(30);
   std::unique_ptr<IdGenerator> master_ids_ MMM_GUARDED_BY(place_mu_);
   /// set id -> owning shard name. Derived saves inherit the base's entry.
   std::map<std::string, std::string> placement_ MMM_GUARDED_BY(place_mu_);

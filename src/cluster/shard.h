@@ -54,7 +54,7 @@ class PreassignedIds : public IdGenerator {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_ MMM_LOCK_RANK(50);
   std::deque<std::string> queue_ MMM_GUARDED_BY(mu_);
 };
 
@@ -123,7 +123,7 @@ class Shard {
   std::unique_ptr<ModelSetManager> manager_;
   std::unique_ptr<ModelSetService> service_;
 
-  mutable Mutex save_mu_;
+  mutable Mutex save_mu_ MMM_LOCK_RANK(40);
   uint64_t saves_ MMM_GUARDED_BY(save_mu_) = 0;
 };
 

@@ -13,7 +13,7 @@ std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
 /// executor lanes, the serving pool) never interleave mid-line. Each Logger
 /// formats into its own private stream; only the emission contends.
 Mutex& SinkMutex() {
-  static Mutex mu;
+  static Mutex mu MMM_LOCK_RANK(160);
   return mu;
 }
 

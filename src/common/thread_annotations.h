@@ -65,6 +65,17 @@
 #define MMM_NO_THREAD_SAFETY_ANALYSIS \
   MMM_THREAD_ANNOTATION__(no_thread_safety_analysis)
 
+/// Lock-rank declaration, consumed by tools/mmmsa rather than the compiler
+/// (it expands to nothing everywhere). Ranks impose one global acquisition
+/// order: a thread may only acquire a lock whose rank is strictly greater
+/// than the rank of every lock it already holds, so any two locks ever held
+/// together nest outer-lower/inner-higher and cross-subsystem deadlock
+/// cycles are impossible by construction. Every Mutex/SharedMutex under
+/// src/ must carry a rank (mmmsa's lock-rank-missing check enforces this);
+/// the full table lives in DESIGN.md §6.2. Leave gaps between values so a
+/// new lock can slot between existing ones without renumbering the world.
+#define MMM_LOCK_RANK(n)
+
 namespace mmm {
 
 /// \brief Annotated exclusive mutex (wraps std::mutex).

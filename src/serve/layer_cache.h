@@ -109,7 +109,7 @@ class LayerCache {
     bool pinned = false;
   };
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu MMM_LOCK_RANK(100);
     std::list<Entry> lru MMM_GUARDED_BY(mu);  ///< front = most recently used
     std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index
         MMM_GUARDED_BY(mu);

@@ -205,14 +205,14 @@ class ModelSetService {
   LayerCache layer_cache_;
   CacheAdapter adapter_;
   std::unique_ptr<Executor> executor_;
-  Mutex replay_mu_;  ///< Executor dispatch is not reentrant.
+  Mutex replay_mu_ MMM_LOCK_RANK(60);  ///< Executor dispatch is not reentrant.
 
   /// Readers (Recover) take it shared; DeleteSet/RetainOnly/PinSet take it
   /// exclusive, so the GC never races a recovery mid-walk. Lock order:
   /// replay_mu_ > gate_ > meta_mu_ > pin_mu_ (see DESIGN.md §6.2).
-  SharedMutex gate_;
+  SharedMutex gate_ MMM_LOCK_RANK(70);
 
-  mutable Mutex meta_mu_;
+  mutable Mutex meta_mu_ MMM_LOCK_RANK(80);
   /// Front = most recently used.
   std::list<MetaEntry> meta_lru_ MMM_GUARDED_BY(meta_mu_);
   std::unordered_map<std::string, std::list<MetaEntry>::iterator> meta_index_
@@ -223,7 +223,7 @@ class ModelSetService {
   std::unordered_map<std::string, std::vector<Sha256Digest>> hash_index_
       MMM_GUARDED_BY(meta_mu_);
 
-  mutable Mutex pin_mu_;
+  mutable Mutex pin_mu_ MMM_LOCK_RANK(90);
   /// set id -> flattened layer hashes pinned for it.
   std::unordered_map<std::string, std::vector<Sha256Digest>> pinned_sets_
       MMM_GUARDED_BY(pin_mu_);

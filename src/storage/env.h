@@ -75,7 +75,7 @@ class InMemoryEnv : public Env {
   Result<std::vector<std::string>> ListDir(const std::string& path) override;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_ MMM_LOCK_RANK(150);
   std::vector<std::pair<std::string, std::vector<uint8_t>>> files_
       MMM_GUARDED_BY(mu_);
 };
@@ -190,7 +190,7 @@ class FaultInjectionEnv : public Env {
   Status CheckPath(const std::string& path) const;
 
   Env* base_;
-  mutable Mutex mu_;
+  mutable Mutex mu_ MMM_LOCK_RANK(140);
   /// Path prefixes whose reads and writes fail (see FailPathsUnder).
   std::vector<std::string> dead_prefixes_ MMM_GUARDED_BY(mu_);
   int64_t fail_after_ MMM_GUARDED_BY(mu_) = -1;

@@ -55,7 +55,7 @@ class Executor {
   size_t lanes_;
   std::vector<std::thread> workers_;
 
-  Mutex mu_;
+  Mutex mu_ MMM_LOCK_RANK(130);
   CondVar work_cv_;
   CondVar done_cv_;
   /// Current dispatch (null between dispatches).

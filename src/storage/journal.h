@@ -151,7 +151,7 @@ class CommitJournal {
 
   Env* env_;
   std::string path_;
-  mutable Mutex mu_;
+  mutable Mutex mu_ MMM_LOCK_RANK(120);
   uint64_t next_txn_ MMM_GUARDED_BY(mu_) = 1;
   /// Unfinished entries in begin order; finished entries are dropped.
   std::vector<Entry> entries_ MMM_GUARDED_BY(mu_);

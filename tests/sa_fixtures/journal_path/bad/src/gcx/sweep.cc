@@ -1,0 +1,17 @@
+// Seeded journal-protocol violation: a blob deletion reachable outside
+// src/storage//src/cas/ with no journaled-intent construction dominating
+// it. Both the direct primitive and the caller that reaches it through a
+// helper must be flagged (the finding lands on the outermost entry point).
+
+class Env {
+ public:
+  int Delete(const char* path);
+};
+
+static void EvictBlobRaw(Env* env, const char* path) {
+  env->Delete(path);
+}
+
+void SweepEverything(Env* env, const char* path) {
+  EvictBlobRaw(env, path);
+}

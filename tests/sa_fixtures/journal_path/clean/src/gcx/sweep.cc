@@ -1,0 +1,17 @@
+// The same deletion, but dominated by a journaled intent (CommitJournal::
+// Begin) on the path: conformant, the analysis must stay silent.
+
+class Env {
+ public:
+  int Delete(const char* path);
+};
+
+class CommitJournal {
+ public:
+  int Begin(const char* path);
+};
+
+void SweepEverything(Env* env, CommitJournal* journal, const char* path) {
+  journal->Begin(path);
+  env->Delete(path);
+}

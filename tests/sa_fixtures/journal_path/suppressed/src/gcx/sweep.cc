@@ -1,0 +1,11 @@
+// The bad variant with an MMMSA suppression on the deletion site.
+
+class Env {
+ public:
+  int Delete(const char* path);
+};
+
+void SweepEverything(Env* env, const char* path) {
+  // MMMSA(journal-path): seeded fixture, raw delete is the point
+  env->Delete(path);
+}

@@ -1,0 +1,9 @@
+// Seeded layering break: storage is a lower layer than serve, so this
+// include points up the DAG and must be flagged.
+#ifndef SA_FIXTURE_LAYER_DAG_BAD_H_
+#define SA_FIXTURE_LAYER_DAG_BAD_H_
+
+#include "common/status.h"
+#include "serve/layer_cache.h"
+
+#endif  // SA_FIXTURE_LAYER_DAG_BAD_H_

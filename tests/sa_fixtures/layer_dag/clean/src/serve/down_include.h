@@ -1,0 +1,9 @@
+// Downward includes only: serve may depend on core, storage, and common.
+#ifndef SA_FIXTURE_LAYER_DAG_CLEAN_H_
+#define SA_FIXTURE_LAYER_DAG_CLEAN_H_
+
+#include "common/status.h"
+#include "core/manager.h"
+#include "storage/executor.h"
+
+#endif  // SA_FIXTURE_LAYER_DAG_CLEAN_H_

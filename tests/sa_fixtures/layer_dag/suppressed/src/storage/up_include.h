@@ -1,0 +1,9 @@
+// The bad variant with an MMMSA suppression on the upward include.
+#ifndef SA_FIXTURE_LAYER_DAG_SUPPRESSED_H_
+#define SA_FIXTURE_LAYER_DAG_SUPPRESSED_H_
+
+#include "common/status.h"
+// MMMSA(layer-dag): seeded fixture, upward include is the point
+#include "serve/layer_cache.h"
+
+#endif  // SA_FIXTURE_LAYER_DAG_SUPPRESSED_H_

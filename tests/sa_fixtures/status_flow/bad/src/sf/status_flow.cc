@@ -1,0 +1,26 @@
+// Three seeded Status-handling bugs the flow-sensitive analysis must catch:
+// a Status dropped on an early-return path, a Status overwritten before it
+// was checked, and a Status that silently falls out of scope.
+
+Status Load();
+Status Persist();
+
+Status DropOnEarlyReturn(bool flaky) {
+  Status st = Load();
+  if (flaky) {
+    return Persist();
+  }
+  return st;
+}
+
+Status OverwriteUnchecked() {
+  Status st = Load();
+  st = Persist();
+  return st;
+}
+
+void DropAtScopeExit() {
+  Status st = Persist();
+  int done = 1;
+  (void)done;
+}

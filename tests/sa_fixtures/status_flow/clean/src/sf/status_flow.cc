@@ -1,0 +1,26 @@
+// The same three shapes with the Status checked or propagated on every
+// path: the analysis must stay silent.
+
+Status Load();
+Status Persist();
+
+Status CheckedEarlyReturn(bool flaky) {
+  Status st = Load();
+  if (flaky) {
+    if (!st.ok()) return st;
+    return Persist();
+  }
+  return st;
+}
+
+Status CheckedBeforeOverwrite() {
+  Status st = Load();
+  if (!st.ok()) return st;
+  st = Persist();
+  return st;
+}
+
+Status PropagatedAtScopeExit() {
+  Status st = Persist();
+  return st;
+}

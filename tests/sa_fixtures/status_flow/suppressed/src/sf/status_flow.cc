@@ -1,0 +1,27 @@
+// The bad variant with MMMSA suppressions on every finding site.
+
+Status Load();
+Status Persist();
+
+Status DropOnEarlyReturn(bool flaky) {
+  Status st = Load();
+  if (flaky) {
+    // MMMSA(status-flow): seeded fixture, drop is the point
+    return Persist();
+  }
+  return st;
+}
+
+Status OverwriteUnchecked() {
+  Status st = Load();
+  // MMMSA(status-flow): seeded fixture, overwrite is the point
+  st = Persist();
+  return st;
+}
+
+void DropAtScopeExit() {
+  // MMMSA(status-flow): seeded fixture, scope-exit drop is the point
+  Status st = Persist();
+  int done = 1;
+  (void)done;
+}

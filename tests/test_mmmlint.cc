@@ -215,4 +215,29 @@ TEST(MmmlintDriver, FormattersRenderEveryFinding) {
             findings.size());
 }
 
+TEST(MmmlintDriver, ListSuppressionsReportsFileRuleAndReason) {
+  std::vector<mmmlint::SuppressionNote> notes =
+      mmmlint::ListSuppressions({FixtureDir("direct_manager_open")});
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_NE(notes[0].file.find("suppressed.cc"), std::string::npos);
+  EXPECT_EQ(notes[0].line, 8);
+  EXPECT_EQ(notes[0].rule, "direct-manager-open");
+  EXPECT_EQ(notes[0].reason,
+            "fixture models a sanctioned standalone tool");
+}
+
+TEST(MmmlintDriver, ListSuppressionsIgnoresSyntaxDocumentation) {
+  // Comments that merely describe the `MMMLINT(<rule>): ...` syntax (like
+  // the header docs in tools/mmmlint) must not show up as debt.
+  std::vector<mmmlint::SuppressionNote> notes =
+      mmmlint::ListSuppressions({FixtureDir("banned_random")});
+  for (const mmmlint::SuppressionNote& note : notes) {
+    EXPECT_TRUE(note.rule == "*" ||
+                note.rule.find_first_not_of(
+                    "abcdefghijklmnopqrstuvwxyz0123456789-") ==
+                    std::string::npos)
+        << note.rule;
+  }
+}
+
 }  // namespace

@@ -1,0 +1,232 @@
+// Golden tests for tools/mmmsa: every analysis against its bad / clean /
+// suppressed fixture trees under tests/sa_fixtures/, plus the self-check
+// that the real tree is finding-free modulo the checked-in baseline. The
+// fixtures mirror the src/ layout below an extra prefix (EffectivePath
+// strips it) so path-gated analyses behave exactly as in the real tree.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/mmmsa/sa.h"
+
+namespace mmmsa {
+namespace {
+
+std::string FixtureDir(const std::string& analysis,
+                       const std::string& variant) {
+  return std::string(MMM_SA_FIXTURES) + "/" + analysis + "/" + variant;
+}
+
+std::vector<Finding> Analyze(const std::string& analysis,
+                             const std::string& variant,
+                             const std::string& only = "") {
+  SaOptions options;
+  if (!only.empty()) options.only_analyses.insert(only);
+  std::vector<std::string> io_errors;
+  std::vector<Finding> findings =
+      AnalyzePaths({FixtureDir(analysis, variant)}, options, &io_errors);
+  EXPECT_TRUE(io_errors.empty());
+  return findings;
+}
+
+bool HasFinding(const std::vector<Finding>& findings, const std::string& rule,
+                const std::string& symbol_fragment) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == rule &&
+           f.symbol.find(symbol_fragment) != std::string::npos;
+  });
+}
+
+TEST(MmmsaCatalog, AnalysisNamesAreStable) {
+  EXPECT_EQ(AnalysisNames(),
+            (std::vector<std::string>{"lock-order", "status-flow",
+                                      "journal-path", "layer-dag"}));
+}
+
+// ---------------------------------------------------------------------------
+// lock-order: seeded cycle.
+
+TEST(MmmsaLockOrder, SeededCycleFires) {
+  std::vector<Finding> findings = Analyze("lock_cycle", "bad", "lock-order");
+  EXPECT_TRUE(HasFinding(findings, "lock-cycle", "Tangle::a_"))
+      << FormatText(findings);
+  EXPECT_TRUE(HasFinding(findings, "lock-cycle", "Tangle::b_"))
+      << FormatText(findings);
+  // The against-rank direction of the cycle is also a rank inversion.
+  EXPECT_TRUE(HasFinding(findings, "rank-inversion", "Tangle::b_->Tangle::a_"))
+      << FormatText(findings);
+}
+
+TEST(MmmsaLockOrder, CycleCleanVariantIsSilent) {
+  EXPECT_TRUE(Analyze("lock_cycle", "clean").empty());
+}
+
+TEST(MmmsaLockOrder, CycleSuppressedVariantIsSilent) {
+  EXPECT_TRUE(Analyze("lock_cycle", "suppressed").empty());
+}
+
+// ---------------------------------------------------------------------------
+// lock-order: seeded rank inversion (no cycle).
+
+TEST(MmmsaLockOrder, SeededRankInversionFires) {
+  std::vector<Finding> findings =
+      Analyze("rank_inversion", "bad", "lock-order");
+  EXPECT_TRUE(
+      HasFinding(findings, "rank-inversion", "Inverted::high_->Inverted::low_"))
+      << FormatText(findings);
+  EXPECT_FALSE(HasFinding(findings, "lock-cycle", "Inverted"))
+      << FormatText(findings);
+}
+
+TEST(MmmsaLockOrder, RankInversionCleanVariantIsSilent) {
+  EXPECT_TRUE(Analyze("rank_inversion", "clean").empty());
+}
+
+TEST(MmmsaLockOrder, RankInversionSuppressedVariantIsSilent) {
+  EXPECT_TRUE(Analyze("rank_inversion", "suppressed").empty());
+}
+
+// ---------------------------------------------------------------------------
+// status-flow: drop on early return, overwrite, drop at scope exit.
+
+TEST(MmmsaStatusFlow, SeededBugsFire) {
+  std::vector<Finding> findings = Analyze("status_flow", "bad", "status-flow");
+  EXPECT_TRUE(HasFinding(findings, "status-drop", "DropOnEarlyReturn::st"))
+      << FormatText(findings);
+  EXPECT_TRUE(
+      HasFinding(findings, "status-overwrite", "OverwriteUnchecked::st"))
+      << FormatText(findings);
+  EXPECT_TRUE(HasFinding(findings, "status-drop", "DropAtScopeExit::st"))
+      << FormatText(findings);
+  EXPECT_EQ(findings.size(), 3u) << FormatText(findings);
+}
+
+TEST(MmmsaStatusFlow, CleanVariantIsSilent) {
+  std::vector<Finding> findings = Analyze("status_flow", "clean");
+  EXPECT_TRUE(findings.empty()) << FormatText(findings);
+}
+
+TEST(MmmsaStatusFlow, SuppressedVariantIsSilent) {
+  std::vector<Finding> findings = Analyze("status_flow", "suppressed");
+  EXPECT_TRUE(findings.empty()) << FormatText(findings);
+}
+
+// ---------------------------------------------------------------------------
+// journal-path: un-journaled delete reachable through a helper.
+
+TEST(MmmsaJournalPath, SeededRawDeleteFires) {
+  std::vector<Finding> findings =
+      Analyze("journal_path", "bad", "journal-path");
+  // The finding lands on the outermost entry point, not the helper.
+  EXPECT_TRUE(HasFinding(findings, "unjournaled-delete", "SweepEverything"))
+      << FormatText(findings);
+  EXPECT_FALSE(HasFinding(findings, "unjournaled-delete", "EvictBlobRaw"))
+      << FormatText(findings);
+}
+
+TEST(MmmsaJournalPath, JournaledVariantIsSilent) {
+  std::vector<Finding> findings = Analyze("journal_path", "clean");
+  EXPECT_TRUE(findings.empty()) << FormatText(findings);
+}
+
+TEST(MmmsaJournalPath, SuppressedVariantIsSilent) {
+  std::vector<Finding> findings = Analyze("journal_path", "suppressed");
+  EXPECT_TRUE(findings.empty()) << FormatText(findings);
+}
+
+// ---------------------------------------------------------------------------
+// layer-dag: upward include.
+
+TEST(MmmsaLayerDag, UpwardIncludeFires) {
+  std::vector<Finding> findings = Analyze("layer_dag", "bad", "layer-dag");
+  EXPECT_TRUE(HasFinding(findings, "layer-violation", "storage->serve"))
+      << FormatText(findings);
+  EXPECT_EQ(findings.size(), 1u) << FormatText(findings);
+}
+
+TEST(MmmsaLayerDag, DownwardIncludesAreSilent) {
+  EXPECT_TRUE(Analyze("layer_dag", "clean").empty());
+}
+
+TEST(MmmsaLayerDag, SuppressedVariantIsSilent) {
+  EXPECT_TRUE(Analyze("layer_dag", "suppressed").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Formatters and the baseline ratchet.
+
+TEST(MmmsaFormat, TextAndSarifCarryTheFinding) {
+  std::vector<Finding> findings = Analyze("layer_dag", "bad");
+  ASSERT_FALSE(findings.empty());
+  std::string text = FormatText(findings);
+  EXPECT_NE(text.find("layer-violation"), std::string::npos) << text;
+  EXPECT_NE(text.find("src/storage/up_include.h"), std::string::npos) << text;
+  std::string sarif = FormatSarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"layer-violation\""), std::string::npos);
+  EXPECT_NE(sarif.find("src/storage/up_include.h"), std::string::npos);
+}
+
+TEST(MmmsaFormat, EmptySarifIsWellFormedEnough) {
+  std::string sarif = FormatSarif({});
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos) << sarif;
+}
+
+TEST(MmmsaBaseline, RoundTripFiltersBaselinedFindings) {
+  std::vector<Finding> findings = Analyze("lock_cycle", "bad");
+  ASSERT_FALSE(findings.empty());
+  std::string serialized = FormatBaseline(findings);
+  std::string path = ::testing::TempDir() + "/mmmsa_baseline_roundtrip.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fwrite(serialized.data(), 1, serialized.size(), f);
+    fclose(f);
+  }
+  std::string error;
+  ASSERT_TRUE(ApplyBaseline(path, &findings, &error)) << error;
+  EXPECT_TRUE(findings.empty()) << FormatText(findings);
+}
+
+TEST(MmmsaBaseline, MissingBaselineFileIsAnError) {
+  std::vector<Finding> findings;
+  std::string error;
+  EXPECT_FALSE(
+      ApplyBaseline("/nonexistent/mmmsa_baseline.txt", &findings, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(MmmsaEffectivePath, StripsFixturePrefixes) {
+  EXPECT_EQ(EffectivePath("tests/sa_fixtures/lock_cycle/bad/src/lc/locks.h"),
+            "src/lc/locks.h");
+  EXPECT_EQ(EffectivePath("/root/repo/src/cas/cas_store.cc"),
+            "src/cas/cas_store.cc");
+  EXPECT_EQ(EffectivePath("tools/mmmsa/analysis.cc"), "tools/mmmsa/analysis.cc");
+  EXPECT_EQ(EffectivePath("no/marker/here.cc"), "no/marker/here.cc");
+}
+
+// ---------------------------------------------------------------------------
+// Self-check: the real tree is finding-free modulo the checked-in baseline.
+// This is the same gate the CI job applies; a regression here means new code
+// broke a whole-program invariant (or the analyzer grew a false positive —
+// both block the merge on purpose).
+
+TEST(MmmsaSelfCheck, RealTreeIsCleanModuloBaseline) {
+  std::vector<std::string> io_errors;
+  std::vector<Finding> findings =
+      AnalyzePaths({std::string(MMM_SOURCE_ROOT) + "/src",
+                    std::string(MMM_SOURCE_ROOT) + "/tools"},
+                   SaOptions{}, &io_errors);
+  EXPECT_TRUE(io_errors.empty());
+  std::string error;
+  ASSERT_TRUE(ApplyBaseline(
+      std::string(MMM_SOURCE_ROOT) + "/tools/mmmsa/baseline.txt", &findings,
+      &error))
+      << error;
+  EXPECT_TRUE(findings.empty()) << FormatText(findings);
+}
+
+}  // namespace
+}  // namespace mmmsa

@@ -703,6 +703,72 @@ std::string FormatText(const std::vector<Finding>& findings) {
   return out.str();
 }
 
+std::vector<SuppressionNote> ListSuppressions(
+    const std::vector<std::string>& paths) {
+  std::vector<Finding> io_sink;
+  std::vector<std::string> sources;
+  for (const std::string& p : paths) CollectSources(p, &sources, &io_sink);
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+
+  std::vector<SuppressionNote> notes;
+  for (const std::string& path : sources) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    LexedFile file = Lex(path, buffer.str());
+    for (const Comment& comment : file.comments) {
+      size_t pos = 0;
+      while ((pos = comment.text.find("MMMLINT(", pos)) !=
+             std::string::npos) {
+        size_t start = pos + 8;
+        size_t end = comment.text.find(')', start);
+        if (end == std::string::npos) break;
+        SuppressionNote note;
+        note.file = path;
+        note.line = comment.line;
+        note.rule = comment.text.substr(start, end - start);
+        // Only well-formed suppressions (`MMMLINT(<rule>): ...` with a real
+        // rule name and the trailing colon) — doc comments describing the
+        // syntax would otherwise show up as debt.
+        bool rule_ok =
+            note.rule == "*" ||
+            (!note.rule.empty() &&
+             note.rule.find_first_not_of(
+                 "abcdefghijklmnopqrstuvwxyz0123456789-") ==
+                 std::string::npos);
+        if (!rule_ok || end + 1 >= comment.text.size() ||
+            comment.text[end + 1] != ':') {
+          pos = end;
+          continue;
+        }
+        size_t reason_begin = end + 2;
+        size_t reason_end = comment.text.find('\n', reason_begin);
+        if (reason_end == std::string::npos) {
+          reason_end = comment.text.size();
+        }
+        std::string reason =
+            comment.text.substr(reason_begin, reason_end - reason_begin);
+        while (!reason.empty() && reason.front() == ' ') reason.erase(0, 1);
+        while (!reason.empty() &&
+               (reason.back() == ' ' || reason.back() == '\r')) {
+          reason.pop_back();
+        }
+        note.reason = std::move(reason);
+        notes.push_back(std::move(note));
+        pos = end;
+      }
+    }
+  }
+  std::sort(notes.begin(), notes.end(),
+            [](const SuppressionNote& a, const SuppressionNote& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return notes;
+}
+
 std::string FormatJson(const std::vector<Finding>& findings) {
   std::ostringstream out;
   out << "[";

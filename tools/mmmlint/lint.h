@@ -72,6 +72,21 @@ std::vector<std::string> RuleNames();
 std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
                                const LintOptions& options = {});
 
+/// One `// MMMLINT(<rule>): <reason>` comment found in the tree — the
+/// suppression debt `mmmlint --list-suppressions` prints so CI logs show
+/// every waived finding with its justification.
+struct SuppressionNote {
+  std::string file;
+  int line = 0;
+  std::string rule;    ///< suppressed rule name, or "*"
+  std::string reason;  ///< text after the colon; empty = unjustified
+};
+
+/// Collects every MMMLINT suppression comment under `paths`, sorted by
+/// (file, line). Unreadable paths are skipped.
+std::vector<SuppressionNote> ListSuppressions(
+    const std::vector<std::string>& paths);
+
 /// Renders findings one per line: `file:line: [rule] message`.
 std::string FormatText(const std::vector<Finding>& findings);
 

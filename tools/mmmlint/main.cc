@@ -9,12 +9,15 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: mmmlint [--json] [--rule=<name>]... [--list-rules] <path>...\n"
+      "usage: mmmlint [--json] [--rule=<name>]... [--list-rules]\n"
+      "               [--list-suppressions] <path>...\n"
       "\n"
       "Lints C++ sources (files or directories, recursed) against the mmm\n"
       "repo's invariants. Exits 0 when clean, 1 on findings, 2 on usage or\n"
       "I/O errors. Suppress one finding with a justified comment on the\n"
-      "same or preceding line:  // MMMLINT(<rule>): <reason>\n");
+      "same or preceding line:  // MMMLINT(<rule>): <reason>\n"
+      "--list-suppressions prints every such comment (file/rule/reason) so\n"
+      "the CI log shows the standing debt.\n");
   return 2;
 }
 
@@ -22,12 +25,15 @@ int Usage() {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool list_suppressions = false;
   mmmlint::LintOptions options;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--list-suppressions") {
+      list_suppressions = true;
     } else if (arg.rfind("--rule=", 0) == 0) {
       options.only_rules.push_back(arg.substr(7));
     } else if (arg == "--list-rules") {
@@ -46,6 +52,20 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) return Usage();
+
+  if (list_suppressions) {
+    std::vector<mmmlint::SuppressionNote> notes =
+        mmmlint::ListSuppressions(paths);
+    for (const mmmlint::SuppressionNote& note : notes) {
+      std::printf("%s:%d: [%s] %s\n", note.file.c_str(), note.line,
+                  note.rule.c_str(),
+                  note.reason.empty() ? "(no reason given)"
+                                      : note.reason.c_str());
+    }
+    std::printf("mmmlint: %zu suppression%s\n", notes.size(),
+                notes.size() == 1 ? "" : "s");
+    return 0;
+  }
 
   std::vector<mmmlint::Finding> findings = mmmlint::LintPaths(paths, options);
   for (const mmmlint::Finding& f : findings) {

@@ -1,0 +1,108 @@
+#include "cfg.h"
+
+namespace mmmsa {
+namespace {
+
+class Builder {
+ public:
+  explicit Builder(Cfg* cfg) : cfg_(cfg) {}
+
+  /// Builds a node subgraph for `stmts` starting after the nodes in
+  /// `preds` (every pred gets an edge to the sequence entry). Returns the
+  /// open exits of the sequence — the nodes that fall through to whatever
+  /// comes next.
+  std::vector<int> Seq(const std::vector<Stmt>& stmts, std::vector<int> preds) {
+    for (const Stmt& s : stmts) {
+      preds = One(s, std::move(preds));
+      if (preds.empty()) break;  // unreachable code after return/break
+    }
+    return preds;
+  }
+
+  void Finish(std::vector<int> open) {
+    int exit = NewNode(nullptr);
+    cfg_->exit = exit;
+    for (int p : open) Edge(p, exit);
+    for (int r : returns_) Edge(r, exit);
+  }
+
+ private:
+  struct LoopFrame {
+    int header;
+    std::vector<int>* breaks;
+  };
+
+  int NewNode(const Stmt* s) {
+    cfg_->nodes.push_back(CfgNode{s, {}});
+    return static_cast<int>(cfg_->nodes.size()) - 1;
+  }
+
+  void Edge(int from, int to) { cfg_->nodes[from].succs.push_back(to); }
+
+  std::vector<int> One(const Stmt& s, std::vector<int> preds) {
+    int node = NewNode(&s);
+    for (int p : preds) Edge(p, node);
+    if (cfg_->entry < 0) cfg_->entry = node;
+
+    switch (s.kind) {
+      case Stmt::Kind::kPlain:
+        return {node};
+      case Stmt::Kind::kBlock:
+        return Seq(s.body, {node});
+      case Stmt::Kind::kReturn:
+        returns_.push_back(node);
+        return {};
+      case Stmt::Kind::kBreak:
+        if (!loops_.empty()) loops_.back().breaks->push_back(node);
+        return {};
+      case Stmt::Kind::kContinue:
+        if (!loops_.empty()) Edge(node, loops_.back().header);
+        return {};
+      case Stmt::Kind::kIf: {
+        std::vector<int> open = Seq(s.body, {node});
+        if (s.has_else) {
+          std::vector<int> eopen = Seq(s.else_body, {node});
+          open.insert(open.end(), eopen.begin(), eopen.end());
+        } else {
+          open.push_back(node);  // condition false falls through
+        }
+        return open;
+      }
+      case Stmt::Kind::kLoop: {
+        std::vector<int> breaks;
+        loops_.push_back(LoopFrame{node, &breaks});
+        std::vector<int> open = Seq(s.body, {node});
+        loops_.pop_back();
+        for (int p : open) Edge(p, node);  // back edge
+        breaks.push_back(node);            // condition exits the loop
+        return breaks;
+      }
+      case Stmt::Kind::kSwitch: {
+        std::vector<int> breaks;
+        loops_.push_back(LoopFrame{node, &breaks});
+        std::vector<int> open = Seq(s.body, {node});
+        loops_.pop_back();
+        open.insert(open.end(), breaks.begin(), breaks.end());
+        open.push_back(node);  // no case matched / implicit default
+        return open;
+      }
+    }
+    return {node};
+  }
+
+  Cfg* cfg_;
+  std::vector<LoopFrame> loops_;
+  std::vector<int> returns_;
+};
+
+}  // namespace
+
+Cfg BuildCfg(const std::vector<Stmt>& body) {
+  Cfg cfg;
+  Builder b(&cfg);
+  std::vector<int> open = b.Seq(body, {});
+  b.Finish(std::move(open));
+  return cfg;
+}
+
+}  // namespace mmmsa

@@ -1,0 +1,41 @@
+#ifndef MMM_TOOLS_MMMSA_CFG_H_
+#define MMM_TOOLS_MMMSA_CFG_H_
+
+#include <vector>
+
+#include "parser.h"
+
+/// \file
+/// Intra-procedural control-flow graph built over the mmmsa statement tree.
+///
+/// Nodes are statements (conditions get their own node; bodies hang off
+/// them); edges are fall-through, branch, loop back-edge, and break/continue
+/// jumps. One synthetic exit node (`Cfg::exit`, with a null stmt) collects
+/// every way out of the function: explicit `return` statements edge into it
+/// and so does falling off the end.
+///
+/// Deliberate simplification: `MMM_RETURN_NOT_OK` / `MMM_ASSIGN_OR_RETURN`
+/// hide an early return inside a plain statement, but those macro returns
+/// forward their Status, so for the Status-drop analysis they are never a
+/// drop site — modelling them as straight-line code avoids a false "dropped
+/// on early return" at every macro use while losing nothing we report on.
+
+namespace mmmsa {
+
+struct CfgNode {
+  const Stmt* stmt = nullptr;  ///< null only for the synthetic exit node
+  std::vector<int> succs;
+};
+
+struct Cfg {
+  std::vector<CfgNode> nodes;
+  int entry = -1;  ///< -1 when the function body is empty
+  int exit = -1;   ///< always valid
+};
+
+/// Builds the CFG for one function body.
+Cfg BuildCfg(const std::vector<Stmt>& body);
+
+}  // namespace mmmsa
+
+#endif  // MMM_TOOLS_MMMSA_CFG_H_

@@ -1,0 +1,88 @@
+#ifndef MMM_TOOLS_MMMSA_SA_H_
+#define MMM_TOOLS_MMMSA_SA_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+/// \file
+/// mmmsa public interface: whole-program flow-aware static analysis for the
+/// multi-model-management tree. Four analyses (DESIGN.md §6.5):
+///
+///   lock-order    lock-cycle, rank-inversion, lock-rank-missing
+///   status-flow   status-overwrite, status-drop
+///   journal-path  unjournaled-delete
+///   layer-dag     layer-violation
+///
+/// Findings carry a `symbol` (lock id, function qualified name, or include
+/// edge) so the baseline can ratchet on stable identity rather than line
+/// numbers. Suppress single findings in source with
+/// `// MMMSA(<analysis>): reason` on the finding line or the line above.
+
+namespace mmmsa {
+
+struct Finding {
+  std::string analysis;  ///< e.g. "lock-order"
+  std::string rule;      ///< e.g. "rank-inversion"
+  std::string file;      ///< effective (fixture-stripped) path
+  int line = 0;
+  std::string symbol;  ///< stable identity for baselining
+  std::string message;
+
+  bool operator<(const Finding& other) const {
+    if (file != other.file) return file < other.file;
+    if (line != other.line) return line < other.line;
+    if (rule != other.rule) return rule < other.rule;
+    return symbol < other.symbol;
+  }
+  bool operator==(const Finding& other) const {
+    return file == other.file && line == other.line && rule == other.rule &&
+           symbol == other.symbol;
+  }
+};
+
+struct SaOptions {
+  /// Empty = run every analysis; otherwise names from AnalysisNames().
+  std::set<std::string> only_analyses;
+};
+
+/// Names of the four analyses, in report order.
+const std::vector<std::string>& AnalysisNames();
+
+/// Recursively collects .h/.hpp/.cc/.cpp under each path (or the path itself
+/// when it is a file), lexes + parses them, and runs the selected analyses.
+/// Findings come back sorted and deduplicated; source-level MMMSA
+/// suppressions are already applied. `io_errors` (optional) receives paths
+/// that could not be read.
+std::vector<Finding> AnalyzePaths(const std::vector<std::string>& paths,
+                                  const SaOptions& options,
+                                  std::vector<std::string>* io_errors);
+
+/// Drops findings whose `rule|file|symbol` key appears in the baseline file.
+/// Returns false when the baseline file cannot be read (missing file is an
+/// error: pass --write-baseline to create one).
+bool ApplyBaseline(const std::string& baseline_path,
+                   std::vector<Finding>* findings, std::string* error);
+
+/// Serializes findings as baseline lines (sorted, unique, with a header).
+std::string FormatBaseline(const std::vector<Finding>& findings);
+
+/// One human-readable line per finding plus a summary tail.
+std::string FormatText(const std::vector<Finding>& findings);
+
+/// Minimal SARIF 2.1.0 document (one run, one result per finding).
+std::string FormatSarif(const std::vector<Finding>& findings);
+
+/// Renders the whole-program lock-rank table and acquisition-edge list
+/// (for `--dump-lock-graph`; also the source of the DESIGN.md table).
+std::string DescribeLockGraph(const std::vector<std::string>& paths);
+
+/// Strips leading fixture/scratch directories: the path suffix starting at
+/// the rightmost "src/", "tools/", "tests/", or "bench/" marker, so fixture
+/// trees that mirror the real layout analyze identically. Returns the input
+/// unchanged when no marker occurs.
+std::string EffectivePath(const std::string& path);
+
+}  // namespace mmmsa
+
+#endif  // MMM_TOOLS_MMMSA_SA_H_
