@@ -16,8 +16,12 @@
 //
 // Results are also written to BENCH_serving.json.
 //
+// A second table replays the trace at workers {1, N}; its quantiles are
+// computed over the pooled per-request samples of every worker (quantiles
+// of per-worker means would understate p99).
+//
 // Knobs: MMM_MODELS (default 200), MMM_SAMPLES (128), MMM_U3_ITERATIONS (8),
-// MMM_REQUESTS (200).
+// MMM_REQUESTS (200), MMM_WORKERS (4).
 
 #include "bench/bench_util.h"
 #include "serve/layer_cache.h"
@@ -141,6 +145,53 @@ int main() {
     out_rows.Append(std::move(entry));
   }
 
+  // Worker sweep at the 1x-base capacity: tail latency over the *pooled*
+  // per-request samples of all workers. (Quantiles of per-worker means
+  // would understate p99 — one slow request on one worker disappears into
+  // that worker's mean.) The cache hit pattern can shift at workers>1
+  // (concurrent requests race to populate shared entries), so hit counters
+  // are reported per arm rather than asserted.
+  size_t sweep_workers = static_cast<size_t>(GetEnvInt64("MMM_WORKERS", 4));
+  std::printf("\nWorker sweep at 1x base capacity (pooled per-request "
+              "quantiles):\n");
+  std::printf("%-10s | %8s | %12s | %12s | %12s\n", "workers", "hit %",
+              "mean ms", "p50 ms", "p99 ms");
+  JsonValue worker_rows = JsonValue::Array();
+  for (size_t workers : {size_t{1}, sweep_workers}) {
+    ModelSetServiceOptions service_options;
+    service_options.workers = workers;
+    service_options.cache_enabled = true;
+    service_options.cache_capacity_bytes = base_bytes + base_bytes / 8;
+    ModelSetService service(manager.get(), service_options);
+
+    std::vector<ServeResult> results = service.Replay(trace);
+    CacheRequestStats cache;
+    std::vector<uint64_t> modeled;  // pooled across all workers
+    modeled.reserve(results.size());
+    for (const ServeResult& r : results) {
+      r.status.Check();
+      cache += r.cache;
+      modeled.push_back(r.modeled_store_nanos);
+    }
+    uint64_t probes = cache.layer_hits + cache.layer_misses;
+    double hit_rate = probes == 0 ? 0.0
+                                  : static_cast<double>(cache.layer_hits) /
+                                        static_cast<double>(probes);
+    LatencySummary lat = Summarize(std::move(modeled));
+    std::printf("%-10zu | %8.1f | %12.3f | %12.3f | %12.3f\n", workers,
+                100.0 * hit_rate, lat.mean / 1e6,
+                static_cast<double>(lat.p50) / 1e6,
+                static_cast<double>(lat.p99) / 1e6);
+
+    JsonValue entry = JsonValue::Object();
+    entry.Set("workers", static_cast<uint64_t>(workers));
+    entry.Set("layer_hit_rate", hit_rate);
+    entry.Set("mean_recover_nanos", lat.mean);
+    entry.Set("p50_recover_nanos", lat.p50);
+    entry.Set("p99_recover_nanos", lat.p99);
+    worker_rows.Append(std::move(entry));
+  }
+
   JsonValue doc = JsonValue::Object();
   doc.Set("bench", "tab_serving_cache");
   doc.Set("models", static_cast<uint64_t>(knobs.models));
@@ -149,6 +200,7 @@ int main() {
   doc.Set("theta", 0.99);
   doc.Set("base_footprint_bytes", base_bytes);
   doc.Set("rows", std::move(out_rows));
+  doc.Set("worker_rows", std::move(worker_rows));
   std::string json = doc.DumpPretty() + "\n";
   Env::Default()
       ->WriteFile("BENCH_serving.json",

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "serialize/compress.h"
 #include "serialize/crc32.h"
 
 namespace mmm {
@@ -88,9 +89,11 @@ Result<std::vector<uint8_t>> CasReadBlobRange(FileStore* store,
     return store->GetRange(name, offset, length);
   }
   MMM_ASSIGN_OR_RETURN(CasManifest manifest, FetchManifest(store, name));
-  if (offset + length > manifest.raw_size) {
-    return Status::OutOfRange("blob '", name, "' range [", offset, ", ",
-                              offset + length, ") exceeds logical size ",
+  // Overflow-safe form of `offset + length > raw_size` (matches the
+  // Env::ReadFileRange contract verbatim blobs get from the store).
+  if (offset > manifest.raw_size || length > manifest.raw_size - offset) {
+    return Status::OutOfRange("blob '", name, "' range [", offset, ", +",
+                              length, ") exceeds logical size ",
                               manifest.raw_size);
   }
   std::vector<uint8_t> out;
@@ -117,6 +120,143 @@ Result<std::vector<uint8_t>> CasReadBlobRange(FileStore* store,
     return Status::Corruption("blob '", name, "' ranged read produced ",
                               out.size(), " bytes, wanted ", length);
   }
+  return out;
+}
+
+namespace {
+
+/// Streams one chunk (or replays a retained copy) into `on_window`,
+/// retaining the bytes only when `retain` is set.
+Status StreamChunk(FileStore* store, const std::string& name,
+                   const CasChunkRef& ref, uint64_t window_bytes, bool retain,
+                   std::vector<uint8_t>* retained,
+                   const std::function<Status(std::span<const uint8_t>)>&
+                       on_window) {
+  auto stream = store->OpenStream(ChunkBlobName(ref.hash_hex), window_bytes);
+  if (!stream.ok()) {
+    return stream.status().WithContext("blob '", name, "' chunk ",
+                                       ref.hash_hex);
+  }
+  if (stream.ValueOrDie().size() != ref.length) {
+    return Status::Corruption("blob '", name, "' chunk ", ref.hash_hex,
+                              " has ", stream.ValueOrDie().size(),
+                              " bytes, manifest records ", ref.length);
+  }
+  while (!stream.ValueOrDie().done()) {
+    auto window = stream.ValueOrDie().Next();
+    if (!window.ok()) {
+      return window.status().WithContext("blob '", name, "' chunk ",
+                                         ref.hash_hex);
+    }
+    if (retain) {
+      retained->insert(retained->end(), window.ValueOrDie().begin(),
+                       window.ValueOrDie().end());
+    }
+    MMM_RETURN_NOT_OK(on_window(window.ValueOrDie()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CasStreamBlob(FileStore* store, const std::string& name,
+                     uint64_t window_bytes,
+                     const std::function<Status(uint64_t)>& on_open,
+                     const std::function<Status(std::span<const uint8_t>)>&
+                         on_window) {
+  MMM_ASSIGN_OR_RETURN(StreamFile stream,
+                       store->OpenStream(name, window_bytes));
+  // Sniff the manifest magic from the head of the stream (a window smaller
+  // than the magic just pulls another one — tiny blobs cannot be
+  // manifests, but the sniff must not depend on the window size).
+  std::vector<uint8_t> head;
+  while (head.size() < kCasManifestMagicSize && !stream.done()) {
+    MMM_ASSIGN_OR_RETURN(std::span<const uint8_t> window, stream.Next());
+    head.insert(head.end(), window.begin(), window.end());
+  }
+
+  if (!IsManifestPayload(head)) {
+    // Verbatim blob: the stored bytes are the payload.
+    if (on_open != nullptr) MMM_RETURN_NOT_OK(on_open(stream.size()));
+    if (!head.empty()) {
+      MMM_RETURN_NOT_OK(on_window(head));
+    }
+    while (!stream.done()) {
+      MMM_ASSIGN_OR_RETURN(std::span<const uint8_t> window, stream.Next());
+      MMM_RETURN_NOT_OK(on_window(window));
+    }
+    return Status::OK();
+  }
+
+  // Manifest: materialize it (small next to the payload), then stream the
+  // chunks it names.
+  while (!stream.done()) {
+    MMM_ASSIGN_OR_RETURN(std::span<const uint8_t> window, stream.Next());
+    head.insert(head.end(), window.begin(), window.end());
+  }
+  auto decoded = DecodeManifest(head);
+  if (!decoded.ok()) {
+    return decoded.status().WithContext("blob '", name, "'");
+  }
+  const CasManifest manifest = std::move(decoded).ValueOrDie();
+  head.clear();
+  head.shrink_to_fit();
+  if (on_open != nullptr) MMM_RETURN_NOT_OK(on_open(manifest.raw_size));
+
+  // Mirror the materializing reassembly's fetch-once semantics: each
+  // distinct chunk is read from the store exactly once, so only chunks
+  // with uses still ahead of the cursor need their bytes retained.
+  std::map<std::string, size_t> uses;
+  for (const CasChunkRef& ref : manifest.chunks) ++uses[ref.hash_hex];
+  std::map<std::string, std::vector<uint8_t>> retained;
+
+  uint64_t total = 0;
+  uint32_t crc = 0;
+  auto count_and_forward = [&](std::span<const uint8_t> window) -> Status {
+    total += window.size();
+    crc = Crc32::Extend(crc, window);
+    return on_window(window);
+  };
+  for (const CasChunkRef& ref : manifest.chunks) {
+    const size_t remaining_uses = --uses[ref.hash_hex];
+    auto it = retained.find(ref.hash_hex);
+    if (it != retained.end()) {
+      if (it->second.size() != ref.length) {
+        return Status::Corruption("blob '", name, "' chunk ", ref.hash_hex,
+                                  " has ", it->second.size(),
+                                  " bytes, manifest records ", ref.length);
+      }
+      MMM_RETURN_NOT_OK(count_and_forward(it->second));
+      if (remaining_uses == 0) retained.erase(it);
+      continue;
+    }
+    std::vector<uint8_t>* keep = nullptr;
+    if (remaining_uses > 0) keep = &retained[ref.hash_hex];
+    MMM_RETURN_NOT_OK(StreamChunk(store, name, ref, window_bytes,
+                                  keep != nullptr, keep, count_and_forward));
+  }
+  if (total != manifest.raw_size) {
+    return Status::Corruption("blob '", name, "' reassembled to ", total,
+                              " bytes, manifest records ", manifest.raw_size);
+  }
+  if (crc != manifest.raw_crc) {
+    return Status::Corruption("blob '", name,
+                              "' fails its manifest crc after reassembly");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> CasReadBlobDecompressed(FileStore* store,
+                                                     const std::string& name,
+                                                     uint64_t window_bytes) {
+  std::vector<uint8_t> out;
+  BlobDecompressor decompressor;
+  MMM_RETURN_NOT_OK(CasStreamBlob(
+      store, name, window_bytes, nullptr,
+      [&](std::span<const uint8_t> window) {
+        return decompressor.Feed(window, &out);
+      }));
+  MMM_RETURN_NOT_OK(decompressor.Finish(&out));
   return out;
 }
 

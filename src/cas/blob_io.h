@@ -2,6 +2,8 @@
 #define MMM_CAS_BLOB_IO_H_
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,35 @@ Result<std::vector<uint8_t>> CasReadBlobRange(FileStore* store,
                                               const std::string& name,
                                               uint64_t offset,
                                               uint64_t length);
+
+/// \brief Streams a blob's logical payload window-by-window (DESIGN.md
+/// §12) without ever materializing it: `on_open(logical_size)` fires once
+/// (after the manifest, if any, is decoded; may be null), then `on_window`
+/// receives the payload bytes in order. The concatenated windows are
+/// bit-identical to CasReadBlob's result, and the store accounting is too:
+/// verbatim blobs are one OpenStream; manifests fetch each *distinct*
+/// chunk once (repeated chunks are replayed from a retained copy, exactly
+/// mirroring the materializing reassembly's fetch-once map — only chunks
+/// that repeat later in the manifest are retained, so peak buffering is
+/// bounded by the duplicated chunks, not the blob). Size and CRC are
+/// verified against the manifest as the windows flow through.
+///
+/// A non-OK status from either callback aborts the stream and is returned
+/// unchanged, so callers can propagate their own decode errors.
+Status CasStreamBlob(FileStore* store, const std::string& name,
+                     uint64_t window_bytes,
+                     const std::function<Status(uint64_t)>& on_open,
+                     const std::function<Status(std::span<const uint8_t>)>&
+                         on_window);
+
+/// Streams a stored blob through BlobDecompressor into a full decompressed
+/// buffer: same bytes as DecompressBlob(CasReadBlob(...)), but the stored-
+/// side intermediate never exists. For read paths that still need the
+/// whole decoded payload at once (diff and hash-table blobs — small next
+/// to param snapshots).
+Result<std::vector<uint8_t>> CasReadBlobDecompressed(FileStore* store,
+                                                     const std::string& name,
+                                                     uint64_t window_bytes);
 
 }  // namespace mmm
 

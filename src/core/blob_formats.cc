@@ -1,7 +1,9 @@
 #include "core/blob_formats.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "common/simd.h"
 #include "serialize/binary_io.h"
 #include "serialize/crc32.h"
 #include "tensor/tensor_serialize.h"
@@ -134,6 +136,169 @@ Result<std::vector<StateDict>> DecodeParamBlob(const ArchitectureSpec& spec,
   return models;
 }
 
+ParamBlobStreamDecoder::ParamBlobStreamDecoder(const ArchitectureSpec& spec,
+                                               uint64_t total_bytes,
+                                               LayerSink sink)
+    : layout_(LayoutOf(spec)),
+      total_bytes_(total_bytes),
+      sink_(std::move(sink)) {
+  if (total_bytes_ < 4) {
+    error_ = Status::Corruption("blob too small for crc footer");
+  }
+}
+
+Status ParamBlobStreamDecoder::Fail(Status status) {
+  error_ = status;
+  return error_;
+}
+
+void ParamBlobStreamDecoder::BeginTensor() {
+  const size_t numel = Tensor::NumElements(layout_[param_].second);
+  current_.assign(numel, 0.0f);
+  current_filled_ = 0;
+  peak_buffered_ =
+      std::max(peak_buffered_, current_.size() * sizeof(float));
+}
+
+Status ParamBlobStreamDecoder::ParseHeaderByte(uint8_t byte) {
+  if (header_shift_ >= 64) {
+    return Status::Corruption("param blob header varint overflows");
+  }
+  header_value_ |= static_cast<uint64_t>(byte & 0x7f) << header_shift_;
+  header_shift_ += 7;
+  if ((byte & 0x80) != 0) return Status::OK();
+  if (header_varints_done_ == 0) {
+    num_models_ = header_value_;
+  } else {
+    per_model_ = header_value_;
+    // Same validations DecodeParamBlob performs once the header is known.
+    if (per_model_ != LayoutNumel(layout_)) {
+      return Status::Corruption("param blob expects ", per_model_,
+                                " params/model, architecture implies ",
+                                LayoutNumel(layout_));
+    }
+    const uint64_t payload_bytes = total_bytes_ - 4;
+    if (payload_bytes - position_ != num_models_ * per_model_ * sizeof(float)) {
+      return Status::Corruption("param blob size mismatch");
+    }
+    if (num_models_ == 0 || layout_.empty()) {
+      state_ = State::kDone;
+      model_ = num_models_;
+    } else {
+      state_ = State::kTensors;
+      BeginTensor();
+      MMM_RETURN_NOT_OK(MaybeEmit());
+    }
+  }
+  header_value_ = 0;
+  header_shift_ = 0;
+  ++header_varints_done_;
+  return Status::OK();
+}
+
+Status ParamBlobStreamDecoder::MaybeEmit() {
+  // Emits every tensor whose bytes are complete; loops so zero-element
+  // layers cannot stall the byte-driven state machine.
+  while (state_ == State::kTensors &&
+         current_filled_ == current_.size() * sizeof(float)) {
+    Tensor tensor(layout_[param_].second, std::move(current_));
+    current_ = {};
+    MMM_RETURN_NOT_OK(
+        sink_(model_, param_, layout_[param_].first, std::move(tensor)));
+    if (++param_ == layout_.size()) {
+      param_ = 0;
+      if (++model_ == num_models_) {
+        state_ = State::kDone;
+        break;
+      }
+    }
+    BeginTensor();
+  }
+  return Status::OK();
+}
+
+Status ParamBlobStreamDecoder::Feed(std::span<const uint8_t> data) {
+  if (!error_.ok()) return error_;
+  if (position_ + data.size() > total_bytes_) {
+    return Fail(Status::Corruption("param blob stream exceeds declared size ",
+                                   total_bytes_));
+  }
+  const uint64_t payload_bytes = total_bytes_ - 4;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    // Footer bytes are collected, not decoded and not CRC'd.
+    if (position_ >= payload_bytes) {
+      footer_[footer_size_++] = data[pos++];
+      ++position_;
+      continue;
+    }
+    switch (state_) {
+      case State::kMagic: {
+        const uint8_t byte = data[pos];
+        crc_ = Crc32::Extend(crc_, data.subspan(pos, 1));
+        ++pos;
+        ++position_;
+        if (byte != static_cast<uint8_t>(kParamMagic[magic_matched_])) {
+          return Fail(
+              Status::Corruption("bad blob magic, expected ", kParamMagic));
+        }
+        if (++magic_matched_ == 8) state_ = State::kHeader;
+        break;
+      }
+      case State::kHeader: {
+        const uint8_t byte = data[pos];
+        crc_ = Crc32::Extend(crc_, data.subspan(pos, 1));
+        // Advance before parsing: the varint completion handler sizes the
+        // remaining payload from position_.
+        ++pos;
+        ++position_;
+        Status status = ParseHeaderByte(byte);
+        if (!status.ok()) return Fail(status);
+        break;
+      }
+      case State::kTensors: {
+        const size_t payload_avail = static_cast<size_t>(
+            std::min<uint64_t>(data.size() - pos, payload_bytes - position_));
+        const size_t tensor_bytes = current_.size() * sizeof(float);
+        const size_t take =
+            std::min(payload_avail, tensor_bytes - current_filled_);
+        crc_ = Crc32::Extend(crc_, data.subspan(pos, take));
+        std::memcpy(
+            reinterpret_cast<uint8_t*>(current_.data()) + current_filled_,
+            data.data() + pos, take);
+        current_filled_ += take;
+        pos += take;
+        position_ += take;
+        Status status = MaybeEmit();
+        if (!status.ok()) return Fail(status);
+        break;
+      }
+      case State::kDone:
+        // All tensors complete but payload bytes keep arriving — cannot
+        // happen once the header size check passed; defensive.
+        return Fail(Status::Corruption("param blob size mismatch"));
+    }
+  }
+  return Status::OK();
+}
+
+Status ParamBlobStreamDecoder::Finish() {
+  if (!error_.ok()) return error_;
+  if (position_ != total_bytes_) {
+    return Fail(Status::Corruption("param blob truncated: ", position_,
+                                   " of ", total_bytes_, " bytes"));
+  }
+  if (state_ != State::kDone || model_ != num_models_) {
+    return Fail(Status::Corruption("param blob size mismatch"));
+  }
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(footer_[i]) << (8 * i);
+  }
+  if (crc_ != stored) return Fail(Status::Corruption("blob crc mismatch"));
+  return Status::OK();
+}
+
 Result<ParamBlobLayout> ReadParamBlobHeader(std::span<const uint8_t> prefix) {
   BinaryReader reader(prefix);
   MMM_RETURN_NOT_OK(CheckMagic(&reader, kParamMagic));
@@ -167,19 +332,62 @@ Result<StateDict> DecodeModelSlice(const ArchitectureSpec& spec,
 }
 
 HashTable ComputeHashTable(const ModelSet& set, Executor* executor) {
-  HashTable hashes(set.models.size());
-  auto hash_model = [&](size_t m) {
-    const StateDict& state = set.models[m];
-    std::vector<Sha256Digest>& model_hashes = hashes[m];
-    model_hashes.reserve(state.size());
-    for (const auto& [_, tensor] : state) {
-      model_hashes.push_back(Sha256::Hash(TensorBytes(tensor)));
+  const size_t num_models = set.models.size();
+  HashTable hashes(num_models);
+  for (size_t m = 0; m < num_models; ++m) {
+    hashes[m].resize(set.models[m].size());
+  }
+  // SHA-256 has no intra-message parallelism, but the set hashes the same
+  // same-shaped layer across every model — ideal multi-stream SIMD lanes
+  // (Sha256HashMany). Models are grouped in lane-width batches; each work
+  // item hashes one batch, so the executor parallelism and the SIMD lanes
+  // compose. Any model whose layer count or layer byte-size diverges from
+  // the group (impossible for a consistent set, cheap to guard) falls back
+  // to the scalar per-tensor hash.
+  constexpr size_t kGroup = 8;  // widest lane count (AVX2)
+  const size_t num_groups = (num_models + kGroup - 1) / kGroup;
+  auto hash_group = [&](size_t g) {
+    const size_t begin = g * kGroup;
+    const size_t end = std::min(begin + kGroup, num_models);
+    const size_t params = set.models[begin].size();
+    bool uniform = true;
+    for (size_t m = begin + 1; m < end && uniform; ++m) {
+      uniform = set.models[m].size() == params;
+    }
+    if (uniform) {
+      for (size_t p = 0; p < params && uniform; ++p) {
+        const size_t length = TensorBytes(set.models[begin][p].second).size();
+        const uint8_t* streams[kGroup];
+        for (size_t m = begin; m < end; ++m) {
+          std::span<const uint8_t> bytes =
+              TensorBytes(set.models[m][p].second);
+          if (bytes.size() != length) {
+            uniform = false;
+            break;
+          }
+          streams[m - begin] = bytes.data();
+        }
+        if (!uniform) break;
+        Sha256Digest digests[kGroup];
+        Sha256HashMany(streams, length, end - begin, digests);
+        for (size_t m = begin; m < end; ++m) {
+          hashes[m][p] = digests[m - begin];
+        }
+      }
+    }
+    if (!uniform) {
+      for (size_t m = begin; m < end; ++m) {
+        const StateDict& state = set.models[m];
+        for (size_t p = 0; p < state.size(); ++p) {
+          hashes[m][p] = Sha256::Hash(TensorBytes(state[p].second));
+        }
+      }
     }
   };
-  if (executor != nullptr && executor->lanes() > 1) {
-    executor->ParallelFor(set.models.size(), hash_model);
+  if (executor != nullptr && executor->lanes() > 1 && num_groups > 1) {
+    executor->ParallelFor(num_groups, hash_group);
   } else {
-    for (size_t m = 0; m < set.models.size(); ++m) hash_model(m);
+    for (size_t g = 0; g < num_groups; ++g) hash_group(g);
   }
   return hashes;
 }
@@ -224,13 +432,9 @@ Tensor XorTensors(const Tensor& a, const Tensor& b) {
   Tensor out = a;
   auto dst = out.mutable_data();
   auto src = b.data();
-  for (size_t i = 0; i < dst.size(); ++i) {
-    uint32_t bits_a, bits_b;
-    std::memcpy(&bits_a, &dst[i], sizeof(bits_a));
-    std::memcpy(&bits_b, &src[i], sizeof(bits_b));
-    bits_a ^= bits_b;
-    std::memcpy(&dst[i], &bits_a, sizeof(bits_a));
-  }
+  // Bitwise XOR of the IEEE bit patterns (never float arithmetic), batched
+  // through the runtime-dispatched SIMD substrate.
+  simd::XorFloats(dst.data(), src.data(), dst.size());
   return out;
 }
 

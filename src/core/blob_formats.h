@@ -1,6 +1,9 @@
 #ifndef MMM_CORE_BLOB_FORMATS_H_
 #define MMM_CORE_BLOB_FORMATS_H_
 
+#include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,6 +65,81 @@ inline constexpr size_t kParamBlobMaxHeaderBytes = 8 + 10 + 10;
 Result<StateDict> DecodeModelSlice(const ArchitectureSpec& spec,
                                    std::span<const uint8_t> slice);
 /// @}
+
+/// \brief Streaming DecodeParamBlob (DESIGN.md §12): absorbs the
+/// decompressed param blob in arbitrary chunks and emits each layer tensor
+/// the moment its bytes are complete, in (model, param) order — so a
+/// recovery can hand finished layers to the LayerCache while later models
+/// are still in flight, and peak buffering is one layer plus the CRC
+/// running state instead of the whole blob.
+///
+/// Accepts exactly the blobs DecodeParamBlob accepts (header, counts, and
+/// CRC32 footer all validated — the footer necessarily last, at Finish,
+/// since the CRC runs alongside the stream). The emitted tensors are
+/// bit-identical to the materializing decode.
+class ParamBlobStreamDecoder {
+ public:
+  /// Called once per completed layer, in (model, param) order. `key` is
+  /// the layout key of parameter `param`. A non-OK return aborts decoding
+  /// and surfaces from Feed/Finish.
+  using LayerSink = std::function<Status(size_t model, size_t param,
+                                         const std::string& key,
+                                         Tensor tensor)>;
+
+  /// `total_bytes` is the decompressed blob's full size (header through
+  /// CRC footer), known up front from the stream being decoded.
+  ParamBlobStreamDecoder(const ArchitectureSpec& spec, uint64_t total_bytes,
+                         LayerSink sink);
+
+  /// Absorbs the next chunk of the decompressed blob. Errors are sticky.
+  Status Feed(std::span<const uint8_t> data);
+
+  /// Validates completeness and the CRC footer.
+  Status Finish();
+
+  /// Model count from the blob header; 0 before the header has streamed.
+  size_t num_models() const { return num_models_; }
+  /// High-water mark of internal buffering (≈ one layer), for the
+  /// peak-memory assertions in tests.
+  size_t peak_buffered_bytes() const { return peak_buffered_; }
+
+ private:
+  enum class State : uint8_t {
+    kMagic,    // matching the 8 magic bytes
+    kHeader,   // reading the two header varints
+    kTensors,  // filling layer tensors
+    kDone,     // all models complete; draining the footer
+  };
+
+  Status Fail(Status status);
+  Status ParseHeaderByte(uint8_t byte);
+  Status MaybeEmit();
+  void BeginTensor();
+
+  ParamLayout layout_;
+  uint64_t total_bytes_;
+  LayerSink sink_;
+  Status error_;  // sticky
+  State state_ = State::kMagic;
+
+  uint64_t position_ = 0;  // absolute bytes fed so far
+  uint32_t crc_ = 0;       // over the payload (all bytes but the last 4)
+  uint8_t footer_[4] = {0, 0, 0, 0};
+  size_t footer_size_ = 0;
+
+  size_t magic_matched_ = 0;
+  int header_varints_done_ = 0;
+  uint64_t header_value_ = 0;
+  int header_shift_ = 0;
+  uint64_t num_models_ = 0;
+  uint64_t per_model_ = 0;
+
+  size_t model_ = 0;
+  size_t param_ = 0;
+  std::vector<float> current_;   // layer being filled
+  size_t current_filled_ = 0;    // bytes of current_ filled
+  size_t peak_buffered_ = 0;
+};
 
 /// \name Per-layer hash table (Update approach, paper §3.3 step 2).
 /// hashes[m][p] is the SHA-256 of model m's p-th parameter tensor bytes.

@@ -124,7 +124,9 @@ Result<std::unique_ptr<ModelSetManager>> ModelSetManager::Open(Options options) 
                                    options.blob_compression,
                                    manager->executor_.get(), options.pipeline,
                                    manager->journal_.get(),
-                                   manager->cas_.get()};
+                                   manager->cas_.get(),
+                                   options.streaming_recovery,
+                                   options.stream_window_bytes};
 
   EnvironmentInfo environment = options.environment.has_value()
                                     ? *options.environment

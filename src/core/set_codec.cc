@@ -1,5 +1,7 @@
 #include "core/set_codec.h"
 
+#include <optional>
+
 #include "cas/blob_io.h"
 #include "core/blob_formats.h"
 
@@ -133,6 +135,50 @@ Status WriteFullSnapshot(const StoreContext& context, const std::string& set_id,
   return batch.Commit();
 }
 
+Result<size_t> StreamParamBlob(const StoreContext& context,
+                               const std::string& blob_name,
+                               const ArchitectureSpec& spec,
+                               ParamBlobStreamDecoder::LayerSink sink) {
+  // Three incremental stages chained window-by-window: CAS reassembly →
+  // blob decompression → param decode. The decoder is constructed lazily,
+  // on the first decompressed bytes, because the decompressed size is only
+  // known once the blob header has streamed (raw bytes fall back to the
+  // stored logical size — for them the two are the same).
+  BlobDecompressor decompressor;
+  std::optional<ParamBlobStreamDecoder> decoder;
+  uint64_t stored_logical = 0;
+  std::vector<uint8_t> ready;
+  auto drain = [&]() -> Status {
+    if (ready.empty()) return Status::OK();
+    if (!decoder.has_value()) {
+      decoder.emplace(spec, decompressor.raw_size().value_or(stored_logical),
+                      std::move(sink));
+    }
+    Status status = decoder->Feed(ready);
+    ready.clear();
+    return status;
+  };
+  MMM_RETURN_NOT_OK(CasStreamBlob(
+      context.file_store, blob_name, context.stream_window_bytes,
+      [&](uint64_t logical_size) -> Status {
+        stored_logical = logical_size;
+        return Status::OK();
+      },
+      [&](std::span<const uint8_t> window) -> Status {
+        MMM_RETURN_NOT_OK(decompressor.Feed(window, &ready));
+        return drain();
+      }));
+  MMM_RETURN_NOT_OK(decompressor.Finish(&ready));
+  MMM_RETURN_NOT_OK(drain());
+  if (!decoder.has_value()) {
+    // Empty blob: let the decoder produce the canonical error/result.
+    decoder.emplace(spec, decompressor.raw_size().value_or(stored_logical),
+                    std::move(sink));
+  }
+  MMM_RETURN_NOT_OK(decoder->Finish());
+  return decoder->num_models();
+}
+
 Result<ModelSet> ReadFullSnapshot(const StoreContext& context,
                                   const SetDocument& doc) {
   if (doc.arch_blob.empty() || doc.param_blob.empty()) {
@@ -141,11 +187,25 @@ Result<ModelSet> ReadFullSnapshot(const StoreContext& context,
   MMM_ASSIGN_OR_RETURN(std::string arch_text,
                        CasReadBlobString(context.file_store, doc.arch_blob));
   MMM_ASSIGN_OR_RETURN(ArchitectureSpec spec, DecodeArchBlob(arch_text));
-  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored,
-                       CasReadBlob(context.file_store, doc.param_blob));
-  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, DecompressBlob(stored));
-  MMM_ASSIGN_OR_RETURN(std::vector<StateDict> models,
-                       DecodeParamBlob(spec, blob));
+  std::vector<StateDict> models;
+  if (context.streaming_recovery) {
+    MMM_ASSIGN_OR_RETURN(
+        size_t num_models,
+        StreamParamBlob(context, doc.param_blob, spec,
+                        [&](size_t model, size_t /*param*/,
+                            const std::string& key, Tensor tensor) -> Status {
+                          if (models.size() <= model) models.resize(model + 1);
+                          models[model].emplace_back(key, std::move(tensor));
+                          return Status::OK();
+                        }));
+    // Zero-parameter layouts emit no layers; the header still counts models.
+    models.resize(num_models);
+  } else {
+    MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored,
+                         CasReadBlob(context.file_store, doc.param_blob));
+    MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, DecompressBlob(stored));
+    MMM_ASSIGN_OR_RETURN(models, DecodeParamBlob(spec, blob));
+  }
   if (models.size() != doc.num_models) {
     return Status::Corruption("set ", doc.id, " holds ", models.size(),
                               " models, document says ", doc.num_models);

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/approach.h"
+#include "core/blob_formats.h"
 #include "core/model_set.h"
 #include "serialize/json.h"
 
@@ -80,9 +81,25 @@ Status StageFullSnapshot(const StoreContext& context, StoreBatch* batch,
 Status WriteFullSnapshot(const StoreContext& context, const std::string& set_id,
                          const ModelSet& set, SetDocument* doc);
 
-/// Reads a full snapshot described by `doc`.
+/// Reads a full snapshot described by `doc`. With
+/// `context.streaming_recovery` set, the parameter blob is pulled
+/// window-by-window through the incremental decompressor and
+/// ParamBlobStreamDecoder (DESIGN.md §12) — bit-identical result, but the
+/// stored bytes and the decompressed blob are never materialized whole.
 Result<ModelSet> ReadFullSnapshot(const StoreContext& context,
                                   const SetDocument& doc);
+
+/// Streams a stored parameter blob (possibly compressed, possibly CAS-
+/// chunked) through the incremental decode pipeline, handing each finished
+/// layer to `sink` in (model, param) order the moment its bytes are
+/// complete. Returns the blob's model count. Accepts exactly the blobs the
+/// materializing path accepts and validates the same header/size/CRC
+/// invariants (shuffle-compressed blobs degenerate to decode-at-finish —
+/// the byte-plane transpose is global — but remain bit-exact).
+Result<size_t> StreamParamBlob(const StoreContext& context,
+                               const std::string& blob_name,
+                               const ArchitectureSpec& spec,
+                               ParamBlobStreamDecoder::LayerSink sink);
 
 /// Reads only the models at `indices` from a full snapshot. Uncompressed
 /// parameter blobs are accessed with ranged store reads (one per distinct

@@ -91,10 +91,10 @@ Result<SaveResult> UpdateApproach::SaveDerived(const ModelSet& set,
   // Step 2: hash every model's layers, fanned out across the pipeline lanes.
   HashTable current_hashes = ComputeHashTable(set, context_.executor);
   // Step 3: identify changed parameters against the base set's hash blob.
-  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored_hashes,
-                       CasReadBlob(context_.file_store, base_doc.hash_blob));
-  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> base_hash_bytes,
-                       DecompressBlob(stored_hashes));
+  MMM_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> base_hash_bytes,
+      CasReadBlobDecompressed(context_.file_store, base_doc.hash_blob,
+                              context_.stream_window_bytes));
   MMM_ASSIGN_OR_RETURN(HashTable base_hashes, DecodeHashTable(base_hash_bytes));
   MMM_ASSIGN_OR_RETURN(std::vector<DiffEntry> entries,
                        DiffHashTables(base_hashes, current_hashes));
@@ -340,10 +340,19 @@ Result<ModelSet> UpdateApproach::RecoverFromDoc(const SetDocument& doc,
 }
 
 Status UpdateApproach::ApplyDelta(const SetDocument& doc, ModelSet* set) {
-  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored_diff,
-                       CasReadBlob(context_.file_store, doc.diff_blob));
-  MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> diff_bytes,
-                       DecompressBlob(stored_diff));
+  // Diff blobs are decoded whole (entries reference arbitrary positions),
+  // but with streaming recovery on the *stored-side* intermediate — the
+  // compressed/chunked bytes — never materializes.
+  std::vector<uint8_t> diff_bytes;
+  if (context_.streaming_recovery) {
+    MMM_ASSIGN_OR_RETURN(diff_bytes, CasReadBlobDecompressed(
+                                         context_.file_store, doc.diff_blob,
+                                         context_.stream_window_bytes));
+  } else {
+    MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored_diff,
+                         CasReadBlob(context_.file_store, doc.diff_blob));
+    MMM_ASSIGN_OR_RETURN(diff_bytes, DecompressBlob(stored_diff));
+  }
   MMM_ASSIGN_OR_RETURN(DecodedDiff diff, DecodeDiffBlob(set->spec, diff_bytes));
   for (size_t i = 0; i < diff.entries.size(); ++i) {
     const DiffEntry& entry = diff.entries[i];
@@ -371,6 +380,13 @@ Result<HashTable> ReadStoredHashTable(const StoreContext& context,
                                       const SetDocument& doc) {
   if (doc.hash_blob.empty()) {
     return Status::Corruption("set ", doc.id, " is missing its hash blob");
+  }
+  if (context.streaming_recovery) {
+    MMM_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> bytes,
+        CasReadBlobDecompressed(context.file_store, doc.hash_blob,
+                                context.stream_window_bytes));
+    return DecodeHashTable(bytes);
   }
   MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored,
                        CasReadBlob(context.file_store, doc.hash_blob));
@@ -508,11 +524,37 @@ Result<ModelSet> UpdateApproach::RecoverCachedFromDoc(
   // parameter blob; a delta recovers its base *through the cache* (the
   // memoized recursion) and applies the diff on top.
   ModelSet set;
+  bool layers_offered = false;
   if (doc.kind == "full") {
-    MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored,
-                         CasReadBlob(context_.file_store, doc.param_blob));
-    MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, DecompressBlob(stored));
-    MMM_ASSIGN_OR_RETURN(set.models, DecodeParamBlob(spec, blob));
+    if (context_.streaming_recovery) {
+      // Streaming decode: each finished layer goes to the cache the moment
+      // its bytes are complete — a concurrent request for a sibling set can
+      // hit layers of this snapshot while later models are still streaming
+      // in. Offering here replaces step 4's offer for this set.
+      MMM_ASSIGN_OR_RETURN(
+          size_t streamed_models,
+          StreamParamBlob(
+              context_, doc.param_blob, spec,
+              [&](size_t m, size_t p, const std::string& key,
+                  Tensor tensor) -> Status {
+                if (m >= hashes.size() || p >= hashes[m].size()) {
+                  return Status::Corruption(
+                      "set ", set_id, " streams layer (", m, ", ", p,
+                      ") outside its hash table");
+                }
+                cache->PutLayer(hashes[m][p], tensor);
+                if (set.models.size() <= m) set.models.resize(m + 1);
+                set.models[m].emplace_back(key, std::move(tensor));
+                return Status::OK();
+              }));
+      set.models.resize(streamed_models);
+      layers_offered = true;
+    } else {
+      MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> stored,
+                           CasReadBlob(context_.file_store, doc.param_blob));
+      MMM_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, DecompressBlob(stored));
+      MMM_ASSIGN_OR_RETURN(set.models, DecodeParamBlob(spec, blob));
+    }
     set.spec = spec;
     if (set.models.size() != doc.num_models) {
       return Status::Corruption("set ", set_id, " holds ", set.models.size(),
@@ -533,10 +575,14 @@ Result<ModelSet> UpdateApproach::RecoverCachedFromDoc(
   }
 
   // Step 4: offer every materialized layer back to the cache under its
-  // stored content hash (shared layers re-admit idempotently).
-  for (size_t m = 0; m < set.models.size(); ++m) {
-    for (size_t p = 0; p < set.models[m].size(); ++p) {
-      cache->PutLayer(hashes[m][p], set.models[m][p].second);
+  // stored content hash (shared layers re-admit idempotently). The
+  // streaming full-snapshot path already offered each layer as it finished
+  // decoding; re-offering would only inflate the cache's rejection stats.
+  if (!layers_offered) {
+    for (size_t m = 0; m < set.models.size(); ++m) {
+      for (size_t p = 0; p < set.models[m].size(); ++p) {
+        cache->PutLayer(hashes[m][p], set.models[m][p].second);
+      }
     }
   }
   cache->PutSetMeta(set_id, hashes, set.spec);

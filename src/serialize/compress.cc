@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/simd.h"
 #include "serialize/binary_io.h"
 
 namespace mmm {
@@ -162,18 +163,297 @@ Result<std::vector<uint8_t>> LzDecompress(std::span<const uint8_t> input,
     if (out.size() + match_len > raw_size) {
       return Status::Corruption("lz: output overflow in match");
     }
-    // Byte-by-byte copy: overlapping matches (offset < match_len) are the
-    // run-length case and must replicate already-written output.
-    size_t src = out.size() - offset;
-    for (size_t i = 0; i < match_len; ++i) {
-      out.push_back(out[src + i]);
-    }
+    // Overlapping matches (offset < match_len) are the run-length case and
+    // must replicate already-written output — exactly ReplicateRun's
+    // contract, which wide-copies only when that is bit-equivalent.
+    const size_t before = out.size();
+    out.resize(before + match_len);
+    simd::ReplicateRun(out.data() + before, offset, match_len);
   }
   if (out.size() != raw_size) {
     return Status::Corruption("lz: decompressed ", out.size(), " bytes, want ",
                               raw_size);
   }
   return out;
+}
+
+namespace {
+
+/// The match window the incremental decoder must retain: the format's
+/// 2-byte offsets can reach at most kMaxOffset bytes back.
+constexpr size_t kLzRetention = kMaxOffset;
+/// Flush granularity: produced bytes beyond retention + slack are moved to
+/// the caller so peak buffering stays O(128 KiB) even for huge RLE tokens.
+constexpr size_t kLzFlushSlack = 65536;
+
+}  // namespace
+
+LzDecompressor::LzDecompressor(size_t raw_size) : raw_size_(raw_size) {
+  if (raw_size_ == 0) state_ = State::kDone;
+}
+
+Status LzDecompressor::Fail(Status status) {
+  error_ = status;
+  return error_;
+}
+
+void LzDecompressor::EmitAndTrim(size_t before_size,
+                                 std::vector<uint8_t>* out) {
+  peak_buffered_ = std::max(peak_buffered_, window_.size());
+  out->insert(out->end(), window_.begin() + before_size, window_.end());
+  if (window_.size() > kLzRetention + kLzFlushSlack) {
+    window_.erase(window_.begin(), window_.end() - kLzRetention);
+  }
+}
+
+Status LzDecompressor::ExecuteMatch(std::vector<uint8_t>* out) {
+  const size_t match_len = match_code_ + kMinMatch;
+  if (produced_ + match_len > raw_size_) {
+    return Fail(Status::Corruption("lz: output overflow in match"));
+  }
+  // Execute in bounded steps so one giant RLE token cannot balloon the
+  // window; splitting preserves the sequential replicate semantic because
+  // the retained history always covers `offset_`.
+  size_t remaining = match_len;
+  while (remaining > 0) {
+    const size_t step = std::min(remaining, kLzFlushSlack);
+    const size_t before = window_.size();
+    window_.resize(before + step);
+    simd::ReplicateRun(window_.data() + before, offset_, step);
+    produced_ += step;
+    EmitAndTrim(before, out);
+    remaining -= step;
+  }
+  state_ = produced_ == raw_size_ ? State::kDone : State::kToken;
+  return Status::OK();
+}
+
+Status LzDecompressor::Feed(std::span<const uint8_t> data,
+                            std::vector<uint8_t>* out) {
+  if (!error_.ok()) return error_;
+  size_t pos = 0;
+  while (true) {
+    switch (state_) {
+      case State::kDone:
+        // Trailing compressed bytes after raw_size output are ignored,
+        // matching LzDecompress.
+        return Status::OK();
+      case State::kToken: {
+        if (pos >= data.size()) return Status::OK();
+        token_ = data[pos++];
+        literal_remaining_ = token_ >> 4;
+        if (literal_remaining_ == 15) {
+          state_ = State::kLiteralLen;
+        } else {
+          if (produced_ + literal_remaining_ > raw_size_) {
+            return Fail(Status::Corruption("lz: output overflow in literals"));
+          }
+          state_ = State::kLiterals;
+        }
+        break;
+      }
+      case State::kLiteralLen: {
+        if (pos >= data.size()) return Status::OK();
+        const uint8_t byte = data[pos++];
+        literal_remaining_ += byte;
+        if (byte != 255) {
+          if (produced_ + literal_remaining_ > raw_size_) {
+            return Fail(Status::Corruption("lz: output overflow in literals"));
+          }
+          state_ = State::kLiterals;
+        }
+        break;
+      }
+      case State::kLiterals: {
+        if (literal_remaining_ > 0) {
+          const size_t step =
+              std::min(literal_remaining_, data.size() - pos);
+          if (step == 0) return Status::OK();
+          const size_t before = window_.size();
+          window_.insert(window_.end(), data.begin() + pos,
+                         data.begin() + pos + step);
+          pos += step;
+          produced_ += step;
+          literal_remaining_ -= step;
+          EmitAndTrim(before, out);
+        }
+        if (literal_remaining_ == 0) {
+          // A final token carries only literals: once raw_size is reached
+          // there is no match half to parse (same break LzDecompress takes).
+          state_ = produced_ == raw_size_ ? State::kDone : State::kOffset;
+          offset_ = 0;
+          offset_bytes_ = 0;
+        }
+        break;
+      }
+      case State::kOffset: {
+        if (pos >= data.size()) return Status::OK();
+        offset_ |= static_cast<size_t>(data[pos++]) << (8 * offset_bytes_);
+        if (++offset_bytes_ < 2) break;
+        if (offset_ == 0) {
+          return Fail(Status::Corruption("lz: invalid match offset 0"));
+        }
+        // The retained window spans min(produced, kMaxOffset) bytes, so
+        // this is the materializing decoder's `offset > produced` check —
+        // and the hard guarantee that no window read reaches evicted bytes.
+        if (offset_ > window_.size()) {
+          return Fail(Status::Corruption(
+              "lz: match offset ", offset_,
+              " reaches before the retained window (", window_.size(),
+              " bytes)"));
+        }
+        match_code_ = token_ & 0x0f;
+        if (match_code_ == 15) {
+          state_ = State::kMatchLen;
+        } else {
+          MMM_RETURN_NOT_OK(ExecuteMatch(out));
+        }
+        break;
+      }
+      case State::kMatchLen: {
+        if (pos >= data.size()) return Status::OK();
+        const uint8_t byte = data[pos++];
+        match_code_ += byte;
+        if (byte != 255) MMM_RETURN_NOT_OK(ExecuteMatch(out));
+        break;
+      }
+    }
+  }
+}
+
+Status LzDecompressor::Finish() {
+  if (!error_.ok()) return error_;
+  if (state_ != State::kDone) {
+    return Fail(Status::Corruption("lz: truncated stream after ", produced_,
+                                   " of ", raw_size_, " bytes"));
+  }
+  return Status::OK();
+}
+
+Status BlobDecompressor::Fail(Status status) {
+  error_ = status;
+  return error_;
+}
+
+size_t BlobDecompressor::peak_buffered_bytes() const {
+  size_t peak = peak_header_;
+  if (lz_.has_value()) peak = std::max(peak, lz_->peak_buffered_bytes());
+  peak = std::max(peak, shuffled_.size());
+  return peak;
+}
+
+Status BlobDecompressor::Feed(std::span<const uint8_t> data,
+                              std::vector<uint8_t>* out) {
+  if (!error_.ok()) return error_;
+  std::span<const uint8_t> payload = data;
+  if (mode_ == Mode::kHeader) {
+    header_.insert(header_.end(), data.begin(), data.end());
+    peak_header_ = std::max(peak_header_, header_.size());
+    if (header_.size() < 5) return Status::OK();
+    if (std::memcmp(header_.data(), kMagic, 4) != 0) {
+      // Raw legacy blob: everything seen so far is payload.
+      mode_ = Mode::kPassthrough;
+      payload = header_;
+    } else {
+      const uint8_t method_byte = header_[4];
+      if (method_byte > static_cast<uint8_t>(Compression::kShuffleLz)) {
+        return Fail(
+            Status::Corruption("unknown compression method ", method_byte));
+      }
+      // Varint raw size, possibly still incomplete.
+      uint64_t value = 0;
+      int shift = 0;
+      size_t idx = 5;
+      while (true) {
+        if (idx >= header_.size()) return Status::OK();  // need more bytes
+        if (shift >= 64) {
+          return Fail(Status::Corruption("blob header varint overflows"));
+        }
+        const uint8_t byte = header_[idx++];
+        value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        shift += 7;
+        if ((byte & 0x80) == 0) break;
+      }
+      raw_size_ = value;
+      switch (static_cast<Compression>(method_byte)) {
+        case Compression::kNone:
+          mode_ = Mode::kStoredNone;
+          break;
+        case Compression::kLz:
+          mode_ = Mode::kStoredLz;
+          lz_.emplace(value);
+          break;
+        case Compression::kShuffleLz:
+          mode_ = Mode::kStoredShuffleLz;
+          lz_.emplace(value);
+          break;
+      }
+      payload = std::span<const uint8_t>(header_).subspan(idx);
+    }
+  }
+  Status status = Status::OK();
+  switch (mode_) {
+    case Mode::kHeader:
+      return Status::Internal("unreachable");
+    case Mode::kPassthrough:
+      emitted_ += payload.size();
+      out->insert(out->end(), payload.begin(), payload.end());
+      break;
+    case Mode::kStoredNone:
+      emitted_ += payload.size();
+      if (emitted_ > *raw_size_) {
+        status = Status::Corruption("stored blob size mismatch");
+        break;
+      }
+      out->insert(out->end(), payload.begin(), payload.end());
+      break;
+    case Mode::kStoredLz:
+      status = lz_->Feed(payload, out);
+      break;
+    case Mode::kStoredShuffleLz:
+      status = lz_->Feed(payload, &shuffled_);
+      break;
+  }
+  if (!header_.empty()) {
+    header_.clear();
+    header_.shrink_to_fit();
+  }
+  if (!status.ok()) return Fail(status);
+  return Status::OK();
+}
+
+Status BlobDecompressor::Finish(std::vector<uint8_t>* out) {
+  if (!error_.ok()) return error_;
+  switch (mode_) {
+    case Mode::kHeader:
+      // Fewer than 5 bytes total, or a framed header cut off mid-varint.
+      if (header_.size() >= 5 &&
+          std::memcmp(header_.data(), kMagic, 4) == 0) {
+        return Fail(Status::Corruption("truncated blob header"));
+      }
+      out->insert(out->end(), header_.begin(), header_.end());
+      return Status::OK();
+    case Mode::kPassthrough:
+      return Status::OK();
+    case Mode::kStoredNone:
+      if (emitted_ != *raw_size_) {
+        return Fail(Status::Corruption("stored blob size mismatch"));
+      }
+      return Status::OK();
+    case Mode::kStoredLz: {
+      Status status = lz_->Finish();
+      if (!status.ok()) return Fail(status);
+      return Status::OK();
+    }
+    case Mode::kStoredShuffleLz: {
+      Status status = lz_->Finish();
+      if (!status.ok()) return Fail(status);
+      std::vector<uint8_t> raw = UnshuffleBytes(shuffled_, 4);
+      out->insert(out->end(), raw.begin(), raw.end());
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
 }
 
 std::vector<uint8_t> ShuffleBytes(std::span<const uint8_t> input, size_t stride) {

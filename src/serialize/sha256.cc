@@ -2,7 +2,12 @@
 
 #include <cstring>
 
+#include "common/simd.h"
 #include "common/strings.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 namespace mmm {
 namespace {
@@ -147,6 +152,247 @@ Sha256Digest Sha256::Hash(std::string_view data) {
   Sha256 hasher;
   hasher.Update(data);
   return hasher.Finish();
+}
+
+namespace {
+
+#if defined(__x86_64__)
+
+constexpr uint32_t kInitState[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                    0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                    0x1f83d9ab, 0x5be0cd19};
+
+/// The final padded block(s) of one stream. Every stream in a batch has
+/// the same length, so all lanes have the same block count (1 or 2) and
+/// the lanes never diverge.
+struct Sha256Tail {
+  uint8_t bytes[2][64] = {};
+  size_t count = 1;
+};
+
+Sha256Tail BuildSha256Tail(const uint8_t* stream, size_t length) {
+  Sha256Tail tail;
+  const size_t rem = length % 64;
+  std::memcpy(tail.bytes[0], stream + (length - rem), rem);
+  tail.bytes[0][rem] = 0x80;
+  tail.count = (rem + 9 <= 64) ? 1 : 2;
+  const uint64_t bits = static_cast<uint64_t>(length) * 8;
+  uint8_t* length_bytes = tail.bytes[tail.count - 1] + 56;
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<uint8_t>(bits >> (56 - 8 * i));
+  }
+  return tail;
+}
+
+uint32_t LoadBigEndian32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+// ----- 4-way SSE2 lanes (baseline x86-64, no target attribute needed) -----
+
+__m128i Rotr4(__m128i x, int n) {
+  return _mm_or_si128(_mm_srli_epi32(x, n), _mm_slli_epi32(x, 32 - n));
+}
+
+void ProcessBlock4Sse2(__m128i state[8], const uint8_t* const blocks[4]) {
+  __m128i w[64];
+  alignas(16) uint32_t tmp[4];
+  for (int i = 0; i < 16; ++i) {
+    for (int l = 0; l < 4; ++l) tmp[l] = LoadBigEndian32(blocks[l] + i * 4);
+    w[i] = _mm_load_si128(reinterpret_cast<const __m128i*>(tmp));
+  }
+  for (int i = 16; i < 64; ++i) {
+    const __m128i x15 = w[i - 15];
+    const __m128i x2 = w[i - 2];
+    const __m128i s0 = _mm_xor_si128(_mm_xor_si128(Rotr4(x15, 7), Rotr4(x15, 18)),
+                                     _mm_srli_epi32(x15, 3));
+    const __m128i s1 = _mm_xor_si128(_mm_xor_si128(Rotr4(x2, 17), Rotr4(x2, 19)),
+                                     _mm_srli_epi32(x2, 10));
+    w[i] = _mm_add_epi32(_mm_add_epi32(w[i - 16], s0),
+                         _mm_add_epi32(w[i - 7], s1));
+  }
+  __m128i a = state[0], b = state[1], c = state[2], d = state[3];
+  __m128i e = state[4], f = state[5], g = state[6], h = state[7];
+  for (int i = 0; i < 64; ++i) {
+    const __m128i s1 =
+        _mm_xor_si128(_mm_xor_si128(Rotr4(e, 6), Rotr4(e, 11)), Rotr4(e, 25));
+    const __m128i ch =
+        _mm_xor_si128(_mm_and_si128(e, f), _mm_andnot_si128(e, g));
+    const __m128i temp1 = _mm_add_epi32(
+        _mm_add_epi32(_mm_add_epi32(h, s1), _mm_add_epi32(ch, w[i])),
+        _mm_set1_epi32(static_cast<int>(kRoundConstants[i])));
+    const __m128i s0 =
+        _mm_xor_si128(_mm_xor_si128(Rotr4(a, 2), Rotr4(a, 13)), Rotr4(a, 22));
+    const __m128i maj = _mm_xor_si128(
+        _mm_xor_si128(_mm_and_si128(a, b), _mm_and_si128(a, c)),
+        _mm_and_si128(b, c));
+    const __m128i temp2 = _mm_add_epi32(s0, maj);
+    h = g;
+    g = f;
+    f = e;
+    e = _mm_add_epi32(d, temp1);
+    d = c;
+    c = b;
+    b = a;
+    a = _mm_add_epi32(temp1, temp2);
+  }
+  state[0] = _mm_add_epi32(state[0], a);
+  state[1] = _mm_add_epi32(state[1], b);
+  state[2] = _mm_add_epi32(state[2], c);
+  state[3] = _mm_add_epi32(state[3], d);
+  state[4] = _mm_add_epi32(state[4], e);
+  state[5] = _mm_add_epi32(state[5], f);
+  state[6] = _mm_add_epi32(state[6], g);
+  state[7] = _mm_add_epi32(state[7], h);
+}
+
+void HashMany4Sse2(const uint8_t* const* streams, size_t length,
+                   Sha256Digest* digests) {
+  __m128i state[8];
+  for (int i = 0; i < 8; ++i) {
+    state[i] = _mm_set1_epi32(static_cast<int>(kInitState[i]));
+  }
+  const uint8_t* blocks[4];
+  const size_t full_blocks = length / 64;
+  for (size_t b = 0; b < full_blocks; ++b) {
+    for (int l = 0; l < 4; ++l) blocks[l] = streams[l] + b * 64;
+    ProcessBlock4Sse2(state, blocks);
+  }
+  Sha256Tail tails[4];
+  for (int l = 0; l < 4; ++l) tails[l] = BuildSha256Tail(streams[l], length);
+  for (size_t t = 0; t < tails[0].count; ++t) {
+    for (int l = 0; l < 4; ++l) blocks[l] = tails[l].bytes[t];
+    ProcessBlock4Sse2(state, blocks);
+  }
+  alignas(16) uint32_t tmp[4];
+  for (int word = 0; word < 8; ++word) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), state[word]);
+    for (int l = 0; l < 4; ++l) {
+      digests[l].bytes[word * 4] = static_cast<uint8_t>(tmp[l] >> 24);
+      digests[l].bytes[word * 4 + 1] = static_cast<uint8_t>(tmp[l] >> 16);
+      digests[l].bytes[word * 4 + 2] = static_cast<uint8_t>(tmp[l] >> 8);
+      digests[l].bytes[word * 4 + 3] = static_cast<uint8_t>(tmp[l]);
+    }
+  }
+}
+
+// ----- 8-way AVX2 lanes (runtime-dispatched; helpers carry the same
+// target attribute so they inline into the kernel) -----
+
+__attribute__((target("avx2"))) inline __m256i Rotr8(__m256i x, int n) {
+  return _mm256_or_si256(_mm256_srli_epi32(x, n), _mm256_slli_epi32(x, 32 - n));
+}
+
+__attribute__((target("avx2"))) void ProcessBlock8Avx2(
+    __m256i state[8], const uint8_t* const blocks[8]) {
+  __m256i w[64];
+  alignas(32) uint32_t tmp[8];
+  for (int i = 0; i < 16; ++i) {
+    for (int l = 0; l < 8; ++l) tmp[l] = LoadBigEndian32(blocks[l] + i * 4);
+    w[i] = _mm256_load_si256(reinterpret_cast<const __m256i*>(tmp));
+  }
+  for (int i = 16; i < 64; ++i) {
+    const __m256i x15 = w[i - 15];
+    const __m256i x2 = w[i - 2];
+    const __m256i s0 = _mm256_xor_si256(
+        _mm256_xor_si256(Rotr8(x15, 7), Rotr8(x15, 18)),
+        _mm256_srli_epi32(x15, 3));
+    const __m256i s1 = _mm256_xor_si256(
+        _mm256_xor_si256(Rotr8(x2, 17), Rotr8(x2, 19)),
+        _mm256_srli_epi32(x2, 10));
+    w[i] = _mm256_add_epi32(_mm256_add_epi32(w[i - 16], s0),
+                            _mm256_add_epi32(w[i - 7], s1));
+  }
+  __m256i a = state[0], b = state[1], c = state[2], d = state[3];
+  __m256i e = state[4], f = state[5], g = state[6], h = state[7];
+  for (int i = 0; i < 64; ++i) {
+    const __m256i s1 = _mm256_xor_si256(
+        _mm256_xor_si256(Rotr8(e, 6), Rotr8(e, 11)), Rotr8(e, 25));
+    const __m256i ch =
+        _mm256_xor_si256(_mm256_and_si256(e, f), _mm256_andnot_si256(e, g));
+    const __m256i temp1 = _mm256_add_epi32(
+        _mm256_add_epi32(_mm256_add_epi32(h, s1), _mm256_add_epi32(ch, w[i])),
+        _mm256_set1_epi32(static_cast<int>(kRoundConstants[i])));
+    const __m256i s0 = _mm256_xor_si256(
+        _mm256_xor_si256(Rotr8(a, 2), Rotr8(a, 13)), Rotr8(a, 22));
+    const __m256i maj = _mm256_xor_si256(
+        _mm256_xor_si256(_mm256_and_si256(a, b), _mm256_and_si256(a, c)),
+        _mm256_and_si256(b, c));
+    const __m256i temp2 = _mm256_add_epi32(s0, maj);
+    h = g;
+    g = f;
+    f = e;
+    e = _mm256_add_epi32(d, temp1);
+    d = c;
+    c = b;
+    b = a;
+    a = _mm256_add_epi32(temp1, temp2);
+  }
+  state[0] = _mm256_add_epi32(state[0], a);
+  state[1] = _mm256_add_epi32(state[1], b);
+  state[2] = _mm256_add_epi32(state[2], c);
+  state[3] = _mm256_add_epi32(state[3], d);
+  state[4] = _mm256_add_epi32(state[4], e);
+  state[5] = _mm256_add_epi32(state[5], f);
+  state[6] = _mm256_add_epi32(state[6], g);
+  state[7] = _mm256_add_epi32(state[7], h);
+}
+
+__attribute__((target("avx2"))) void HashMany8Avx2(
+    const uint8_t* const* streams, size_t length, Sha256Digest* digests) {
+  __m256i state[8];
+  for (int i = 0; i < 8; ++i) {
+    state[i] = _mm256_set1_epi32(static_cast<int>(kInitState[i]));
+  }
+  const uint8_t* blocks[8];
+  const size_t full_blocks = length / 64;
+  for (size_t b = 0; b < full_blocks; ++b) {
+    for (int l = 0; l < 8; ++l) blocks[l] = streams[l] + b * 64;
+    ProcessBlock8Avx2(state, blocks);
+  }
+  Sha256Tail tails[8];
+  for (int l = 0; l < 8; ++l) tails[l] = BuildSha256Tail(streams[l], length);
+  for (size_t t = 0; t < tails[0].count; ++t) {
+    for (int l = 0; l < 8; ++l) blocks[l] = tails[l].bytes[t];
+    ProcessBlock8Avx2(state, blocks);
+  }
+  alignas(32) uint32_t tmp[8];
+  for (int word = 0; word < 8; ++word) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), state[word]);
+    for (int l = 0; l < 8; ++l) {
+      digests[l].bytes[word * 4] = static_cast<uint8_t>(tmp[l] >> 24);
+      digests[l].bytes[word * 4 + 1] = static_cast<uint8_t>(tmp[l] >> 16);
+      digests[l].bytes[word * 4 + 2] = static_cast<uint8_t>(tmp[l] >> 8);
+      digests[l].bytes[word * 4 + 3] = static_cast<uint8_t>(tmp[l]);
+    }
+  }
+}
+
+#endif  // defined(__x86_64__)
+
+}  // namespace
+
+void Sha256HashMany(const uint8_t* const* streams, size_t length,
+                    size_t count, Sha256Digest* digests) {
+  size_t i = 0;
+#if defined(__x86_64__)
+  const SimdLevel level = ActiveSimdLevel();
+  if (level == SimdLevel::kAvx2) {
+    for (; i + 8 <= count; i += 8) {
+      HashMany8Avx2(streams + i, length, digests + i);
+    }
+  }
+  if (level >= SimdLevel::kSse2) {
+    for (; i + 4 <= count; i += 4) {
+      HashMany4Sse2(streams + i, length, digests + i);
+    }
+  }
+#endif
+  for (; i < count; ++i) {
+    digests[i] = Sha256::Hash(std::span<const uint8_t>(streams[i], length));
+  }
 }
 
 }  // namespace mmm

@@ -49,6 +49,19 @@ class Sha256 {
   size_t buffer_size_ = 0;
 };
 
+/// \brief Hashes `count` equal-length byte streams at once:
+/// `digests[i] == Sha256::Hash({streams[i], length})` for every `i`,
+/// bit-exactly.
+///
+/// SHA-256 has no intra-message parallelism, but a model set hashes one
+/// same-shaped layer per model (core/blob_formats.cc), so independent
+/// streams of identical length are the natural unit: they run in lockstep
+/// SIMD lanes (8-way AVX2 / 4-way SSE2, dispatched via ActiveSimdLevel)
+/// with a scalar loop for the remainder and for non-x86 builds. Integer
+/// rounds only, so every lane width produces identical digests.
+void Sha256HashMany(const uint8_t* const* streams, size_t length,
+                    size_t count, Sha256Digest* digests);
+
 }  // namespace mmm
 
 #endif  // MMM_SERIALIZE_SHA256_H_

@@ -164,6 +164,12 @@ class ModelSetService {
  private:
   /// RecoveryCache view of the service handed to RecoverCached: layers go
   /// to the sharded LayerCache, set metadata to the entry-bounded memo.
+  /// Under streaming recovery (DESIGN.md §12) PutLayer fires from inside
+  /// the blob decode — each finished layer is admitted while later models
+  /// of the same blob are still streaming, so a concurrent request for a
+  /// sibling set can hit layers of a recovery that has not returned yet.
+  /// Both calls are therefore concurrent across worker lanes; the sharded
+  /// cache and the metadata memo each take their own locks.
   class CacheAdapter : public RecoveryCache {
    public:
     explicit CacheAdapter(ModelSetService* service) : service_(service) {}

@@ -66,9 +66,12 @@ class PosixEnv : public Env {
     }
     std::fseek(file, 0, SEEK_END);
     long size = std::ftell(file);
-    if (size < 0 || offset + length > static_cast<uint64_t>(size)) {
+    // Overflow-safe form of `offset + length > size` (the sum can wrap in
+    // uint64); see the ReadFileRange contract in env.h.
+    if (size < 0 || offset > static_cast<uint64_t>(size) ||
+        length > static_cast<uint64_t>(size) - offset) {
       std::fclose(file);
-      return Status::OutOfRange("range [", offset, ", ", offset + length,
+      return Status::OutOfRange("range [", offset, ", +", length,
                                 ") past end of ", path);
     }
     std::fseek(file, static_cast<long>(offset), SEEK_SET);
@@ -178,8 +181,9 @@ Result<std::vector<uint8_t>> InMemoryEnv::ReadFileRange(const std::string& path,
   MutexLock lock(mu_);
   for (const auto& [name, contents] : files_) {
     if (name != path) continue;
-    if (offset + length > contents.size()) {
-      return Status::OutOfRange("range [", offset, ", ", offset + length,
+    // Overflow-safe form of `offset + length > size`; see env.h.
+    if (offset > contents.size() || length > contents.size() - offset) {
+      return Status::OutOfRange("range [", offset, ", +", length,
                                 ") past end of ", path);
     }
     return std::vector<uint8_t>(contents.begin() + offset,

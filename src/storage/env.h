@@ -32,8 +32,17 @@ class Env {
   /// Reads the whole file.
   virtual Result<std::vector<uint8_t>> ReadFile(const std::string& path) = 0;
 
-  /// Reads `length` bytes starting at `offset`. Fails with OutOfRange if the
-  /// range extends past the end of the file.
+  /// Reads `length` bytes starting at `offset`. The contract is identical
+  /// for every Env (including FaultInjectionEnv's passthrough, which only
+  /// adds its path checks on top):
+  ///  - `offset + length <= size` succeeds, evaluated overflow-safely — a
+  ///    huge `offset`/`length` pair whose uint64 sum wraps is OutOfRange,
+  ///    never a wrapped read;
+  ///  - a zero-length read succeeds (empty result) at any `offset <= size`,
+  ///    including exactly at EOF;
+  ///  - `offset > size` is OutOfRange even when `length == 0`.
+  /// Modeled latency is charged by FileStore, not here, so every Env is
+  /// charged identically by construction (storage/file_store.h).
   virtual Result<std::vector<uint8_t>> ReadFileRange(const std::string& path,
                                                      uint64_t offset,
                                                      uint64_t length) = 0;

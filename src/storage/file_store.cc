@@ -81,6 +81,26 @@ Result<std::vector<uint8_t>> FileStore::GetRange(const std::string& name,
   return data;
 }
 
+Result<StreamFile> FileStore::OpenStream(const std::string& name,
+                                         uint64_t window_bytes) {
+  MMM_RETURN_NOT_OK(ValidateName(name));
+  const std::string path = root_ + "/" + name;
+  auto size = env_->FileSize(path);
+  if (!size.ok()) {
+    // Report a missing blob the way Get does (PosixEnv's FileSize surfaces
+    // a generic IOError for absent files).
+    auto exists = env_->FileExists(path);
+    if (exists.ok() && !exists.ValueOrDie()) {
+      return Status::NotFound("cannot open for read: ", path);
+    }
+    return size.status();
+  }
+  // Whole-stream accounting up front; see the cost model in file_store.h.
+  stats_.AddRead(size.ValueOrDie());
+  Charge(size.ValueOrDie());
+  return StreamFile(env_, path, size.ValueOrDie(), window_bytes);
+}
+
 Result<uint64_t> FileStore::Size(const std::string& name) {
   MMM_RETURN_NOT_OK(ValidateName(name));
   return env_->FileSize(root_ + "/" + name);

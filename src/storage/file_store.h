@@ -11,6 +11,7 @@
 #include "storage/env.h"
 #include "storage/latency_model.h"
 #include "storage/store_stats.h"
+#include "storage/stream_file.h"
 
 namespace mmm {
 
@@ -55,6 +56,19 @@ class FileStore {
   /// round-trip; enables selective model recovery from set-level blobs).
   Result<std::vector<uint8_t>> GetRange(const std::string& name,
                                         uint64_t offset, uint64_t length);
+
+  /// Opens a blob for pull-based windowed reading (DESIGN.md §12).
+  ///
+  /// Cost model: a stream is one sequential pass over the blob, so it is
+  /// accounted exactly like Get — one read op and the blob's full byte
+  /// count, charged here at open. The per-window Env::ReadFileRange calls
+  /// carry no extra modeled cost (a sequential reader's windows are hidden
+  /// by readahead); by construction, flipping a recovery between Get and
+  /// OpenStream leaves StoreStats and modeled store time identical.
+  ///
+  /// `window_bytes == 0` selects kDefaultStreamWindowBytes.
+  Result<StreamFile> OpenStream(const std::string& name,
+                                uint64_t window_bytes = 0);
 
   /// Size of a stored blob in bytes.
   Result<uint64_t> Size(const std::string& name);

@@ -1,0 +1,20 @@
+#include "storage/stream_file.h"
+
+#include <algorithm>
+
+namespace mmm {
+
+Result<std::span<const uint8_t>> StreamFile::Next() {
+  if (offset_ >= size_) return std::span<const uint8_t>();
+  const uint64_t take = std::min(window_bytes_, size_ - offset_);
+  auto window = env_->ReadFileRange(path_, offset_, take);
+  if (!window.ok()) {
+    return window.status().WithContext("stream window [", offset_, ", +",
+                                       take, ") of ", path_);
+  }
+  buffer_ = std::move(window).ValueOrDie();
+  offset_ += buffer_.size();
+  return std::span<const uint8_t>(buffer_);
+}
+
+}  // namespace mmm

@@ -1,0 +1,13 @@
+// Fixture: approach code (anything under src/core/) calling Env read
+// entry points directly bypasses FileStore accounting and must be flagged.
+//
+// Fixtures are linted, never compiled, so Env stays a forward declaration:
+// declaring the methods here would itself match the (token-level) rule.
+struct Env;
+
+int Recover(Env* env) {
+  int s = env->ReadFile("blob");
+  if (s != 0) return s;
+  s = env->ReadFileRange("blob", 0, 64);
+  return s;
+}

@@ -49,7 +49,8 @@ TEST(MmmlintRules, CatalogIsStable) {
   for (const char* rule :
        {"banned-random", "discarded-status", "naked-new", "naked-delete",
         "mutex-missing-guard", "raw-std-mutex", "direct-env-write",
-        "direct-manager-open", "chunk-delete", "include-cycle"}) {
+        "direct-env-read", "direct-manager-open", "chunk-delete",
+        "include-cycle"}) {
     EXPECT_TRUE(have.count(rule) != 0) << "missing rule: " << rule;
   }
 }
@@ -123,6 +124,16 @@ TEST(MmmlintRules, DirectEnvWrite) {
   std::vector<Finding> findings = LintFixture("direct_env_write");
   EXPECT_TRUE(HasFinding(findings, "direct-env-write", "bad.cc", 9));
   EXPECT_TRUE(HasFinding(findings, "direct-env-write", "bad.cc", 11));
+  for (const Finding& f : findings) {
+    EXPECT_TRUE(f.file.find("suppressed") == std::string::npos)
+        << f.file << ":" << f.line << " [" << f.rule << "]";
+  }
+}
+
+TEST(MmmlintRules, DirectEnvRead) {
+  std::vector<Finding> findings = LintFixture("direct_env_read");
+  EXPECT_TRUE(HasFinding(findings, "direct-env-read", "bad.cc", 9));
+  EXPECT_TRUE(HasFinding(findings, "direct-env-read", "bad.cc", 11));
   for (const Finding& f : findings) {
     EXPECT_TRUE(f.file.find("suppressed") == std::string::npos)
         << f.file << ":" << f.line << " [" << f.rule << "]";

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "storage/document_store.h"
 #include "storage/env.h"
 #include "storage/file_store.h"
@@ -98,6 +100,39 @@ TEST_P(EnvSweep, ReadFileRangePastEndFails) {
   EXPECT_TRUE(env_->ReadFileRange(root_ + "/missing", 0, 1).status().IsNotFound());
 }
 
+// The unified ReadFileRange contract (env.h): bounds are checked overflow-
+// safely, so an `offset + length` that wraps uint64 is OutOfRange instead
+// of slipping past the end check.
+TEST_P(EnvSweep, ReadFileRangeOverflowSafeBounds) {
+  std::string path = root_ + "/ranged3";
+  ASSERT_OK(env_->WriteFile(path, AsBytes("abc")));
+  const uint64_t huge = std::numeric_limits<uint64_t>::max();
+  EXPECT_TRUE(env_->ReadFileRange(path, huge, 2).status().IsOutOfRange());
+  EXPECT_TRUE(env_->ReadFileRange(path, 2, huge).status().IsOutOfRange());
+  EXPECT_TRUE(env_->ReadFileRange(path, huge, huge).status().IsOutOfRange());
+  EXPECT_TRUE(env_->ReadFileRange(path, huge - 1, 2).status().IsOutOfRange());
+}
+
+// Zero-length reads succeed at every offset <= size — including exactly at
+// EOF, which is what a StreamFile that consumed the whole file relies on —
+// while offset > size is OutOfRange even when length == 0.
+TEST_P(EnvSweep, ReadFileRangeZeroLengthContract) {
+  std::string path = root_ + "/ranged4";
+  ASSERT_OK(env_->WriteFile(path, AsBytes("abc")));
+  for (uint64_t offset : {0u, 1u, 3u}) {
+    ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> none,
+                         env_->ReadFileRange(path, offset, 0));
+    EXPECT_TRUE(none.empty()) << "offset " << offset;
+  }
+  EXPECT_TRUE(env_->ReadFileRange(path, 4, 0).status().IsOutOfRange());
+  std::string empty_path = root_ + "/ranged-empty";
+  ASSERT_OK(env_->WriteFile(empty_path, {}));
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> none,
+                       env_->ReadFileRange(empty_path, 0, 0));
+  EXPECT_TRUE(none.empty());
+  EXPECT_TRUE(env_->ReadFileRange(empty_path, 1, 0).status().IsOutOfRange());
+}
+
 TEST_P(EnvSweep, DeleteRemoves) {
   std::string path = root_ + "/gone";
   ASSERT_OK(env_->WriteFile(path, AsBytes("x")));
@@ -127,6 +162,21 @@ TEST(FaultInjectionEnvTest, FailsScheduledWrites) {
   env.Heal();
   EXPECT_OK(env.WriteFile("/e", AsBytes("5")));
   EXPECT_EQ(env.write_count(), 5);
+}
+
+// The decorator inherits the ranged-read contract from its base env, so
+// fault-injection sweeps exercise exactly the semantics production sees.
+TEST(FaultInjectionEnvTest, RangeContractPassesThrough) {
+  InMemoryEnv base;
+  FaultInjectionEnv env(&base);
+  ASSERT_OK(base.CreateDirs("/mem"));
+  ASSERT_OK(env.WriteFile("/mem/f", AsBytes("abc")));
+  const uint64_t huge = std::numeric_limits<uint64_t>::max();
+  EXPECT_TRUE(env.ReadFileRange("/mem/f", huge, 2).status().IsOutOfRange());
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> none,
+                       env.ReadFileRange("/mem/f", 3, 0));
+  EXPECT_TRUE(none.empty());
+  EXPECT_TRUE(env.ReadFileRange("/mem/f", 4, 0).status().IsOutOfRange());
 }
 
 // ---------------------------------------------------------------------------
@@ -191,6 +241,53 @@ TEST(FileStoreTest, GetRangeAndSize) {
   // Ranged reads are charged only for the bytes moved.
   EXPECT_EQ(clock.nanos() - before, 1000u + 3u);
   EXPECT_TRUE(store.GetRange("blob", 8, 5).status().IsOutOfRange());
+}
+
+// OpenStream is cost-model-equivalent to Get: one read op and the full
+// byte count charged at open, no extra charge per window — so flipping a
+// read path between the two leaves StoreStats and the simulated clock
+// identical.
+TEST(FileStoreTest, OpenStreamMatchesGetAccounting) {
+  InMemoryEnv env;
+  SimulatedClock clock;
+  FileStore store(&env, "/store", {1000, 2.0}, &clock);
+  ASSERT_OK(store.Open());
+  std::string payload(1000, 'x');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + i % 26);
+  }
+  ASSERT_OK(store.PutString("blob", payload));
+
+  StoreStats before = store.stats();
+  uint64_t nanos_before = clock.nanos();
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> whole, store.Get("blob"));
+  StoreStats get_delta = store.stats() - before;
+  uint64_t get_nanos = clock.nanos() - nanos_before;
+
+  before = store.stats();
+  nanos_before = clock.nanos();
+  ASSERT_OK_AND_ASSIGN(StreamFile stream, store.OpenStream("blob", 64));
+  EXPECT_EQ(stream.size(), payload.size());
+  std::vector<uint8_t> streamed;
+  while (!stream.done()) {
+    ASSERT_OK_AND_ASSIGN(std::span<const uint8_t> window, stream.Next());
+    EXPECT_LE(window.size(), 64u);
+    streamed.insert(streamed.end(), window.begin(), window.end());
+  }
+  StoreStats stream_delta = store.stats() - before;
+  uint64_t stream_nanos = clock.nanos() - nanos_before;
+
+  EXPECT_EQ(streamed, whole);  // windows concatenate bit-exactly
+  EXPECT_EQ(stream_delta.read_ops, get_delta.read_ops);
+  EXPECT_EQ(stream_delta.bytes_read, get_delta.bytes_read);
+  EXPECT_EQ(stream_nanos, get_nanos);
+
+  // A drained stream keeps answering empty windows.
+  ASSERT_OK_AND_ASSIGN(std::span<const uint8_t> after_eof, stream.Next());
+  EXPECT_TRUE(after_eof.empty());
+  // Missing names surface as NotFound, exactly like Get.
+  EXPECT_TRUE(store.OpenStream("missing").status().IsNotFound());
+  EXPECT_TRUE(store.Get("missing").status().IsNotFound());
 }
 
 TEST(FileStoreTest, ListsBlobs) {

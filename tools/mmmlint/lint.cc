@@ -381,6 +381,30 @@ void CheckDirectEnvWrite(const RuleContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// direct-env-read: approach code must read through FileStore (Get /
+// GetRange / OpenStream), never Env::ReadFile / ReadFileRange directly —
+// a direct read bypasses the modeled store latency, the StoreStats
+// counters, and fault injection, so benches and crash sweeps silently stop
+// observing it.
+
+void CheckDirectEnvRead(const RuleContext& ctx) {
+  if (!PathContains(ctx.file.path, "src/core/")) return;
+  const auto& toks = ctx.file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdent) continue;
+    if ((toks[i].text == "ReadFile" || toks[i].text == "ReadFileRange") &&
+        IsPunct(TokenAt(toks, i + 1), "(")) {
+      ctx.Report("direct-env-read", toks[i].line,
+                 "'" + toks[i].text +
+                     "' in approach code: recovery reads must go through "
+                     "FileStore (Get/GetRange/OpenStream) so modeled "
+                     "latency, read counters, and fault injection observe "
+                     "them");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // direct-manager-open: ModelSetManager is opened by its ownership layers
 // (core itself, cluster shards) plus tests and benches; everything else gets
 // a manager (or a Coordinator) handed to it. A stray Open elsewhere is how
@@ -626,8 +650,8 @@ std::string JsonEscape(const std::string& s) {
 std::vector<std::string> RuleNames() {
   return {"banned-random",  "discarded-status",   "naked-new",
           "naked-delete",   "mutex-missing-guard", "raw-std-mutex",
-          "direct-env-write", "direct-manager-open", "chunk-delete",
-          "include-cycle"};
+          "direct-env-write", "direct-env-read", "direct-manager-open",
+          "chunk-delete", "include-cycle"};
 }
 
 std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
@@ -663,6 +687,7 @@ std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
       CheckMutexRules(ctx);
     }
     if (WantRule(options, "direct-env-write")) CheckDirectEnvWrite(ctx);
+    if (WantRule(options, "direct-env-read")) CheckDirectEnvRead(ctx);
     if (WantRule(options, "direct-manager-open")) CheckDirectManagerOpen(ctx);
     if (WantRule(options, "chunk-delete")) CheckChunkDelete(ctx);
   }
